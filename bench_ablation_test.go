@@ -1,0 +1,122 @@
+package infogram_test
+
+// Ablation benchmarks: quantify the individual design choices DESIGN.md
+// calls out — single-flight update coalescing (the paper's "monitors are
+// used to perform only one such update at a time"), the inter-execution
+// delay (§6.2), and persistent authenticated connections (the GSI
+// handshake is paid once per connection, not per request).
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"infogram/internal/cache"
+	"infogram/internal/core"
+)
+
+// BenchmarkAblation_SingleFlight compares concurrent refreshes of one
+// expensive value with and without the cache's coalescing monitor.
+func BenchmarkAblation_SingleFlight(b *testing.B) {
+	const cost = 2 * time.Millisecond
+	newFn := func(execs *atomic.Int64) cache.UpdateFunc {
+		return func(ctx context.Context) (any, error) {
+			execs.Add(1)
+			time.Sleep(cost)
+			return "v", nil
+		}
+	}
+	b.Run("coalesced", func(b *testing.B) {
+		var execs atomic.Int64
+		entry := cache.NewEntry(cache.Options{TTL: time.Nanosecond}, newFn(&execs))
+		ctx := context.Background()
+		b.SetParallelism(32)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := entry.Update(ctx); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+		b.StopTimer()
+		b.ReportMetric(float64(execs.Load())/float64(b.N), "execs/op")
+	})
+	b.Run("uncoalesced", func(b *testing.B) {
+		var execs atomic.Int64
+		fn := newFn(&execs)
+		ctx := context.Background()
+		b.SetParallelism(32)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := fn(ctx); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+		b.StopTimer()
+		b.ReportMetric(float64(execs.Load())/float64(b.N), "execs/op")
+	})
+}
+
+// BenchmarkAblation_DelaySuppression measures the §6.2 inter-execution
+// delay under an immediate-mode flood ("users ask for information more
+// frequently than it can be produced").
+func BenchmarkAblation_DelaySuppression(b *testing.B) {
+	const cost = time.Millisecond
+	for _, delay := range []time.Duration{0, 10 * time.Millisecond} {
+		b.Run(fmt.Sprintf("delay=%s", delay), func(b *testing.B) {
+			var execs atomic.Int64
+			entry := cache.NewEntry(cache.Options{TTL: time.Nanosecond, Delay: delay},
+				func(ctx context.Context) (any, error) {
+					execs.Add(1)
+					time.Sleep(cost)
+					return "v", nil
+				})
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := entry.Get(ctx, cache.Immediate, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(execs.Load())/float64(b.N), "execs/op")
+		})
+	}
+}
+
+// BenchmarkAblation_ConnectionReuse contrasts a persistent authenticated
+// connection against dialing (and re-running the GSI handshake) per query.
+func BenchmarkAblation_ConnectionReuse(b *testing.B) {
+	f := newFabric(b)
+	reg, _ := benchRegistry(time.Hour, 0, nil)
+	_, addr := startInfoGram(b, f, reg)
+
+	b.Run("persistent", func(b *testing.B) {
+		cl := dialInfoGram(b, f, addr)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cl.QueryRaw("&(info=CPULoad)"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dial-per-query", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cl, err := core.Dial(addr, f.user, f.trust)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := cl.QueryRaw("&(info=CPULoad)"); err != nil {
+				b.Fatal(err)
+			}
+			cl.Close()
+		}
+	})
+}

@@ -1,0 +1,189 @@
+package infogram_test
+
+// Shared harness for the experiment benchmarks in bench_test.go: a
+// complete security fabric, baseline GRAM+MDS deployments (Figure 2), and
+// unified InfoGram deployments (Figure 4), all on loopback TCP.
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"infogram/internal/core"
+	"infogram/internal/gram"
+	"infogram/internal/gsi"
+	"infogram/internal/job"
+	"infogram/internal/mds"
+	"infogram/internal/provider"
+	"infogram/internal/quality"
+	"infogram/internal/scheduler"
+)
+
+// fabric is the benchmark security environment.
+type fabric struct {
+	ca      *gsi.CA
+	trust   *gsi.TrustStore
+	gridmap *gsi.Gridmap
+	svcCred *gsi.Credential
+	user    *gsi.Credential
+}
+
+func newFabric(b *testing.B) *fabric {
+	b.Helper()
+	now := time.Now()
+	ca, err := gsi.NewCA("/O=Grid/CN=Bench CA", 24*time.Hour, now)
+	if err != nil {
+		b.Fatal(err)
+	}
+	svcCred, err := ca.IssueIdentity("/O=Grid/CN=bench-service", 12*time.Hour, now)
+	if err != nil {
+		b.Fatal(err)
+	}
+	user, err := ca.IssueIdentity("/O=Grid/CN=bench-user", 12*time.Hour, now)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gm := gsi.NewGridmap()
+	gm.Add("/O=Grid/CN=bench-user", "bench")
+	return &fabric{
+		ca: ca, trust: gsi.NewTrustStore(ca.Certificate()),
+		gridmap: gm, svcCred: svcCred, user: user,
+	}
+}
+
+// noopFunc builds a func backend with an instant "noop" job and a counting
+// provider-friendly "spin" job.
+func noopFunc() *scheduler.Func {
+	fn := scheduler.NewFunc(scheduler.TrustedMode, scheduler.Budgets{})
+	fn.RegisterFunc("noop", func(ctx context.Context, sb *scheduler.Sandbox, args []string, stdin string) (string, error) {
+		return "", nil
+	})
+	return fn
+}
+
+// benchRegistry builds a registry with a counting CPULoad-style provider.
+// execCost simulates the expense of producing the information.
+func benchRegistry(ttl time.Duration, execCost time.Duration, degrade quality.Degradation) (*provider.Registry, *atomic.Int64) {
+	reg := provider.NewRegistry(nil)
+	var execs atomic.Int64
+	p := provider.NewFuncProvider("CPULoad", func(ctx context.Context) (provider.Attributes, error) {
+		n := execs.Add(1)
+		if execCost > 0 {
+			time.Sleep(execCost)
+		}
+		return provider.Attributes{{Name: "load1", Value: strconv.FormatInt(n%8, 10)}}, nil
+	})
+	reg.Register(p, provider.RegisterOptions{TTL: ttl, Degrade: degrade})
+	return reg, &execs
+}
+
+// startInfoGram starts a unified service over the registry.
+func startInfoGram(b *testing.B, f *fabric, reg *provider.Registry) (*core.Service, string) {
+	b.Helper()
+	svc := core.NewService(core.Config{
+		ResourceName: "bench.resource",
+		Credential:   f.svcCred,
+		Trust:        f.trust,
+		Gridmap:      f.gridmap,
+		Registry:     reg,
+		Backends:     gram.Backends{Func: noopFunc(), Exec: &scheduler.Fork{}},
+	})
+	addr, err := svc.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { svc.Close() })
+	return svc, addr
+}
+
+// startBaseline starts the Figure 2 pair: a GRAM service and an MDS GRIS
+// over the same registry.
+func startBaseline(b *testing.B, f *fabric, reg *provider.Registry) (gramAddr, grisAddr string, gramSvc *gram.Service, gris *mds.GRIS) {
+	b.Helper()
+	gramSvc = gram.NewService(gram.Config{
+		Credential: f.svcCred,
+		Trust:      f.trust,
+		Gridmap:    f.gridmap,
+		Backends:   gram.Backends{Func: noopFunc(), Exec: &scheduler.Fork{}},
+	})
+	ga, err := gramSvc.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { gramSvc.Close() })
+
+	gris = mds.NewGRIS(mds.GRISConfig{
+		ResourceName: "bench.resource",
+		Registry:     reg,
+		Credential:   f.svcCred,
+		Trust:        f.trust,
+	})
+	ma, err := gris.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { gris.Close() })
+	return ga, ma, gramSvc, gris
+}
+
+// dialInfoGram connects an authenticated client.
+func dialInfoGram(b *testing.B, f *fabric, addr string) *core.Client {
+	b.Helper()
+	cl, err := core.Dial(addr, f.user, f.trust)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+// runJobToDone submits and waits for a job through an InfoGram client.
+func runJobToDone(b *testing.B, cl *core.Client, src string) {
+	b.Helper()
+	contact, err := cl.Submit(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	st, err := cl.WaitTerminal(ctx, contact, time.Millisecond)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if st.State != job.Done {
+		b.Fatalf("job state %s: %s", st.State, st.Error)
+	}
+}
+
+// waitGRAMDone polls a GRAM client to a terminal state.
+func waitGRAMDone(b *testing.B, cl *gram.Client, contact string) {
+	b.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	st, err := cl.WaitTerminal(ctx, contact, time.Millisecond)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if st.State != job.Done {
+		b.Fatalf("job state %s: %s", st.State, st.Error)
+	}
+}
+
+// mkEntries builds n synthetic information entries for format benches.
+func mkEntriesSpec(n int) []provider.Report {
+	reports := make([]provider.Report, n)
+	for i := range reports {
+		reports[i] = provider.Report{
+			Keyword: fmt.Sprintf("Keyword%02d", i),
+			Attrs: provider.Attributes{
+				{Name: "alpha", Value: strconv.Itoa(i * 3)},
+				{Name: "beta", Value: "value with several words " + strconv.Itoa(i)},
+				{Name: "gamma", Value: "0.123456789"},
+			},
+		}
+	}
+	return reports
+}

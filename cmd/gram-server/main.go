@@ -1,0 +1,64 @@
+// Command gram-server runs the baseline J-GRAM job-execution service of
+// paper §2/§7: jobs only, no information queries. Together with mds-server
+// it forms the two-protocol Figure 2 deployment that InfoGram replaces.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"infogram/internal/bootstrap"
+	"infogram/internal/gram"
+	"infogram/internal/logging"
+	"infogram/internal/scheduler"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:2119", "listen address")
+		fabricDir = flag.String("fabric", "./fabric", "security fabric directory")
+		logPath   = flag.String("log", "", "job log file (disabled when empty)")
+		slots     = flag.Int("queue-slots", 4, "slots in the batch queue backend")
+	)
+	flag.Parse()
+
+	fabric, err := bootstrap.SelfSigned(*fabricDir)
+	if err != nil {
+		log.Fatalf("fabric: %v", err)
+	}
+	var logger *logging.Logger
+	if *logPath != "" {
+		logger, err = logging.OpenFile(*logPath)
+		if err != nil {
+			log.Fatalf("log: %v", err)
+		}
+		defer logger.Close()
+	}
+
+	svc := gram.NewService(gram.Config{
+		Credential: fabric.Service,
+		Trust:      fabric.Trust,
+		Gridmap:    fabric.Gridmap,
+		Backends: gram.Backends{
+			Exec:  &scheduler.Fork{},
+			Func:  scheduler.NewFunc(scheduler.TrustedMode, scheduler.Budgets{}),
+			Queue: scheduler.NewPBS(*slots, nil, &scheduler.Fork{}),
+		},
+		Log: logger,
+	})
+	bound, err := svc.Listen(*addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	defer svc.Close()
+	fmt.Printf("gram: serving GRAMP on %s (jobs only; pair with mds-server for information)\n", bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("gram: shutting down")
+}

@@ -1,0 +1,165 @@
+// Command infogram-server runs one InfoGram service: the unified
+// information-query and job-execution Grid service of the paper. It loads
+// (or self-generates) a GSI security fabric, registers the information
+// providers from a Table-1-style configuration file, and serves the single
+// InfoGram protocol on one port. Optionally it also exposes the same
+// providers through the MDS protocol for backward compatibility.
+//
+// Quickstart:
+//
+//	infogram-server -fabric ./fabric -addr 127.0.0.1:2119
+//	infogram -fabric ./fabric -server 127.0.0.1:2119 query '(info=all)'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"infogram/internal/bootstrap"
+	"infogram/internal/config"
+	"infogram/internal/core"
+	"infogram/internal/gram"
+	"infogram/internal/logging"
+	"infogram/internal/provider"
+	"infogram/internal/scheduler"
+	"infogram/internal/wsgw"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:2119", "listen address (GRAM's classic port by default)")
+		fabricDir = flag.String("fabric", "./fabric", "security fabric directory (self-generated when missing)")
+		confPath  = flag.String("config", "", "provider configuration file (Table 1 format); built-in providers when empty")
+		resource  = flag.String("resource", "", "resource name in entry DNs (hostname when empty)")
+		logPath   = flag.String("log", "", "job/accounting log file (disabled when empty)")
+		mdsAddr   = flag.String("mds-addr", "", "also serve the MDS GRIS protocol on this address")
+		wsAddr    = flag.String("ws-addr", "", "also serve the Web-services (SOAP/WSDL) gateway on this address")
+		wsToken   = flag.String("ws-token", "", "shared token required from Web-services clients")
+		restore   = flag.Bool("recover", false, "replay the log file and restart unfinished jobs")
+		sandbox   = flag.Bool("restricted", false, "run in-process jobs in the restricted sandbox")
+	)
+	flag.Parse()
+
+	fabric, err := bootstrap.SelfSigned(*fabricDir)
+	if err != nil {
+		log.Fatalf("fabric: %v", err)
+	}
+	name := *resource
+	if name == "" {
+		name, _ = os.Hostname()
+		if name == "" {
+			name = "localhost"
+		}
+	}
+
+	registry := provider.NewRegistry(nil)
+	confMgr := config.NewManager(registry)
+	if *confPath != "" {
+		if _, _, err := confMgr.LoadFile(*confPath); err != nil {
+			log.Fatalf("config: %v", err)
+		}
+	} else {
+		registry.Register(provider.RuntimeProvider{}, provider.RegisterOptions{TTL: 0})
+	}
+
+	var logger *logging.Logger
+	var priorRecords []logging.Record
+	if *logPath != "" {
+		if *restore {
+			if recs, err := logging.ReplayFile(*logPath); err == nil {
+				priorRecords = recs
+			}
+		}
+		logger, err = logging.OpenFile(*logPath)
+		if err != nil {
+			log.Fatalf("log: %v", err)
+		}
+		defer logger.Close()
+	}
+
+	mode := scheduler.TrustedMode
+	if *sandbox {
+		mode = scheduler.RestrictedMode
+	}
+	fn := scheduler.NewFunc(mode, scheduler.Budgets{})
+
+	svc := core.NewService(core.Config{
+		ResourceName: name,
+		Credential:   fabric.Service,
+		Trust:        fabric.Trust,
+		Gridmap:      fabric.Gridmap,
+		Registry:     registry,
+		Backends: gram.Backends{
+			Exec:  &scheduler.Fork{},
+			Func:  fn,
+			Queue: scheduler.NewPBS(4, nil, &scheduler.Fork{}),
+		},
+		Log: logger,
+	})
+	bound, err := svc.Listen(*addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	defer svc.Close()
+	fmt.Printf("infogram: resource %q serving on %s (%d providers, sandbox %s)\n",
+		name, bound, registry.Len(), mode)
+
+	if len(priorRecords) > 0 {
+		contacts, err := svc.Recover(priorRecords)
+		if err != nil {
+			log.Printf("recover: %v", err)
+		}
+		fmt.Printf("infogram: recovered %d unfinished job(s) from %s\n", len(contacts), *logPath)
+	}
+
+	if *mdsAddr != "" {
+		gris := svc.GRIS()
+		grisBound, err := gris.Listen(*mdsAddr)
+		if err != nil {
+			log.Fatalf("mds listen: %v", err)
+		}
+		defer gris.Close()
+		fmt.Printf("infogram: MDS-compatible GRIS on %s\n", grisBound)
+	}
+
+	if *wsAddr != "" {
+		gw := wsgw.New(wsgw.Config{
+			Backend:    bound,
+			Credential: fabric.User, // the gateway bridges web clients under its grid identity
+			Trust:      fabric.Trust,
+			Token:      *wsToken,
+		})
+		defer gw.Close()
+		ln, err := net.Listen("tcp", *wsAddr)
+		if err != nil {
+			log.Fatalf("ws listen: %v", err)
+		}
+		httpSrv := &http.Server{Handler: gw}
+		go func() { _ = httpSrv.Serve(ln) }()
+		defer httpSrv.Close()
+		fmt.Printf("infogram: Web-services gateway on http://%s (GET ?wsdl for the description)\n", ln.Addr())
+	}
+
+	// SIGHUP hot-reloads the provider configuration (§6.2.1).
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
+	for s := range sig {
+		if s == syscall.SIGHUP && *confPath != "" {
+			updated, removed, err := confMgr.LoadFile(*confPath)
+			if err != nil {
+				log.Printf("reload: %v", err)
+				continue
+			}
+			fmt.Printf("infogram: configuration reloaded (%d updated, %d removed)\n", updated, removed)
+			continue
+		}
+		break
+	}
+	fmt.Println("infogram: shutting down")
+}

@@ -1,0 +1,170 @@
+// Command infogram is the client CLI for the unified service: it submits
+// jobs and information queries — both expressed in xRSL — over one
+// protocol, mirroring how "[q]uerying the information is handled by
+// clients much as the execution of jobs" (paper §6.5).
+//
+// Usage:
+//
+//	infogram -fabric ./fabric -server HOST:PORT query '(info=all)'
+//	infogram -fabric ./fabric -server HOST:PORT query '(info=Memory)(format=xml)'
+//	infogram -fabric ./fabric -server HOST:PORT schema
+//	infogram -fabric ./fabric -server HOST:PORT submit '(executable=/bin/date)'
+//	infogram -fabric ./fabric -server HOST:PORT run '(executable=/bin/date)'
+//	infogram -fabric ./fabric -server HOST:PORT status CONTACT
+//	infogram -fabric ./fabric -server HOST:PORT cancel CONTACT
+//	infogram -fabric ./fabric -server HOST:PORT multi '+(&(info=all))(&(executable=/bin/date))'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"infogram/internal/bootstrap"
+	"infogram/internal/core"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: infogram [flags] {query|schema|submit|run|status|cancel|suspend|resume|multi|ping} [arg]\n")
+	flag.PrintDefaults()
+	os.Exit(2)
+}
+
+func main() {
+	var (
+		server    = flag.String("server", "127.0.0.1:2119", "InfoGram service address")
+		fabricDir = flag.String("fabric", "./fabric", "security fabric directory")
+		credPath  = flag.String("cred", "", "credential file (defaults to the fabric's user credential)")
+		caPath    = flag.String("ca", "", "CA certificate file (defaults to the fabric's CA)")
+		timeout   = flag.Duration("timeout", time.Minute, "overall operation timeout")
+	)
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+	}
+
+	cred := *credPath
+	ca := *caPath
+	if cred == "" {
+		cred = filepath.Join(*fabricDir, bootstrap.UserFile)
+	}
+	if ca == "" {
+		ca = filepath.Join(*fabricDir, bootstrap.CAFile)
+	}
+	userCred, trust, err := bootstrap.Client(cred, ca)
+	if err != nil {
+		log.Fatalf("credentials: %v", err)
+	}
+
+	cl, err := core.Dial(*server, userCred, trust)
+	if err != nil {
+		log.Fatalf("dial: %v", err)
+	}
+	defer cl.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	cmd, arg := flag.Arg(0), flag.Arg(1)
+	switch cmd {
+	case "ping":
+		if err := cl.Ping(); err != nil {
+			log.Fatalf("ping: %v", err)
+		}
+		fmt.Println("ok")
+	case "query":
+		if arg == "" {
+			arg = "(info=all)"
+		}
+		res, err := cl.QueryRaw(arg)
+		if err != nil {
+			log.Fatalf("query: %v", err)
+		}
+		fmt.Print(res.Raw)
+	case "schema":
+		res, err := cl.QueryRaw("(info=schema)")
+		if err != nil {
+			log.Fatalf("schema: %v", err)
+		}
+		fmt.Print(res.Raw)
+	case "submit":
+		requireArg(arg, "submit needs an xRSL job specification")
+		contact, err := cl.Submit(arg)
+		if err != nil {
+			log.Fatalf("submit: %v", err)
+		}
+		fmt.Println(contact)
+	case "run":
+		requireArg(arg, "run needs an xRSL job specification")
+		contact, err := cl.Submit(arg)
+		if err != nil {
+			log.Fatalf("submit: %v", err)
+		}
+		st, err := cl.WaitTerminal(ctx, contact, 50*time.Millisecond)
+		if err != nil {
+			log.Fatalf("wait: %v", err)
+		}
+		fmt.Printf("state: %s exit: %d\n", st.State, st.ExitCode)
+		if st.Error != "" {
+			fmt.Printf("error: %s\n", st.Error)
+		}
+		if st.Stdout != "" {
+			fmt.Print(st.Stdout)
+		}
+		if st.Stderr != "" {
+			fmt.Fprint(os.Stderr, st.Stderr)
+		}
+	case "status":
+		requireArg(arg, "status needs a job contact")
+		st, err := cl.Status(arg)
+		if err != nil {
+			log.Fatalf("status: %v", err)
+		}
+		fmt.Printf("contact: %s\nstate: %s\nexit: %d\nrestarts: %d\n",
+			st.Contact, st.State, st.ExitCode, st.Restarts)
+		if st.Error != "" {
+			fmt.Printf("error: %s\n", st.Error)
+		}
+	case "cancel":
+		requireArg(arg, "cancel needs a job contact")
+		if err := cl.Cancel(arg); err != nil {
+			log.Fatalf("cancel: %v", err)
+		}
+		fmt.Println("cancelled")
+	case "suspend", "resume":
+		requireArg(arg, cmd+" needs a job contact")
+		if err := cl.Signal(arg, cmd); err != nil {
+			log.Fatalf("%s: %v", cmd, err)
+		}
+		fmt.Println(cmd + "d")
+	case "multi":
+		requireArg(arg, "multi needs a multi-request (+) xRSL specification")
+		parts, err := cl.SubmitMulti(arg)
+		if err != nil {
+			log.Fatalf("multi: %v", err)
+		}
+		for i, p := range parts {
+			switch {
+			case p.Err != nil:
+				fmt.Printf("[%d] error: %v\n", i, p.Err)
+			case p.Kind == "job":
+				fmt.Printf("[%d] job: %s\n", i, p.Contact)
+			case p.Info != nil:
+				fmt.Printf("[%d] info (%s):\n%s\n", i, p.Info.Format, p.Info.Raw)
+			}
+		}
+	default:
+		usage()
+	}
+}
+
+func requireArg(arg, msg string) {
+	if arg == "" {
+		log.Fatal(msg)
+	}
+}

@@ -1,0 +1,95 @@
+// Command mds-server runs the baseline MDS information services of paper
+// §3: a GRIS for this resource and, optionally, a GIIS aggregate for a
+// virtual organization. Together with gram-server it forms the
+// two-protocol Figure 2 deployment that InfoGram replaces.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"infogram/internal/bootstrap"
+	"infogram/internal/config"
+	"infogram/internal/mds"
+	"infogram/internal/provider"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:2135", "GRIS listen address (MDS's classic port by default)")
+		fabricDir = flag.String("fabric", "./fabric", "security fabric directory")
+		confPath  = flag.String("config", "", "provider configuration file (Table 1 format)")
+		resource  = flag.String("resource", "", "resource name (hostname when empty)")
+		giisAddr  = flag.String("giis-addr", "", "also run a GIIS aggregate on this address")
+		members   = flag.String("giis-members", "", "comma-separated GRIS addresses to pre-register in the GIIS")
+	)
+	flag.Parse()
+
+	fabric, err := bootstrap.SelfSigned(*fabricDir)
+	if err != nil {
+		log.Fatalf("fabric: %v", err)
+	}
+	name := *resource
+	if name == "" {
+		name, _ = os.Hostname()
+		if name == "" {
+			name = "localhost"
+		}
+	}
+
+	registry := provider.NewRegistry(nil)
+	if *confPath != "" {
+		cfg, err := config.Load(*confPath)
+		if err != nil {
+			log.Fatalf("config: %v", err)
+		}
+		if _, err := cfg.Apply(registry); err != nil {
+			log.Fatalf("config: %v", err)
+		}
+	} else {
+		registry.Register(provider.RuntimeProvider{}, provider.RegisterOptions{TTL: 0})
+	}
+
+	gris := mds.NewGRIS(mds.GRISConfig{
+		ResourceName: name,
+		Registry:     registry,
+		Credential:   fabric.Service,
+		Trust:        fabric.Trust,
+	})
+	bound, err := gris.Listen(*addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	defer gris.Close()
+	fmt.Printf("mds: GRIS for %q on %s\n", name, bound)
+
+	if *giisAddr != "" {
+		giis := mds.NewGIIS(mds.GIISConfig{
+			OrgName:    name,
+			Credential: fabric.Service,
+			Trust:      fabric.Trust,
+		})
+		giisBound, err := giis.Listen(*giisAddr)
+		if err != nil {
+			log.Fatalf("giis listen: %v", err)
+		}
+		defer giis.Close()
+		giis.Register(bound)
+		for _, m := range strings.Split(*members, ",") {
+			if m = strings.TrimSpace(m); m != "" {
+				giis.Register(m)
+			}
+		}
+		fmt.Printf("mds: GIIS on %s (%d members)\n", giisBound, len(giis.Members()))
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("mds: shutting down")
+}

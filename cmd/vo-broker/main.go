@@ -1,0 +1,112 @@
+// Command vo-broker schedules jobs across the members of a virtual
+// organization by querying each member's cached CPULoad through InfoGram
+// (paper §4, §5.1, §8). Given a list of member addresses it either prints
+// the current load table or brokers an xRSL job to the least-loaded
+// member.
+//
+// Usage:
+//
+//	vo-broker -fabric ./fabric -members HOST1:P1,HOST2:P2 loads
+//	vo-broker -fabric ./fabric -members HOST1:P1,HOST2:P2 run '(executable=/bin/date)'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"infogram/internal/bootstrap"
+	"infogram/internal/cache"
+	"infogram/internal/quality"
+	"infogram/internal/rsl"
+	"infogram/internal/vo"
+	"infogram/internal/xrsl"
+)
+
+func main() {
+	var (
+		fabricDir = flag.String("fabric", "./fabric", "security fabric directory")
+		members   = flag.String("members", "", "comma-separated InfoGram member addresses")
+		giisAddr  = flag.String("giis", "", "discover members from this GIIS index instead of -members")
+		threshold = flag.Float64("quality", 0, "quality threshold (percent) for load queries")
+		immediate = flag.Bool("immediate", false, "bypass member caches when reading load")
+		timeout   = flag.Duration("timeout", 5*time.Minute, "job timeout")
+	)
+	flag.Parse()
+	if (*members == "" && *giisAddr == "") || flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: vo-broker {-members HOST:PORT,... | -giis HOST:PORT} {loads|run XRSL}")
+		os.Exit(2)
+	}
+
+	cred, trust, err := bootstrap.Client(
+		filepath.Join(*fabricDir, bootstrap.UserFile),
+		filepath.Join(*fabricDir, bootstrap.CAFile))
+	if err != nil {
+		log.Fatalf("credentials: %v", err)
+	}
+
+	var addrs []string
+	if *giisAddr != "" {
+		addrs, err = vo.DiscoverMembers(*giisAddr, cred, trust)
+		if err != nil {
+			log.Fatalf("discovery: %v", err)
+		}
+		fmt.Printf("discovered %d member(s) from %s\n", len(addrs), *giisAddr)
+	} else {
+		for _, m := range strings.Split(*members, ",") {
+			if m = strings.TrimSpace(m); m != "" {
+				addrs = append(addrs, m)
+			}
+		}
+	}
+	broker := vo.NewBroker(addrs, cred, trust)
+	defer broker.Close()
+
+	mode := cache.Cached
+	if *immediate {
+		mode = cache.Immediate
+	}
+	thresh := quality.Score(*threshold)
+
+	switch flag.Arg(0) {
+	case "loads":
+		loads, err := broker.Loads(mode, thresh)
+		if err != nil {
+			log.Fatalf("loads: %v", err)
+		}
+		fmt.Printf("%-28s %6s %8s\n", "MEMBER", "LOAD", "QUALITY")
+		for _, l := range loads {
+			fmt.Printf("%-28s %6d %7.1f%%\n", l.Addr, l.Load, float64(l.Quality))
+		}
+	case "run":
+		src := flag.Arg(1)
+		if src == "" {
+			log.Fatal("run needs an xRSL job specification")
+		}
+		reqs, err := xrsl.Decode(src, rsl.Env{})
+		if err != nil {
+			log.Fatalf("xrsl: %v", err)
+		}
+		if len(reqs) != 1 || reqs[0].Kind != xrsl.KindJob {
+			log.Fatal("run needs exactly one job specification")
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		p, err := broker.Run(ctx, *reqs[0].Job, mode, thresh)
+		if err != nil {
+			log.Fatalf("run: %v", err)
+		}
+		fmt.Printf("member: %s\ncontact: %s\nstate: %s exit: %d\n",
+			p.Addr, p.Contact, p.Status.State, p.Status.ExitCode)
+		if p.Status.Stdout != "" {
+			fmt.Print(p.Status.Stdout)
+		}
+	default:
+		log.Fatalf("unknown command %q", flag.Arg(0))
+	}
+}

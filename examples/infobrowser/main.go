@@ -1,0 +1,135 @@
+// Infobrowser: a tour of the information-service half of InfoGram —
+// service reflection (§6.4), the response/quality/performance/format tags
+// of xRSL (§6.5), information degradation (§5.2), and the MDS
+// backward-compatibility bridge (§6.5).
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"infogram/internal/core"
+	"infogram/internal/gram"
+	"infogram/internal/gsi"
+	"infogram/internal/mds"
+	"infogram/internal/provider"
+	"infogram/internal/quality"
+	"infogram/internal/scheduler"
+)
+
+func main() {
+	now := time.Now()
+	ca, err := gsi.NewCA("/O=Grid/CN=Browser CA", 24*time.Hour, now)
+	check(err)
+	trust := gsi.NewTrustStore(ca.Certificate())
+	svcCred, err := ca.IssueIdentity("/O=Grid/CN=info-service", 12*time.Hour, now)
+	check(err)
+	user, err := ca.IssueIdentity("/O=Grid/CN=browser", 12*time.Hour, now)
+	check(err)
+	gm := gsi.NewGridmap()
+	gm.Add("/O=Grid/CN=browser", "browser")
+
+	// A synthetic sensor whose value drifts each execution, with a linear
+	// degradation over one second and a 30 ms execution cost.
+	var reading atomic.Int64
+	sensor := provider.NewFuncProvider("Sensor", func(ctx context.Context) (provider.Attributes, error) {
+		time.Sleep(30 * time.Millisecond)
+		return provider.Attributes{
+			{Name: "value", Value: strconv.FormatInt(reading.Add(7), 10)},
+		}, nil
+	})
+	sensor.Schemas = []provider.AttrSchema{{Name: "value", Type: "int", Doc: "synthetic sensor reading"}}
+
+	registry := provider.NewRegistry(nil)
+	registry.Register(sensor, provider.RegisterOptions{
+		TTL:     2 * time.Second,
+		Degrade: quality.Linear{Horizon: time.Second},
+	})
+	registry.Register(provider.RuntimeProvider{}, provider.RegisterOptions{TTL: time.Second})
+
+	svc := core.NewService(core.Config{
+		ResourceName: "browser.example",
+		Credential:   svcCred,
+		Trust:        trust,
+		Gridmap:      gm,
+		Registry:     registry,
+		Backends:     gram.Backends{Func: scheduler.NewFunc(scheduler.TrustedMode, scheduler.Budgets{})},
+	})
+	addr, err := svc.Listen("127.0.0.1:0")
+	check(err)
+	defer svc.Close()
+
+	cl, err := core.Dial(addr, user, trust)
+	check(err)
+	defer cl.Close()
+
+	// 1. Reflection: what does this service know?
+	fmt.Println("== (info=schema): service reflection ==")
+	res, err := cl.QueryRaw("(info=schema)")
+	check(err)
+	fmt.Println(res.Raw)
+
+	// 2. Watch quality degrade between cached reads.
+	fmt.Println("== degradation: cached reads age, quality decays ==")
+	for i := 0; i < 3; i++ {
+		res, err = cl.QueryRaw("&(info=Sensor)(response=cached)")
+		check(err)
+		v, _ := res.Entries[0].Get("Sensor:value")
+		q, _ := res.Entries[0].Get("quality:score")
+		age, _ := res.Entries[0].Get("quality:age")
+		fmt.Printf("  read %d: value=%s quality=%s%% age=%s\n", i, v, q, age)
+		time.Sleep(300 * time.Millisecond)
+	}
+
+	// 3. A quality threshold forces regeneration of stale data.
+	fmt.Println("\n== (quality=90): threshold-driven refresh ==")
+	res, err = cl.QueryRaw("&(info=Sensor)(quality=90)")
+	check(err)
+	v, _ := res.Entries[0].Get("Sensor:value")
+	q, _ := res.Entries[0].Get("quality:score")
+	fmt.Printf("  value=%s quality=%s%% (regenerated)\n", v, q)
+
+	// 4. The performance tag reports retrieval cost statistics.
+	fmt.Println("\n== (performance=true): retrieval cost ==")
+	res, err = cl.QueryRaw("&(info=Sensor)(performance=true)(response=immediate)")
+	check(err)
+	mean, _ := res.Entries[0].Get("performance:mean")
+	stddev, _ := res.Entries[0].Get("performance:stddev")
+	n, _ := res.Entries[0].Get("performance:samples")
+	fmt.Printf("  mean=%ss stddev=%ss over %s executions\n", mean, stddev, n)
+
+	// 5. Format negotiation: the same data as XML.
+	fmt.Println("\n== (format=xml) ==")
+	res, err = cl.QueryRaw("&(info=Sensor)(format=xml)(response=last)")
+	check(err)
+	fmt.Println(res.Raw)
+
+	// 6. MDS backward compatibility: the same registry behind the LDAP-
+	//    style protocol.
+	fmt.Println("\n== MDS bridge: same providers via the directory protocol ==")
+	gris := svc.GRIS()
+	grisAddr, err := gris.Listen("127.0.0.1:0")
+	check(err)
+	defer gris.Close()
+	mcl, err := mds.Dial(grisAddr, user, trust)
+	check(err)
+	defer mcl.Close()
+	entries, err := mcl.Search(mds.SearchRequest{Filter: "(kw=Sensor)"})
+	check(err)
+	for _, e := range entries {
+		fmt.Printf("  dn: %s\n", e.DN)
+		if v, ok := e.Get("Sensor:value"); ok {
+			fmt.Printf("  Sensor:value: %s\n", v)
+		}
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,99 @@
+// Quickstart: bring up a complete InfoGram deployment in-process — CA,
+// credentials, gridmap, service — then use ONE client connection and ONE
+// protocol for both an information query and a job execution, the paper's
+// headline simplification (Figures 3/4).
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"infogram/internal/core"
+	"infogram/internal/gram"
+	"infogram/internal/gsi"
+	"infogram/internal/provider"
+	"infogram/internal/scheduler"
+)
+
+func main() {
+	now := time.Now()
+
+	// 1. Security fabric: a CA, a service credential, a user, a gridmap.
+	ca, err := gsi.NewCA("/O=Grid/CN=Quickstart CA", 24*time.Hour, now)
+	check(err)
+	trust := gsi.NewTrustStore(ca.Certificate())
+	svcCred, err := ca.IssueIdentity("/O=Grid/CN=quickstart-service", 12*time.Hour, now)
+	check(err)
+	alice, err := ca.IssueIdentity("/O=Grid/OU=ANL/CN=alice", 12*time.Hour, now)
+	check(err)
+	gridmap := gsi.NewGridmap()
+	gridmap.Add("/O=Grid/OU=ANL/CN=alice", "alice")
+
+	// 2. Information providers: runtime stats plus a static identity
+	//    record, cached with a 500 ms TTL.
+	registry := provider.NewRegistry(nil)
+	registry.Register(provider.RuntimeProvider{}, provider.RegisterOptions{TTL: 500 * time.Millisecond})
+	registry.Register(&provider.StaticProvider{
+		KeywordName: "Resource",
+		Values: provider.Attributes{
+			{Name: "name", Value: "quickstart.example"},
+			{Name: "description", Value: "InfoGram quickstart resource"},
+		},
+	}, provider.RegisterOptions{TTL: time.Hour})
+
+	// 3. The InfoGram service: one port, one protocol.
+	svc := core.NewService(core.Config{
+		ResourceName: "quickstart.example",
+		Credential:   svcCred,
+		Trust:        trust,
+		Gridmap:      gridmap,
+		Registry:     registry,
+		Backends: gram.Backends{
+			Exec: &scheduler.Fork{},
+			Func: scheduler.NewFunc(scheduler.TrustedMode, scheduler.Budgets{}),
+		},
+	})
+	addr, err := svc.Listen("127.0.0.1:0")
+	check(err)
+	defer svc.Close()
+	fmt.Printf("InfoGram service on %s\n\n", addr)
+
+	// 4. One authenticated client connection serves everything.
+	cl, err := core.Dial(addr, alice, trust)
+	check(err)
+	defer cl.Close()
+
+	// Information query, expressed in xRSL like a job submission.
+	res, err := cl.QueryRaw("&(info=Resource)(info=Runtime)")
+	check(err)
+	fmt.Println("== information query: (info=Resource)(info=Runtime) ==")
+	fmt.Println(res.Raw)
+
+	// Job execution over the same connection.
+	fmt.Println("== job submission: (executable=/bin/date)(arguments=-u) ==")
+	contact, err := cl.Submit("&(executable=/bin/date)(arguments=-u)")
+	check(err)
+	fmt.Printf("job contact: %s\n", contact)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	st, err := cl.WaitTerminal(ctx, contact, 20*time.Millisecond)
+	check(err)
+	fmt.Printf("state: %s, exit: %d\nstdout: %s\n", st.State, st.ExitCode, st.Stdout)
+
+	// Both in one round trip: a multi-request.
+	fmt.Println("== multi-request: info + job in one round trip ==")
+	parts, err := cl.SubmitMulti("+(&(info=Resource))(&(executable=/bin/echo)(arguments=one round trip))")
+	check(err)
+	for i, p := range parts {
+		fmt.Printf("part %d: kind=%s\n", i, p.Kind)
+	}
+	fmt.Printf("\nconnections used for everything above: %d\n", svc.AcceptedConns())
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module infogram
+
+go 1.24

@@ -1,0 +1,129 @@
+// Package bootstrap provides the shared security-fabric setup used by the
+// command-line tools: load credentials, trust roots, and gridmaps from
+// files, or generate a complete self-signed fabric into a directory for
+// demonstration deployments — the one-call install experience the paper
+// attributes to its Web Start deployment (§7).
+package bootstrap
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"infogram/internal/gsi"
+)
+
+// Fabric is a loaded or freshly generated security environment.
+type Fabric struct {
+	// Service is the credential a server presents.
+	Service *gsi.Credential
+	// User is a client credential (only set when generated).
+	User *gsi.Credential
+	// Trust holds the CA roots.
+	Trust *gsi.TrustStore
+	// Gridmap maps identities to local accounts.
+	Gridmap *gsi.Gridmap
+	// Dir is the fabric directory when self-signed.
+	Dir string
+}
+
+// Fabric file names inside a self-signed directory.
+const (
+	CAFile      = "ca.json"
+	ServiceFile = "service-cred.json"
+	UserFile    = "user-cred.json"
+	GridmapFile = "gridmap"
+)
+
+// SelfSigned loads the fabric from dir, generating it first if the
+// directory is empty or missing. The generated fabric contains one CA, one
+// service credential, one user credential ("/O=Grid/CN=demo" mapped to
+// local account "demo"), and a gridmap.
+func SelfSigned(dir string) (*Fabric, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("bootstrap: %w", err)
+	}
+	caPath := filepath.Join(dir, CAFile)
+	if _, err := os.Stat(caPath); os.IsNotExist(err) {
+		if err := generate(dir); err != nil {
+			return nil, err
+		}
+	}
+	return load(dir)
+}
+
+func generate(dir string) error {
+	now := time.Now()
+	ca, err := gsi.NewCA("/O=Grid/CN=InfoGram Demo CA", 365*24*time.Hour, now)
+	if err != nil {
+		return err
+	}
+	service, err := ca.IssueIdentity("/O=Grid/CN=infogram-service", 90*24*time.Hour, now)
+	if err != nil {
+		return err
+	}
+	user, err := ca.IssueIdentity("/O=Grid/CN=demo", 90*24*time.Hour, now)
+	if err != nil {
+		return err
+	}
+	if err := gsi.SaveCertificate(filepath.Join(dir, CAFile), ca.Certificate()); err != nil {
+		return err
+	}
+	if err := gsi.SaveCredential(filepath.Join(dir, ServiceFile), service); err != nil {
+		return err
+	}
+	if err := gsi.SaveCredential(filepath.Join(dir, UserFile), user); err != nil {
+		return err
+	}
+	gm := gsi.NewGridmap()
+	gm.Add("/O=Grid/CN=demo", "demo")
+	f, err := os.Create(filepath.Join(dir, GridmapFile))
+	if err != nil {
+		return fmt.Errorf("bootstrap: %w", err)
+	}
+	defer f.Close()
+	if _, err := gm.WriteTo(f); err != nil {
+		return err
+	}
+	return nil
+}
+
+func load(dir string) (*Fabric, error) {
+	caCert, err := gsi.LoadCertificate(filepath.Join(dir, CAFile))
+	if err != nil {
+		return nil, err
+	}
+	service, err := gsi.LoadCredential(filepath.Join(dir, ServiceFile))
+	if err != nil {
+		return nil, err
+	}
+	user, err := gsi.LoadCredential(filepath.Join(dir, UserFile))
+	if err != nil {
+		return nil, err
+	}
+	gm, err := gsi.LoadGridmap(filepath.Join(dir, GridmapFile))
+	if err != nil {
+		return nil, err
+	}
+	return &Fabric{
+		Service: service,
+		User:    user,
+		Trust:   gsi.NewTrustStore(caCert),
+		Gridmap: gm,
+		Dir:     dir,
+	}, nil
+}
+
+// Client loads only what a client needs: a credential and the CA root.
+func Client(credPath, caPath string) (*gsi.Credential, *gsi.TrustStore, error) {
+	cred, err := gsi.LoadCredential(credPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	root, err := gsi.LoadCertificate(caPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cred, gsi.NewTrustStore(root), nil
+}

@@ -1,0 +1,75 @@
+package bootstrap
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestSelfSignedGeneratesAndReloads(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "fabric")
+	f1, err := SelfSigned(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, file := range []string{CAFile, ServiceFile, UserFile, GridmapFile} {
+		if _, err := os.Stat(filepath.Join(dir, file)); err != nil {
+			t.Errorf("missing %s: %v", file, err)
+		}
+	}
+	if f1.Service == nil || f1.User == nil || f1.Trust == nil || f1.Gridmap == nil {
+		t.Fatal("incomplete fabric")
+	}
+	// The generated pieces cohere: user verifies against the trust store
+	// and maps through the gridmap.
+	if err := f1.Trust.VerifyChain(f1.User.Chain, time.Now()); err != nil {
+		t.Errorf("user chain: %v", err)
+	}
+	if local, err := f1.Gridmap.Map(f1.User.Identity()); err != nil || local != "demo" {
+		t.Errorf("gridmap: %q %v", local, err)
+	}
+
+	// Second call loads the same fabric rather than regenerating.
+	f2, err := SelfSigned(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.User.Identity() != f1.User.Identity() {
+		t.Error("fabric regenerated instead of reloaded")
+	}
+	if f2.Service.Subject() != f1.Service.Subject() {
+		t.Error("service credential changed")
+	}
+}
+
+func TestClientLoads(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "fabric")
+	if _, err := SelfSigned(dir); err != nil {
+		t.Fatal(err)
+	}
+	cred, trust, err := Client(filepath.Join(dir, UserFile), filepath.Join(dir, CAFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trust.VerifyChain(cred.Chain, time.Now()); err != nil {
+		t.Errorf("VerifyChain: %v", err)
+	}
+	if _, _, err := Client(filepath.Join(dir, "missing"), filepath.Join(dir, CAFile)); err == nil {
+		t.Error("missing credential loaded")
+	}
+	if _, _, err := Client(filepath.Join(dir, UserFile), filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing CA loaded")
+	}
+}
+
+func TestSelfSignedBadDir(t *testing.T) {
+	// A file where the directory should be.
+	path := filepath.Join(t.TempDir(), "blocked")
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SelfSigned(path); err == nil {
+		t.Error("fabric created inside a file")
+	}
+}

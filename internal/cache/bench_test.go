@@ -1,0 +1,68 @@
+package cache
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func benchEntry(ttl time.Duration) *Entry {
+	return NewEntry(Options{TTL: ttl}, func(ctx context.Context) (any, error) {
+		return 42, nil
+	})
+}
+
+func BenchmarkCachedHit(b *testing.B) {
+	e := benchEntry(time.Hour)
+	ctx := context.Background()
+	if _, err := e.Update(ctx); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Get(ctx, Cached, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkImmediateUpdate(b *testing.B) {
+	e := benchEntry(time.Hour)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Get(ctx, Immediate, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQuery(b *testing.B) {
+	e := benchEntry(time.Hour)
+	if _, err := e.Update(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Query(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCachedHitParallel(b *testing.B) {
+	e := benchEntry(time.Hour)
+	ctx := context.Background()
+	if _, err := e.Update(ctx); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := e.Get(ctx, Cached, 0); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,118 @@
+package cache
+
+// Model-based test: a random single-threaded operation sequence against a
+// fake clock must match a trivially-correct reference model of the
+// paper's cache semantics (TTL, delay, response modes).
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"infogram/internal/clock"
+)
+
+// model is the reference implementation of one cache entry.
+type model struct {
+	ttl      time.Duration
+	delay    time.Duration
+	value    int
+	hasValue bool
+	fetched  time.Time
+	lastExec time.Time
+	execs    int
+}
+
+func (m *model) fresh(now time.Time) bool {
+	return m.hasValue && m.ttl > 0 && now.Sub(m.fetched) <= m.ttl
+}
+
+func (m *model) withinDelay(now time.Time) bool {
+	return m.delay > 0 && m.hasValue && now.Sub(m.lastExec) < m.delay
+}
+
+// get mirrors Entry.Get for a single-threaded caller; returns the value
+// the cache should serve and whether the provider should have executed.
+func (m *model) get(mode Mode, now time.Time, nextValue int) (value int, executed, errNever bool) {
+	switch mode {
+	case Last:
+		if !m.hasValue {
+			return 0, false, true
+		}
+		return m.value, false, false
+	case Cached:
+		if m.fresh(now) {
+			return m.value, false, false
+		}
+	case Immediate:
+	}
+	if m.withinDelay(now) {
+		return m.value, false, false
+	}
+	m.execs++
+	m.value = nextValue
+	m.hasValue = true
+	m.fetched = now
+	m.lastExec = now
+	return m.value, true, false
+}
+
+func TestModelEquivalence(t *testing.T) {
+	const seeds = 30
+	for seed := int64(0); seed < seeds; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		ttl := time.Duration(r.Intn(500)) * time.Millisecond
+		delay := time.Duration(r.Intn(200)) * time.Millisecond
+		clk := clock.NewFake(time.Unix(10_000, 0))
+
+		counter := 0
+		entry := NewEntry(Options{TTL: ttl, Delay: delay, Clock: clk},
+			func(ctx context.Context) (any, error) {
+				counter++
+				return counter, nil
+			})
+		ref := &model{ttl: ttl, delay: delay}
+
+		ctx := context.Background()
+		for step := 0; step < 300; step++ {
+			switch r.Intn(5) {
+			case 0:
+				clk.Advance(time.Duration(r.Intn(300)) * time.Millisecond)
+			case 1, 2:
+				compare(t, seed, step, entry, ref, Cached, clk.Now(), counter)
+			case 3:
+				compare(t, seed, step, entry, ref, Immediate, clk.Now(), counter)
+			case 4:
+				compare(t, seed, step, entry, ref, Last, clk.Now(), counter)
+			}
+			if t.Failed() {
+				return
+			}
+			_ = ctx
+		}
+		if int64(ref.execs) != entry.Stats().Execs {
+			t.Errorf("seed %d: model execs %d != entry execs %d", seed, ref.execs, entry.Stats().Execs)
+		}
+	}
+}
+
+func compare(t *testing.T, seed int64, step int, entry *Entry, ref *model, mode Mode, now time.Time, counterBefore int) {
+	t.Helper()
+	wantValue, _, wantNever := ref.get(mode, now, counterBefore+1)
+	res, err := entry.Get(context.Background(), mode, 0)
+	if wantNever {
+		if !errors.Is(err, ErrNeverFetched) {
+			t.Errorf("seed %d step %d mode %v: want ErrNeverFetched, got %v (res %+v)", seed, step, mode, err, res)
+		}
+		return
+	}
+	if err != nil {
+		t.Errorf("seed %d step %d mode %v: unexpected error %v", seed, step, mode, err)
+		return
+	}
+	if res.Value.(int) != wantValue {
+		t.Errorf("seed %d step %d mode %v: value %v, model wants %d", seed, step, mode, res.Value, wantValue)
+	}
+}

@@ -1,0 +1,66 @@
+// Package clock provides an injectable time source so that caches,
+// degradation functions, schedulers, and authorization contracts can be
+// tested deterministically. Production code uses Real; tests use a Fake
+// that only moves when advanced.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is a minimal time source. Implementations must be safe for
+// concurrent use.
+type Clock interface {
+	// Now returns the current time of this source.
+	Now() time.Time
+	// Since returns the elapsed time between t and Now.
+	Since(t time.Time) time.Duration
+}
+
+// Real is the wall clock. The zero value is ready to use.
+type Real struct{}
+
+// Now implements Clock using time.Now.
+func (Real) Now() time.Time { return time.Now() }
+
+// Since implements Clock using time.Since.
+func (Real) Since(t time.Time) time.Duration { return time.Since(t) }
+
+// System is a shared wall-clock instance.
+var System Clock = Real{}
+
+// Fake is a manually advanced clock for tests. The zero value starts at the
+// zero time; NewFake starts at a given instant.
+type Fake struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewFake returns a Fake clock pinned to start.
+func NewFake(start time.Time) *Fake { return &Fake{now: start} }
+
+// Now returns the fake current time.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// Since returns the fake elapsed time since t.
+func (f *Fake) Since(t time.Time) time.Duration { return f.Now().Sub(t) }
+
+// Advance moves the clock forward by d and returns the new time.
+func (f *Fake) Advance(d time.Duration) time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.now = f.now.Add(d)
+	return f.now
+}
+
+// Set pins the clock to t.
+func (f *Fake) Set(t time.Time) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.now = t
+}

@@ -1,0 +1,61 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRealClock(t *testing.T) {
+	var c Real
+	before := time.Now()
+	got := c.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Errorf("Now = %v outside [%v, %v]", got, before, after)
+	}
+	if d := c.Since(before); d < 0 {
+		t.Errorf("Since = %v", d)
+	}
+	if System == nil {
+		t.Error("System clock is nil")
+	}
+}
+
+func TestFakeClock(t *testing.T) {
+	start := time.Date(2002, 7, 24, 0, 0, 0, 0, time.UTC)
+	f := NewFake(start)
+	if !f.Now().Equal(start) {
+		t.Errorf("Now = %v", f.Now())
+	}
+	got := f.Advance(90 * time.Second)
+	if !got.Equal(start.Add(90 * time.Second)) {
+		t.Errorf("Advance returned %v", got)
+	}
+	if f.Since(start) != 90*time.Second {
+		t.Errorf("Since = %v", f.Since(start))
+	}
+	f.Set(start)
+	if !f.Now().Equal(start) {
+		t.Errorf("Set failed: %v", f.Now())
+	}
+}
+
+func TestFakeClockConcurrent(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				f.Advance(time.Millisecond)
+				_ = f.Now()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := f.Now(); !got.Equal(time.Unix(0, 0).Add(8 * 1000 * time.Millisecond)) {
+		t.Errorf("final time = %v", got)
+	}
+}

@@ -1,0 +1,86 @@
+package config
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"infogram/internal/provider"
+)
+
+func TestHotReload(t *testing.T) {
+	reg := provider.NewRegistry(nil)
+	// A provider outside configuration control.
+	reg.Register(provider.RuntimeProvider{}, provider.RegisterOptions{TTL: time.Second})
+
+	m := NewManager(reg)
+	cfg1, err := ParseString("60 Date date -u\n100 CPU cat /proc/cpuinfo\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	updated, removed, err := m.Load(cfg1)
+	if err != nil || updated != 2 || removed != 0 {
+		t.Fatalf("first load: %d/%d %v", updated, removed, err)
+	}
+	if reg.Len() != 3 {
+		t.Fatalf("registry len = %d", reg.Len())
+	}
+	g, _ := reg.Lookup("Date")
+	if g.TTL() != 60*time.Millisecond {
+		t.Errorf("Date TTL = %v", g.TTL())
+	}
+
+	// Reload: Date's TTL changes, CPU disappears, Uptime appears.
+	cfg2, err := ParseString("500 Date date -u\n0 Uptime cat /proc/uptime\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	updated, removed, err = m.Load(cfg2)
+	if err != nil || updated != 2 || removed != 1 {
+		t.Fatalf("second load: %d/%d %v", updated, removed, err)
+	}
+	if _, ok := reg.Lookup("CPU"); ok {
+		t.Error("removed keyword still registered")
+	}
+	if _, ok := reg.Lookup("Uptime"); !ok {
+		t.Error("new keyword missing")
+	}
+	g, _ = reg.Lookup("Date")
+	if g.TTL() != 500*time.Millisecond {
+		t.Errorf("Date TTL after reload = %v", g.TTL())
+	}
+	// The unmanaged Runtime provider survives reloads.
+	if _, ok := reg.Lookup("Runtime"); !ok {
+		t.Error("unmanaged provider removed by reload")
+	}
+	kws := m.Keywords()
+	sort.Strings(kws)
+	if len(kws) != 2 || kws[0] != "date" || kws[1] != "uptime" {
+		t.Errorf("managed keywords = %v", kws)
+	}
+}
+
+func TestHotReloadEmptyConfig(t *testing.T) {
+	reg := provider.NewRegistry(nil)
+	m := NewManager(reg)
+	cfg, _ := ParseString("60 Date date -u\n")
+	if _, _, err := m.Load(cfg); err != nil {
+		t.Fatal(err)
+	}
+	updated, removed, err := m.Load(&Config{})
+	if err != nil || updated != 0 || removed != 1 {
+		t.Fatalf("empty reload: %d/%d %v", updated, removed, err)
+	}
+	if reg.Len() != 0 {
+		t.Errorf("registry len = %d", reg.Len())
+	}
+}
+
+func TestHotReloadBadEntry(t *testing.T) {
+	reg := provider.NewRegistry(nil)
+	m := NewManager(reg)
+	bad := &Config{Entries: []Entry{{Keyword: "X", Command: " "}}}
+	if _, _, err := m.Load(bad); err == nil {
+		t.Error("bad entry loaded")
+	}
+}

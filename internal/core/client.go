@@ -1,0 +1,273 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"infogram/internal/clock"
+	"infogram/internal/gram"
+	"infogram/internal/gsi"
+	"infogram/internal/ldif"
+	"infogram/internal/wire"
+	"infogram/internal/xmlenc"
+	"infogram/internal/xrsl"
+)
+
+// Client is the single client an InfoGram deployment needs: one
+// authenticated connection, one protocol, both job execution and
+// information queries — contrast with the Figure 2 baseline where a client
+// must hold a gram.Client and an mds.Client against two ports.
+type Client struct {
+	conn *wire.Conn
+	peer *gsi.Peer
+	clk  clock.Clock
+}
+
+// Dial connects and authenticates to an InfoGram service.
+func Dial(addr string, cred *gsi.Credential, trust *gsi.TrustStore) (*Client, error) {
+	return DialClock(addr, cred, trust, clock.System)
+}
+
+// DialClock is Dial with an injected clock.
+func DialClock(addr string, cred *gsi.Credential, trust *gsi.TrustStore, clk clock.Clock) (*Client, error) {
+	conn, err := wire.Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("infogram: dial %s: %w", addr, err)
+	}
+	peer, err := gsi.ClientHandshake(conn, cred, trust, clk.Now())
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &Client{conn: conn, peer: peer, clk: clk}, nil
+}
+
+// Server returns the authenticated server identity.
+func (c *Client) Server() *gsi.Peer { return c.peer }
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func serverError(f wire.Frame) error {
+	return fmt.Errorf("infogram: server error: %s", strings.TrimSpace(string(f.Payload)))
+}
+
+// Ping checks service liveness.
+func (c *Client) Ping() error {
+	resp, err := c.conn.Call(wire.Frame{Verb: gram.VerbPing})
+	if err != nil {
+		return err
+	}
+	if resp.Verb != gram.VerbPong {
+		return serverError(resp)
+	}
+	return nil
+}
+
+// Submit sends raw xRSL. For a job it returns the job contact; an info
+// query submitted through Submit fails with a type hint — use Query.
+func (c *Client) Submit(xrslSrc string) (string, error) {
+	resp, err := c.conn.Call(wire.Frame{Verb: gram.VerbSubmit, Payload: []byte(xrslSrc)})
+	if err != nil {
+		return "", err
+	}
+	switch resp.Verb {
+	case gram.VerbSubmitted:
+		return string(resp.Payload), nil
+	case VerbResultLDIF, VerbResultXML, VerbResultDSML:
+		return "", fmt.Errorf("infogram: specification was an information query; use Query")
+	default:
+		return "", serverError(resp)
+	}
+}
+
+// InfoResult is a decoded information response.
+type InfoResult struct {
+	Format  xrsl.Format
+	Raw     string
+	Entries []ldif.Entry
+}
+
+// QueryRaw sends raw xRSL expected to be an information query.
+func (c *Client) QueryRaw(xrslSrc string) (InfoResult, error) {
+	resp, err := c.conn.Call(wire.Frame{Verb: gram.VerbSubmit, Payload: []byte(xrslSrc)})
+	if err != nil {
+		return InfoResult{}, err
+	}
+	return decodeInfoFrame(resp)
+}
+
+func decodeInfoFrame(resp wire.Frame) (InfoResult, error) {
+	switch resp.Verb {
+	case VerbResultLDIF:
+		entries, err := ldif.Unmarshal(string(resp.Payload))
+		if err != nil {
+			return InfoResult{}, err
+		}
+		return InfoResult{Format: xrsl.FormatLDIF, Raw: string(resp.Payload), Entries: entries}, nil
+	case VerbResultXML:
+		entries, err := xmlenc.Unmarshal(string(resp.Payload))
+		if err != nil {
+			return InfoResult{}, err
+		}
+		return InfoResult{Format: xrsl.FormatXML, Raw: string(resp.Payload), Entries: entries}, nil
+	case VerbResultDSML:
+		entries, err := xmlenc.UnmarshalDSML(string(resp.Payload))
+		if err != nil {
+			return InfoResult{}, err
+		}
+		return InfoResult{Format: xrsl.FormatDSML, Raw: string(resp.Payload), Entries: entries}, nil
+	case gram.VerbSubmitted:
+		return InfoResult{}, fmt.Errorf("infogram: specification was a job submission; use Submit")
+	default:
+		return InfoResult{}, serverError(resp)
+	}
+}
+
+// Query sends a typed information request.
+func (c *Client) Query(req xrsl.InfoRequest) (InfoResult, error) {
+	return c.QueryRaw(req.Encode())
+}
+
+// Schema fetches the service reflection schema (§6.4).
+func (c *Client) Schema() ([]ldif.Entry, error) {
+	res, err := c.Query(xrsl.InfoRequest{Schema: true})
+	if err != nil {
+		return nil, err
+	}
+	return res.Entries, nil
+}
+
+// SubmitJob sends a typed job request and returns the contact.
+func (c *Client) SubmitJob(req xrsl.JobRequest) (string, error) {
+	return c.Submit(req.Encode())
+}
+
+// MultiPart is the client view of one multi-request part outcome.
+type MultiPart struct {
+	Kind    string
+	Contact string
+	Info    *InfoResult
+	Err     error
+}
+
+// SubmitMulti sends a multi-request (+) carrying any mix of jobs and info
+// queries and decodes the per-part outcomes.
+func (c *Client) SubmitMulti(xrslSrc string) ([]MultiPart, error) {
+	resp, err := c.conn.Call(wire.Frame{Verb: gram.VerbSubmit, Payload: []byte(xrslSrc)})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Verb != VerbMulti {
+		// A multi-request with a single component answers directly.
+		switch resp.Verb {
+		case gram.VerbSubmitted:
+			return []MultiPart{{Kind: "job", Contact: string(resp.Payload)}}, nil
+		case VerbResultLDIF, VerbResultXML, VerbResultDSML:
+			res, err := decodeInfoFrame(resp)
+			if err != nil {
+				return nil, err
+			}
+			return []MultiPart{{Kind: "info", Info: &res}}, nil
+		default:
+			return nil, serverError(resp)
+		}
+	}
+	var parts []PartResult
+	if err := json.Unmarshal(resp.Payload, &parts); err != nil {
+		return nil, fmt.Errorf("infogram: decode multi response: %w", err)
+	}
+	out := make([]MultiPart, 0, len(parts))
+	for _, p := range parts {
+		mp := MultiPart{Kind: p.Kind, Contact: p.Contact}
+		switch p.Kind {
+		case "info":
+			format := xrsl.Format(p.Format)
+			var entries []ldif.Entry
+			var derr error
+			switch format {
+			case xrsl.FormatXML:
+				entries, derr = xmlenc.Unmarshal(p.Body)
+			case xrsl.FormatDSML:
+				entries, derr = xmlenc.UnmarshalDSML(p.Body)
+			default:
+				entries, derr = ldif.Unmarshal(p.Body)
+			}
+			if derr != nil {
+				mp.Err = derr
+			} else {
+				mp.Info = &InfoResult{Format: format, Raw: p.Body, Entries: entries}
+			}
+		case "error":
+			mp.Err = fmt.Errorf("infogram: %s", p.Error)
+		}
+		out = append(out, mp)
+	}
+	return out, nil
+}
+
+// Status polls a job by contact.
+func (c *Client) Status(contact string) (gram.StatusReply, error) {
+	resp, err := c.conn.Call(wire.Frame{Verb: gram.VerbStatus, Payload: []byte(contact)})
+	if err != nil {
+		return gram.StatusReply{}, err
+	}
+	if resp.Verb != gram.VerbStatusOK {
+		return gram.StatusReply{}, serverError(resp)
+	}
+	var reply gram.StatusReply
+	if err := json.Unmarshal(resp.Payload, &reply); err != nil {
+		return gram.StatusReply{}, fmt.Errorf("infogram: decode status: %w", err)
+	}
+	return reply, nil
+}
+
+// Cancel cancels a job by contact.
+func (c *Client) Cancel(contact string) error {
+	resp, err := c.conn.Call(wire.Frame{Verb: gram.VerbCancel, Payload: []byte(contact)})
+	if err != nil {
+		return err
+	}
+	if resp.Verb != gram.VerbCancelOK {
+		return serverError(resp)
+	}
+	return nil
+}
+
+// Signal suspends or resumes a job ("suspend" / "resume").
+func (c *Client) Signal(contact, signal string) error {
+	resp, err := c.conn.Call(wire.Frame{Verb: gram.VerbSignal, Payload: []byte(contact + " " + signal)})
+	if err != nil {
+		return err
+	}
+	if resp.Verb != gram.VerbSignalOK {
+		return serverError(resp)
+	}
+	return nil
+}
+
+// WaitTerminal polls until the job reaches a terminal state.
+func (c *Client) WaitTerminal(ctx context.Context, contact string, poll time.Duration) (gram.StatusReply, error) {
+	if poll <= 0 {
+		poll = 10 * time.Millisecond
+	}
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	for {
+		st, err := c.Status(contact)
+		if err != nil {
+			return gram.StatusReply{}, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"infogram/internal/ldif"
+	"infogram/internal/provider"
+	"infogram/internal/quality"
+	"infogram/internal/xmlenc"
+	"infogram/internal/xrsl"
+)
+
+// infoEngine answers decoded information queries from the provider
+// registry: the "system monitor service" plus "system information service"
+// pair of Figure 3, fronted by the xRSL tags of §6.5.
+type infoEngine struct {
+	resource string
+	registry *provider.Registry
+}
+
+// Answer evaluates an info request and renders it in the requested format.
+func (e *infoEngine) Answer(ctx context.Context, req *xrsl.InfoRequest) (string, error) {
+	var entries []ldif.Entry
+	if req.Schema {
+		entries = e.schemaEntries()
+	} else {
+		reports, err := e.registry.Collect(ctx, req.Keywords, req.Response, req.Quality)
+		if err != nil {
+			return "", err
+		}
+		entries = provider.ReportEntries(e.resource, reports)
+		e.augmentQuality(entries, reports)
+		if req.Performance {
+			e.augmentPerformance(entries, reports)
+		}
+	}
+	if req.Filter != "" {
+		entries = applyFilter(entries, req.Filter)
+	}
+	switch req.Format {
+	case xrsl.FormatXML:
+		return xmlenc.Marshal(entries)
+	case xrsl.FormatDSML:
+		return xmlenc.MarshalDSML(entries)
+	default:
+		return ldif.Marshal(entries)
+	}
+}
+
+// augmentQuality attaches the quality-of-information assessment of §6.3 to
+// each returned keyword block: the degradation score, the value's age, and
+// the function that produced the score.
+func (e *infoEngine) augmentQuality(entries []ldif.Entry, reports []provider.Report) {
+	for i := range reports {
+		entries[i].Add("quality:score", fmt.Sprintf("%.2f", float64(reports[i].Result.Quality)))
+		// Age renders as ASCII seconds; time.Duration's µs unit would
+		// force base64 in LDIF.
+		entries[i].Add("quality:age", fmt.Sprintf("%.6fs", reports[i].Result.Age.Seconds()))
+		entries[i].Add("quality:fromCache", strconv.FormatBool(reports[i].Result.FromCache))
+		if g, ok := e.registry.Lookup(reports[i].Keyword); ok && g.Degradation() != nil {
+			entries[i].Add("quality:function", g.Degradation().Name())
+			// Self-correcting functions expose their observed drift, the
+			// "standard deviation ... of the value" context §5.2 asks for.
+			if sc, ok := g.Degradation().(*quality.SelfCorrecting); ok && sc.Observations() > 0 {
+				entries[i].Add("quality:driftSigma", fmt.Sprintf("%.6f", sc.DriftSigma()))
+				entries[i].Add("quality:driftObservations", strconv.FormatInt(sc.Observations(), 10))
+			}
+		}
+	}
+}
+
+// augmentPerformance implements the performance tag: "the number of
+// seconds and the standard deviation about how long it takes to obtain a
+// particular information value" (§6.5).
+func (e *infoEngine) augmentPerformance(entries []ldif.Entry, reports []provider.Report) {
+	for i := range reports {
+		g, ok := e.registry.Lookup(reports[i].Keyword)
+		if !ok {
+			continue
+		}
+		st := g.AverageUpdateTime()
+		entries[i].Add("performance:mean", fmt.Sprintf("%.6f", st.Mean.Seconds()))
+		entries[i].Add("performance:stddev", fmt.Sprintf("%.6f", st.StdDev.Seconds()))
+		entries[i].Add("performance:samples", strconv.FormatInt(st.Count, 10))
+	}
+}
+
+// schemaEntries implements service reflection (§6.4): one entry per
+// keyword describing its source, TTL, degradation function, preferred
+// format, retrieval performance, and declared attributes.
+func (e *infoEngine) schemaEntries() []ldif.Entry {
+	schema := e.registry.Schema()
+	out := make([]ldif.Entry, 0, len(schema))
+	for _, ks := range schema {
+		entry := ldif.Entry{DN: fmt.Sprintf("schema=%s, resource=%s, o=grid", ks.Keyword, e.resource)}
+		entry.Add("objectclass", "InfoGramSchema")
+		entry.Add("keyword", ks.Keyword)
+		entry.Add("source", ks.Source)
+		entry.Add("ttl", strconv.FormatInt(ks.TTL.Milliseconds(), 10))
+		entry.Add("format", ks.Format)
+		if ks.Degradation != "" {
+			entry.Add("degradation", ks.Degradation)
+		}
+		if ks.Performance.Count > 0 {
+			entry.Add("performance:mean", fmt.Sprintf("%.6f", ks.Performance.Mean.Seconds()))
+			entry.Add("performance:stddev", fmt.Sprintf("%.6f", ks.Performance.StdDev.Seconds()))
+		}
+		for _, as := range ks.Attributes {
+			doc := as.Type
+			if as.Doc != "" {
+				doc += ": " + as.Doc
+			}
+			entry.Add("attribute:"+as.Name, doc)
+		}
+		out = append(out, entry)
+	}
+	return out
+}
+
+// applyFilter keeps, in each entry, only attributes whose names match the
+// glob pattern (the filter tag); entries left without any matching
+// attribute are dropped. The structural attributes (objectclass, kw,
+// resource) are always kept on surviving entries.
+func applyFilter(entries []ldif.Entry, pattern string) []ldif.Entry {
+	structural := map[string]bool{"objectclass": true, "kw": true, "resource": true, "keyword": true}
+	var out []ldif.Entry
+	for _, e := range entries {
+		kept := ldif.Entry{DN: e.DN}
+		matched := false
+		for _, a := range e.Attrs {
+			if structural[strings.ToLower(a.Name)] {
+				kept.Add(a.Name, a.Value)
+				continue
+			}
+			if globMatch(pattern, a.Name) {
+				kept.Add(a.Name, a.Value)
+				matched = true
+			}
+		}
+		if matched {
+			out = append(out, kept)
+		}
+	}
+	return out
+}
+
+// globMatch matches pattern with '*' wildcards against s,
+// case-insensitively.
+func globMatch(pattern, s string) bool {
+	p := strings.ToLower(pattern)
+	v := strings.ToLower(s)
+	if !strings.Contains(p, "*") {
+		return p == v
+	}
+	parts := strings.Split(p, "*")
+	if !strings.HasPrefix(v, parts[0]) {
+		return false
+	}
+	v = v[len(parts[0]):]
+	last := parts[len(parts)-1]
+	for _, mid := range parts[1 : len(parts)-1] {
+		if mid == "" {
+			continue
+		}
+		idx := strings.Index(v, mid)
+		if idx < 0 {
+			return false
+		}
+		v = v[idx+len(mid):]
+	}
+	return strings.HasSuffix(v, last)
+}

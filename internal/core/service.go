@@ -1,0 +1,386 @@
+// Package core implements the InfoGram service itself: the unified Grid
+// service of paper §6 and Figures 3/4 that answers both job submissions
+// and information queries over a single protocol on a single port. "If we
+// think abstractly about job execution and an information service, we must
+// recognize that they are based on the same principle: A query formulated
+// and submitted to a server followed by a stream of information that
+// returns the result based on the query" (§4).
+//
+// The request protocol is GRAMP extended: a SUBMIT frame carries xRSL; if
+// the specification is a job it is executed by a job manager exactly as in
+// the GRAM baseline, and if it carries info tags the same SUBMIT returns
+// the information — "[a]t the protocol level we have replaced an LDAP
+// search query with a query cast as a simple job submission through RSL"
+// (§6.5). Multi-requests (+) mix both kinds in one round trip.
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+
+	"infogram/internal/clock"
+	"infogram/internal/gram"
+	"infogram/internal/gsi"
+	"infogram/internal/job"
+	"infogram/internal/logging"
+	"infogram/internal/mds"
+	"infogram/internal/provider"
+	"infogram/internal/rsl"
+	"infogram/internal/wire"
+	"infogram/internal/xrsl"
+)
+
+// Protocol verbs specific to InfoGram; job verbs are shared with GRAMP
+// (gram.VerbSubmit etc.), which is what makes the service backwards
+// compatible with GRAM clients.
+const (
+	// VerbResultLDIF carries an information result in LDIF.
+	VerbResultLDIF = "RESULT-LDIF"
+	// VerbResultXML carries an information result in XML.
+	VerbResultXML = "RESULT-XML"
+	// VerbResultDSML carries an information result in DSMLv1.
+	VerbResultDSML = "RESULT-DSML"
+	// VerbMulti carries the JSON-encoded results of a multi-request.
+	VerbMulti = "MULTI"
+)
+
+// Config wires an InfoGram service.
+type Config struct {
+	// ResourceName names this resource in information entry DNs.
+	ResourceName string
+	// Credential/Trust/Gridmap/Policy form the security layer of the
+	// gatekeeper (Figure 3: Security Authentication + Authorization).
+	Credential *gsi.Credential
+	Trust      *gsi.TrustStore
+	Gridmap    *gsi.Gridmap
+	Policy     *gsi.Policy
+	// Registry holds the key information providers (the system monitor +
+	// system information service of Figure 3).
+	Registry *provider.Registry
+	// Backends are the local schedulers for job execution.
+	Backends gram.Backends
+	// Log is the logging service of Figure 3 (restart + accounting).
+	Log *logging.Logger
+	// Clock defaults to the system clock.
+	Clock clock.Clock
+	// Env provides server-side RSL substitution variables.
+	Env rsl.Env
+}
+
+// Service is one InfoGram instance.
+type Service struct {
+	cfg     Config
+	manager *gram.Manager
+	table   *job.Table
+	server  *wire.Server
+	dialer  *gram.CallbackDialer
+	info    *infoEngine
+
+	mu   sync.Mutex
+	addr string
+}
+
+// NewService builds an InfoGram service.
+func NewService(cfg Config) *Service {
+	if cfg.Clock == nil {
+		cfg.Clock = clock.System
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = gsi.AllowAll()
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = provider.NewRegistry(cfg.Clock)
+	}
+	s := &Service{cfg: cfg, dialer: gram.NewCallbackDialer()}
+	s.info = &infoEngine{
+		resource: cfg.ResourceName,
+		registry: cfg.Registry,
+	}
+	s.server = wire.NewServer(wire.HandlerFunc(s.serveConn))
+	return s
+}
+
+// Listen binds the service and returns the bound address.
+func (s *Service) Listen(addr string) (string, error) {
+	bound, err := s.server.Listen(addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.addr = bound
+	s.table = job.NewTable(bound)
+	s.manager = gram.NewManager(gram.ManagerConfig{
+		Table:    s.table,
+		Backends: s.cfg.Backends,
+		Log:      s.cfg.Log,
+		Notify:   s.dialer,
+		Clock:    s.cfg.Clock,
+	})
+	s.mu.Unlock()
+	if s.cfg.Log != nil {
+		_ = s.cfg.Log.Append(logging.Record{Time: s.cfg.Clock.Now(), Kind: logging.KindServiceStart})
+	}
+	return bound, nil
+}
+
+// Addr returns the bound address.
+func (s *Service) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.addr
+}
+
+// Registry returns the provider registry.
+func (s *Service) Registry() *provider.Registry { return s.cfg.Registry }
+
+// Table returns the job table (nil before Listen).
+func (s *Service) Table() *job.Table {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.table
+}
+
+// AcceptedConns reports accepted connections (experiments E3/E4).
+func (s *Service) AcceptedConns() int64 { return s.server.AcceptedConns() }
+
+// Close shuts the service down.
+func (s *Service) Close() error {
+	s.dialer.Close()
+	return s.server.Close()
+}
+
+// GRIS exposes the same provider registry through the MDS directory
+// protocol, the backward-compatibility path of §6.5: "this information
+// service can easily be integrated into the Globus MDS information service
+// architecture". The returned GRIS can be registered with any GIIS.
+func (s *Service) GRIS() *mds.GRIS {
+	return mds.NewGRIS(mds.GRISConfig{
+		ResourceName: s.cfg.ResourceName,
+		Registry:     s.cfg.Registry,
+		Credential:   s.cfg.Credential,
+		Trust:        s.cfg.Trust,
+		Policy:       s.cfg.Policy,
+		Clock:        s.cfg.Clock,
+	})
+}
+
+// Recover replays a log and resubmits every job that had not reached a
+// terminal state, implementing the restart capability of §6 ("the log can
+// be used to restart our InfoGRAM service in case it needs to be
+// restarted"). It returns the recovered job contacts (new contacts are
+// allocated; the log ties them to the original spec).
+func (s *Service) Recover(records []logging.Record) ([]string, error) {
+	pending := logging.Recover(records)
+	contacts := make([]string, 0, len(pending))
+	for _, rj := range pending {
+		req, err := xrsl.DecodeOne(rj.Spec, s.env(rj.Owner))
+		if err != nil || req.Kind != xrsl.KindJob {
+			continue // info queries and undecodable specs are not restartable
+		}
+		// Resume from the last checkpoint the crashed run logged (§10).
+		req.Job.Checkpoint = rj.Checkpoint
+		contact, err := s.manager.Submit(context.Background(), req.Job, job.Record{
+			Spec:     rj.Spec,
+			Owner:    rj.Owner,
+			Identity: rj.Identity,
+		})
+		if err != nil {
+			return contacts, fmt.Errorf("core: recover %q: %w", rj.Contact, err)
+		}
+		contacts = append(contacts, contact)
+	}
+	return contacts, nil
+}
+
+// serveConn is the InfoGram gatekeeper: one GSI handshake, one gridmap
+// lookup, then a loop over the single unified protocol.
+func (s *Service) serveConn(c *wire.Conn) {
+	peer, err := gsi.ServerHandshake(c, s.cfg.Credential, s.cfg.Trust, s.cfg.Clock.Now())
+	if err != nil {
+		return
+	}
+	local, err := s.cfg.Gridmap.Map(peer.Identity)
+	if err != nil {
+		_ = c.WriteString(gram.VerbError, fmt.Sprintf("gatekeeper: %v", err))
+		return
+	}
+	for {
+		f, err := c.Read()
+		if err != nil {
+			return
+		}
+		switch f.Verb {
+		case gram.VerbPing:
+			_ = c.WriteString(gram.VerbPong, "")
+		case gram.VerbSubmit:
+			s.handleSubmit(c, string(f.Payload), peer, local)
+		case gram.VerbStatus:
+			s.handleStatus(c, strings.TrimSpace(string(f.Payload)))
+		case gram.VerbCancel:
+			s.handleCancel(c, strings.TrimSpace(string(f.Payload)))
+		case gram.VerbSignal:
+			s.handleSignal(c, strings.TrimSpace(string(f.Payload)))
+		default:
+			_ = c.WriteString(gram.VerbError, fmt.Sprintf("infogram: unknown verb %s", f.Verb))
+		}
+	}
+}
+
+// PartResult is one element of a multi-request response.
+type PartResult struct {
+	Kind    string `json:"kind"` // "job", "info", or "error"
+	Contact string `json:"contact,omitempty"`
+	Format  string `json:"format,omitempty"`
+	Body    string `json:"body,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+// handleSubmit dispatches one SUBMIT frame: job, info, or multi-request.
+func (s *Service) handleSubmit(c *wire.Conn, src string, peer *gsi.Peer, local string) {
+	reqs, err := xrsl.Decode(src, s.env(local))
+	if err != nil {
+		_ = c.WriteString(gram.VerbError, err.Error())
+		return
+	}
+	if len(reqs) == 1 {
+		s.respondSingle(c, reqs[0], peer, local)
+		return
+	}
+	// Multi-request: evaluate every part, report per-part outcomes.
+	parts := make([]PartResult, 0, len(reqs))
+	for _, req := range reqs {
+		parts = append(parts, s.evalPart(req, peer, local))
+	}
+	payload, err := json.Marshal(parts)
+	if err != nil {
+		_ = c.WriteString(gram.VerbError, err.Error())
+		return
+	}
+	_ = c.Write(wire.Frame{Verb: VerbMulti, Payload: payload})
+}
+
+func (s *Service) respondSingle(c *wire.Conn, req *xrsl.Request, peer *gsi.Peer, local string) {
+	part := s.evalPart(req, peer, local)
+	switch part.Kind {
+	case "job":
+		_ = c.WriteString(gram.VerbSubmitted, part.Contact)
+	case "info":
+		verb := VerbResultLDIF
+		switch xrsl.Format(part.Format) {
+		case xrsl.FormatXML:
+			verb = VerbResultXML
+		case xrsl.FormatDSML:
+			verb = VerbResultDSML
+		}
+		_ = c.Write(wire.Frame{Verb: verb, Payload: []byte(part.Body)})
+	default:
+		_ = c.WriteString(gram.VerbError, part.Error)
+	}
+}
+
+// evalPart authorizes and executes one request part.
+func (s *Service) evalPart(req *xrsl.Request, peer *gsi.Peer, local string) PartResult {
+	now := s.cfg.Clock.Now()
+	switch req.Kind {
+	case xrsl.KindJob:
+		if err := s.cfg.Policy.Authorize(peer.Identity, gsi.OpJobSubmit, now); err != nil {
+			return PartResult{Kind: "error", Error: err.Error()}
+		}
+		contact, err := s.manager.Submit(context.Background(), req.Job, job.Record{
+			Spec:     req.Source,
+			Owner:    local,
+			Identity: peer.Identity,
+		})
+		if err != nil {
+			return PartResult{Kind: "error", Error: err.Error()}
+		}
+		return PartResult{Kind: "job", Contact: contact}
+	case xrsl.KindInfo:
+		if err := s.cfg.Policy.Authorize(peer.Identity, gsi.OpInfoQuery, now); err != nil {
+			return PartResult{Kind: "error", Error: err.Error()}
+		}
+		s.logInfoQuery(req.Info, peer, local)
+		body, err := s.info.Answer(context.Background(), req.Info)
+		if err != nil {
+			return PartResult{Kind: "error", Error: err.Error()}
+		}
+		return PartResult{Kind: "info", Format: string(req.Info.Format), Body: body}
+	default:
+		return PartResult{Kind: "error", Error: "infogram: unclassifiable request"}
+	}
+}
+
+func (s *Service) logInfoQuery(info *xrsl.InfoRequest, peer *gsi.Peer, local string) {
+	if s.cfg.Log == nil {
+		return
+	}
+	keywords := info.Keywords
+	if info.Schema {
+		keywords = []string{"schema"}
+	} else if info.All || len(keywords) == 0 {
+		keywords = []string{"all"}
+	}
+	_ = s.cfg.Log.Append(logging.Record{
+		Time:     s.cfg.Clock.Now(),
+		Kind:     logging.KindInfoQuery,
+		Identity: peer.Identity,
+		Owner:    local,
+		Keywords: keywords,
+	})
+}
+
+// env mirrors gram.Service's substitution environment.
+func (s *Service) env(local string) rsl.Env {
+	env := rsl.NewEnv("LOGNAME", local, "HOME", "/home/"+local)
+	for k, v := range s.cfg.Env {
+		env[k] = v
+	}
+	return env
+}
+
+func (s *Service) handleStatus(c *wire.Conn, contact string) {
+	rec, err := s.table.Get(contact)
+	if err != nil {
+		_ = c.WriteString(gram.VerbError, err.Error())
+		return
+	}
+	reply := gram.StatusReply{
+		Contact:  rec.Contact,
+		State:    rec.State,
+		ExitCode: rec.ExitCode,
+		Error:    rec.Error,
+		Stdout:   rec.Stdout,
+		Stderr:   rec.Stderr,
+		Restarts: rec.Restarts,
+	}
+	b, err := json.Marshal(reply)
+	if err != nil {
+		_ = c.WriteString(gram.VerbError, err.Error())
+		return
+	}
+	_ = c.Write(wire.Frame{Verb: gram.VerbStatusOK, Payload: b})
+}
+
+func (s *Service) handleCancel(c *wire.Conn, contact string) {
+	if err := s.manager.Cancel(contact); err != nil {
+		_ = c.WriteString(gram.VerbError, err.Error())
+		return
+	}
+	_ = c.WriteString(gram.VerbCancelOK, contact)
+}
+
+func (s *Service) handleSignal(c *wire.Conn, payload string) {
+	contact, signal, ok := strings.Cut(payload, " ")
+	if !ok {
+		_ = c.WriteString(gram.VerbError, "infogram: SIGNAL payload must be 'contact signal'")
+		return
+	}
+	if err := s.manager.Signal(contact, strings.TrimSpace(signal)); err != nil {
+		_ = c.WriteString(gram.VerbError, err.Error())
+		return
+	}
+	_ = c.WriteString(gram.VerbSignalOK, contact)
+}

@@ -1,0 +1,31 @@
+package diffract
+
+import "testing"
+
+func BenchmarkGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Generate(i%16, (i/16)%16, 7, PhaseB)
+	}
+}
+
+func BenchmarkAnalyze(b *testing.B) {
+	pat := Generate(3, 4, 7, PhaseB)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Analyze(3, 4, pat)
+	}
+}
+
+func BenchmarkAnalyzePoint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = AnalyzePoint(i%16, (i/16)%16, 16, 16, 7)
+	}
+}
+
+func BenchmarkSpectrum(b *testing.B) {
+	pat := Generate(0, 0, 7, PhaseA)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Spectrum(pat)
+	}
+}

@@ -1,0 +1,204 @@
+package diffract
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(3, 4, 42, PhaseA)
+	b := Generate(3, 4, 42, PhaseA)
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("pattern not deterministic at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Different seed differs somewhere (the noise term).
+	c := Generate(3, 4, 43, PhaseA)
+	same := true
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != c[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical patterns")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	p := Generate(0, 0, 1, PhaseA)
+	if len(p) != PatternSize || len(p[0]) != PatternSize {
+		t.Fatalf("pattern is %dx%d", len(p), len(p[0]))
+	}
+	for i := range p {
+		for j := range p[i] {
+			if p[i][j] < 0 || math.IsNaN(p[i][j]) {
+				t.Fatalf("bad intensity at (%d,%d): %v", i, j, p[i][j])
+			}
+		}
+	}
+}
+
+func TestAnalyzeClassifiesPhases(t *testing.T) {
+	for _, phase := range []Phase{PhaseA, PhaseB} {
+		correct := 0
+		const trials = 25
+		for i := 0; i < trials; i++ {
+			pat := Generate(i, i*7, uint64(i), phase)
+			a := Analyze(i, i*7, pat)
+			if a.Phase == phase {
+				correct++
+			}
+		}
+		if correct < trials*9/10 {
+			t.Errorf("phase %s: %d/%d correct", phase, correct, trials)
+		}
+	}
+}
+
+func TestAnalyzeOrientationEstimate(t *testing.T) {
+	pat := Generate(0, 0, 7, PhaseB)
+	a := Analyze(0, 0, pat)
+	want := math.Pi / 7
+	if math.Abs(a.Orientation-want) > 0.15 {
+		t.Errorf("orientation = %v, want ~%v", a.Orientation, want)
+	}
+	if a.PeakIntensity <= 0 {
+		t.Errorf("peak intensity = %v", a.PeakIntensity)
+	}
+}
+
+func TestSpecimenPhaseStructure(t *testing.T) {
+	const w, h = 16, 16
+	// The top row (y=0) is phase A, the bottom row phase B somewhere.
+	sawA, sawB := false, false
+	for x := 0; x < w; x++ {
+		if SpecimenPhase(x, 0, w, h) == PhaseA {
+			sawA = true
+		}
+		if SpecimenPhase(x, h-1, w, h) == PhaseB {
+			sawB = true
+		}
+	}
+	if !sawA || !sawB {
+		t.Errorf("specimen lacks both domains: A=%v B=%v", sawA, sawB)
+	}
+}
+
+func TestAnalyzePointAccuracy(t *testing.T) {
+	// End-to-end per-point pipeline: regenerate + analyse; the domain map
+	// recovered from a full scan matches ground truth closely (E14's
+	// scientific payload).
+	const w, h = 12, 12
+	m := NewDomainMap(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			a := AnalyzePoint(x, y, w, h, 99)
+			m.Set(x, y, a.Phase)
+		}
+	}
+	if acc := m.Accuracy(99); acc < 0.9 {
+		t.Errorf("domain map accuracy = %v, want >= 0.9", acc)
+	}
+}
+
+func TestSpectrum(t *testing.T) {
+	pat := Generate(0, 0, 5, PhaseA)
+	spec := Spectrum(pat)
+	if len(spec) != PatternSize {
+		t.Fatalf("spectrum size %d", len(spec))
+	}
+	// DC component equals the total intensity.
+	var total float64
+	for i := range pat {
+		for j := range pat[i] {
+			total += pat[i][j]
+		}
+	}
+	if math.Abs(spec[0][0]-total)/total > 1e-9 {
+		t.Errorf("DC = %v, want %v", spec[0][0], total)
+	}
+	// Parseval-ish sanity: spectrum is non-negative everywhere.
+	for i := range spec {
+		for j := range spec[i] {
+			if spec[i][j] < 0 || math.IsNaN(spec[i][j]) {
+				t.Fatalf("bad magnitude at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestSpectrumLinearity(t *testing.T) {
+	// |DFT(2x)| = 2|DFT(x)|.
+	pat := Generate(1, 1, 3, PhaseA)
+	doubled := make(Pattern, len(pat))
+	for i := range pat {
+		doubled[i] = make([]float64, len(pat[i]))
+		for j := range pat[i] {
+			doubled[i][j] = 2 * pat[i][j]
+		}
+	}
+	s1 := Spectrum(pat)
+	s2 := Spectrum(doubled)
+	for i := range s1 {
+		for j := range s1[i] {
+			if math.Abs(s2[i][j]-2*s1[i][j]) > 1e-6*(1+s1[i][j]) {
+				t.Fatalf("linearity violated at (%d,%d): %v vs %v", i, j, s2[i][j], 2*s1[i][j])
+			}
+		}
+	}
+}
+
+func TestArgsRoundTrip(t *testing.T) {
+	prop := func(x, y uint8, w, h uint8, seed uint64) bool {
+		width, height := int(w)+1, int(h)+1
+		args := EncodeArgs(int(x), int(y), width, height, seed)
+		gx, gy, gw, gh, gs, err := DecodeArgs(args)
+		return err == nil && gx == int(x) && gy == int(y) &&
+			gw == width && gh == height && gs == seed
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+	if _, _, _, _, _, err := DecodeArgs([]string{"1", "2"}); err == nil {
+		t.Error("short args accepted")
+	}
+	if _, _, _, _, _, err := DecodeArgs([]string{"a", "b", "c", "d", "e"}); err == nil {
+		t.Error("non-numeric args accepted")
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	a := Analysis{X: 3, Y: 9, Orientation: 0.4488, PeakIntensity: 1.25, Phase: PhaseB}
+	line := FormatResult(a)
+	back, err := ParseResult(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.X != a.X || back.Y != a.Y || back.Phase != a.Phase {
+		t.Errorf("back = %+v", back)
+	}
+	if math.Abs(back.Orientation-a.Orientation) > 1e-3 {
+		t.Errorf("orientation = %v", back.Orientation)
+	}
+	if _, err := ParseResult("garbage"); err == nil {
+		t.Error("garbage parsed")
+	}
+}
+
+func TestDomainMapAccessors(t *testing.T) {
+	m := NewDomainMap(4, 3)
+	m.Set(2, 1, PhaseB)
+	if m.At(2, 1) != PhaseB || m.At(0, 0) != PhaseA {
+		t.Error("Set/At broken")
+	}
+	if (&DomainMap{}).Accuracy(1) != 0 {
+		t.Error("empty map accuracy should be 0")
+	}
+}

@@ -1,0 +1,62 @@
+package gram
+
+import (
+	"encoding/json"
+	"sync"
+
+	"infogram/internal/job"
+	"infogram/internal/wire"
+)
+
+// CallbackDialer pushes job events to client callback listeners, caching
+// one connection per contact. Delivery is best-effort: a client that has
+// gone away is forgotten; pollers still see the final job state through
+// STATUS.
+type CallbackDialer struct {
+	mu     sync.Mutex
+	conns  map[string]*wire.Conn
+	closed bool
+}
+
+// NewCallbackDialer returns an empty dialer.
+func NewCallbackDialer() *CallbackDialer {
+	return &CallbackDialer{conns: make(map[string]*wire.Conn)}
+}
+
+var _ Notifier = (*CallbackDialer)(nil)
+
+// Notify implements Notifier by sending a CALLBACK frame to the contact.
+func (d *CallbackDialer) Notify(contact string, ev job.Event) {
+	payload, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return
+	}
+	conn, ok := d.conns[contact]
+	if !ok {
+		conn, err = wire.Dial(contact)
+		if err != nil {
+			return
+		}
+		d.conns[contact] = conn
+	}
+	if err := conn.Write(wire.Frame{Verb: VerbCallback, Payload: payload}); err != nil {
+		conn.Close()
+		delete(d.conns, contact)
+	}
+}
+
+// Close drops all cached connections.
+func (d *CallbackDialer) Close() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.closed = true
+	for c, conn := range d.conns {
+		conn.Close()
+		delete(d.conns, c)
+	}
+}

@@ -1,0 +1,468 @@
+// Package gram implements the baseline Globus GRAM service of paper §2 and
+// Figure 1 as a pure-Go "J-GRAM" (§7): a gatekeeper that authenticates
+// clients through GSI and maps them into a local security context, a job
+// manager per submitted job, and a backend tier of pluggable local
+// schedulers. The wire protocol (GRAMP) supports submit, status, cancel,
+// and client callbacks for state-change notification.
+//
+// The job-manager core (RunJob) is shared with the InfoGram service, which
+// the paper builds by enhancing this architecture (Figure 3).
+package gram
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"infogram/internal/clock"
+	"infogram/internal/job"
+	"infogram/internal/logging"
+	"infogram/internal/scheduler"
+	"infogram/internal/xrsl"
+)
+
+// Backends groups the local schedulers a job manager can dispatch to,
+// selected by the jobtype tag: "exec" (fork), "func" (in-process), and
+// "queue" (batch system).
+type Backends struct {
+	Exec  scheduler.Backend
+	Func  scheduler.Backend
+	Queue scheduler.Backend
+}
+
+// Select returns the backend for a jobtype.
+func (b Backends) Select(jobType string) (scheduler.Backend, error) {
+	switch jobType {
+	case "", "exec":
+		if b.Exec == nil {
+			return nil, fmt.Errorf("gram: no exec backend configured")
+		}
+		return b.Exec, nil
+	case "func":
+		if b.Func == nil {
+			return nil, fmt.Errorf("gram: no func backend configured")
+		}
+		return b.Func, nil
+	case "queue":
+		if b.Queue == nil {
+			return nil, fmt.Errorf("gram: no queue backend configured")
+		}
+		return b.Queue, nil
+	}
+	return nil, fmt.Errorf("gram: unknown jobtype %q", jobType)
+}
+
+// Notifier delivers job events to interested parties (callback contacts).
+type Notifier interface {
+	Notify(callbackContact string, ev job.Event)
+}
+
+// NotifierFunc adapts a function to Notifier.
+type NotifierFunc func(callbackContact string, ev job.Event)
+
+// Notify implements Notifier.
+func (f NotifierFunc) Notify(c string, ev job.Event) { f(c, ev) }
+
+// ManagerConfig wires a job manager's dependencies.
+type ManagerConfig struct {
+	Table    *job.Table
+	Backends Backends
+	// Log is optional; when set, submissions and transitions are
+	// recorded for restart recovery and accounting.
+	Log *logging.Logger
+	// Notify is optional; when set, events for jobs carrying a callback
+	// contact are pushed to it.
+	Notify Notifier
+	Clock  clock.Clock
+}
+
+// Manager executes jobs: one manager goroutine per submission, mirroring
+// GRAM's per-job job-manager processes.
+type Manager struct {
+	cfg ManagerConfig
+
+	mu      sync.Mutex
+	cancels map[string]context.CancelFunc
+	// running tracks the live backend handles of each job's current
+	// attempt so Signal can reach them.
+	running map[string][]scheduler.Handle
+}
+
+// NewManager builds a Manager.
+func NewManager(cfg ManagerConfig) *Manager {
+	if cfg.Clock == nil {
+		cfg.Clock = clock.System
+	}
+	return &Manager{
+		cfg:     cfg,
+		cancels: make(map[string]context.CancelFunc),
+		running: make(map[string][]scheduler.Handle),
+	}
+}
+
+// Table returns the job table.
+func (m *Manager) Table() *job.Table { return m.cfg.Table }
+
+// Submit registers a job and starts its manager goroutine, returning the
+// job contact. rec.Contact may be empty, in which case a fresh contact is
+// allocated.
+func (m *Manager) Submit(ctx context.Context, req *xrsl.JobRequest, rec job.Record) (string, error) {
+	now := m.cfg.Clock.Now()
+	if rec.Contact == "" {
+		rec.Contact = m.cfg.Table.NewContact(now)
+	}
+	rec.State = job.Unsubmitted
+	rec.Submitted = now
+	rec.Updated = now
+	if err := m.cfg.Table.Create(rec); err != nil {
+		return "", err
+	}
+	m.logRecord(logging.Record{
+		Time:     now,
+		Kind:     logging.KindSubmit,
+		Contact:  rec.Contact,
+		Spec:     rec.Spec,
+		Owner:    rec.Owner,
+		Identity: rec.Identity,
+	})
+	if err := m.transition(rec.Contact, req, job.Mutation{State: job.Pending}); err != nil {
+		return "", err
+	}
+	jobCtx, cancel := context.WithCancel(ctx)
+	m.mu.Lock()
+	m.cancels[rec.Contact] = cancel
+	m.mu.Unlock()
+	go func() {
+		defer func() {
+			cancel()
+			m.mu.Lock()
+			delete(m.cancels, rec.Contact)
+			m.mu.Unlock()
+		}()
+		m.run(jobCtx, rec.Contact, req)
+	}()
+	return rec.Contact, nil
+}
+
+// Cancel requests cancellation of a running or pending job, the GRAMP
+// cancel operation a client issues through the job handle (paper §2).
+func (m *Manager) Cancel(contact string) error {
+	rec, err := m.cfg.Table.Get(contact)
+	if err != nil {
+		return err
+	}
+	if rec.State.Terminal() {
+		return fmt.Errorf("gram: job %q already %s", contact, rec.State)
+	}
+	m.mu.Lock()
+	cancel, ok := m.cancels[contact]
+	m.mu.Unlock()
+	if ok {
+		cancel()
+	}
+	return nil
+}
+
+// transition applies a table transition, logs it, and notifies callbacks.
+func (m *Manager) transition(contact string, req *xrsl.JobRequest, mut job.Mutation) error {
+	ev, err := m.cfg.Table.Transition(contact, mut, m.cfg.Clock.Now())
+	if err != nil {
+		return err
+	}
+	m.logRecord(logging.Record{
+		Time:     ev.Time,
+		Kind:     logging.KindState,
+		Contact:  contact,
+		State:    ev.State.String(),
+		ExitCode: ev.ExitCode,
+		Error:    ev.Error,
+		Restarts: ev.Restarts,
+	})
+	if m.cfg.Notify != nil && req != nil && req.CallbackContact != "" {
+		m.cfg.Notify.Notify(req.CallbackContact, ev)
+	}
+	return nil
+}
+
+func (m *Manager) logRecord(r logging.Record) {
+	if m.cfg.Log == nil {
+		return
+	}
+	_ = m.cfg.Log.Append(r) // logging failures must not break job flow
+}
+
+// run is the per-job manager: it executes the job with fault-tolerant
+// restarts (paper §6.1) and timeout actions (§6.5 Extensions).
+func (m *Manager) run(ctx context.Context, contact string, req *xrsl.JobRequest) {
+	backend, err := m.cfg.Backends.Select(req.JobType)
+	if err != nil {
+		m.fail(contact, req, scheduler.Result{}, -1, err.Error(), 0)
+		return
+	}
+
+	attempts := req.Restart + 1
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			// Fault-tolerant restart: FAILED -> PENDING with the restart
+			// counter bumped.
+			restarts := attempt
+			if err := m.transition(contact, req, job.Mutation{State: job.Pending, Restarts: &restarts}); err != nil {
+				return
+			}
+		}
+		if err := m.transition(contact, req, job.Mutation{State: job.Active, Restarts: intPtr(attempt)}); err != nil {
+			return
+		}
+
+		res, runErr := m.attempt(ctx, backend, contact, req)
+		if ctx.Err() != nil {
+			// Cancelled: no restart, report the cancellation.
+			m.fail(contact, req, res, -1, "cancelled: "+ctx.Err().Error(), attempt)
+			return
+		}
+		switch {
+		case runErr == nil && res.ExitCode == 0:
+			stdout, stderr := res.Stdout, res.Stderr
+			_ = m.transition(contact, req, job.Mutation{
+				State:    job.Done,
+				Stdout:   &stdout,
+				Stderr:   &stderr,
+				Restarts: intPtr(attempt),
+			})
+			return
+		case runErr == nil:
+			if attempt == attempts-1 {
+				m.fail(contact, req, res, res.ExitCode,
+					fmt.Sprintf("exit code %d", res.ExitCode), attempt)
+				return
+			}
+			m.fail(contact, req, res, res.ExitCode, fmt.Sprintf("exit code %d (will restart)", res.ExitCode), attempt)
+		default:
+			if attempt == attempts-1 {
+				m.fail(contact, req, res, -1, runErr.Error(), attempt)
+				return
+			}
+			m.fail(contact, req, res, -1, runErr.Error()+" (will restart)", attempt)
+		}
+	}
+}
+
+// attempt runs one execution attempt, expanding count and applying the
+// timeout/action extension.
+func (m *Manager) attempt(ctx context.Context, backend scheduler.Backend, contact string, req *xrsl.JobRequest) (scheduler.Result, error) {
+	runCtx := ctx
+	var cancel context.CancelFunc
+	if req.MaxWallTime > 0 {
+		runCtx, cancel = context.WithTimeout(ctx, req.MaxWallTime)
+		defer cancel()
+	}
+
+	task := scheduler.Task{
+		Executable: req.Executable,
+		Args:       req.Arguments,
+		Dir:        req.Directory,
+		Env:        req.Environment,
+		Stdin:      req.Stdin,
+		Queue:      req.Queue,
+		EstRuntime: req.MaxWallTime,
+		Checkpoint: req.Checkpoint,
+		OnCheckpoint: func(data string) {
+			// Checkpoints feed the log and the in-memory request so a
+			// later retry (or a restarted service) resumes from here.
+			req.Checkpoint = data
+			m.logRecord(logging.Record{
+				Time:       m.cfg.Clock.Now(),
+				Kind:       logging.KindCheckpoint,
+				Contact:    contact,
+				Checkpoint: data,
+			})
+		},
+	}
+
+	handles := make([]scheduler.Handle, 0, req.Count)
+	for i := 0; i < req.Count; i++ {
+		h, err := backend.Submit(runCtx, task)
+		if err != nil {
+			for _, prev := range handles {
+				prev.Cancel()
+			}
+			return scheduler.Result{}, err
+		}
+		handles = append(handles, h)
+	}
+	m.mu.Lock()
+	m.running[contact] = handles
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		delete(m.running, contact)
+		m.mu.Unlock()
+	}()
+
+	if req.Timeout > 0 {
+		return m.waitWithTimeout(runCtx, handles, req)
+	}
+	return waitAll(runCtx, handles)
+}
+
+// Signal delivers a suspend or resume request to a job's running backend
+// handles, driving the GRAM SUSPENDED state (paper §2's job-manager
+// control operations).
+func (m *Manager) Signal(contact, signal string) error {
+	rec, err := m.cfg.Table.Get(contact)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	handles := make([]scheduler.Handle, len(m.running[contact]))
+	copy(handles, m.running[contact])
+	m.mu.Unlock()
+
+	switch signal {
+	case "suspend":
+		if rec.State != job.Active {
+			return fmt.Errorf("gram: job %q is %s, not ACTIVE", contact, rec.State)
+		}
+		if err := signalAll(handles, true); err != nil {
+			return err
+		}
+		if err := m.transitionState(contact, job.Suspended); err != nil {
+			// The job completed concurrently with the stop signal; undo
+			// the stop so nothing lingers and report the terminal state.
+			_ = signalAll(handles, false)
+			return fmt.Errorf("gram: job %q completed during suspend: %w", contact, err)
+		}
+		return nil
+	case "resume":
+		if rec.State != job.Suspended {
+			return fmt.Errorf("gram: job %q is %s, not SUSPENDED", contact, rec.State)
+		}
+		// Mark ACTIVE before waking the process: the instant SIGCONT
+		// lands the job may finish, and SUSPENDED -> DONE would race a
+		// late ACTIVE transition.
+		if err := m.transitionState(contact, job.Active); err != nil {
+			return err
+		}
+		if err := signalAll(handles, false); err != nil {
+			_ = m.transitionState(contact, job.Suspended)
+			return err
+		}
+		return nil
+	default:
+		return fmt.Errorf("gram: unknown signal %q (want suspend or resume)", signal)
+	}
+}
+
+// transitionState applies a bare state transition without callback data.
+func (m *Manager) transitionState(contact string, st job.State) error {
+	return m.transition(contact, nil, job.Mutation{State: st})
+}
+
+// signalAll suspends or resumes every handle; backends without suspend
+// support fail the operation.
+func signalAll(handles []scheduler.Handle, suspend bool) error {
+	if len(handles) == 0 {
+		return fmt.Errorf("gram: job has no running backend task")
+	}
+	for _, h := range handles {
+		s, ok := h.(scheduler.Suspender)
+		if !ok {
+			return fmt.Errorf("gram: backend does not support suspension")
+		}
+		var err error
+		if suspend {
+			err = s.Suspend()
+		} else {
+			err = s.Resume()
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// waitWithTimeout implements (timeout=...)(action=cancel|exception).
+func (m *Manager) waitWithTimeout(ctx context.Context, handles []scheduler.Handle, req *xrsl.JobRequest) (scheduler.Result, error) {
+	type outcome struct {
+		res scheduler.Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := waitAll(ctx, handles)
+		done <- outcome{res, err}
+	}()
+	timer := time.NewTimer(req.Timeout)
+	defer timer.Stop()
+	select {
+	case o := <-done:
+		return o.res, o.err
+	case <-timer.C:
+		switch req.Action {
+		case xrsl.ActionCancel:
+			// Cancel the command (the paper's (action=cancel)).
+			for _, h := range handles {
+				h.Cancel()
+			}
+			o := <-done
+			if o.err != nil {
+				return o.res, fmt.Errorf("gram: timeout after %s: job cancelled", req.Timeout)
+			}
+			return o.res, fmt.Errorf("gram: timeout after %s: job cancelled", req.Timeout)
+		case xrsl.ActionException:
+			// Report the exception but let the command keep executing
+			// (the paper's (action=exception)).
+			return scheduler.Result{}, fmt.Errorf("gram: timeout after %s: execution continues", req.Timeout)
+		default:
+			o := <-done
+			return o.res, o.err
+		}
+	case <-ctx.Done():
+		for _, h := range handles {
+			h.Cancel()
+		}
+		o := <-done
+		return o.res, fmt.Errorf("gram: %w", ctx.Err())
+	}
+}
+
+// waitAll waits for every instance of a count>1 job; the combined result
+// carries the first non-zero exit code and concatenated output.
+func waitAll(ctx context.Context, handles []scheduler.Handle) (scheduler.Result, error) {
+	var combined scheduler.Result
+	for i, h := range handles {
+		res, err := h.Wait(ctx)
+		if err != nil {
+			return combined, err
+		}
+		if i == 0 {
+			combined = res
+		} else {
+			combined.Stdout += res.Stdout
+			combined.Stderr += res.Stderr
+			combined.FinishedAt = res.FinishedAt
+		}
+		if res.ExitCode != 0 && combined.ExitCode == 0 {
+			combined.ExitCode = res.ExitCode
+		}
+	}
+	return combined, nil
+}
+
+// fail transitions a job to FAILED, preserving whatever output the failed
+// attempt produced.
+func (m *Manager) fail(contact string, req *xrsl.JobRequest, res scheduler.Result, exitCode int, msg string, attempt int) {
+	stdout, stderr := res.Stdout, res.Stderr
+	_ = m.transition(contact, req, job.Mutation{
+		State:    job.Failed,
+		ExitCode: exitCode,
+		Error:    msg,
+		Stdout:   &stdout,
+		Stderr:   &stderr,
+		Restarts: intPtr(attempt),
+	})
+}
+
+func intPtr(n int) *int { return &n }

@@ -1,0 +1,265 @@
+package gram
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+
+	"infogram/internal/clock"
+	"infogram/internal/gsi"
+	"infogram/internal/job"
+	"infogram/internal/logging"
+	"infogram/internal/rsl"
+	"infogram/internal/wire"
+	"infogram/internal/xrsl"
+)
+
+// GRAMP protocol verbs. The protocol is request/response over one framed
+// connection, after a GSI handshake performed by the gatekeeper.
+const (
+	VerbSubmit    = "SUBMIT"    // payload: RSL string
+	VerbSubmitted = "SUBMITTED" // payload: job contact
+	VerbStatus    = "STATUS"    // payload: job contact
+	VerbStatusOK  = "STATUS-OK" // payload: JSON StatusReply
+	VerbCancel    = "CANCEL"    // payload: job contact
+	VerbCancelOK  = "CANCEL-OK"
+	VerbSignal    = "SIGNAL" // payload: "contact signal" (suspend|resume)
+	VerbSignalOK  = "SIGNAL-OK"
+	VerbError     = "ERROR"    // payload: message
+	VerbCallback  = "CALLBACK" // payload: JSON job.Event (server -> listener)
+	VerbPing      = "PING"     // liveness probe
+	VerbPong      = "PONG"
+)
+
+// StatusReply is the JSON payload of STATUS-OK.
+type StatusReply struct {
+	Contact  string    `json:"contact"`
+	State    job.State `json:"state"`
+	ExitCode int       `json:"exitCode"`
+	Error    string    `json:"error,omitempty"`
+	Stdout   string    `json:"stdout,omitempty"`
+	Stderr   string    `json:"stderr,omitempty"`
+	Restarts int       `json:"restarts,omitempty"`
+}
+
+// Config wires a GRAM service.
+type Config struct {
+	// Credential identifies the service; Trust validates clients.
+	Credential *gsi.Credential
+	Trust      *gsi.TrustStore
+	// Gridmap maps authenticated identities to local accounts; a client
+	// without an entry is rejected by the gatekeeper.
+	Gridmap *gsi.Gridmap
+	// Policy authorizes operations; nil allows all authenticated users.
+	Policy *gsi.Policy
+	// Backends are the local schedulers.
+	Backends Backends
+	// Log is optional restart/accounting logging.
+	Log *logging.Logger
+	// Clock defaults to the system clock.
+	Clock clock.Clock
+	// Env provides server-side RSL substitution variables.
+	Env rsl.Env
+}
+
+// Service is the GRAM middle tier: gatekeeper plus job managers.
+type Service struct {
+	cfg     Config
+	manager *Manager
+	table   *job.Table
+	server  *wire.Server
+	dialer  *CallbackDialer
+
+	mu   sync.Mutex
+	addr string
+}
+
+// NewService builds a GRAM service. The job table is created when the
+// listener address is known.
+func NewService(cfg Config) *Service {
+	if cfg.Clock == nil {
+		cfg.Clock = clock.System
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = gsi.AllowAll()
+	}
+	s := &Service{cfg: cfg, dialer: NewCallbackDialer()}
+	s.server = wire.NewServer(wire.HandlerFunc(s.serveConn))
+	return s
+}
+
+// Listen binds the service to addr and returns the bound address.
+func (s *Service) Listen(addr string) (string, error) {
+	bound, err := s.server.Listen(addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.addr = bound
+	s.table = job.NewTable(bound)
+	s.manager = NewManager(ManagerConfig{
+		Table:    s.table,
+		Backends: s.cfg.Backends,
+		Log:      s.cfg.Log,
+		Notify:   s.dialer,
+		Clock:    s.cfg.Clock,
+	})
+	s.mu.Unlock()
+	if s.cfg.Log != nil {
+		_ = s.cfg.Log.Append(logging.Record{Time: s.cfg.Clock.Now(), Kind: logging.KindServiceStart})
+	}
+	return bound, nil
+}
+
+// Addr returns the bound address.
+func (s *Service) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.addr
+}
+
+// Table returns the job table (nil before Listen).
+func (s *Service) Table() *job.Table {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.table
+}
+
+// Manager returns the job manager (nil before Listen).
+func (s *Service) Manager() *Manager {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.manager
+}
+
+// AcceptedConns reports connections accepted so far (experiment E3).
+func (s *Service) AcceptedConns() int64 { return s.server.AcceptedConns() }
+
+// Close shuts the service down.
+func (s *Service) Close() error {
+	s.dialer.Close()
+	return s.server.Close()
+}
+
+// serveConn is the gatekeeper: authenticate, authorize, map to a local
+// account, then serve GRAMP requests on the connection.
+func (s *Service) serveConn(c *wire.Conn) {
+	peer, err := gsi.ServerHandshake(c, s.cfg.Credential, s.cfg.Trust, s.cfg.Clock.Now())
+	if err != nil {
+		return // handshake already reported AUTH-ERR where possible
+	}
+	local, err := s.cfg.Gridmap.Map(peer.Identity)
+	if err != nil {
+		_ = c.WriteString(VerbError, fmt.Sprintf("gatekeeper: %v", err))
+		return
+	}
+	for {
+		f, err := c.Read()
+		if err != nil {
+			return
+		}
+		s.dispatch(c, f, peer, local)
+	}
+}
+
+func (s *Service) dispatch(c *wire.Conn, f wire.Frame, peer *gsi.Peer, local string) {
+	switch f.Verb {
+	case VerbPing:
+		_ = c.WriteString(VerbPong, "")
+	case VerbSubmit:
+		s.handleSubmit(c, string(f.Payload), peer, local)
+	case VerbStatus:
+		s.handleStatus(c, strings.TrimSpace(string(f.Payload)))
+	case VerbCancel:
+		s.handleCancel(c, strings.TrimSpace(string(f.Payload)))
+	case VerbSignal:
+		s.handleSignal(c, strings.TrimSpace(string(f.Payload)))
+	default:
+		_ = c.WriteString(VerbError, fmt.Sprintf("gram: unknown verb %s", f.Verb))
+	}
+}
+
+// handleSignal parses "contact signal" and applies it.
+func (s *Service) handleSignal(c *wire.Conn, payload string) {
+	contact, signal, ok := strings.Cut(payload, " ")
+	if !ok {
+		_ = c.WriteString(VerbError, "gram: SIGNAL payload must be 'contact signal'")
+		return
+	}
+	if err := s.manager.Signal(contact, strings.TrimSpace(signal)); err != nil {
+		_ = c.WriteString(VerbError, err.Error())
+		return
+	}
+	_ = c.WriteString(VerbSignalOK, contact)
+}
+
+func (s *Service) handleSubmit(c *wire.Conn, src string, peer *gsi.Peer, local string) {
+	if err := s.cfg.Policy.Authorize(peer.Identity, gsi.OpJobSubmit, s.cfg.Clock.Now()); err != nil {
+		_ = c.WriteString(VerbError, err.Error())
+		return
+	}
+	req, err := xrsl.DecodeOne(src, s.env(local))
+	if err != nil {
+		_ = c.WriteString(VerbError, err.Error())
+		return
+	}
+	if req.Kind != xrsl.KindJob {
+		// The whole point of the baseline: GRAM only executes jobs; info
+		// queries need the separate MDS service and protocol (Figure 2).
+		_ = c.WriteString(VerbError, "gram: this service accepts job submissions only; query MDS for information")
+		return
+	}
+	contact, err := s.manager.Submit(context.Background(), req.Job, job.Record{
+		Spec:     src,
+		Owner:    local,
+		Identity: peer.Identity,
+	})
+	if err != nil {
+		_ = c.WriteString(VerbError, err.Error())
+		return
+	}
+	_ = c.WriteString(VerbSubmitted, contact)
+}
+
+// env merges the service environment with per-user bindings, the variable
+// set GRAM exposes to RSL substitution.
+func (s *Service) env(local string) rsl.Env {
+	env := rsl.NewEnv("LOGNAME", local, "HOME", "/home/"+local)
+	for k, v := range s.cfg.Env {
+		env[k] = v
+	}
+	return env
+}
+
+func (s *Service) handleStatus(c *wire.Conn, contact string) {
+	rec, err := s.table.Get(contact)
+	if err != nil {
+		_ = c.WriteString(VerbError, err.Error())
+		return
+	}
+	reply := StatusReply{
+		Contact:  rec.Contact,
+		State:    rec.State,
+		ExitCode: rec.ExitCode,
+		Error:    rec.Error,
+		Stdout:   rec.Stdout,
+		Stderr:   rec.Stderr,
+		Restarts: rec.Restarts,
+	}
+	b, err := json.Marshal(reply)
+	if err != nil {
+		_ = c.WriteString(VerbError, err.Error())
+		return
+	}
+	_ = c.Write(wire.Frame{Verb: VerbStatusOK, Payload: b})
+}
+
+func (s *Service) handleCancel(c *wire.Conn, contact string) {
+	if err := s.manager.Cancel(contact); err != nil {
+		_ = c.WriteString(VerbError, err.Error())
+		return
+	}
+	_ = c.WriteString(VerbCancelOK, contact)
+}

@@ -1,0 +1,170 @@
+package gsi
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Operation classifies what a client is asking the service to do, so that
+// contracts can authorize job execution and information queries
+// independently (the paper treats them alike on the wire but lets policy
+// distinguish them).
+type Operation string
+
+// Operations subject to authorization.
+const (
+	OpJobSubmit Operation = "job"
+	OpInfoQuery Operation = "info"
+	OpAny       Operation = "*"
+)
+
+// Effect is the result a matching contract produces.
+type Effect int
+
+// Contract effects.
+const (
+	Deny Effect = iota
+	Allow
+)
+
+// String renders the effect for logs.
+func (e Effect) String() string {
+	if e == Allow {
+		return "allow"
+	}
+	return "deny"
+}
+
+// Window is a daily time window in a fixed location. The paper's example
+// contract is "allow access to this resource from 3 to 4 pm to user X"
+// (§5.3); a Window expresses the "3 to 4 pm" part. A zero Window matches
+// all times. Windows may wrap midnight (From > To).
+type Window struct {
+	From time.Duration // offset from local midnight, e.g. 15h
+	To   time.Duration // exclusive end offset, e.g. 16h
+}
+
+// AllDay is the zero window, matching any time of day.
+var AllDay = Window{}
+
+// Contains reports whether the time of day of t falls inside the window.
+func (w Window) Contains(t time.Time) bool {
+	if w.From == 0 && w.To == 0 {
+		return true
+	}
+	day := time.Duration(t.Hour())*time.Hour +
+		time.Duration(t.Minute())*time.Minute +
+		time.Duration(t.Second())*time.Second
+	if w.From <= w.To {
+		return day >= w.From && day < w.To
+	}
+	// Wraps midnight.
+	return day >= w.From || day < w.To
+}
+
+// String renders the window.
+func (w Window) String() string {
+	if w.From == 0 && w.To == 0 {
+		return "always"
+	}
+	return fmt.Sprintf("%s-%s", w.From, w.To)
+}
+
+// Contract is one authorization rule: it matches an identity (exact DN or
+// "*"), an operation, and a time window, and yields an effect.
+type Contract struct {
+	Subject   string // identity DN or "*"
+	Operation Operation
+	Window    Window
+	Effect    Effect
+	// Comment is free-form documentation carried into reflection output.
+	Comment string
+}
+
+// matches reports whether the contract applies to the request.
+func (c Contract) matches(identity string, op Operation, at time.Time) bool {
+	if c.Subject != "*" && c.Subject != identity {
+		return false
+	}
+	if c.Operation != OpAny && op != OpAny && c.Operation != op {
+		return false
+	}
+	return c.Window.Contains(at)
+}
+
+// Policy is an ordered contract list with a default effect. First matching
+// contract wins, mirroring firewall-style evaluation; with no contracts the
+// default applies. The zero value denies everything.
+type Policy struct {
+	mu        sync.RWMutex
+	contracts []Contract
+	def       Effect
+}
+
+// NewPolicy returns a policy with the given default effect.
+func NewPolicy(def Effect) *Policy { return &Policy{def: def} }
+
+// AllowAll is a convenience policy that admits every authenticated
+// identity; useful where only authentication (not authorization) is under
+// test.
+func AllowAll() *Policy { return NewPolicy(Allow) }
+
+// Add appends a contract.
+func (p *Policy) Add(c Contract) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.contracts = append(p.contracts, c)
+}
+
+// Contracts returns a copy of the contract list.
+func (p *Policy) Contracts() []Contract {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]Contract, len(p.contracts))
+	copy(out, p.contracts)
+	return out
+}
+
+// Authorize decides whether identity may perform op at time at. The error
+// describes the denial for audit logs; a nil error means allowed.
+func (p *Policy) Authorize(identity string, op Operation, at time.Time) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	for _, c := range p.contracts {
+		if c.matches(identity, op, at) {
+			if c.Effect == Allow {
+				return nil
+			}
+			return &AuthzError{Identity: identity, Op: op, At: at, Rule: c.describe()}
+		}
+	}
+	if p.def == Allow {
+		return nil
+	}
+	return &AuthzError{Identity: identity, Op: op, At: at, Rule: "default deny"}
+}
+
+func (c Contract) describe() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s %s for %s during %s", c.Effect, c.Operation, c.Subject, c.Window)
+	if c.Comment != "" {
+		fmt.Fprintf(&sb, " (%s)", c.Comment)
+	}
+	return sb.String()
+}
+
+// AuthzError reports a denied authorization decision.
+type AuthzError struct {
+	Identity string
+	Op       Operation
+	At       time.Time
+	Rule     string
+}
+
+// Error implements the error interface.
+func (e *AuthzError) Error() string {
+	return fmt.Sprintf("gsi: %q denied %s at %s by rule: %s",
+		e.Identity, e.Op, e.At.Format("15:04:05"), e.Rule)
+}

@@ -1,0 +1,156 @@
+package gsi
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// at builds a time on a fixed date at the given hour/minute.
+func at(hour, minute int) time.Time {
+	return time.Date(2002, 7, 24, hour, minute, 0, 0, time.UTC)
+}
+
+func TestPaperContract(t *testing.T) {
+	// §5.3: "allow access to this resource from 3 to 4 pm to user X".
+	p := NewPolicy(Deny)
+	p.Add(Contract{
+		Subject:   "/O=Grid/CN=userX",
+		Operation: OpAny,
+		Window:    Window{From: 15 * time.Hour, To: 16 * time.Hour},
+		Effect:    Allow,
+		Comment:   "afternoon experiment slot",
+	})
+
+	if err := p.Authorize("/O=Grid/CN=userX", OpJobSubmit, at(15, 30)); err != nil {
+		t.Errorf("userX at 3:30pm denied: %v", err)
+	}
+	if err := p.Authorize("/O=Grid/CN=userX", OpJobSubmit, at(14, 59)); err == nil {
+		t.Error("userX at 2:59pm allowed")
+	}
+	if err := p.Authorize("/O=Grid/CN=userX", OpJobSubmit, at(16, 0)); err == nil {
+		t.Error("userX at 4:00pm allowed (window end is exclusive)")
+	}
+	if err := p.Authorize("/O=Grid/CN=userY", OpJobSubmit, at(15, 30)); err == nil {
+		t.Error("userY allowed by userX's contract")
+	}
+}
+
+func TestPerOperationContracts(t *testing.T) {
+	p := NewPolicy(Deny)
+	p.Add(Contract{Subject: "*", Operation: OpInfoQuery, Effect: Allow})
+	p.Add(Contract{Subject: "/O=Grid/CN=operator", Operation: OpJobSubmit, Effect: Allow})
+
+	if err := p.Authorize("/O=Grid/CN=anyone", OpInfoQuery, at(10, 0)); err != nil {
+		t.Errorf("info query denied: %v", err)
+	}
+	if err := p.Authorize("/O=Grid/CN=anyone", OpJobSubmit, at(10, 0)); err == nil {
+		t.Error("job submit allowed for non-operator")
+	}
+	if err := p.Authorize("/O=Grid/CN=operator", OpJobSubmit, at(10, 0)); err != nil {
+		t.Errorf("operator job denied: %v", err)
+	}
+}
+
+func TestFirstMatchWins(t *testing.T) {
+	p := NewPolicy(Allow)
+	p.Add(Contract{Subject: "/O=Grid/CN=banned", Operation: OpAny, Effect: Deny})
+	p.Add(Contract{Subject: "*", Operation: OpAny, Effect: Allow})
+	if err := p.Authorize("/O=Grid/CN=banned", OpInfoQuery, at(9, 0)); err == nil {
+		t.Error("deny-first rule did not apply")
+	}
+}
+
+func TestDefaultEffects(t *testing.T) {
+	if err := AllowAll().Authorize("/O=Grid/CN=x", OpJobSubmit, at(1, 0)); err != nil {
+		t.Errorf("AllowAll denied: %v", err)
+	}
+	deny := NewPolicy(Deny)
+	err := deny.Authorize("/O=Grid/CN=x", OpJobSubmit, at(1, 0))
+	var azErr *AuthzError
+	if !errors.As(err, &azErr) {
+		t.Fatalf("got %T %v, want *AuthzError", err, err)
+	}
+	if azErr.Rule != "default deny" {
+		t.Errorf("Rule = %q", azErr.Rule)
+	}
+	var zero Policy
+	if err := zero.Authorize("/O=Grid/CN=x", OpInfoQuery, at(1, 0)); err == nil {
+		t.Error("zero-value policy should deny")
+	}
+}
+
+func TestWindowWrapsMidnight(t *testing.T) {
+	w := Window{From: 22 * time.Hour, To: 2 * time.Hour}
+	if !w.Contains(at(23, 0)) {
+		t.Error("23:00 not in 22:00-02:00")
+	}
+	if !w.Contains(at(1, 0)) {
+		t.Error("01:00 not in 22:00-02:00")
+	}
+	if w.Contains(at(12, 0)) {
+		t.Error("12:00 in 22:00-02:00")
+	}
+}
+
+func TestAllDayWindow(t *testing.T) {
+	prop := func(h, m uint8) bool {
+		return AllDay.Contains(at(int(h%24), int(m%60)))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+	if AllDay.String() != "always" {
+		t.Errorf("String = %q", AllDay.String())
+	}
+}
+
+// TestWindowComplement: a wrap-around window and its complement partition
+// the day (except boundary instants).
+func TestWindowComplement(t *testing.T) {
+	w := Window{From: 9 * time.Hour, To: 17 * time.Hour}
+	comp := Window{From: 17 * time.Hour, To: 9 * time.Hour}
+	prop := func(h, m, s uint8) bool {
+		tm := time.Date(2002, 7, 24, int(h%24), int(m%60), int(s%60), 0, time.UTC)
+		return w.Contains(tm) != comp.Contains(tm)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContractsSnapshot(t *testing.T) {
+	p := NewPolicy(Deny)
+	p.Add(Contract{Subject: "*", Operation: OpAny, Effect: Allow})
+	cs := p.Contracts()
+	if len(cs) != 1 {
+		t.Fatalf("Contracts = %d", len(cs))
+	}
+	cs[0].Subject = "mutated"
+	if p.Contracts()[0].Subject != "*" {
+		t.Error("Contracts returned a shared slice")
+	}
+}
+
+func TestAuthzErrorMessage(t *testing.T) {
+	p := NewPolicy(Deny)
+	p.Add(Contract{
+		Subject:   "/O=Grid/CN=userX",
+		Operation: OpJobSubmit,
+		Window:    Window{From: 15 * time.Hour, To: 16 * time.Hour},
+		Effect:    Deny,
+		Comment:   "maintenance",
+	})
+	err := p.Authorize("/O=Grid/CN=userX", OpJobSubmit, at(15, 30))
+	if err == nil {
+		t.Fatal("expected denial")
+	}
+	msg := err.Error()
+	for _, want := range []string{"userX", "job", "maintenance"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+}

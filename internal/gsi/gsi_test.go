@@ -1,0 +1,371 @@
+package gsi
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"infogram/internal/wire"
+)
+
+var t0 = time.Date(2002, 7, 24, 12, 0, 0, 0, time.UTC) // HPDC-11 week
+
+func newTestCA(t *testing.T) *CA {
+	t.Helper()
+	ca, err := NewCA("/O=Grid/CN=Test CA", 24*time.Hour, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ca
+}
+
+func TestIssueAndVerifyIdentity(t *testing.T) {
+	ca := newTestCA(t)
+	cred, err := ca.IssueIdentity("/O=Grid/CN=alice", time.Hour, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trust := NewTrustStore(ca.Certificate())
+	if err := trust.VerifyChain(cred.Chain, t0); err != nil {
+		t.Errorf("VerifyChain: %v", err)
+	}
+	if cred.Identity() != "/O=Grid/CN=alice" {
+		t.Errorf("Identity = %q", cred.Identity())
+	}
+}
+
+func TestUntrustedCARejected(t *testing.T) {
+	ca := newTestCA(t)
+	other, err := NewCA("/O=Grid/CN=Other CA", 24*time.Hour, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cred, err := other.IssueIdentity("/O=Grid/CN=mallory", time.Hour, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trust := NewTrustStore(ca.Certificate())
+	if err := trust.VerifyChain(cred.Chain, t0); err == nil {
+		t.Error("chain from untrusted CA verified")
+	}
+}
+
+func TestExpiredCertificateRejected(t *testing.T) {
+	ca := newTestCA(t)
+	cred, err := ca.IssueIdentity("/O=Grid/CN=alice", time.Hour, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trust := NewTrustStore(ca.Certificate())
+	if err := trust.VerifyChain(cred.Chain, t0.Add(2*time.Hour)); err == nil {
+		t.Error("expired certificate verified")
+	}
+	if err := trust.VerifyChain(cred.Chain, t0.Add(-time.Hour)); err == nil {
+		t.Error("not-yet-valid certificate verified")
+	}
+}
+
+func TestTamperedCertificateRejected(t *testing.T) {
+	ca := newTestCA(t)
+	cred, err := ca.IssueIdentity("/O=Grid/CN=alice", time.Hour, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trust := NewTrustStore(ca.Certificate())
+	// Tamper with the subject after signing.
+	tampered := *cred.Chain[0]
+	tampered.Subject = "/O=Grid/CN=root"
+	if err := trust.VerifyChain(Chain{&tampered}, t0); err == nil {
+		t.Error("tampered certificate verified")
+	}
+}
+
+func TestProxyDelegation(t *testing.T) {
+	ca := newTestCA(t)
+	cred, err := ca.IssueIdentity("/O=Grid/CN=alice", 10*time.Hour, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trust := NewTrustStore(ca.Certificate())
+
+	proxy, err := cred.Delegate(time.Hour, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trust.VerifyChain(proxy.Chain, t0); err != nil {
+		t.Errorf("proxy chain: %v", err)
+	}
+	if proxy.Subject() != "/O=Grid/CN=alice/CN=proxy" {
+		t.Errorf("proxy subject = %q", proxy.Subject())
+	}
+	// Identity strips proxy components.
+	if proxy.Identity() != "/O=Grid/CN=alice" {
+		t.Errorf("proxy identity = %q", proxy.Identity())
+	}
+	// Second level.
+	proxy2, err := proxy.Delegate(30*time.Minute, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trust.VerifyChain(proxy2.Chain, t0); err != nil {
+		t.Errorf("proxy2 chain: %v", err)
+	}
+	if proxy2.Identity() != "/O=Grid/CN=alice" {
+		t.Errorf("proxy2 identity = %q", proxy2.Identity())
+	}
+}
+
+func TestProxyCannotOutliveParent(t *testing.T) {
+	ca := newTestCA(t)
+	cred, err := ca.IssueIdentity("/O=Grid/CN=alice", time.Hour, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy, err := cred.Delegate(100*time.Hour, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proxy.Chain[0].NotAfter.After(cred.Chain[0].NotAfter) {
+		t.Error("proxy outlives parent")
+	}
+}
+
+func TestDelegationDepthExhaustion(t *testing.T) {
+	ca := newTestCA(t)
+	cred, err := ca.IssueIdentity("/O=Grid/CN=alice", 24*time.Hour, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := cred
+	for i := 0; i < 8; i++ {
+		next, err := cur.Delegate(time.Hour, t0)
+		if err != nil {
+			t.Fatalf("delegation %d failed early: %v", i, err)
+		}
+		cur = next
+	}
+	if _, err := cur.Delegate(time.Hour, t0); err == nil {
+		t.Error("delegation beyond depth budget succeeded")
+	}
+}
+
+func TestExpiredProxyRejected(t *testing.T) {
+	ca := newTestCA(t)
+	cred, err := ca.IssueIdentity("/O=Grid/CN=alice", 10*time.Hour, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy, err := cred.Delegate(time.Minute, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trust := NewTrustStore(ca.Certificate())
+	if err := trust.VerifyChain(proxy.Chain, t0.Add(time.Hour)); err == nil {
+		t.Error("expired proxy verified")
+	}
+}
+
+func TestIdentitySubject(t *testing.T) {
+	cases := map[string]string{
+		"/O=Grid/CN=alice":                   "/O=Grid/CN=alice",
+		"/O=Grid/CN=alice/CN=proxy":          "/O=Grid/CN=alice",
+		"/O=Grid/CN=alice/CN=proxy/CN=proxy": "/O=Grid/CN=alice",
+	}
+	for in, want := range cases {
+		if got := IdentitySubject(in); got != want {
+			t.Errorf("IdentitySubject(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// handshakePair runs a handshake over a real TCP connection and returns
+// both observed peers.
+func handshakePair(t *testing.T, clientCred, serverCred *Credential, trust *TrustStore) (clientSaw, serverSaw *Peer, clientErr, serverErr error) {
+	t.Helper()
+	srvResult := make(chan struct{})
+	srv := wire.NewServer(wire.HandlerFunc(func(c *wire.Conn) {
+		serverSaw, serverErr = ServerHandshake(c, serverCred, trust, t0)
+		close(srvResult)
+	}))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	clientSaw, clientErr = ClientHandshake(conn, clientCred, trust, t0)
+	<-srvResult
+	return
+}
+
+func TestMutualHandshake(t *testing.T) {
+	ca := newTestCA(t)
+	alice, _ := ca.IssueIdentity("/O=Grid/CN=alice", time.Hour, t0)
+	svc, _ := ca.IssueIdentity("/O=Grid/CN=service", time.Hour, t0)
+	trust := NewTrustStore(ca.Certificate())
+
+	cSaw, sSaw, cErr, sErr := handshakePair(t, alice, svc, trust)
+	if cErr != nil || sErr != nil {
+		t.Fatalf("handshake errors: client %v, server %v", cErr, sErr)
+	}
+	if sSaw.Identity != "/O=Grid/CN=alice" {
+		t.Errorf("server saw %q", sSaw.Identity)
+	}
+	if cSaw.Identity != "/O=Grid/CN=service" {
+		t.Errorf("client saw %q", cSaw.Identity)
+	}
+}
+
+func TestHandshakeWithProxyCredential(t *testing.T) {
+	ca := newTestCA(t)
+	alice, _ := ca.IssueIdentity("/O=Grid/CN=alice", time.Hour, t0)
+	proxy, err := alice.Delegate(30*time.Minute, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, _ := ca.IssueIdentity("/O=Grid/CN=service", time.Hour, t0)
+	trust := NewTrustStore(ca.Certificate())
+
+	_, sSaw, cErr, sErr := handshakePair(t, proxy, svc, trust)
+	if cErr != nil || sErr != nil {
+		t.Fatalf("handshake errors: %v / %v", cErr, sErr)
+	}
+	if sSaw.Subject != "/O=Grid/CN=alice/CN=proxy" {
+		t.Errorf("server saw subject %q", sSaw.Subject)
+	}
+	if sSaw.Identity != "/O=Grid/CN=alice" {
+		t.Errorf("server mapped identity %q", sSaw.Identity)
+	}
+}
+
+func TestHandshakeRejectsUntrustedClient(t *testing.T) {
+	ca := newTestCA(t)
+	evilCA, _ := NewCA("/O=Evil/CN=CA", time.Hour, t0)
+	mallory, _ := evilCA.IssueIdentity("/O=Evil/CN=mallory", time.Hour, t0)
+	svc, _ := ca.IssueIdentity("/O=Grid/CN=service", time.Hour, t0)
+	trust := NewTrustStore(ca.Certificate())
+
+	_, _, cErr, sErr := handshakePair(t, mallory, svc, trust)
+	if cErr == nil {
+		t.Error("client handshake with untrusted cert succeeded")
+	}
+	if sErr == nil {
+		t.Error("server accepted untrusted client")
+	}
+}
+
+func TestHandshakeRejectsUntrustedServer(t *testing.T) {
+	ca := newTestCA(t)
+	evilCA, _ := NewCA("/O=Evil/CN=CA", time.Hour, t0)
+	alice, _ := ca.IssueIdentity("/O=Grid/CN=alice", time.Hour, t0)
+	evilSvc, _ := evilCA.IssueIdentity("/O=Evil/CN=service", time.Hour, t0)
+
+	// Server trusts both CAs (accepts alice); client trusts only the good
+	// CA and must reject the evil server.
+	serverTrust := NewTrustStore(ca.Certificate(), evilCA.Certificate())
+	srv := wire.NewServer(wire.HandlerFunc(func(c *wire.Conn) {
+		_, _ = ServerHandshake(c, evilSvc, serverTrust, t0)
+	}))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	clientTrust := NewTrustStore(ca.Certificate())
+	if _, err := ClientHandshake(conn, alice, clientTrust, t0); err == nil {
+		t.Error("client accepted untrusted server")
+	}
+}
+
+func TestHandshakeImpersonationFails(t *testing.T) {
+	// A client presenting alice's chain without her key must fail the
+	// proof of possession.
+	ca := newTestCA(t)
+	alice, _ := ca.IssueIdentity("/O=Grid/CN=alice", time.Hour, t0)
+	bob, _ := ca.IssueIdentity("/O=Grid/CN=bob", time.Hour, t0)
+	svc, _ := ca.IssueIdentity("/O=Grid/CN=service", time.Hour, t0)
+	trust := NewTrustStore(ca.Certificate())
+
+	forged := &Credential{Chain: alice.Chain, Key: bob.Key}
+	_, _, cErr, sErr := handshakePair(t, forged, svc, trust)
+	if cErr == nil && sErr == nil {
+		t.Error("impersonation with wrong key succeeded")
+	}
+}
+
+func TestGridmap(t *testing.T) {
+	gm := NewGridmap()
+	gm.Add("/O=Grid/CN=alice", "alice")
+	gm.Add("/O=Grid/OU=ANL/CN=gregor von laszewski", "gregor")
+
+	if local, err := gm.Map("/O=Grid/CN=alice"); err != nil || local != "alice" {
+		t.Errorf("Map = %q, %v", local, err)
+	}
+	// Proxy subjects map through their identity.
+	if local, err := gm.Map("/O=Grid/CN=alice/CN=proxy/CN=proxy"); err != nil || local != "alice" {
+		t.Errorf("proxy Map = %q, %v", local, err)
+	}
+	if _, err := gm.Map("/O=Grid/CN=stranger"); err == nil {
+		t.Error("unmapped subject succeeded")
+	}
+	if gm.Len() != 2 {
+		t.Errorf("Len = %d", gm.Len())
+	}
+}
+
+func TestGridmapParseAndRender(t *testing.T) {
+	src := `# grid-mapfile
+"/O=Grid/OU=ANL/CN=gregor von laszewski" gregor
+/O=Grid/CN=alice alice
+
+# trailing comment
+"/O=Grid/CN=bob smith" bob extra-ignored
+`
+	gm, err := ParseGridmap(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gm.Len() != 3 {
+		t.Fatalf("Len = %d", gm.Len())
+	}
+	if local, err := gm.Map("/O=Grid/OU=ANL/CN=gregor von laszewski"); err != nil || local != "gregor" {
+		t.Errorf("gregor: %q %v", local, err)
+	}
+	if local, err := gm.Map("/O=Grid/CN=bob smith"); err != nil || local != "bob" {
+		t.Errorf("bob: %q %v", local, err)
+	}
+	// Render and re-parse.
+	var sb strings.Builder
+	if _, err := gm.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	gm2, err := ParseGridmap(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gm2.Len() != 3 {
+		t.Errorf("round trip Len = %d", gm2.Len())
+	}
+}
+
+func TestGridmapParseErrors(t *testing.T) {
+	bad := []string{
+		`"/O=Grid/CN=unterminated`,
+		`"/O=Grid/CN=nolocal"`,
+		`solo-token`,
+	}
+	for _, line := range bad {
+		if _, err := ParseGridmap(strings.NewReader(line + "\n")); err == nil {
+			t.Errorf("ParseGridmap(%q): expected error", line)
+		}
+	}
+}

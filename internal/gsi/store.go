@@ -1,0 +1,71 @@
+package gsi
+
+import (
+	"crypto/ed25519"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// File persistence for certificates and credentials, the analog of the
+// ~/.globus certificate files a Globus user holds. Formats are JSON; the
+// private key file should be mode 0600 like a GSI user key.
+
+// credentialFile is the on-disk form of a Credential.
+type credentialFile struct {
+	Chain Chain              `json:"chain"`
+	Key   ed25519.PrivateKey `json:"key"`
+}
+
+// SaveCredential writes cred to path with owner-only permissions.
+func SaveCredential(path string, cred *Credential) error {
+	b, err := json.MarshalIndent(credentialFile{Chain: cred.Chain, Key: cred.Key}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("gsi: encode credential: %w", err)
+	}
+	if err := os.WriteFile(path, b, 0o600); err != nil {
+		return fmt.Errorf("gsi: write credential: %w", err)
+	}
+	return nil
+}
+
+// LoadCredential reads a credential written by SaveCredential.
+func LoadCredential(path string) (*Credential, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("gsi: read credential: %w", err)
+	}
+	var cf credentialFile
+	if err := json.Unmarshal(b, &cf); err != nil {
+		return nil, fmt.Errorf("gsi: decode credential %s: %w", path, err)
+	}
+	if len(cf.Chain) == 0 || len(cf.Key) != ed25519.PrivateKeySize {
+		return nil, fmt.Errorf("gsi: credential %s is incomplete", path)
+	}
+	return &Credential{Chain: cf.Chain, Key: cf.Key}, nil
+}
+
+// SaveCertificate writes a single certificate (e.g. a CA root) to path.
+func SaveCertificate(path string, cert *Certificate) error {
+	b, err := json.MarshalIndent(cert, "", "  ")
+	if err != nil {
+		return fmt.Errorf("gsi: encode certificate: %w", err)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return fmt.Errorf("gsi: write certificate: %w", err)
+	}
+	return nil
+}
+
+// LoadCertificate reads a certificate written by SaveCertificate.
+func LoadCertificate(path string) (*Certificate, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("gsi: read certificate: %w", err)
+	}
+	var cert Certificate
+	if err := json.Unmarshal(b, &cert); err != nil {
+		return nil, fmt.Errorf("gsi: decode certificate %s: %w", path, err)
+	}
+	return &cert, nil
+}

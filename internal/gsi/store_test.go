@@ -1,0 +1,91 @@
+package gsi
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestCredentialPersistence(t *testing.T) {
+	dir := t.TempDir()
+	ca := newTestCA(t)
+	cred, err := ca.IssueIdentity("/O=Grid/CN=alice", time.Hour, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy, err := cred.Delegate(30*time.Minute, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "cred.json")
+	if err := SaveCredential(path, proxy); err != nil {
+		t.Fatal(err)
+	}
+	// Owner-only permissions, like a GSI user key.
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode().Perm() != 0o600 {
+		t.Errorf("mode = %v, want 0600", info.Mode().Perm())
+	}
+	back, err := LoadCredential(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Subject() != proxy.Subject() || back.Identity() != "/O=Grid/CN=alice" {
+		t.Errorf("subject = %q", back.Subject())
+	}
+	// The reloaded credential still verifies and can authenticate.
+	trust := NewTrustStore(ca.Certificate())
+	if err := trust.VerifyChain(back.Chain, t0); err != nil {
+		t.Errorf("VerifyChain: %v", err)
+	}
+}
+
+func TestCertificatePersistence(t *testing.T) {
+	dir := t.TempDir()
+	ca := newTestCA(t)
+	path := filepath.Join(dir, "ca.json")
+	if err := SaveCertificate(path, ca.Certificate()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCertificate(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Subject != ca.Certificate().Subject || !back.IsCA {
+		t.Errorf("back = %+v", back)
+	}
+	// The reloaded root anchors verification.
+	cred, _ := ca.IssueIdentity("/O=Grid/CN=x", time.Hour, t0)
+	trust := NewTrustStore(back)
+	if err := trust.VerifyChain(cred.Chain, t0); err != nil {
+		t.Errorf("VerifyChain with reloaded root: %v", err)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadCredential(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing credential loaded")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCredential(bad); err == nil {
+		t.Error("malformed credential loaded")
+	}
+	if _, err := LoadCertificate(bad); err == nil {
+		t.Error("malformed certificate loaded")
+	}
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte("{}"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCredential(empty); err == nil {
+		t.Error("incomplete credential loaded")
+	}
+}

@@ -1,0 +1,352 @@
+// Package integration_test exercises whole-deployment scenarios that span
+// several subsystems: the Figure 2 baseline (separate GRAM + MDS, two
+// protocols) against the Figure 4 unified InfoGram deployment, and the
+// gradual-transition story where both run side by side.
+package integration_test
+
+import (
+	"context"
+	"strconv"
+	"testing"
+	"time"
+
+	"infogram/internal/core"
+	"infogram/internal/gram"
+	"infogram/internal/gsi"
+	"infogram/internal/job"
+	"infogram/internal/mds"
+	"infogram/internal/provider"
+	"infogram/internal/scheduler"
+)
+
+// deployment is a complete simulated grid site: security fabric, a shared
+// provider registry, and whichever services a scenario starts.
+type deployment struct {
+	trust   *gsi.TrustStore
+	gridmap *gsi.Gridmap
+	svcCred *gsi.Credential
+	user    *gsi.Credential
+	reg     *provider.Registry
+}
+
+func newDeployment(t *testing.T) *deployment {
+	t.Helper()
+	now := time.Now()
+	ca, err := gsi.NewCA("/O=Grid/CN=Integration CA", time.Hour, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svcCred, _ := ca.IssueIdentity("/O=Grid/CN=site-service", time.Hour, now)
+	user, _ := ca.IssueIdentity("/O=Grid/CN=alice", time.Hour, now)
+	gm := gsi.NewGridmap()
+	gm.Add("/O=Grid/CN=alice", "alice")
+
+	reg := provider.NewRegistry(nil)
+	reg.Register(&provider.StaticProvider{
+		KeywordName: "CPULoad",
+		Values:      provider.Attributes{{Name: "load1", Value: "2"}},
+	}, provider.RegisterOptions{TTL: time.Minute})
+
+	return &deployment{
+		trust:   gsi.NewTrustStore(ca.Certificate()),
+		gridmap: gm,
+		svcCred: svcCred,
+		user:    user,
+		reg:     reg,
+	}
+}
+
+func (d *deployment) backends() gram.Backends {
+	fn := scheduler.NewFunc(scheduler.TrustedMode, scheduler.Budgets{})
+	fn.RegisterFunc("noop", func(ctx context.Context, sb *scheduler.Sandbox, args []string, stdin string) (string, error) {
+		return "done", nil
+	})
+	return gram.Backends{Func: fn, Exec: &scheduler.Fork{}}
+}
+
+func TestFigure2TwoProtocolBaseline(t *testing.T) {
+	// The baseline workflow: a client that wants to pick a resource by
+	// CPU load and then run a job must (a) speak the MDS protocol to a
+	// GRIS on one port, then (b) speak GRAMP to a GRAM on another port —
+	// two connections, two protocol codecs.
+	d := newDeployment(t)
+
+	gramSvc := gram.NewService(gram.Config{
+		Credential: d.svcCred, Trust: d.trust, Gridmap: d.gridmap,
+		Backends: d.backends(),
+	})
+	gramAddr, err := gramSvc.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gramSvc.Close()
+
+	gris := mds.NewGRIS(mds.GRISConfig{
+		ResourceName: "site", Registry: d.reg,
+		Credential: d.svcCred, Trust: d.trust,
+	})
+	grisAddr, err := gris.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gris.Close()
+
+	// Protocol 1: MDS search.
+	mcl, err := mds.Dial(grisAddr, d.user, d.trust)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mcl.Close()
+	entries, err := mcl.Search(mds.SearchRequest{Filter: "(kw=CPULoad)"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := entries[0].Get("CPULoad:load1"); v != "2" {
+		t.Fatalf("load = %q", v)
+	}
+
+	// Protocol 2: GRAMP submit.
+	gcl, err := gram.Dial(gramAddr, d.user, d.trust)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gcl.Close()
+	contact, err := gcl.Submit("&(executable=noop)(jobtype=func)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	st, err := gcl.WaitTerminal(ctx, contact, 5*time.Millisecond)
+	if err != nil || st.State != job.Done {
+		t.Fatalf("job: %v %v", st, err)
+	}
+
+	// The structural cost of Figure 2: two connections to two ports.
+	if gramSvc.AcceptedConns() != 1 || gris.AcceptedConns() != 1 {
+		t.Errorf("connections: gram=%d gris=%d", gramSvc.AcceptedConns(), gris.AcceptedConns())
+	}
+	if gramAddr == grisAddr {
+		t.Error("baseline services share a port")
+	}
+	// And the protocols are genuinely disjoint: GRAM rejects info
+	// queries outright.
+	if _, err := gcl.Submit("&(info=CPULoad)"); err == nil {
+		t.Error("GRAM accepted an information query")
+	}
+}
+
+func TestGradualTransition(t *testing.T) {
+	// §6.5: "we provide the option to move to a different Information
+	// provider while enabling a gradual transition." One site runs
+	// InfoGram AND keeps its MDS face: old MDS clients and new InfoGram
+	// clients see the same information simultaneously.
+	d := newDeployment(t)
+	svc := core.NewService(core.Config{
+		ResourceName: "site",
+		Credential:   d.svcCred, Trust: d.trust, Gridmap: d.gridmap,
+		Registry: d.reg,
+		Backends: d.backends(),
+	})
+	addr, err := svc.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	gris := svc.GRIS()
+	grisAddr, err := gris.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gris.Close()
+
+	// Old-world client.
+	mcl, err := mds.Dial(grisAddr, d.user, d.trust)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mcl.Close()
+	oldView, err := mcl.Search(mds.SearchRequest{Filter: "(kw=CPULoad)"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// New-world client.
+	icl, err := core.Dial(addr, d.user, d.trust)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer icl.Close()
+	newView, err := icl.QueryRaw("&(info=CPULoad)")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	oldLoad, _ := oldView[0].Get("CPULoad:load1")
+	newLoad, _ := newView.Entries[0].Get("CPULoad:load1")
+	if oldLoad != newLoad {
+		t.Errorf("views diverge: MDS %q vs InfoGram %q", oldLoad, newLoad)
+	}
+	// Both views hit the same cache: the provider executed once.
+	g, _ := d.reg.Lookup("CPULoad")
+	if execs := g.CacheStats().Execs; execs != 1 {
+		t.Errorf("provider executed %d times across both protocols", execs)
+	}
+}
+
+func TestGIISHierarchy(t *testing.T) {
+	// GIIS aggregates can stack: a top-level VO index registers a
+	// site-level index, which registers the site's GRISes — the
+	// decentralized aggregation model of §3.
+	d := newDeployment(t)
+	mkGRIS := func(name, load string) *mds.GRIS {
+		reg := provider.NewRegistry(nil)
+		reg.Register(&provider.StaticProvider{
+			KeywordName: "CPULoad",
+			Values:      provider.Attributes{{Name: "load1", Value: load}},
+		}, provider.RegisterOptions{TTL: time.Minute})
+		g := mds.NewGRIS(mds.GRISConfig{
+			ResourceName: name, Registry: reg,
+			Credential: d.svcCred, Trust: d.trust,
+		})
+		if _, err := g.Listen("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { g.Close() })
+		return g
+	}
+	g1 := mkGRIS("siteA.res1", "1")
+	g2 := mkGRIS("siteA.res2", "3")
+
+	siteIndex := mds.NewGIIS(mds.GIISConfig{OrgName: "siteA", Credential: d.svcCred, Trust: d.trust})
+	if _, err := siteIndex.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer siteIndex.Close()
+	siteIndex.Register(g1.Addr())
+	siteIndex.Register(g2.Addr())
+
+	voIndex := mds.NewGIIS(mds.GIISConfig{OrgName: "vo", Credential: d.svcCred, Trust: d.trust})
+	if _, err := voIndex.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer voIndex.Close()
+	voIndex.Register(siteIndex.Addr())
+
+	cl, err := mds.Dial(voIndex.Addr(), d.user, d.trust)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	entries, err := cl.Search(mds.SearchRequest{Filter: "(kw=CPULoad)"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("entries through two-level hierarchy = %d", len(entries))
+	}
+	// Numeric selection through the hierarchy.
+	entries, err = cl.Search(mds.SearchRequest{Filter: "(&(kw=CPULoad)(CPULoad:load1<=2))"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("filtered entries = %d", len(entries))
+	}
+	if r, _ := entries[0].Get("resource"); r != "siteA.res1" {
+		t.Errorf("resource = %q", r)
+	}
+}
+
+func TestGRAMClientAgainstInfoGram(t *testing.T) {
+	// The paper's backwards-compatibility claim at the protocol level:
+	// "This Job Execution service within J-GRAM is protocol-compatible
+	// with the C-GRAM distributed with the Globus Toolkit" — and InfoGram
+	// keeps that protocol, so an unmodified GRAM client can submit, poll,
+	// signal, and cancel jobs against an InfoGram service.
+	d := newDeployment(t)
+	svc := core.NewService(core.Config{
+		ResourceName: "site",
+		Credential:   d.svcCred, Trust: d.trust, Gridmap: d.gridmap,
+		Registry: d.reg,
+		Backends: d.backends(),
+	})
+	addr, err := svc.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	// A plain GRAM client, knowing nothing about InfoGram.
+	cl, err := gram.Dial(addr, d.user, d.trust)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Ping(); err != nil {
+		t.Fatalf("Ping: %v", err)
+	}
+	contact, err := cl.Submit("&(executable=noop)(jobtype=func)")
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	st, err := cl.WaitTerminal(ctx, contact, 5*time.Millisecond)
+	if err != nil || st.State != job.Done || st.Stdout != "done" {
+		t.Fatalf("GRAM client against InfoGram: %+v %v", st, err)
+	}
+	// Cancellation through the same handle.
+	contact2, err := cl.Submit("&(executable=/bin/sleep)(arguments=30)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if err := cl.Cancel(contact2); err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+	st, err = cl.WaitTerminal(ctx, contact2, 5*time.Millisecond)
+	if err != nil || st.State != job.Failed {
+		t.Errorf("cancelled job = %+v %v", st, err)
+	}
+}
+
+func TestManyResourcesOneBrokerScan(t *testing.T) {
+	// A wider Figure 4 deployment: 5 InfoGram resources, a client walking
+	// all of them over the unified protocol, verifying per-resource DNs.
+	d := newDeployment(t)
+	addrs := make([]string, 5)
+	for i := range addrs {
+		reg := provider.NewRegistry(nil)
+		reg.Register(&provider.StaticProvider{
+			KeywordName: "Resource",
+			Values:      provider.Attributes{{Name: "idx", Value: strconv.Itoa(i)}},
+		}, provider.RegisterOptions{TTL: time.Minute})
+		svc := core.NewService(core.Config{
+			ResourceName: "node" + strconv.Itoa(i),
+			Credential:   d.svcCred, Trust: d.trust, Gridmap: d.gridmap,
+			Registry: reg,
+			Backends: d.backends(),
+		})
+		addr, err := svc.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { svc.Close() })
+		addrs[i] = addr
+	}
+	for i, addr := range addrs {
+		cl, err := core.Dial(addr, d.user, d.trust)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := cl.QueryRaw("&(info=Resource)")
+		cl.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, _ := res.Entries[0].Get("Resource:idx"); v != strconv.Itoa(i) {
+			t.Errorf("node %d reports idx %q", i, v)
+		}
+	}
+}

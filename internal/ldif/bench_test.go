@@ -1,0 +1,56 @@
+package ldif
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchEntries(n int) []Entry {
+	out := make([]Entry, n)
+	for i := range out {
+		e := Entry{DN: fmt.Sprintf("kw=Key%02d, resource=bench, o=grid", i)}
+		e.Add("objectclass", "InfoGramProvider")
+		e.Add(fmt.Sprintf("Key%02d:alpha", i), "12345")
+		e.Add(fmt.Sprintf("Key%02d:beta", i), "a longer value with several words in it")
+		e.Add("quality:score", "97.50")
+		out[i] = e
+	}
+	return out
+}
+
+func BenchmarkEncode(b *testing.B) {
+	entries := benchEntries(20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Marshal(entries); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	s, err := Marshal(benchEntries(20))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeBase64Heavy(b *testing.B) {
+	e := Entry{DN: "o=bench"}
+	for i := 0; i < 10; i++ {
+		e.Add("blob", "binary\x00data with\nnewlines and ünïcode")
+	}
+	entries := []Entry{e}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Marshal(entries); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

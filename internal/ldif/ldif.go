@@ -1,0 +1,246 @@
+// Package ldif encodes and decodes the LDAP Data Interchange Format
+// (RFC 2849 subset) used as the default return format of both the MDS
+// baseline and the InfoGram service (paper §5.5, §6.5: "The supported
+// formats are LDIF and XML").
+//
+// Supported features: dn lines, attribute/value pairs in order, base64
+// encoding (":: ") whenever a value is not safely printable, line folding
+// at 76 columns with one-space continuations, comments, and blank-line
+// entry separation.
+package ldif
+
+import (
+	"bufio"
+	"encoding/base64"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Attr is one attribute/value pair. Values are opaque strings; ordering is
+// preserved, since MDS-style records are meaningful in provider order.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Entry is one LDIF record: a distinguished name plus ordered attributes.
+type Entry struct {
+	DN    string
+	Attrs []Attr
+}
+
+// Add appends an attribute and returns the entry for chaining.
+func (e *Entry) Add(name, value string) *Entry {
+	e.Attrs = append(e.Attrs, Attr{Name: name, Value: value})
+	return e
+}
+
+// Get returns the first value of the named attribute (case-insensitive),
+// with ok reporting presence.
+func (e *Entry) Get(name string) (string, bool) {
+	for _, a := range e.Attrs {
+		if strings.EqualFold(a.Name, name) {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// All returns every value of the named attribute in order.
+func (e *Entry) All(name string) []string {
+	var out []string
+	for _, a := range e.Attrs {
+		if strings.EqualFold(a.Name, name) {
+			out = append(out, a.Value)
+		}
+	}
+	return out
+}
+
+// foldWidth is the maximum output line length before folding.
+const foldWidth = 76
+
+// needsBase64 reports whether value must be base64-encoded per RFC 2849:
+// unsafe initial characters (space, colon, '<'), non-printable or non-ASCII
+// bytes, or trailing spaces.
+func needsBase64(value string) bool {
+	if value == "" {
+		return false
+	}
+	switch value[0] {
+	case ' ', ':', '<':
+		return true
+	}
+	if value[len(value)-1] == ' ' {
+		return true
+	}
+	for i := 0; i < len(value); i++ {
+		c := value[i]
+		if c == '\n' || c == '\r' || c == 0 || c >= 0x80 {
+			return true
+		}
+	}
+	return false
+}
+
+// writeFolded writes line with RFC 2849 folding.
+func writeFolded(w io.Writer, line string) error {
+	for len(line) > foldWidth {
+		if _, err := io.WriteString(w, line[:foldWidth]+"\n"); err != nil {
+			return err
+		}
+		line = " " + line[foldWidth:]
+	}
+	_, err := io.WriteString(w, line+"\n")
+	return err
+}
+
+func writeAttr(w io.Writer, name, value string) error {
+	if needsBase64(value) {
+		return writeFolded(w, name+":: "+base64.StdEncoding.EncodeToString([]byte(value)))
+	}
+	return writeFolded(w, name+": "+value)
+}
+
+// Encode writes entries to w in LDIF, separated by blank lines.
+func Encode(w io.Writer, entries []Entry) error {
+	for i, e := range entries {
+		if i > 0 {
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return err
+			}
+		}
+		if err := writeAttr(w, "dn", e.DN); err != nil {
+			return err
+		}
+		for _, a := range e.Attrs {
+			if a.Name == "" {
+				return fmt.Errorf("ldif: empty attribute name in entry %q", e.DN)
+			}
+			if err := writeAttr(w, a.Name, a.Value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Marshal renders entries as an LDIF string.
+func Marshal(entries []Entry) (string, error) {
+	var sb strings.Builder
+	if err := Encode(&sb, entries); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}
+
+// Decode parses LDIF from r. Comments (#) are skipped; folded lines are
+// unfolded; base64 values are decoded.
+func Decode(r io.Reader) ([]Entry, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+
+	var entries []Entry
+	var cur *Entry
+	var pending string // logical line being assembled across folds
+	lineNo := 0
+
+	flushLine := func() error {
+		if pending == "" {
+			return nil
+		}
+		line := pending
+		pending = ""
+		if strings.HasPrefix(line, "#") {
+			return nil
+		}
+		name, value, err := parseLine(line)
+		if err != nil {
+			return fmt.Errorf("ldif: line %d: %w", lineNo, err)
+		}
+		if strings.EqualFold(name, "dn") {
+			if cur != nil {
+				entries = append(entries, *cur)
+			}
+			cur = &Entry{DN: value}
+			return nil
+		}
+		if cur == nil {
+			return fmt.Errorf("ldif: line %d: attribute %q before any dn", lineNo, name)
+		}
+		cur.Add(name, value)
+		return nil
+	}
+
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Text()
+		switch {
+		case raw == "":
+			if err := flushLine(); err != nil {
+				return nil, err
+			}
+			if cur != nil {
+				entries = append(entries, *cur)
+				cur = nil
+			}
+		case strings.HasPrefix(raw, " "):
+			if pending == "" {
+				return nil, fmt.Errorf("ldif: line %d: continuation with no preceding line", lineNo)
+			}
+			pending += raw[1:]
+		default:
+			if err := flushLine(); err != nil {
+				return nil, err
+			}
+			pending = raw
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ldif: read: %w", err)
+	}
+	if err := flushLine(); err != nil {
+		return nil, err
+	}
+	if cur != nil {
+		entries = append(entries, *cur)
+	}
+	return entries, nil
+}
+
+// Unmarshal parses LDIF from a string.
+func Unmarshal(s string) ([]Entry, error) {
+	return Decode(strings.NewReader(s))
+}
+
+// parseLine splits "name: value", "name:: base64", or "name:" lines. The
+// separating colon is the first colon followed by a space, another colon,
+// or end of line: attribute names themselves may contain colons, because
+// InfoGram namespaces attributes as "Keyword:attr" (paper §6.2.1).
+func parseLine(line string) (name, value string, err error) {
+	colon := -1
+	for i := 0; i < len(line); i++ {
+		if line[i] != ':' {
+			continue
+		}
+		if i+1 == len(line) || line[i+1] == ' ' || line[i+1] == ':' {
+			colon = i
+			break
+		}
+	}
+	if colon <= 0 {
+		return "", "", fmt.Errorf("malformed line %q", line)
+	}
+	name = line[:colon]
+	rest := line[colon+1:]
+	if strings.HasPrefix(rest, ":") {
+		// base64 form
+		b, err := base64.StdEncoding.DecodeString(strings.TrimLeft(rest[1:], " "))
+		if err != nil {
+			return "", "", fmt.Errorf("bad base64 value for %q: %w", name, err)
+		}
+		return name, string(b), nil
+	}
+	return name, strings.TrimLeft(rest, " "), nil
+}

@@ -1,0 +1,267 @@
+package logging
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"infogram/internal/job"
+)
+
+var t0 = time.Date(2002, 7, 24, 12, 0, 0, 0, time.UTC)
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf)
+	records := []Record{
+		{Time: t0, Kind: KindServiceStart},
+		{Time: t0.Add(time.Second), Kind: KindSubmit, Contact: "gram://h/1/1",
+			Spec: "&(executable=/bin/date)", Owner: "alice", Identity: "/O=Grid/CN=alice"},
+		{Time: t0.Add(2 * time.Second), Kind: KindState, Contact: "gram://h/1/1", State: "ACTIVE"},
+		{Time: t0.Add(3 * time.Second), Kind: KindInfoQuery, Identity: "/O=Grid/CN=alice",
+			Owner: "alice", Keywords: []string{"Memory", "CPU"}},
+	}
+	for _, r := range records {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	back, err := Replay(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(records) {
+		t.Fatalf("%d records back, want %d", len(back), len(records))
+	}
+	for i, want := range records {
+		got := back[i]
+		if got.Kind != want.Kind || got.Contact != want.Contact ||
+			got.Spec != want.Spec || got.State != want.State ||
+			!got.Time.Equal(want.Time) {
+			t.Errorf("record %d = %+v, want %+v", i, got, want)
+		}
+	}
+	if strings.Join(back[3].Keywords, ",") != "Memory,CPU" {
+		t.Errorf("keywords = %v", back[3].Keywords)
+	}
+}
+
+func TestReplayBadLine(t *testing.T) {
+	if _, err := Replay(strings.NewReader("{\"kind\":\"submit\"}\nnot-json\n")); err == nil {
+		t.Error("expected error on malformed line")
+	}
+}
+
+func TestReplaySkipsEmptyLines(t *testing.T) {
+	recs, err := Replay(strings.NewReader("\n{\"kind\":\"submit\"}\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Errorf("records = %d", len(recs))
+	}
+}
+
+func TestFileLogger(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.log")
+	l, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Record{Time: t0, Kind: KindServiceStart}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Re-open appends rather than truncates.
+	l2, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Append(Record{Time: t0.Add(time.Hour), Kind: KindServiceStart}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReplayFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Errorf("records = %d", len(recs))
+	}
+	// Close is idempotent; Sync after close is a no-op.
+	if err := l2.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+// buildCrashLog simulates a service run that died with work outstanding.
+func buildCrashLog() []Record {
+	return []Record{
+		{Time: t0, Kind: KindServiceStart},
+		// finished job: not recovered
+		{Kind: KindSubmit, Contact: "c1", Spec: "&(executable=/bin/a)", Owner: "alice", Identity: "idA"},
+		{Kind: KindState, Contact: "c1", State: "PENDING"},
+		{Kind: KindState, Contact: "c1", State: "ACTIVE"},
+		{Kind: KindState, Contact: "c1", State: "DONE"},
+		// active job at crash: recovered
+		{Kind: KindSubmit, Contact: "c2", Spec: "&(executable=/bin/b)", Owner: "bob", Identity: "idB"},
+		{Kind: KindState, Contact: "c2", State: "PENDING"},
+		{Kind: KindState, Contact: "c2", State: "ACTIVE"},
+		{Kind: KindCheckpoint, Contact: "c2", Checkpoint: "step=42"},
+		// failed job: not recovered (terminal)
+		{Kind: KindSubmit, Contact: "c3", Spec: "&(executable=/bin/c)", Owner: "alice", Identity: "idA"},
+		{Kind: KindState, Contact: "c3", State: "PENDING"},
+		{Kind: KindState, Contact: "c3", State: "FAILED"},
+		// pending job at crash: recovered, after c2
+		{Kind: KindSubmit, Contact: "c4", Spec: "&(executable=/bin/d)", Owner: "bob", Identity: "idB"},
+		{Kind: KindState, Contact: "c4", State: "PENDING"},
+	}
+}
+
+func TestRecover(t *testing.T) {
+	pending := Recover(buildCrashLog())
+	if len(pending) != 2 {
+		t.Fatalf("recovered %d jobs, want 2: %+v", len(pending), pending)
+	}
+	if pending[0].Contact != "c2" || pending[1].Contact != "c4" {
+		t.Errorf("recovery order = %s, %s", pending[0].Contact, pending[1].Contact)
+	}
+	if pending[0].LastState != job.Active {
+		t.Errorf("c2 state = %s", pending[0].LastState)
+	}
+	if pending[0].Checkpoint != "step=42" {
+		t.Errorf("c2 checkpoint = %q", pending[0].Checkpoint)
+	}
+	if pending[0].Spec != "&(executable=/bin/b)" || pending[0].Owner != "bob" {
+		t.Errorf("c2 = %+v", pending[0])
+	}
+}
+
+func TestRecoverRestartedJob(t *testing.T) {
+	// A job that failed and restarted (FAILED -> PENDING) then crashed:
+	// still recovered, with the restart count.
+	recs := []Record{
+		{Kind: KindSubmit, Contact: "c1", Spec: "s", Owner: "o", Identity: "i"},
+		{Kind: KindState, Contact: "c1", State: "PENDING"},
+		{Kind: KindState, Contact: "c1", State: "ACTIVE"},
+		{Kind: KindState, Contact: "c1", State: "FAILED"},
+		{Kind: KindState, Contact: "c1", State: "PENDING", Restarts: 1},
+	}
+	pending := Recover(recs)
+	if len(pending) != 1 || pending[0].Restarts != 1 {
+		t.Errorf("pending = %+v", pending)
+	}
+}
+
+func TestRecoverIgnoresStateForUnknownContact(t *testing.T) {
+	recs := []Record{
+		{Kind: KindState, Contact: "ghost", State: "ACTIVE"},
+	}
+	if got := Recover(recs); len(got) != 0 {
+		t.Errorf("recovered %d", len(got))
+	}
+}
+
+func TestRecoverEmpty(t *testing.T) {
+	if got := Recover(nil); len(got) != 0 {
+		t.Errorf("recovered %d from empty log", len(got))
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	recs := buildCrashLog()
+	recs = append(recs,
+		Record{Kind: KindInfoQuery, Identity: "idA", Owner: "alice", Keywords: []string{"Memory"}},
+		Record{Kind: KindInfoQuery, Identity: "idA", Owner: "alice", Keywords: []string{"Memory", "CPU"}},
+	)
+	sums := Accounting(recs)
+	if len(sums) != 2 {
+		t.Fatalf("summaries = %+v", sums)
+	}
+	// Sorted by identity: idA then idB.
+	a, b := sums[0], sums[1]
+	if a.Identity != "idA" || b.Identity != "idB" {
+		t.Fatalf("order: %q, %q", a.Identity, b.Identity)
+	}
+	if a.JobsSubmit != 2 || a.JobsDone != 1 || a.JobsFailed != 1 {
+		t.Errorf("idA = %+v", a)
+	}
+	if a.InfoQueries != 2 || a.KeywordsSeen["Memory"] != 2 || a.KeywordsSeen["CPU"] != 1 {
+		t.Errorf("idA queries = %+v", a)
+	}
+	if b.JobsSubmit != 2 || b.JobsDone != 0 {
+		t.Errorf("idB = %+v", b)
+	}
+}
+
+func TestAccountingCountsRestarts(t *testing.T) {
+	recs := []Record{
+		{Kind: KindSubmit, Contact: "c", Identity: "id", Owner: "o"},
+		{Kind: KindState, Contact: "c", State: "PENDING"},
+		{Kind: KindState, Contact: "c", State: "FAILED"},
+		{Kind: KindState, Contact: "c", State: "PENDING", Restarts: 1},
+		{Kind: KindState, Contact: "c", State: "DONE"},
+	}
+	sums := Accounting(recs)
+	if len(sums) != 1 || sums[0].JobsRestart != 1 || sums[0].JobsDone != 1 {
+		t.Errorf("sums = %+v", sums)
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	var sb strings.Builder
+	err := WriteReport(&sb, []AccountSummary{{
+		Identity: "/O=Grid/CN=alice", Owner: "alice",
+		JobsSubmit: 3, JobsDone: 2, JobsFailed: 1, InfoQueries: 7,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"IDENTITY", "alice", "3", "7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConcurrentAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "conc.log")
+	l, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 100; j++ {
+				_ = l.Append(Record{Time: t0, Kind: KindState, Contact: "c", State: "ACTIVE"})
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReplayFile(path)
+	if err != nil {
+		t.Fatalf("interleaved writes corrupted the log: %v", err)
+	}
+	if len(recs) != 800 {
+		t.Errorf("records = %d, want 800", len(recs))
+	}
+	_ = os.Remove(path)
+}

@@ -1,0 +1,40 @@
+package mds
+
+import (
+	"testing"
+
+	"infogram/internal/ldif"
+)
+
+func benchEntry() *ldif.Entry {
+	e := &ldif.Entry{DN: "kw=Memory, resource=hot.mcs.anl.gov, o=grid"}
+	e.Add("objectclass", "InfoGramProvider")
+	e.Add("kw", "Memory")
+	e.Add("resource", "hot.mcs.anl.gov")
+	e.Add("Memory:total", "1024")
+	e.Add("Memory:free", "512")
+	return e
+}
+
+func BenchmarkParseFilter(b *testing.B) {
+	const f = "(&(objectclass=InfoGramProvider)(|(kw=Memory)(kw=CPU))(Memory:total>=512)(!(resource=cold*)))"
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseFilter(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFilterMatch(b *testing.B) {
+	f, err := ParseFilter("(&(kw=Memory)(Memory:total>=512)(resource=hot*))")
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := benchEntry()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !f.Matches(e) {
+			b.Fatal("no match")
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package mds
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"infogram/internal/clock"
+	"infogram/internal/gsi"
+	"infogram/internal/ldif"
+	"infogram/internal/wire"
+)
+
+// Client speaks the MDS directory protocol to a GRIS or GIIS. Note that a
+// Figure 2 client needs both this client and a gram.Client — two protocol
+// implementations — where the Figure 4 InfoGram client needs one.
+type Client struct {
+	conn *wire.Conn
+	peer *gsi.Peer
+}
+
+// Dial connects and authenticates to an MDS server.
+func Dial(addr string, cred *gsi.Credential, trust *gsi.TrustStore) (*Client, error) {
+	return DialClock(addr, cred, trust, clock.System)
+}
+
+// DialClock is Dial with an injected clock.
+func DialClock(addr string, cred *gsi.Credential, trust *gsi.TrustStore, clk clock.Clock) (*Client, error) {
+	conn, err := wire.Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("mds: dial %s: %w", addr, err)
+	}
+	peer, err := gsi.ClientHandshake(conn, cred, trust, clk.Now())
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &Client{conn: conn, peer: peer}, nil
+}
+
+// Server returns the authenticated server identity.
+func (c *Client) Server() *gsi.Peer { return c.peer }
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Search performs one search and decodes the LDIF result.
+func (c *Client) Search(req SearchRequest) ([]ldif.Entry, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("mds: encode search: %w", err)
+	}
+	resp, err := c.conn.Call(wire.Frame{Verb: VerbSearch, Payload: payload})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Verb != VerbResult {
+		return nil, fmt.Errorf("mds: server error: %s", strings.TrimSpace(string(resp.Payload)))
+	}
+	return ldif.Unmarshal(string(resp.Payload))
+}
+
+// RegisterWith registers a GRIS address with a GIIS.
+func (c *Client) RegisterWith(grisAddr string) error {
+	resp, err := c.conn.Call(wire.Frame{Verb: VerbRegister, Payload: []byte(grisAddr)})
+	if err != nil {
+		return err
+	}
+	if resp.Verb != VerbRegOK {
+		return fmt.Errorf("mds: registration failed: %s", strings.TrimSpace(string(resp.Payload)))
+	}
+	return nil
+}

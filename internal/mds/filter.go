@@ -1,0 +1,317 @@
+// Package mds implements the baseline Globus Monitoring and Directory
+// Service of paper §3: GRIS servers that expose a resource's information
+// providers through an LDAP-style search protocol returning LDIF, and a
+// GIIS aggregate that registers GRISes for a virtual organization and fans
+// queries out to them. It exists both as the two-protocol baseline of
+// Figure 2 and as the backward-compatibility target InfoGram integrates
+// with (§6.5 "this information service can easily be integrated into the
+// Globus MDS information service architecture").
+package mds
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"infogram/internal/ldif"
+)
+
+// Filter is an LDAP search filter (RFC 4515 subset) evaluated against LDIF
+// entries: equality with '*' wildcards, presence, >= and <=, and the
+// boolean combinators & | !.
+type Filter interface {
+	// Matches evaluates the filter against an entry.
+	Matches(e *ldif.Entry) bool
+	// String renders the filter in LDAP filter syntax.
+	String() string
+}
+
+// andFilter matches when all children match.
+type andFilter struct{ children []Filter }
+
+func (f *andFilter) Matches(e *ldif.Entry) bool {
+	for _, c := range f.children {
+		if !c.Matches(e) {
+			return false
+		}
+	}
+	return true
+}
+
+func (f *andFilter) String() string { return "(&" + joinFilters(f.children) + ")" }
+
+// orFilter matches when any child matches.
+type orFilter struct{ children []Filter }
+
+func (f *orFilter) Matches(e *ldif.Entry) bool {
+	for _, c := range f.children {
+		if c.Matches(e) {
+			return true
+		}
+	}
+	return false
+}
+
+func (f *orFilter) String() string { return "(|" + joinFilters(f.children) + ")" }
+
+// notFilter inverts its child.
+type notFilter struct{ child Filter }
+
+func (f *notFilter) Matches(e *ldif.Entry) bool { return !f.child.Matches(e) }
+func (f *notFilter) String() string             { return "(!" + f.child.String() + ")" }
+
+func joinFilters(fs []Filter) string {
+	var sb strings.Builder
+	for _, f := range fs {
+		sb.WriteString(f.String())
+	}
+	return sb.String()
+}
+
+// cmpOp is a leaf comparison operator.
+type cmpOp int
+
+const (
+	opEq cmpOp = iota // = (with wildcards / presence)
+	opGe              // >=
+	opLe              // <=
+)
+
+// leafFilter is an attribute comparison.
+type leafFilter struct {
+	attr    string
+	op      cmpOp
+	pattern string // raw value with possible '*' wildcards for opEq
+}
+
+func (f *leafFilter) String() string {
+	switch f.op {
+	case opGe:
+		return "(" + f.attr + ">=" + f.pattern + ")"
+	case opLe:
+		return "(" + f.attr + "<=" + f.pattern + ")"
+	default:
+		return "(" + f.attr + "=" + f.pattern + ")"
+	}
+}
+
+func (f *leafFilter) Matches(e *ldif.Entry) bool {
+	// "objectclass" and "dn" pseudo-attributes: objectclass=* matches
+	// everything (the MDS convention); dn matches against the entry DN.
+	values := e.All(f.attr)
+	if strings.EqualFold(f.attr, "dn") {
+		values = []string{e.DN}
+	}
+	if strings.EqualFold(f.attr, "objectclass") && f.pattern == "*" {
+		return true
+	}
+	for _, v := range values {
+		if f.matchValue(v) {
+			return true
+		}
+	}
+	return false
+}
+
+func (f *leafFilter) matchValue(v string) bool {
+	switch f.op {
+	case opEq:
+		return wildcardMatch(f.pattern, v)
+	case opGe:
+		return numericCompare(v, f.pattern) >= 0
+	case opLe:
+		return numericCompare(v, f.pattern) <= 0
+	}
+	return false
+}
+
+// numericCompare compares numerically when both parse as floats, falling
+// back to string comparison.
+func numericCompare(a, b string) int {
+	fa, errA := strconv.ParseFloat(strings.TrimSpace(a), 64)
+	fb, errB := strconv.ParseFloat(strings.TrimSpace(b), 64)
+	if errA == nil && errB == nil {
+		switch {
+		case fa < fb:
+			return -1
+		case fa > fb:
+			return 1
+		default:
+			return 0
+		}
+	}
+	return strings.Compare(a, b)
+}
+
+// wildcardMatch matches pattern (with '*' wildcards) against value,
+// case-insensitively like LDAP caseIgnoreMatch.
+func wildcardMatch(pattern, value string) bool {
+	p := strings.ToLower(pattern)
+	v := strings.ToLower(value)
+	if !strings.Contains(p, "*") {
+		return p == v
+	}
+	parts := strings.Split(p, "*")
+	// First fragment must prefix, last must suffix, middles in order.
+	if !strings.HasPrefix(v, parts[0]) {
+		return false
+	}
+	v = v[len(parts[0]):]
+	last := parts[len(parts)-1]
+	for _, mid := range parts[1 : len(parts)-1] {
+		if mid == "" {
+			continue
+		}
+		idx := strings.Index(v, mid)
+		if idx < 0 {
+			return false
+		}
+		v = v[idx+len(mid):]
+	}
+	return strings.HasSuffix(v, last)
+}
+
+// ParseFilter parses an LDAP filter string.
+func ParseFilter(s string) (Filter, error) {
+	p := &filterParser{src: s}
+	f, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("mds: trailing input in filter at offset %d", p.pos)
+	}
+	return f, nil
+}
+
+type filterParser struct {
+	src string
+	pos int
+}
+
+func (p *filterParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *filterParser) expect(c byte) error {
+	p.skipSpace()
+	if p.pos >= len(p.src) || p.src[p.pos] != c {
+		return fmt.Errorf("mds: expected %q at offset %d in filter", string(c), p.pos)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *filterParser) parse() (Filter, error) {
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return nil, fmt.Errorf("mds: unterminated filter")
+	}
+	switch p.src[p.pos] {
+	case '&':
+		p.pos++
+		children, err := p.parseList()
+		if err != nil {
+			return nil, err
+		}
+		return &andFilter{children}, p.expect(')')
+	case '|':
+		p.pos++
+		children, err := p.parseList()
+		if err != nil {
+			return nil, err
+		}
+		return &orFilter{children}, p.expect(')')
+	case '!':
+		p.pos++
+		child, err := p.parse()
+		if err != nil {
+			return nil, err
+		}
+		return &notFilter{child}, p.expect(')')
+	default:
+		return p.parseLeaf()
+	}
+}
+
+func (p *filterParser) parseList() ([]Filter, error) {
+	var out []Filter
+	for {
+		p.skipSpace()
+		if p.pos < len(p.src) && p.src[p.pos] == '(' {
+			f, err := p.parse()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, f)
+			continue
+		}
+		break
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("mds: boolean filter with no operands at offset %d", p.pos)
+	}
+	return out, nil
+}
+
+func (p *filterParser) parseLeaf() (Filter, error) {
+	start := p.pos
+	for p.pos < len(p.src) && !strings.ContainsRune("=<>()", rune(p.src[p.pos])) {
+		p.pos++
+	}
+	attr := strings.TrimSpace(p.src[start:p.pos])
+	if attr == "" {
+		return nil, fmt.Errorf("mds: empty attribute in filter at offset %d", start)
+	}
+	if p.pos >= len(p.src) {
+		return nil, fmt.Errorf("mds: unterminated comparison in filter")
+	}
+	op := opEq
+	switch p.src[p.pos] {
+	case '>':
+		p.pos++
+		if err := p.expect('='); err != nil {
+			return nil, err
+		}
+		op = opGe
+	case '<':
+		p.pos++
+		if err := p.expect('='); err != nil {
+			return nil, err
+		}
+		op = opLe
+	case '=':
+		p.pos++
+	default:
+		return nil, fmt.Errorf("mds: expected comparison operator at offset %d", p.pos)
+	}
+	vstart := p.pos
+	depth := 0
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == ')' && depth == 0 {
+			break
+		}
+		if c == '(' {
+			depth++
+		}
+		if c == ')' {
+			depth--
+		}
+		p.pos++
+	}
+	value := p.src[vstart:p.pos]
+	if err := p.expect(')'); err != nil {
+		return nil, err
+	}
+	return &leafFilter{attr: attr, op: op, pattern: value}, nil
+}
+
+// MatchAll is the (objectclass=*) filter.
+func MatchAll() Filter { return &leafFilter{attr: "objectclass", op: opEq, pattern: "*"} }

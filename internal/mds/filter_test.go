@@ -1,0 +1,196 @@
+package mds
+
+import (
+	"testing"
+	"testing/quick"
+
+	"infogram/internal/ldif"
+)
+
+func entry(pairs ...string) *ldif.Entry {
+	e := &ldif.Entry{DN: "kw=Test, o=grid"}
+	for i := 0; i+1 < len(pairs); i += 2 {
+		e.Add(pairs[i], pairs[i+1])
+	}
+	return e
+}
+
+func TestFilterEquality(t *testing.T) {
+	e := entry("os", "linux", "Memory:total", "1024")
+	cases := []struct {
+		filter string
+		want   bool
+	}{
+		{"(os=linux)", true},
+		{"(os=LINUX)", true}, // case-insensitive
+		{"(os=solaris)", false},
+		{"(Memory:total=1024)", true},
+		{"(missing=x)", false},
+		{"(objectclass=*)", true},
+	}
+	for _, c := range cases {
+		f, err := ParseFilter(c.filter)
+		if err != nil {
+			t.Errorf("ParseFilter(%q): %v", c.filter, err)
+			continue
+		}
+		if got := f.Matches(e); got != c.want {
+			t.Errorf("%s on %v = %v, want %v", c.filter, e, got, c.want)
+		}
+	}
+}
+
+func TestFilterWildcards(t *testing.T) {
+	e := entry("name", "hot.mcs.anl.gov")
+	cases := []struct {
+		filter string
+		want   bool
+	}{
+		{"(name=hot*)", true},
+		{"(name=*anl*)", true},
+		{"(name=*gov)", true},
+		{"(name=hot*gov)", true},
+		{"(name=*)", true}, // presence
+		{"(name=cold*)", false},
+		{"(name=*edu)", false},
+		{"(name=h*m*g*v)", true},
+		{"(name=h*x*v)", false},
+	}
+	for _, c := range cases {
+		f, err := ParseFilter(c.filter)
+		if err != nil {
+			t.Fatalf("ParseFilter(%q): %v", c.filter, err)
+		}
+		if got := f.Matches(e); got != c.want {
+			t.Errorf("%s = %v, want %v", c.filter, got, c.want)
+		}
+	}
+}
+
+func TestFilterNumericComparison(t *testing.T) {
+	e := entry("load", "2.5", "name", "abc")
+	cases := []struct {
+		filter string
+		want   bool
+	}{
+		{"(load>=2)", true},
+		{"(load>=2.5)", true},
+		{"(load>=3)", false},
+		{"(load<=3)", true},
+		{"(load<=2)", false},
+		// String fallback for non-numeric values.
+		{"(name>=abc)", true},
+		{"(name<=abb)", false},
+	}
+	for _, c := range cases {
+		f, err := ParseFilter(c.filter)
+		if err != nil {
+			t.Fatalf("ParseFilter(%q): %v", c.filter, err)
+		}
+		if got := f.Matches(e); got != c.want {
+			t.Errorf("%s = %v, want %v", c.filter, got, c.want)
+		}
+	}
+}
+
+func TestFilterBooleans(t *testing.T) {
+	e := entry("os", "linux", "arch", "x86")
+	cases := []struct {
+		filter string
+		want   bool
+	}{
+		{"(&(os=linux)(arch=x86))", true},
+		{"(&(os=linux)(arch=sparc))", false},
+		{"(|(os=solaris)(arch=x86))", true},
+		{"(|(os=solaris)(arch=sparc))", false},
+		{"(!(os=solaris))", true},
+		{"(!(os=linux))", false},
+		{"(&(os=linux)(!(arch=sparc)))", true},
+		{"(|(&(os=linux)(arch=x86))(os=plan9))", true},
+	}
+	for _, c := range cases {
+		f, err := ParseFilter(c.filter)
+		if err != nil {
+			t.Fatalf("ParseFilter(%q): %v", c.filter, err)
+		}
+		if got := f.Matches(e); got != c.want {
+			t.Errorf("%s = %v, want %v", c.filter, got, c.want)
+		}
+	}
+}
+
+func TestFilterDNPseudoAttribute(t *testing.T) {
+	e := entry()
+	f, err := ParseFilter("(dn=kw=Test*)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Matches(e) {
+		t.Error("dn filter did not match")
+	}
+}
+
+func TestFilterMultiValuedAttributes(t *testing.T) {
+	e := entry("member", "a", "member", "b")
+	f, _ := ParseFilter("(member=b)")
+	if !f.Matches(e) {
+		t.Error("second value not matched")
+	}
+}
+
+func TestFilterParseErrors(t *testing.T) {
+	bad := []string{
+		"", "os=linux", "(os=linux", "(&)", "(|)", "(!)", "()",
+		"(os~linux)", "((os=linux))", "(&(os=linux)", "(os=linux)x",
+		"(>=5)", "(os>linux)",
+	}
+	for _, s := range bad {
+		if _, err := ParseFilter(s); err == nil {
+			t.Errorf("ParseFilter(%q): expected error", s)
+		}
+	}
+}
+
+func TestFilterStringRoundTrip(t *testing.T) {
+	filters := []string{
+		"(os=linux)", "(&(a=1)(b=2))", "(|(a=1)(b=2))", "(!(a=1))",
+		"(load>=2.5)", "(load<=9)", "(name=h*t)",
+	}
+	e := entry("os", "linux", "a", "1", "b", "2", "load", "5", "name", "hat")
+	for _, s := range filters {
+		f, err := ParseFilter(s)
+		if err != nil {
+			t.Fatalf("%q: %v", s, err)
+		}
+		f2, err := ParseFilter(f.String())
+		if err != nil {
+			t.Errorf("re-parse %q (from %q): %v", f.String(), s, err)
+			continue
+		}
+		if f.Matches(e) != f2.Matches(e) {
+			t.Errorf("%q and its round trip disagree", s)
+		}
+	}
+}
+
+// TestNotInvolution: (!(!(f))) behaves like f.
+func TestNotInvolution(t *testing.T) {
+	prop := func(value string, target string) bool {
+		e := entry("attr", value)
+		inner := &leafFilter{attr: "attr", op: opEq, pattern: target}
+		double := &notFilter{&notFilter{inner}}
+		return inner.Matches(e) == double.Matches(e)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatchAll(t *testing.T) {
+	if !MatchAll().Matches(entry("anything", "at all")) {
+		t.Error("MatchAll did not match")
+	}
+	if MatchAll().String() != "(objectclass=*)" {
+		t.Errorf("String = %q", MatchAll().String())
+	}
+}

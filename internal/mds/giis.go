@@ -1,0 +1,206 @@
+package mds
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"infogram/internal/clock"
+	"infogram/internal/gsi"
+	"infogram/internal/ldif"
+	"infogram/internal/wire"
+)
+
+// GIISConfig wires an index service.
+type GIISConfig struct {
+	// OrgName names the virtual organization the index serves.
+	OrgName string
+	// Credential/Trust authenticate the GIIS both as a server (to
+	// clients) and as a client (to the GRISes it queries).
+	Credential *gsi.Credential
+	Trust      *gsi.TrustStore
+	Policy     *gsi.Policy
+	// RegistrationTTL expires registrants that have not re-registered;
+	// 0 means registrations never expire.
+	RegistrationTTL time.Duration
+	// CacheTTL caches fan-out results briefly, MDS's aggregate caching
+	// (§3 "an information caching function that allows viewing and
+	// querying the information about a resource from a cache").
+	CacheTTL time.Duration
+	Clock    clock.Clock
+}
+
+// GIIS is the aggregate directory of paper §3: GRIS servers register with
+// it, and client searches fan out across all live registrants, mirroring
+// how a virtual organization aggregates its resources' information.
+type GIIS struct {
+	cfg    GIISConfig
+	server *wire.Server
+
+	mu       sync.Mutex
+	members  map[string]time.Time // GRIS address -> registration time
+	cached   []ldif.Entry
+	cachedAt time.Time
+	cacheKey string
+}
+
+// NewGIIS builds an index service.
+func NewGIIS(cfg GIISConfig) *GIIS {
+	if cfg.Clock == nil {
+		cfg.Clock = clock.System
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = gsi.AllowAll()
+	}
+	g := &GIIS{cfg: cfg, members: make(map[string]time.Time)}
+	g.server = wire.NewServer(wire.HandlerFunc(g.serveConn))
+	return g
+}
+
+// Listen binds the GIIS.
+func (g *GIIS) Listen(addr string) (string, error) { return g.server.Listen(addr) }
+
+// Addr returns the bound address.
+func (g *GIIS) Addr() string { return g.server.Addr() }
+
+// Close shuts the GIIS down.
+func (g *GIIS) Close() error { return g.server.Close() }
+
+// Register adds a GRIS address directly (servers co-located with the GIIS
+// may skip the wire protocol).
+func (g *GIIS) Register(addr string) {
+	g.mu.Lock()
+	g.members[addr] = g.cfg.Clock.Now()
+	g.mu.Unlock()
+}
+
+// Members returns the live registrant addresses, sorted.
+func (g *GIIS) Members() []string {
+	now := g.cfg.Clock.Now()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]string, 0, len(g.members))
+	for addr, at := range g.members {
+		if g.cfg.RegistrationTTL > 0 && now.Sub(at) > g.cfg.RegistrationTTL {
+			delete(g.members, addr)
+			continue
+		}
+		out = append(out, addr)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (g *GIIS) serveConn(c *wire.Conn) {
+	peer, err := gsi.ServerHandshake(c, g.cfg.Credential, g.cfg.Trust, g.cfg.Clock.Now())
+	if err != nil {
+		return
+	}
+	for {
+		f, err := c.Read()
+		if err != nil {
+			return
+		}
+		switch f.Verb {
+		case VerbRegister:
+			addr := strings.TrimSpace(string(f.Payload))
+			if addr == "" {
+				_ = c.WriteString(VerbMDSError, "mds: empty registration address")
+				continue
+			}
+			g.Register(addr)
+			_ = c.WriteString(VerbRegOK, addr)
+		case VerbSearch:
+			g.handleSearch(c, f.Payload, peer)
+		default:
+			_ = c.WriteString(VerbMDSError, fmt.Sprintf("mds: unknown verb %s", f.Verb))
+		}
+	}
+}
+
+func (g *GIIS) handleSearch(c *wire.Conn, payload []byte, peer *gsi.Peer) {
+	if err := g.cfg.Policy.Authorize(peer.Identity, gsi.OpInfoQuery, g.cfg.Clock.Now()); err != nil {
+		_ = c.WriteString(VerbMDSError, err.Error())
+		return
+	}
+	var req SearchRequest
+	if err := json.Unmarshal(payload, &req); err != nil {
+		_ = c.WriteString(VerbMDSError, fmt.Sprintf("mds: bad search payload: %v", err))
+		return
+	}
+	entries, err := g.Search(context.Background(), req)
+	if err != nil {
+		_ = c.WriteString(VerbMDSError, err.Error())
+		return
+	}
+	out, err := ldif.Marshal(entries)
+	if err != nil {
+		_ = c.WriteString(VerbMDSError, err.Error())
+		return
+	}
+	_ = c.Write(wire.Frame{Verb: VerbResult, Payload: []byte(out)})
+}
+
+// Search fans the request out to every live registrant and merges results.
+// Identical consecutive searches within CacheTTL are served from the
+// aggregate cache. Unreachable members are skipped, matching the
+// decentralized tolerance a Grid information service requires (§3).
+func (g *GIIS) Search(ctx context.Context, req SearchRequest) ([]ldif.Entry, error) {
+	key := req.Filter + "\x00" + strings.Join(req.Attrs, ",")
+	now := g.cfg.Clock.Now()
+	g.mu.Lock()
+	if g.cfg.CacheTTL > 0 && g.cacheKey == key && now.Sub(g.cachedAt) <= g.cfg.CacheTTL && g.cached != nil {
+		out := make([]ldif.Entry, len(g.cached))
+		copy(out, g.cached)
+		g.mu.Unlock()
+		return out, nil
+	}
+	g.mu.Unlock()
+
+	members := g.Members()
+	type result struct {
+		entries []ldif.Entry
+		err     error
+		addr    string
+	}
+	results := make(chan result, len(members))
+	for _, addr := range members {
+		go func(addr string) {
+			entries, err := g.queryMember(addr, req)
+			results <- result{entries, err, addr}
+		}(addr)
+	}
+	var merged []ldif.Entry
+	for range members {
+		r := <-results
+		if r.err != nil {
+			continue // tolerate dead members
+		}
+		merged = append(merged, r.entries...)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].DN < merged[j].DN })
+
+	g.mu.Lock()
+	g.cacheKey = key
+	g.cached = merged
+	g.cachedAt = g.cfg.Clock.Now()
+	g.mu.Unlock()
+
+	out := make([]ldif.Entry, len(merged))
+	copy(out, merged)
+	return out, nil
+}
+
+// queryMember performs one authenticated search against a GRIS.
+func (g *GIIS) queryMember(addr string, req SearchRequest) ([]ldif.Entry, error) {
+	cl, err := DialClock(addr, g.cfg.Credential, g.cfg.Trust, g.cfg.Clock)
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	return cl.Search(req)
+}

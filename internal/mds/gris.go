@@ -1,0 +1,169 @@
+package mds
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"infogram/internal/cache"
+	"infogram/internal/clock"
+	"infogram/internal/gsi"
+	"infogram/internal/ldif"
+	"infogram/internal/provider"
+	"infogram/internal/wire"
+)
+
+// MDS protocol verbs. The directory protocol is deliberately distinct from
+// GRAMP: the Figure 2 baseline requires clients to implement two wire
+// protocols and contact two ports per resource.
+const (
+	VerbSearch   = "SEARCH"     // payload: JSON SearchRequest
+	VerbResult   = "RESULT"     // payload: LDIF
+	VerbRegister = "REGISTER"   // payload: GRIS address (GIIS only)
+	VerbRegOK    = "REGISTERED" // payload: echo of address
+	VerbMDSError = "MDS-ERROR"  // payload: message
+)
+
+// SearchRequest is the JSON payload of SEARCH.
+type SearchRequest struct {
+	// Filter is an LDAP filter string; empty means (objectclass=*).
+	Filter string `json:"filter,omitempty"`
+	// Attrs optionally restricts returned attributes (namespaced names);
+	// empty returns everything.
+	Attrs []string `json:"attrs,omitempty"`
+}
+
+// GRISConfig wires a GRIS server.
+type GRISConfig struct {
+	// ResourceName names the resource in entry DNs, e.g. "hot.anl.gov".
+	ResourceName string
+	// Registry supplies the information providers.
+	Registry *provider.Registry
+	// Credential/Trust secure the service (MDS 2.x integrates GSI, §3).
+	Credential *gsi.Credential
+	Trust      *gsi.TrustStore
+	// Policy authorizes info queries; nil allows all authenticated users.
+	Policy *gsi.Policy
+	Clock  clock.Clock
+}
+
+// GRIS is a Grid Resource Information Service for one resource: it answers
+// LDAP-style searches from the resource's information providers, with
+// MDS-2.0-style caching provided by the registry's TTL cache.
+type GRIS struct {
+	cfg    GRISConfig
+	server *wire.Server
+}
+
+// NewGRIS builds a GRIS.
+func NewGRIS(cfg GRISConfig) *GRIS {
+	if cfg.Clock == nil {
+		cfg.Clock = clock.System
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = gsi.AllowAll()
+	}
+	g := &GRIS{cfg: cfg}
+	g.server = wire.NewServer(wire.HandlerFunc(g.serveConn))
+	return g
+}
+
+// Listen binds the GRIS.
+func (g *GRIS) Listen(addr string) (string, error) { return g.server.Listen(addr) }
+
+// Addr returns the bound address.
+func (g *GRIS) Addr() string { return g.server.Addr() }
+
+// AcceptedConns reports accepted connections (experiment E3).
+func (g *GRIS) AcceptedConns() int64 { return g.server.AcceptedConns() }
+
+// Close shuts the GRIS down.
+func (g *GRIS) Close() error { return g.server.Close() }
+
+func (g *GRIS) serveConn(c *wire.Conn) {
+	peer, err := gsi.ServerHandshake(c, g.cfg.Credential, g.cfg.Trust, g.cfg.Clock.Now())
+	if err != nil {
+		return
+	}
+	for {
+		f, err := c.Read()
+		if err != nil {
+			return
+		}
+		switch f.Verb {
+		case VerbSearch:
+			g.handleSearch(c, f.Payload, peer)
+		default:
+			_ = c.WriteString(VerbMDSError, fmt.Sprintf("mds: unknown verb %s", f.Verb))
+		}
+	}
+}
+
+func (g *GRIS) handleSearch(c *wire.Conn, payload []byte, peer *gsi.Peer) {
+	if err := g.cfg.Policy.Authorize(peer.Identity, gsi.OpInfoQuery, g.cfg.Clock.Now()); err != nil {
+		_ = c.WriteString(VerbMDSError, err.Error())
+		return
+	}
+	var req SearchRequest
+	if err := json.Unmarshal(payload, &req); err != nil {
+		_ = c.WriteString(VerbMDSError, fmt.Sprintf("mds: bad search payload: %v", err))
+		return
+	}
+	entries, err := g.Search(context.Background(), req)
+	if err != nil {
+		_ = c.WriteString(VerbMDSError, err.Error())
+		return
+	}
+	out, err := ldif.Marshal(entries)
+	if err != nil {
+		_ = c.WriteString(VerbMDSError, err.Error())
+		return
+	}
+	_ = c.Write(wire.Frame{Verb: VerbResult, Payload: []byte(out)})
+}
+
+// Search evaluates a request locally: collect all providers through the
+// cache, build entries, filter, and project attributes.
+func (g *GRIS) Search(ctx context.Context, req SearchRequest) ([]ldif.Entry, error) {
+	filter := MatchAll()
+	if strings.TrimSpace(req.Filter) != "" {
+		var err error
+		filter, err = ParseFilter(req.Filter)
+		if err != nil {
+			return nil, err
+		}
+	}
+	reports, err := g.cfg.Registry.Collect(ctx, nil, cache.Cached, 0)
+	if err != nil {
+		return nil, err
+	}
+	entries := provider.ReportEntries(g.cfg.ResourceName, reports)
+	var out []ldif.Entry
+	for _, e := range entries {
+		if !filter.Matches(&e) {
+			continue
+		}
+		out = append(out, projectAttrs(e, req.Attrs))
+	}
+	return out, nil
+}
+
+// projectAttrs keeps only the requested attributes (plus the DN); an empty
+// request keeps everything.
+func projectAttrs(e ldif.Entry, attrs []string) ldif.Entry {
+	if len(attrs) == 0 {
+		return e
+	}
+	keep := make(map[string]bool, len(attrs))
+	for _, a := range attrs {
+		keep[strings.ToLower(a)] = true
+	}
+	out := ldif.Entry{DN: e.DN}
+	for _, a := range e.Attrs {
+		if keep[strings.ToLower(a.Name)] {
+			out.Add(a.Name, a.Value)
+		}
+	}
+	return out
+}

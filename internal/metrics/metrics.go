@@ -1,0 +1,141 @@
+// Package metrics implements the runtime performance catalogue behind the
+// xRSL "performance" tag (paper §6.5): for every information value the
+// service measures how long it takes to obtain it and reports the running
+// mean and standard deviation. Statistics use Welford's online algorithm
+// so they are single-pass and numerically stable.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Welford accumulates a running mean and variance. The zero value is an
+// empty accumulator ready for use. Not safe for concurrent use; wrap in a
+// Series for that.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// Count returns the number of observations.
+func (w *Welford) Count() int64 { return w.n }
+
+// Mean returns the running mean, or 0 with no observations.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the sample variance (n-1 denominator), or 0 when fewer
+// than two observations exist.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Series is a concurrency-safe Welford accumulator for durations, used per
+// information-provider keyword.
+type Series struct {
+	mu sync.Mutex
+	w  Welford
+}
+
+// Observe records one duration sample.
+func (s *Series) Observe(d time.Duration) {
+	s.mu.Lock()
+	s.w.Add(d.Seconds())
+	s.mu.Unlock()
+}
+
+// Snapshot returns the current statistics.
+func (s *Series) Snapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Count:  s.w.Count(),
+		Mean:   time.Duration(s.w.Mean() * float64(time.Second)),
+		StdDev: time.Duration(s.w.StdDev() * float64(time.Second)),
+	}
+}
+
+// Stats is a point-in-time summary of a Series.
+type Stats struct {
+	Count  int64
+	Mean   time.Duration
+	StdDev time.Duration
+}
+
+// String renders the stats the way the performance tag reports them:
+// seconds with standard deviation.
+func (st Stats) String() string {
+	return fmt.Sprintf("n=%d mean=%.6fs stddev=%.6fs",
+		st.Count, st.Mean.Seconds(), st.StdDev.Seconds())
+}
+
+// Catalogue tracks one Series per keyword. It backs the
+// getAverageUpdateTime method of the paper's SystemInformation interface
+// and the performance tag of xRSL.
+type Catalogue struct {
+	mu     sync.Mutex
+	series map[string]*Series
+}
+
+// NewCatalogue returns an empty catalogue.
+func NewCatalogue() *Catalogue {
+	return &Catalogue{series: make(map[string]*Series)}
+}
+
+// Observe records a duration sample for keyword.
+func (c *Catalogue) Observe(keyword string, d time.Duration) {
+	c.seriesFor(keyword).Observe(d)
+}
+
+// Stats returns the statistics for keyword; ok is false if the keyword has
+// never been observed.
+func (c *Catalogue) Stats(keyword string) (Stats, bool) {
+	c.mu.Lock()
+	s, ok := c.series[keyword]
+	c.mu.Unlock()
+	if !ok {
+		return Stats{}, false
+	}
+	return s.Snapshot(), true
+}
+
+// Keywords returns the observed keywords in sorted order.
+func (c *Catalogue) Keywords() []string {
+	c.mu.Lock()
+	out := make([]string, 0, len(c.series))
+	for k := range c.series {
+		out = append(out, k)
+	}
+	c.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+func (c *Catalogue) seriesFor(keyword string) *Series {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.series[keyword]
+	if !ok {
+		s = &Series{}
+		c.series[keyword] = s
+	}
+	return s
+}

@@ -1,0 +1,158 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestWelfordBasics(t *testing.T) {
+	var w Welford
+	if w.Count() != 0 || w.Mean() != 0 || w.StdDev() != 0 {
+		t.Errorf("zero value not empty: %+v", w)
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.Count() != 8 {
+		t.Errorf("Count = %d", w.Count())
+	}
+	if got := w.Mean(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	// Sample stddev of this classic data set is sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if got := w.StdDev(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("StdDev = %v, want %v", got, want)
+	}
+}
+
+func TestWelfordSingleObservation(t *testing.T) {
+	var w Welford
+	w.Add(42)
+	if w.Mean() != 42 {
+		t.Errorf("Mean = %v", w.Mean())
+	}
+	if w.Variance() != 0 {
+		t.Errorf("Variance with n=1 should be 0, got %v", w.Variance())
+	}
+}
+
+// TestWelfordMatchesNaive checks Welford against the two-pass formula on
+// random data.
+func TestWelfordMatchesNaive(t *testing.T) {
+	prop := func(xs []float64) bool {
+		// Constrain to finite, moderate values.
+		data := make([]float64, 0, len(xs))
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				continue
+			}
+			data = append(data, x)
+		}
+		if len(data) < 2 {
+			return true
+		}
+		var w Welford
+		var sum float64
+		for _, x := range data {
+			w.Add(x)
+			sum += x
+		}
+		mean := sum / float64(len(data))
+		var ss float64
+		for _, x := range data {
+			ss += (x - mean) * (x - mean)
+		}
+		naiveVar := ss / float64(len(data)-1)
+		scale := math.Max(1, math.Abs(naiveVar))
+		return math.Abs(w.Mean()-mean) < 1e-6*math.Max(1, math.Abs(mean)) &&
+			math.Abs(w.Variance()-naiveVar) < 1e-6*scale
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeriesConcurrent(t *testing.T) {
+	var s Series
+	var wg sync.WaitGroup
+	const workers, each = 8, 1000
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < each; j++ {
+				s.Observe(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	st := s.Snapshot()
+	if st.Count != workers*each {
+		t.Errorf("Count = %d, want %d", st.Count, workers*each)
+	}
+	if diff := st.Mean - time.Millisecond; diff < -time.Microsecond || diff > time.Microsecond {
+		t.Errorf("Mean = %v, want ~1ms", st.Mean)
+	}
+	if st.StdDev > time.Microsecond {
+		t.Errorf("StdDev = %v, want ~0 for constant data", st.StdDev)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	st := Stats{Count: 3, Mean: 1500 * time.Millisecond, StdDev: 250 * time.Millisecond}
+	s := st.String()
+	want := "n=3 mean=1.500000s stddev=0.250000s"
+	if s != want {
+		t.Errorf("String() = %q, want %q", s, want)
+	}
+}
+
+func TestCatalogue(t *testing.T) {
+	c := NewCatalogue()
+	if _, ok := c.Stats("Memory"); ok {
+		t.Error("Stats on empty catalogue should report !ok")
+	}
+	c.Observe("Memory", 10*time.Millisecond)
+	c.Observe("Memory", 30*time.Millisecond)
+	c.Observe("CPU", 5*time.Millisecond)
+
+	st, ok := c.Stats("Memory")
+	if !ok || st.Count != 2 {
+		t.Fatalf("Memory stats = %+v ok=%v", st, ok)
+	}
+	if diff := st.Mean - 20*time.Millisecond; diff < -time.Microsecond || diff > time.Microsecond {
+		t.Errorf("Memory mean = %v, want ~20ms", st.Mean)
+	}
+	kws := c.Keywords()
+	if len(kws) != 2 || kws[0] != "CPU" || kws[1] != "Memory" {
+		t.Errorf("Keywords = %v", kws)
+	}
+}
+
+func TestCatalogueConcurrent(t *testing.T) {
+	c := NewCatalogue()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			kw := []string{"a", "b", "c"}[i%3]
+			for j := 0; j < 500; j++ {
+				c.Observe(kw, time.Microsecond)
+			}
+		}(i)
+	}
+	wg.Wait()
+	total := int64(0)
+	for _, kw := range c.Keywords() {
+		st, _ := c.Stats(kw)
+		total += st.Count
+	}
+	if total != 8*500 {
+		t.Errorf("total observations = %d, want 4000", total)
+	}
+}

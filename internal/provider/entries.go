@@ -1,0 +1,32 @@
+package provider
+
+import (
+	"fmt"
+
+	"infogram/internal/ldif"
+)
+
+// ObjectClass is the objectclass attribute value stamped on every
+// information entry, letting MDS-style filters select provider records.
+const ObjectClass = "InfoGramProvider"
+
+// ReportEntries converts provider reports to directory entries: one entry
+// per keyword with namespaced attributes ("Memory:total"), under a DN of
+// the MDS shape "kw=<keyword>, resource=<name>, o=grid". Both the MDS GRIS
+// and the InfoGram service render query results through this function,
+// which is what makes InfoGram's information "easily ... integrated into
+// the Globus MDS information service architecture" (paper §6.5).
+func ReportEntries(resource string, reports []Report) []ldif.Entry {
+	out := make([]ldif.Entry, 0, len(reports))
+	for _, rep := range reports {
+		e := ldif.Entry{DN: fmt.Sprintf("kw=%s, resource=%s, o=grid", rep.Keyword, resource)}
+		e.Add("objectclass", ObjectClass)
+		e.Add("kw", rep.Keyword)
+		e.Add("resource", resource)
+		for _, a := range rep.Attrs.Namespaced(rep.Keyword) {
+			e.Add(a.Name, a.Value)
+		}
+		out = append(out, e)
+	}
+	return out
+}

@@ -1,0 +1,227 @@
+package provider
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// ExecProvider obtains information by running a system command, the
+// paper's "(a) calls to a system command via the Java runtime exec". The
+// command's stdout is parsed into attributes: lines of the form
+// "name: value" or "name=value" become individual attributes; any other
+// output is exposed under the "output" attribute, line-indexed when
+// multi-line. This covers both structured tools (sysinfo-style) and plain
+// ones like "date -u" or "/bin/ls" from Table 1.
+type ExecProvider struct {
+	KeywordName string
+	Path        string   // executable path
+	Args        []string // arguments
+}
+
+// NewExecProvider builds an ExecProvider from a Table-1-style command
+// string ("/sbin/sysinfo.exe -mem"): the first field is the executable,
+// the rest are arguments.
+func NewExecProvider(keyword, command string) (*ExecProvider, error) {
+	fields := strings.Fields(command)
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("provider: empty command for keyword %q", keyword)
+	}
+	return &ExecProvider{KeywordName: keyword, Path: fields[0], Args: fields[1:]}, nil
+}
+
+// Keyword returns the provider keyword.
+func (p *ExecProvider) Keyword() string { return p.KeywordName }
+
+// Source describes the command line.
+func (p *ExecProvider) Source() string {
+	return "exec:" + strings.Join(append([]string{p.Path}, p.Args...), " ")
+}
+
+// Fetch runs the command and parses its output.
+func (p *ExecProvider) Fetch(ctx context.Context) (Attributes, error) {
+	cmd := exec.CommandContext(ctx, p.Path, p.Args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		msg := strings.TrimSpace(stderr.String())
+		if msg != "" {
+			return nil, fmt.Errorf("provider %q: %s: %w (%s)", p.KeywordName, p.Path, err, msg)
+		}
+		return nil, fmt.Errorf("provider %q: %s: %w", p.KeywordName, p.Path, err)
+	}
+	return ParseOutput(stdout.String()), nil
+}
+
+// ParseOutput converts command output to attributes. Structured lines
+// ("name: value" or "name=value") map directly; unstructured output is
+// exposed as output/output.N attributes.
+func ParseOutput(out string) Attributes {
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	var attrs Attributes
+	var plain []string
+	for _, line := range lines {
+		name, value, ok := splitStructured(line)
+		if ok {
+			attrs = append(attrs, Attr{Name: name, Value: value})
+		} else if strings.TrimSpace(line) != "" {
+			plain = append(plain, line)
+		}
+	}
+	switch {
+	case len(plain) == 1:
+		attrs = append(attrs, Attr{Name: "output", Value: plain[0]})
+	case len(plain) > 1:
+		for i, l := range plain {
+			attrs = append(attrs, Attr{Name: fmt.Sprintf("output.%d", i), Value: l})
+		}
+	}
+	return attrs
+}
+
+// splitStructured splits "name: value" or "name=value" lines whose name is
+// a single identifier-like token.
+func splitStructured(line string) (name, value string, ok bool) {
+	for _, sep := range []string{":", "="} {
+		idx := strings.Index(line, sep)
+		if idx <= 0 {
+			continue
+		}
+		n := strings.TrimSpace(line[:idx])
+		if n == "" || strings.ContainsAny(n, " \t") {
+			continue
+		}
+		return n, strings.TrimSpace(line[idx+1:]), true
+	}
+	return "", "", false
+}
+
+// FuncProvider adapts an arbitrary function, the extension-by-interface
+// path the paper highlights ("the integration of new information providers
+// can be performed through the implementation of interfaces").
+type FuncProvider struct {
+	KeywordName string
+	SourceName  string
+	Fn          func(ctx context.Context) (Attributes, error)
+	Schemas     []AttrSchema
+}
+
+// NewFuncProvider wraps fn as a provider.
+func NewFuncProvider(keyword string, fn func(ctx context.Context) (Attributes, error)) *FuncProvider {
+	return &FuncProvider{KeywordName: keyword, SourceName: "func", Fn: fn}
+}
+
+// Keyword returns the provider keyword.
+func (p *FuncProvider) Keyword() string { return p.KeywordName }
+
+// Source describes the provider.
+func (p *FuncProvider) Source() string { return p.SourceName }
+
+// Fetch invokes the wrapped function.
+func (p *FuncProvider) Fetch(ctx context.Context) (Attributes, error) { return p.Fn(ctx) }
+
+// AttrSchemas returns declared attribute schemas, if any.
+func (p *FuncProvider) AttrSchemas() []AttrSchema { return p.Schemas }
+
+// RuntimeProvider exposes process-runtime information, the paper's "(b) a
+// query to a function exposing Java runtime information such as load,
+// memory, or disk space" mapped onto the Go runtime.
+type RuntimeProvider struct{}
+
+// Keyword returns "Runtime".
+func (RuntimeProvider) Keyword() string { return "Runtime" }
+
+// Source describes the provider.
+func (RuntimeProvider) Source() string { return "runtime" }
+
+// Fetch reads runtime statistics.
+func (RuntimeProvider) Fetch(context.Context) (Attributes, error) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	hostname, _ := os.Hostname()
+	return Attributes{
+		{Name: "hostname", Value: hostname},
+		{Name: "os", Value: runtime.GOOS},
+		{Name: "arch", Value: runtime.GOARCH},
+		{Name: "cpus", Value: strconv.Itoa(runtime.NumCPU())},
+		{Name: "goroutines", Value: strconv.Itoa(runtime.NumGoroutine())},
+		{Name: "heapAlloc", Value: strconv.FormatUint(ms.HeapAlloc, 10)},
+		{Name: "heapSys", Value: strconv.FormatUint(ms.HeapSys, 10)},
+		{Name: "totalAlloc", Value: strconv.FormatUint(ms.TotalAlloc, 10)},
+		{Name: "gcCycles", Value: strconv.FormatUint(uint64(ms.NumGC), 10)},
+	}, nil
+}
+
+// AttrSchemas describes the runtime attributes.
+func (RuntimeProvider) AttrSchemas() []AttrSchema {
+	return []AttrSchema{
+		{Name: "hostname", Type: "string", Doc: "host name of the resource"},
+		{Name: "os", Type: "string", Doc: "operating system"},
+		{Name: "arch", Type: "string", Doc: "hardware architecture"},
+		{Name: "cpus", Type: "int", Doc: "logical CPU count"},
+		{Name: "goroutines", Type: "int", Doc: "live goroutines in the service"},
+		{Name: "heapAlloc", Type: "int", Doc: "bytes of allocated heap"},
+		{Name: "heapSys", Type: "int", Doc: "bytes of heap from the OS"},
+		{Name: "totalAlloc", Type: "int", Doc: "cumulative allocated bytes"},
+		{Name: "gcCycles", Type: "int", Doc: "completed GC cycles"},
+	}
+}
+
+// FileProvider reads a file and parses it into attributes, the paper's
+// "(c) a read function from a file that is used by an information
+// provider. A good example ... is the Linux proc file system."
+type FileProvider struct {
+	KeywordName string
+	Path        string
+	// Parse optionally overrides output parsing; defaults to ParseOutput.
+	Parse func(content string) (Attributes, error)
+}
+
+// NewFileProvider reads path under the given keyword.
+func NewFileProvider(keyword, path string) *FileProvider {
+	return &FileProvider{KeywordName: keyword, Path: path}
+}
+
+// Keyword returns the provider keyword.
+func (p *FileProvider) Keyword() string { return p.KeywordName }
+
+// Source describes the file path.
+func (p *FileProvider) Source() string { return "file:" + p.Path }
+
+// Fetch reads and parses the file.
+func (p *FileProvider) Fetch(context.Context) (Attributes, error) {
+	b, err := os.ReadFile(p.Path)
+	if err != nil {
+		return nil, fmt.Errorf("provider %q: %w", p.KeywordName, err)
+	}
+	if p.Parse != nil {
+		return p.Parse(string(b))
+	}
+	return ParseOutput(string(b)), nil
+}
+
+// StaticProvider returns fixed attributes; useful for resource identity
+// records and tests.
+type StaticProvider struct {
+	KeywordName string
+	Values      Attributes
+}
+
+// Keyword returns the provider keyword.
+func (p *StaticProvider) Keyword() string { return p.KeywordName }
+
+// Source describes the provider.
+func (p *StaticProvider) Source() string { return "static" }
+
+// Fetch returns a copy of the fixed attributes.
+func (p *StaticProvider) Fetch(context.Context) (Attributes, error) {
+	out := make(Attributes, len(p.Values))
+	copy(out, p.Values)
+	return out, nil
+}

@@ -1,0 +1,214 @@
+package provider
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"infogram/internal/cache"
+	"infogram/internal/clock"
+	"infogram/internal/metrics"
+	"infogram/internal/quality"
+)
+
+// RegisterOptions configures a provider registration.
+type RegisterOptions struct {
+	// TTL is the cached lifetime of the keyword's information; 0 means
+	// execute on every request (Table 1 semantics).
+	TTL time.Duration
+	// Delay is the minimum interval between provider executions.
+	Delay time.Duration
+	// Degrade optionally attaches a degradation function.
+	Degrade quality.Degradation
+	// Drift optionally measures relative change for self-correction.
+	Drift func(old, new any) float64
+	// Format is the preferred output format; "ldif" when empty.
+	Format string
+	// Clock defaults to the system clock.
+	Clock clock.Clock
+}
+
+// Registry holds the key information providers of one service instance,
+// keyed by keyword (case-insensitive), in registration order. It is the
+// "system monitor service" of Figure 3: it controls initialization and
+// caching of the results requested by clients.
+type Registry struct {
+	mu        sync.RWMutex
+	order     []string
+	byKeyword map[string]*Registered
+	catalogue *metrics.Catalogue
+	clk       clock.Clock
+}
+
+// NewRegistry returns an empty registry using the given clock (nil for the
+// system clock).
+func NewRegistry(clk clock.Clock) *Registry {
+	if clk == nil {
+		clk = clock.System
+	}
+	return &Registry{
+		byKeyword: make(map[string]*Registered),
+		catalogue: metrics.NewCatalogue(),
+		clk:       clk,
+	}
+}
+
+// Catalogue returns the performance catalogue shared by all providers.
+func (r *Registry) Catalogue() *metrics.Catalogue { return r.catalogue }
+
+// Register binds p under its keyword. Re-registering a keyword replaces
+// the previous provider (used by configuration hot-reload).
+func (r *Registry) Register(p Provider, opts RegisterOptions) *Registered {
+	if opts.Clock == nil {
+		opts.Clock = r.clk
+	}
+	if opts.Format == "" {
+		opts.Format = "ldif"
+	}
+	series := &metrics.Series{}
+	reg := &Registered{
+		provider: p,
+		series:   series,
+		ttl:      opts.TTL,
+		degrade:  opts.Degrade,
+		format:   opts.Format,
+	}
+	reg.entry = cache.NewEntry(cache.Options{
+		TTL:     opts.TTL,
+		Delay:   opts.Delay,
+		Degrade: opts.Degrade,
+		Drift:   opts.Drift,
+		Series:  series,
+		Clock:   opts.Clock,
+	}, func(ctx context.Context) (any, error) {
+		attrs, err := p.Fetch(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return attrs, nil
+	})
+
+	key := strings.ToLower(p.Keyword())
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, exists := r.byKeyword[key]; !exists {
+		r.order = append(r.order, key)
+	}
+	r.byKeyword[key] = reg
+	return reg
+}
+
+// Unregister removes a keyword; it reports whether it existed.
+func (r *Registry) Unregister(keyword string) bool {
+	key := strings.ToLower(keyword)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byKeyword[key]; !ok {
+		return false
+	}
+	delete(r.byKeyword, key)
+	for i, k := range r.order {
+		if k == key {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Lookup finds the registration for keyword (case-insensitive).
+func (r *Registry) Lookup(keyword string) (*Registered, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	g, ok := r.byKeyword[strings.ToLower(keyword)]
+	return g, ok
+}
+
+// Keywords returns the registered keywords in registration order, using
+// each provider's declared spelling.
+func (r *Registry) Keywords() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.order))
+	for _, k := range r.order {
+		out = append(out, r.byKeyword[k].Keyword())
+	}
+	return out
+}
+
+// Len returns the number of registered providers.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.byKeyword)
+}
+
+// Collect queries the named keywords (or all, when keywords is empty)
+// through the cache with the given mode and threshold. Results are in
+// request order; querying an unknown keyword fails the whole request, the
+// all-or-nothing semantics of §6.3.
+func (r *Registry) Collect(ctx context.Context, keywords []string, mode cache.Mode, threshold quality.Score) ([]Report, error) {
+	if len(keywords) == 0 {
+		keywords = r.Keywords()
+	}
+	reports := make([]Report, 0, len(keywords))
+	for _, kw := range keywords {
+		g, ok := r.Lookup(kw)
+		if !ok {
+			return nil, fmt.Errorf("provider: unknown keyword %q", kw)
+		}
+		rep, err := g.Get(ctx, mode, threshold)
+		if err != nil {
+			return nil, err
+		}
+		reports = append(reports, rep)
+	}
+	return reports, nil
+}
+
+// KeywordSchema is the reflection record for one keyword (paper §6.4: the
+// schema query "returns a hierarchical schema that contains all objects
+// associated with the keywords and lists properties of their attributes").
+type KeywordSchema struct {
+	Keyword     string
+	Source      string
+	TTL         time.Duration
+	Format      string
+	Degradation string
+	Attributes  []AttrSchema
+	// Performance is included when the provider has been executed, so
+	// clients can see expected retrieval cost.
+	Performance metrics.Stats
+}
+
+// Schema returns the reflection records for all keywords in registration
+// order.
+func (r *Registry) Schema() []KeywordSchema {
+	r.mu.RLock()
+	regs := make([]*Registered, 0, len(r.order))
+	for _, k := range r.order {
+		regs = append(regs, r.byKeyword[k])
+	}
+	r.mu.RUnlock()
+
+	out := make([]KeywordSchema, 0, len(regs))
+	for _, g := range regs {
+		ks := KeywordSchema{
+			Keyword:     g.Keyword(),
+			Source:      g.Source(),
+			TTL:         g.TTL(),
+			Format:      g.Format(),
+			Performance: g.AverageUpdateTime(),
+		}
+		if g.degrade != nil {
+			ks.Degradation = g.degrade.Name()
+		}
+		if sp, ok := g.provider.(SchemaProvider); ok {
+			ks.Attributes = sp.AttrSchemas()
+		}
+		out = append(out, ks)
+	}
+	return out
+}

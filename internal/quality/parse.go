@@ -1,0 +1,106 @@
+package quality
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseSpec parses a degradation-function specification string as used in
+// InfoGram configuration files and reflected back by Name():
+//
+//	binary(5s)
+//	linear(2m)
+//	exponential(30s)
+//	step(1s:80,5s:40,30s:10)
+//	selfcorrecting(linear(2m))
+//
+// Durations use Go syntax; bare integers are milliseconds, matching the
+// configuration file's TTL column convention.
+func ParseSpec(spec string) (Degradation, error) {
+	spec = strings.TrimSpace(spec)
+	open := strings.IndexByte(spec, '(')
+	if open <= 0 || !strings.HasSuffix(spec, ")") {
+		return nil, fmt.Errorf("quality: malformed degradation spec %q", spec)
+	}
+	name := strings.ToLower(spec[:open])
+	arg := spec[open+1 : len(spec)-1]
+	switch name {
+	case "binary":
+		d, err := parseDuration(arg)
+		if err != nil {
+			return nil, fmt.Errorf("quality: binary: %w", err)
+		}
+		return Binary{Lifetime: d}, nil
+	case "linear":
+		d, err := parseDuration(arg)
+		if err != nil {
+			return nil, fmt.Errorf("quality: linear: %w", err)
+		}
+		return Linear{Horizon: d}, nil
+	case "exponential":
+		d, err := parseDuration(arg)
+		if err != nil {
+			return nil, fmt.Errorf("quality: exponential: %w", err)
+		}
+		return Exponential{HalfLife: d}, nil
+	case "step":
+		return parseStep(arg)
+	case "selfcorrecting":
+		base, err := ParseSpec(arg)
+		if err != nil {
+			return nil, fmt.Errorf("quality: selfcorrecting: %w", err)
+		}
+		return NewSelfCorrecting(base), nil
+	default:
+		return nil, fmt.Errorf("quality: unknown degradation function %q", name)
+	}
+}
+
+func parseStep(arg string) (Degradation, error) {
+	parts := strings.Split(arg, ",")
+	st := Step{}
+	var prev time.Duration = -1
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		kv := strings.SplitN(p, ":", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("quality: step point %q must be age:value", p)
+		}
+		age, err := parseDuration(kv[0])
+		if err != nil {
+			return nil, fmt.Errorf("quality: step age: %w", err)
+		}
+		val, err := strconv.ParseFloat(strings.TrimSpace(kv[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("quality: step value: %w", err)
+		}
+		if age <= prev {
+			return nil, fmt.Errorf("quality: step ages must increase (%s after %s)", age, prev)
+		}
+		prev = age
+		st.Steps = append(st.Steps, StepPoint{Age: age, Value: Score(val).Clamp()})
+	}
+	if len(st.Steps) == 0 {
+		return nil, fmt.Errorf("quality: step needs at least one point")
+	}
+	return st, nil
+}
+
+// parseDuration accepts Go duration syntax or a bare integer interpreted
+// as milliseconds.
+func parseDuration(s string) (time.Duration, error) {
+	s = strings.TrimSpace(s)
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return time.Duration(n) * time.Millisecond, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad duration %q", s)
+	}
+	return d, nil
+}

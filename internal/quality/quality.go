@@ -1,0 +1,162 @@
+// Package quality implements the information-degradation model of paper
+// §5.2 and §6.3: every cached information value can be augmented with a
+// degradation function that maps its age to a quality-of-information score
+// in [0,100]. The xRSL "quality" tag compares that score against a client
+// threshold to decide whether a cached value may be served or must be
+// regenerated.
+//
+// The paper distinguishes two cases: a binary model in which information is
+// either accurate or inaccurate (Case One), and a discrete/continuous decay
+// over time (Case Two). Both are provided here, together with an
+// observation-corrected model in the spirit of the paper's data-assimilation
+// analogy: predicted quality is adjusted by comparing predictions against
+// observed value drift.
+package quality
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// Score is a quality-of-information value in percent: 100 means fresh and
+// fully trusted, 0 means worthless.
+type Score float64
+
+// Clamp bounds s to [0,100].
+func (s Score) Clamp() Score {
+	if s < 0 {
+		return 0
+	}
+	if s > 100 {
+		return 100
+	}
+	return s
+}
+
+// Degradation maps the age of an information value to a quality Score.
+// Implementations must be safe for concurrent use.
+type Degradation interface {
+	// Quality returns the score for information of the given age.
+	Quality(age time.Duration) Score
+	// Name identifies the function in schemas and reflection output.
+	Name() string
+}
+
+// Binary is the paper's Case One: information is fully accurate until its
+// lifetime expires and worthless afterwards.
+type Binary struct {
+	// Lifetime is the validity window; a non-positive lifetime means the
+	// value is always stale (quality 0 at any age).
+	Lifetime time.Duration
+}
+
+// Quality returns 100 within the lifetime and 0 after it.
+func (b Binary) Quality(age time.Duration) Score {
+	if b.Lifetime > 0 && age <= b.Lifetime {
+		return 100
+	}
+	return 0
+}
+
+// Name returns the schema name of the function.
+func (b Binary) Name() string { return fmt.Sprintf("binary(%s)", b.Lifetime) }
+
+// Linear decays from 100 at age zero to 0 at Horizon.
+type Linear struct {
+	Horizon time.Duration
+}
+
+// Quality returns the linearly interpolated score.
+func (l Linear) Quality(age time.Duration) Score {
+	if l.Horizon <= 0 {
+		return 0
+	}
+	if age <= 0 {
+		return 100
+	}
+	s := Score(100 * (1 - float64(age)/float64(l.Horizon)))
+	return s.Clamp()
+}
+
+// Name returns the schema name of the function.
+func (l Linear) Name() string { return fmt.Sprintf("linear(%s)", l.Horizon) }
+
+// Exponential decays with the given half-life: quality halves every
+// HalfLife of age.
+type Exponential struct {
+	HalfLife time.Duration
+}
+
+// Quality returns 100 * 2^(-age/halflife).
+func (e Exponential) Quality(age time.Duration) Score {
+	if e.HalfLife <= 0 {
+		return 0
+	}
+	if age <= 0 {
+		return 100
+	}
+	s := Score(100 * math.Exp2(-float64(age)/float64(e.HalfLife)))
+	return s.Clamp()
+}
+
+// Name returns the schema name of the function.
+func (e Exponential) Name() string { return fmt.Sprintf("exponential(%s)", e.HalfLife) }
+
+// Step degrades in discrete plateaus (the paper's "degrade over time in a
+// discrete fashion"). Steps must be ordered by increasing Age; the score
+// before the first step is 100.
+type Step struct {
+	Steps []StepPoint
+}
+
+// StepPoint is one plateau boundary: at ages >= Age the quality is Value.
+type StepPoint struct {
+	Age   time.Duration
+	Value Score
+}
+
+// Quality returns the score of the deepest plateau reached.
+func (s Step) Quality(age time.Duration) Score {
+	q := Score(100)
+	for _, p := range s.Steps {
+		if age >= p.Age {
+			q = p.Value
+		} else {
+			break
+		}
+	}
+	return q.Clamp()
+}
+
+// Name returns the schema name of the function.
+func (s Step) Name() string {
+	parts := make([]string, len(s.Steps))
+	for i, p := range s.Steps {
+		parts[i] = fmt.Sprintf("%s:%g", p.Age, float64(p.Value))
+	}
+	return "step(" + strings.Join(parts, ",") + ")"
+}
+
+// Assessment couples a value's quality score with the statistical context
+// the paper asks for ("knowing the standard deviation or knowing that the
+// accuracy of the value is valid over the last hour", §5.2).
+type Assessment struct {
+	Score      Score
+	Age        time.Duration
+	ValidOver  time.Duration // window over which the value is considered representative
+	Function   string        // name of the degradation function applied
+	Observed   int64         // number of drift observations feeding self-correction
+	DriftSigma float64       // observed relative drift standard deviation, if tracked
+}
+
+// Assess evaluates fn at the given age and packages the result.
+func Assess(fn Degradation, age time.Duration) Assessment {
+	return Assessment{
+		Score:     fn.Quality(age),
+		Age:       age,
+		ValidOver: age,
+		Function:  fn.Name(),
+	}
+}

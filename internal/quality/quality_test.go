@@ -1,0 +1,310 @@
+package quality
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestBinary(t *testing.T) {
+	b := Binary{Lifetime: time.Second}
+	if got := b.Quality(0); got != 100 {
+		t.Errorf("Quality(0) = %v", got)
+	}
+	if got := b.Quality(time.Second); got != 100 {
+		t.Errorf("Quality(1s) = %v (boundary is inclusive)", got)
+	}
+	if got := b.Quality(time.Second + 1); got != 0 {
+		t.Errorf("Quality(1s+1ns) = %v", got)
+	}
+	if got := (Binary{}).Quality(0); got != 0 {
+		t.Errorf("zero-lifetime binary should always be 0, got %v", got)
+	}
+}
+
+func TestLinear(t *testing.T) {
+	l := Linear{Horizon: 10 * time.Second}
+	cases := []struct {
+		age  time.Duration
+		want Score
+	}{
+		{0, 100},
+		{5 * time.Second, 50},
+		{10 * time.Second, 0},
+		{20 * time.Second, 0},
+		{-time.Second, 100},
+	}
+	for _, c := range cases {
+		if got := l.Quality(c.age); math.Abs(float64(got-c.want)) > 1e-9 {
+			t.Errorf("Quality(%v) = %v, want %v", c.age, got, c.want)
+		}
+	}
+	if got := (Linear{}).Quality(time.Second); got != 0 {
+		t.Errorf("zero-horizon linear = %v", got)
+	}
+}
+
+func TestExponential(t *testing.T) {
+	e := Exponential{HalfLife: time.Second}
+	if got := e.Quality(0); got != 100 {
+		t.Errorf("Quality(0) = %v", got)
+	}
+	if got := e.Quality(time.Second); math.Abs(float64(got)-50) > 1e-9 {
+		t.Errorf("Quality(halflife) = %v, want 50", got)
+	}
+	if got := e.Quality(2 * time.Second); math.Abs(float64(got)-25) > 1e-9 {
+		t.Errorf("Quality(2*halflife) = %v, want 25", got)
+	}
+}
+
+func TestStep(t *testing.T) {
+	s := Step{Steps: []StepPoint{
+		{Age: time.Second, Value: 80},
+		{Age: 5 * time.Second, Value: 40},
+		{Age: 30 * time.Second, Value: 10},
+	}}
+	cases := []struct {
+		age  time.Duration
+		want Score
+	}{
+		{0, 100},
+		{999 * time.Millisecond, 100},
+		{time.Second, 80},
+		{4 * time.Second, 80},
+		{5 * time.Second, 40},
+		{time.Minute, 10},
+	}
+	for _, c := range cases {
+		if got := s.Quality(c.age); got != c.want {
+			t.Errorf("Quality(%v) = %v, want %v", c.age, got, c.want)
+		}
+	}
+}
+
+// TestMonotoneDecay: every degradation function is non-increasing in age.
+func TestMonotoneDecay(t *testing.T) {
+	fns := []Degradation{
+		Binary{Lifetime: 3 * time.Second},
+		Linear{Horizon: 7 * time.Second},
+		Exponential{HalfLife: 2 * time.Second},
+		Step{Steps: []StepPoint{{Age: time.Second, Value: 70}, {Age: 4 * time.Second, Value: 20}}},
+	}
+	prop := func(a, b uint32) bool {
+		ageA := time.Duration(a%100_000) * time.Millisecond
+		ageB := time.Duration(b%100_000) * time.Millisecond
+		if ageA > ageB {
+			ageA, ageB = ageB, ageA
+		}
+		for _, fn := range fns {
+			if fn.Quality(ageA) < fn.Quality(ageB) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBoundedScores: scores stay within [0,100] for arbitrary ages.
+func TestBoundedScores(t *testing.T) {
+	fns := []Degradation{
+		Binary{Lifetime: time.Second},
+		Linear{Horizon: time.Second},
+		Exponential{HalfLife: time.Millisecond},
+		Step{Steps: []StepPoint{{Age: 0, Value: 55}}},
+	}
+	prop := func(ms int64) bool {
+		age := time.Duration(ms) * time.Millisecond
+		for _, fn := range fns {
+			q := fn.Quality(age)
+			if q < 0 || q > 100 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if got := Score(150).Clamp(); got != 100 {
+		t.Errorf("Clamp(150) = %v", got)
+	}
+	if got := Score(-5).Clamp(); got != 0 {
+		t.Errorf("Clamp(-5) = %v", got)
+	}
+	if got := Score(42).Clamp(); got != 42 {
+		t.Errorf("Clamp(42) = %v", got)
+	}
+}
+
+func TestAssess(t *testing.T) {
+	a := Assess(Linear{Horizon: 10 * time.Second}, 5*time.Second)
+	if a.Score != 50 {
+		t.Errorf("Score = %v", a.Score)
+	}
+	if a.Age != 5*time.Second {
+		t.Errorf("Age = %v", a.Age)
+	}
+	if a.Function != "linear(10s)" {
+		t.Errorf("Function = %q", a.Function)
+	}
+}
+
+func TestNames(t *testing.T) {
+	cases := []struct {
+		fn   Degradation
+		want string
+	}{
+		{Binary{Lifetime: 5 * time.Second}, "binary(5s)"},
+		{Linear{Horizon: 2 * time.Minute}, "linear(2m0s)"},
+		{Exponential{HalfLife: 30 * time.Second}, "exponential(30s)"},
+		{Step{Steps: []StepPoint{{Age: time.Second, Value: 80}}}, "step(1s:80)"},
+	}
+	for _, c := range cases {
+		if got := c.fn.Name(); got != c.want {
+			t.Errorf("Name = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestSelfCorrectingNeutralByDefault(t *testing.T) {
+	base := Linear{Horizon: 10 * time.Second}
+	sc := NewSelfCorrecting(base)
+	if got, want := sc.Quality(5*time.Second), base.Quality(5*time.Second); got != want {
+		t.Errorf("uncorrected Quality = %v, want %v", got, want)
+	}
+	if sc.Factor() != 1 {
+		t.Errorf("initial factor = %v", sc.Factor())
+	}
+}
+
+func TestSelfCorrectingSlowsDecayForStableValues(t *testing.T) {
+	base := Linear{Horizon: 10 * time.Second}
+	sc := NewSelfCorrecting(base)
+	// Values that barely drift: 0.01% change over 10s, far below the
+	// reference rate.
+	for i := 0; i < 10; i++ {
+		sc.ObserveDrift(0.0001, 10*time.Second)
+	}
+	if f := sc.Factor(); f >= 1 {
+		t.Fatalf("factor = %v, want < 1 for stable values", f)
+	}
+	if got, want := sc.Quality(5*time.Second), base.Quality(5*time.Second); got <= want {
+		t.Errorf("corrected quality %v should exceed base %v", got, want)
+	}
+	if sc.Observations() != 10 {
+		t.Errorf("Observations = %d", sc.Observations())
+	}
+}
+
+func TestSelfCorrectingSpeedsDecayForVolatileValues(t *testing.T) {
+	base := Linear{Horizon: 10 * time.Second}
+	sc := NewSelfCorrecting(base)
+	// 100% change per second: far above the 1%/s reference.
+	for i := 0; i < 10; i++ {
+		sc.ObserveDrift(1.0, time.Second)
+	}
+	if f := sc.Factor(); f <= 1 {
+		t.Fatalf("factor = %v, want > 1 for volatile values", f)
+	}
+	if got, want := sc.Quality(2*time.Second), base.Quality(2*time.Second); got >= want {
+		t.Errorf("corrected quality %v should be below base %v", got, want)
+	}
+}
+
+func TestSelfCorrectingFactorBounds(t *testing.T) {
+	sc := NewSelfCorrecting(Linear{Horizon: time.Second})
+	for i := 0; i < 100; i++ {
+		sc.ObserveDrift(1e9, time.Millisecond) // absurd volatility
+	}
+	if f := sc.Factor(); f > 8 {
+		t.Errorf("factor %v exceeds upper bound", f)
+	}
+	sc2 := NewSelfCorrecting(Linear{Horizon: time.Second})
+	for i := 0; i < 100; i++ {
+		sc2.ObserveDrift(0, time.Hour)
+	}
+	if f := sc2.Factor(); f < 0.125 {
+		t.Errorf("factor %v below lower bound", f)
+	}
+}
+
+func TestSelfCorrectingIgnoresGarbage(t *testing.T) {
+	sc := NewSelfCorrecting(Linear{Horizon: time.Second})
+	sc.ObserveDrift(-1, time.Second)
+	sc.ObserveDrift(math.NaN(), time.Second)
+	sc.ObserveDrift(math.Inf(1), time.Second)
+	sc.ObserveDrift(0.5, 0)
+	sc.ObserveDrift(0.5, -time.Second)
+	if sc.Observations() != 0 {
+		t.Errorf("garbage observations were recorded: %d", sc.Observations())
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		spec string
+		name string
+	}{
+		{"binary(5s)", "binary(5s)"},
+		{"binary(5000)", "binary(5s)"}, // bare int = milliseconds
+		{"linear(2m)", "linear(2m0s)"},
+		{"exponential(30s)", "exponential(30s)"},
+		{"step(1s:80,5s:40)", "step(1s:80,5s:40)"},
+		{"selfcorrecting(linear(1s))", "selfcorrecting(linear(1s))"},
+		{"  LINEAR(1s)  ", "linear(1s)"},
+	}
+	for _, c := range cases {
+		fn, err := ParseSpec(c.spec)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", c.spec, err)
+			continue
+		}
+		if fn.Name() != c.name {
+			t.Errorf("ParseSpec(%q).Name() = %q, want %q", c.spec, fn.Name(), c.name)
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	bad := []string{
+		"", "linear", "linear()", "unknown(1s)", "step()", "step(1s)",
+		"step(5s:40,1s:80)", // ages must increase
+		"binary(xyz)", "(1s)", "linear(1s",
+	}
+	for _, spec := range bad {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Errorf("ParseSpec(%q): expected error", spec)
+		}
+	}
+}
+
+// TestParseSpecRoundTrip: Name() output re-parses to a function with the
+// same behaviour.
+func TestParseSpecRoundTrip(t *testing.T) {
+	fns := []Degradation{
+		Binary{Lifetime: 5 * time.Second},
+		Linear{Horizon: 90 * time.Second},
+		Exponential{HalfLife: 250 * time.Millisecond},
+		Step{Steps: []StepPoint{{Age: time.Second, Value: 80}, {Age: 9 * time.Second, Value: 15}}},
+	}
+	ages := []time.Duration{0, time.Second, 5 * time.Second, time.Minute}
+	for _, fn := range fns {
+		parsed, err := ParseSpec(fn.Name())
+		if err != nil {
+			t.Errorf("re-parse %q: %v", fn.Name(), err)
+			continue
+		}
+		for _, age := range ages {
+			if got, want := parsed.Quality(age), fn.Quality(age); math.Abs(float64(got-want)) > 1e-9 {
+				t.Errorf("%s at %v: reparsed %v != original %v", fn.Name(), age, got, want)
+			}
+		}
+	}
+}

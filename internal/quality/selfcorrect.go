@@ -1,0 +1,103 @@
+package quality
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// SelfCorrecting wraps a base Degradation and adjusts its predictions from
+// observed value drift, the paper's data-assimilation analogy (§5.2):
+// "perform self correction based on observation data". Each time a value is
+// refreshed, callers report the relative change between the old cached
+// value and the newly observed one via ObserveDrift. A value that in
+// practice barely moves earns a slower effective decay; a volatile value
+// decays faster than the base function predicts.
+type SelfCorrecting struct {
+	Base Degradation
+
+	mu     sync.Mutex
+	n      int64
+	mean   float64 // running mean of |relative drift| per second of age
+	m2     float64
+	factor float64 // current time-scaling factor applied to age
+}
+
+// NewSelfCorrecting returns a self-correcting wrapper around base with a
+// neutral correction factor.
+func NewSelfCorrecting(base Degradation) *SelfCorrecting {
+	return &SelfCorrecting{Base: base, factor: 1}
+}
+
+// referenceDriftPerSecond is the drift rate at which the base function is
+// considered calibrated: 1% relative change per second. Observed rates
+// above it accelerate decay; rates below it slow decay.
+const referenceDriftPerSecond = 0.01
+
+// ObserveDrift records that a value changed by relDrift (|new-old|/|old|,
+// or an application-defined relative distance) after age of staleness.
+// Non-positive ages are ignored.
+func (sc *SelfCorrecting) ObserveDrift(relDrift float64, age time.Duration) {
+	if age <= 0 || relDrift < 0 || math.IsNaN(relDrift) || math.IsInf(relDrift, 0) {
+		return
+	}
+	rate := relDrift / age.Seconds()
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	sc.n++
+	d := rate - sc.mean
+	sc.mean += d / float64(sc.n)
+	sc.m2 += d * (rate - sc.mean)
+	// The correction factor scales age before it reaches the base
+	// function. Bounded to [1/8, 8] so a few extreme observations cannot
+	// freeze or obliterate the cache.
+	f := sc.mean / referenceDriftPerSecond
+	if f < 0.125 {
+		f = 0.125
+	}
+	if f > 8 {
+		f = 8
+	}
+	sc.factor = f
+}
+
+// Quality evaluates the base function at the drift-corrected age.
+func (sc *SelfCorrecting) Quality(age time.Duration) Score {
+	sc.mu.Lock()
+	f := sc.factor
+	sc.mu.Unlock()
+	if age < 0 {
+		age = 0
+	}
+	scaled := time.Duration(float64(age) * f)
+	return sc.Base.Quality(scaled)
+}
+
+// Name identifies the corrected function, including its current factor.
+func (sc *SelfCorrecting) Name() string {
+	return "selfcorrecting(" + sc.Base.Name() + ")"
+}
+
+// Observations returns how many drift samples have been incorporated.
+func (sc *SelfCorrecting) Observations() int64 {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.n
+}
+
+// Factor returns the current age-scaling factor (1 = neutral).
+func (sc *SelfCorrecting) Factor() float64 {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.factor
+}
+
+// DriftSigma returns the standard deviation of the observed drift rate.
+func (sc *SelfCorrecting) DriftSigma() float64 {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if sc.n < 2 {
+		return 0
+	}
+	return math.Sqrt(sc.m2 / float64(sc.n-1))
+}

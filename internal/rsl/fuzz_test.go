@@ -1,0 +1,76 @@
+package rsl
+
+import "testing"
+
+// FuzzParse guards the parser against panics and checks unparse/reparse
+// stability on anything that parses. The seed corpus covers every
+// syntactic construct; `go test -fuzz=FuzzParse ./internal/rsl` explores
+// further.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"(executable=/bin/date)",
+		"&(executable=/bin/echo)(arguments=a b c)(count=2)",
+		`&(arguments="hello world" 'single')`,
+		"+(&(info=all))(&(executable=a))",
+		"|(&(count=1))(&(count=4))",
+		"(environment=(PATH /bin)(LANG C))",
+		"(stdout=$(HOME)#/out.txt)",
+		`(x=$(V "default"))`,
+		"(maxtime>=10)(maxtime<=20)(x!=y)",
+		`&(rsl_substitution=(A 1)(B $(A)))(v=$(B))`,
+		"(a=())",
+		"((((",
+		")&|+#$",
+		"(a=b))))",
+		`(a="unterminated`,
+		"(info=schema)",
+		"&",
+		"",
+		"(a=b#c#d)",
+		"(a=$()",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		n, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		printed := n.Unparse()
+		n2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("unparse of valid input does not re-parse:\nsrc: %q\nout: %q\nerr: %v", src, printed, err)
+		}
+		if got := n2.Unparse(); got != printed {
+			t.Fatalf("unparse not stable:\nfirst:  %q\nsecond: %q", printed, got)
+		}
+	})
+}
+
+// FuzzEvalValue guards value evaluation against panics on arbitrary
+// variable environments.
+func FuzzEvalValue(f *testing.F) {
+	f.Add("(x=$(HOME)#/suffix)", "HOME", "/home/u")
+	f.Add(`(x=$(MISSING "fallback"))`, "OTHER", "v")
+	f.Add("(x=(a b c))", "A", "1")
+	f.Fuzz(func(t *testing.T, src, name, value string) {
+		n, err := Parse(src)
+		if err != nil {
+			return
+		}
+		spec, err := NewSpec(n, NewEnv())
+		if err != nil {
+			return
+		}
+		env := spec.Env()
+		if name != "" {
+			env[name] = value
+		}
+		for _, r := range spec.Relations() {
+			for _, v := range r.Values {
+				_, _ = EvalValue(v, env) // must not panic
+			}
+		}
+	})
+}

@@ -1,0 +1,251 @@
+package rsl
+
+import (
+	"strings"
+)
+
+// Parse parses src into an RSL specification. A bare relation list with no
+// leading boolean operator is returned as an And-Boolean, matching how GRAM
+// treats "(executable=/bin/date)(count=2)".
+func Parse(src string) (Node, error) {
+	p := &parser{lex: lexer{src: src}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	n, err := p.parseSpec()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, errorf(p.tok.pos, "trailing input after specification: %s", p.tok.kind)
+	}
+	return n, nil
+}
+
+// MustParse is Parse that panics on error, for tests and fixed literals.
+func MustParse(src string) Node {
+	n, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+type parser struct {
+	lex lexer
+	tok token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+// parseSpec parses a full specification at the current position.
+func (p *parser) parseSpec() (Node, error) {
+	switch p.tok.kind {
+	case tokAmp, tokPipe, tokPlus:
+		op := And
+		switch p.tok.kind {
+		case tokPipe:
+			op = Or
+		case tokPlus:
+			op = Multi
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		specs, err := p.parseSpecList()
+		if err != nil {
+			return nil, err
+		}
+		if len(specs) == 0 {
+			return nil, errorf(p.tok.pos, "boolean %q has no sub-specifications", op)
+		}
+		return &Boolean{Op: op, Specs: specs}, nil
+	case tokLParen:
+		// Implicit conjunction of one or more parenthesized items.
+		specs, err := p.parseSpecList()
+		if err != nil {
+			return nil, err
+		}
+		if len(specs) == 0 {
+			return nil, errorf(p.tok.pos, "empty specification")
+		}
+		if len(specs) == 1 {
+			return specs[0], nil
+		}
+		return &Boolean{Op: And, Specs: specs}, nil
+	case tokEOF:
+		return nil, errorf(p.tok.pos, "empty specification")
+	default:
+		return nil, errorf(p.tok.pos, "expected specification, found %s", p.tok.kind)
+	}
+}
+
+// parseSpecList parses zero or more "(" item ")" where item is either a
+// nested boolean spec or a relation body.
+func (p *parser) parseSpecList() ([]Node, error) {
+	var specs []Node
+	for p.tok.kind == tokLParen {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		var item Node
+		var err error
+		switch p.tok.kind {
+		case tokAmp, tokPipe, tokPlus:
+			item, err = p.parseSpec()
+		case tokLiteral, tokQuoted:
+			item, err = p.parseRelationBody()
+		default:
+			return nil, errorf(p.tok.pos, "expected relation or boolean, found %s", p.tok.kind)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokRParen {
+			return nil, errorf(p.tok.pos, "expected ')', found %s", p.tok.kind)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		specs = append(specs, item)
+	}
+	return specs, nil
+}
+
+// parseRelationBody parses "attribute op value..." with the opening paren
+// already consumed and the closing paren left for the caller.
+func (p *parser) parseRelationBody() (Node, error) {
+	attr := p.tok.text
+	attrPos := p.tok.pos
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokOp {
+		return nil, errorf(p.tok.pos, "expected operator after attribute %q, found %s", attr, p.tok.kind)
+	}
+	op := Op(p.tok.text)
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	values, err := p.parseValueList()
+	if err != nil {
+		return nil, err
+	}
+	if len(values) == 0 {
+		return nil, errorf(attrPos, "relation %q has no value", attr)
+	}
+	return &Relation{Attribute: attr, Op: op, Values: values}, nil
+}
+
+// parseValueList parses values until ')' or EOF.
+func (p *parser) parseValueList() ([]Value, error) {
+	var out []Value
+	for {
+		switch p.tok.kind {
+		case tokRParen, tokEOF:
+			return out, nil
+		}
+		v, err := p.parseValue()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+}
+
+// parseValue parses one value, folding '#' concatenations.
+func (p *parser) parseValue() (Value, error) {
+	v, err := p.parseSimpleValue()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokHash {
+		return v, nil
+	}
+	parts := []Value{v}
+	for p.tok.kind == tokHash {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		next, err := p.parseSimpleValue()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, next)
+	}
+	return Concat{Parts: parts}, nil
+}
+
+// parseSimpleValue parses a literal, quoted string, variable, or sequence.
+func (p *parser) parseSimpleValue() (Value, error) {
+	switch p.tok.kind {
+	case tokLiteral, tokQuoted:
+		v := Literal{Text: p.tok.text}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return v, nil
+	case tokDollar:
+		return p.parseVariable()
+	case tokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		items, err := p.parseValueList()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokRParen {
+			return nil, errorf(p.tok.pos, "expected ')' closing sequence, found %s", p.tok.kind)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return Sequence{Items: items}, nil
+	default:
+		return nil, errorf(p.tok.pos, "expected value, found %s", p.tok.kind)
+	}
+}
+
+// parseVariable parses "$(" name [value] ")" with '$' current.
+func (p *parser) parseVariable() (Value, error) {
+	dollarPos := p.tok.pos
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokLParen {
+		return nil, errorf(dollarPos, "'$' must be followed by '('")
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokLiteral && p.tok.kind != tokQuoted {
+		return nil, errorf(p.tok.pos, "expected variable name, found %s", p.tok.kind)
+	}
+	name := p.tok.text
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	var def Value
+	if p.tok.kind != tokRParen {
+		v, err := p.parseValue()
+		if err != nil {
+			return nil, err
+		}
+		def = v
+	}
+	if p.tok.kind != tokRParen {
+		return nil, errorf(p.tok.pos, "expected ')' closing variable reference, found %s", p.tok.kind)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return Variable{Name: strings.ToUpper(name), Default: def}, nil
+}

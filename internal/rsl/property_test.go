@@ -1,0 +1,139 @@
+package rsl
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// Random AST generation: Unparse of any generated specification must parse
+// back to a structurally identical AST. This complements the string-level
+// round-trip tests with coverage of deep nesting and every node kind.
+
+// genValue builds a random Value with bounded depth.
+func genValue(r *rand.Rand, depth int) Value {
+	if depth <= 0 {
+		return genLiteral(r)
+	}
+	switch r.Intn(6) {
+	case 0, 1, 2:
+		return genLiteral(r)
+	case 3:
+		v := Variable{Name: genName(r)}
+		if r.Intn(2) == 0 {
+			v.Default = genValue(r, depth-1)
+		}
+		return v
+	case 4:
+		n := r.Intn(2) + 2
+		parts := make([]Value, n)
+		for i := range parts {
+			// Concat parts must not themselves be concats (the parser
+			// folds them flat) and a sequence inside a concat is not
+			// grammatical in our unparser, so restrict to simple values.
+			if r.Intn(4) == 0 {
+				parts[i] = Variable{Name: genName(r)}
+			} else {
+				parts[i] = genLiteral(r)
+			}
+		}
+		return Concat{Parts: parts}
+	default:
+		n := r.Intn(3) + 1
+		items := make([]Value, n)
+		for i := range items {
+			items[i] = genValue(r, depth-1)
+		}
+		return Sequence{Items: items}
+	}
+}
+
+// genLiteral produces printable literals, including ones requiring quotes.
+func genLiteral(r *rand.Rand) Literal {
+	charsets := []string{
+		"abcdefghijklmnopqrstuvwxyz0123456789./-_",
+		"abc def(x)=+&|#$'\"<>!",
+	}
+	cs := charsets[r.Intn(len(charsets))]
+	n := r.Intn(12) + 1
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = cs[r.Intn(len(cs))]
+	}
+	return Literal{Text: string(b)}
+}
+
+func genName(r *rand.Rand) string {
+	const cs = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	n := r.Intn(6) + 1
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = cs[r.Intn(len(cs))]
+	}
+	return string(b)
+}
+
+func genRelation(r *rand.Rand, depth int) *Relation {
+	ops := []Op{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}
+	n := r.Intn(3) + 1
+	values := make([]Value, n)
+	for i := range values {
+		values[i] = genValue(r, depth)
+	}
+	return &Relation{
+		Attribute: "attr" + genName(r),
+		Op:        ops[r.Intn(len(ops))],
+		Values:    values,
+	}
+}
+
+func genNode(r *rand.Rand, depth int) Node {
+	if depth <= 0 || r.Intn(3) == 0 {
+		return genRelation(r, depth)
+	}
+	ops := []BoolOp{And, Or, Multi}
+	n := r.Intn(3) + 1
+	specs := make([]Node, n)
+	for i := range specs {
+		specs[i] = genNode(r, depth-1)
+	}
+	return &Boolean{Op: ops[r.Intn(len(ops))], Specs: specs}
+}
+
+// normalize removes representational ambiguity before comparison: a
+// 1-element implicit conjunction parses back to its single member.
+func normalize(n Node) Node {
+	switch t := n.(type) {
+	case *Boolean:
+		specs := make([]Node, len(t.Specs))
+		for i, s := range t.Specs {
+			specs[i] = normalize(s)
+		}
+		return &Boolean{Op: t.Op, Specs: specs}
+	default:
+		return n
+	}
+}
+
+func TestRandomASTRoundTrip(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 400}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		orig := genNode(r, 3)
+		src := orig.Unparse()
+		parsed, err := Parse(src)
+		if err != nil {
+			t.Logf("seed %d: parse error on %q: %v", seed, src, err)
+			return false
+		}
+		if !reflect.DeepEqual(normalize(orig), normalize(parsed)) {
+			t.Logf("seed %d:\nsrc:    %q\nparsed: %q", seed, src, parsed.Unparse())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,198 @@
+// Package rsl implements the Globus Resource Specification Language used
+// by GRAM clients to describe jobs (paper §2) and extended by InfoGram into
+// xRSL (paper §6.5). The implemented grammar is the RSL 1.0 core:
+//
+//	spec       = relation-list
+//	           | "&" spec-list          (conjunction)
+//	           | "|" spec-list          (disjunction)
+//	           | "+" spec-list          (multi-request)
+//	spec-list  = { "(" spec ")" }
+//	relation   = "(" attribute op value { value } ")"
+//	op         = "=" | "!=" | "<" | "<=" | ">" | ">="
+//	value      = literal | quoted | variable | "(" value { value } ")"
+//	variable   = "$(" name [ value ] ")"     (value is the default)
+//	concat     = value "#" value
+//
+// Quoting follows RSL: single or double quotes, with the quote character
+// doubled to escape itself. Variable bindings come from the special
+// rsl_substitution attribute and from caller-supplied environments.
+package rsl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokenKind enumerates lexical token types.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokLParen
+	tokRParen
+	tokAmp     // &
+	tokPipe    // |
+	tokPlus    // +
+	tokHash    // #
+	tokDollar  // $ (always followed by '(')
+	tokOp      // = != < <= > >=
+	tokLiteral // unquoted word
+	tokQuoted  // quoted string (value already unescaped)
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokAmp:
+		return "'&'"
+	case tokPipe:
+		return "'|'"
+	case tokPlus:
+		return "'+'"
+	case tokHash:
+		return "'#'"
+	case tokDollar:
+		return "'$'"
+	case tokOp:
+		return "operator"
+	case tokLiteral:
+		return "literal"
+	case tokQuoted:
+		return "quoted string"
+	}
+	return "unknown token"
+}
+
+// token is one lexical unit with its source offset for error messages.
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// SyntaxError describes an RSL parse failure with its byte offset.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("rsl: syntax error at offset %d: %s", e.Pos, e.Msg)
+}
+
+// lexer scans an RSL string into tokens.
+type lexer struct {
+	src string
+	pos int
+}
+
+// isSpecial reports whether byte b terminates an unquoted literal. Only
+// ASCII bytes are special: multi-byte UTF-8 sequences pass through
+// literals untouched.
+func isSpecial(b byte) bool {
+	switch b {
+	case '(', ')', '&', '|', '+', '#', '$', '=', '<', '>', '!', '\'', '"',
+		' ', '\t', '\n', '\r':
+		return true
+	}
+	return false
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	// Skip whitespace.
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		break
+	}
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '(':
+		l.pos++
+		return token{tokLParen, "(", start}, nil
+	case ')':
+		l.pos++
+		return token{tokRParen, ")", start}, nil
+	case '&':
+		l.pos++
+		return token{tokAmp, "&", start}, nil
+	case '|':
+		l.pos++
+		return token{tokPipe, "|", start}, nil
+	case '+':
+		l.pos++
+		return token{tokPlus, "+", start}, nil
+	case '#':
+		l.pos++
+		return token{tokHash, "#", start}, nil
+	case '$':
+		l.pos++
+		return token{tokDollar, "$", start}, nil
+	case '=':
+		l.pos++
+		return token{tokOp, "=", start}, nil
+	case '!':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.pos += 2
+			return token{tokOp, "!=", start}, nil
+		}
+		return token{}, &SyntaxError{start, "'!' must be followed by '='"}
+	case '<', '>':
+		op := string(c)
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			op += "="
+			l.pos++
+		}
+		return token{tokOp, op, start}, nil
+	case '\'', '"':
+		return l.quoted(c)
+	}
+	// Unquoted literal: run of non-special bytes.
+	var b strings.Builder
+	for l.pos < len(l.src) && !isSpecial(l.src[l.pos]) {
+		b.WriteByte(l.src[l.pos])
+		l.pos++
+	}
+	if b.Len() == 0 {
+		return token{}, &SyntaxError{start, fmt.Sprintf("unexpected character %q", c)}
+	}
+	return token{tokLiteral, b.String(), start}, nil
+}
+
+// quoted scans a quoted string; the quote character escapes itself by
+// doubling, per RSL.
+func (l *lexer) quoted(q byte) (token, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == q {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == q {
+				b.WriteByte(q) // doubled quote
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return token{tokQuoted, b.String(), start}, nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return token{}, &SyntaxError{start, "unterminated quoted string"}
+}

@@ -1,0 +1,259 @@
+package scheduler
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"infogram/internal/metrics"
+)
+
+// Policy orders a batch queue's pending tasks. Implementations pick which
+// pending task runs next when a slot frees up.
+type Policy interface {
+	// Name identifies the policy.
+	Name() string
+	// Next returns the index of the task to dispatch next, or -1 to leave
+	// everything queued. pending is in submission order.
+	Next(pending []*QueuedTask) int
+	// Started informs the policy that pending[idx] began executing, so
+	// stateful policies (fairshare) can account usage.
+	Started(t *QueuedTask)
+	// Finished informs the policy that a task completed after the given
+	// runtime.
+	Finished(t *QueuedTask, runtime time.Duration)
+}
+
+// QueuedTask is a pending queue entry visible to policies.
+type QueuedTask struct {
+	Task     Task
+	Enqueued time.Time
+
+	h         *resultHandle
+	ctx       context.Context
+	cancelled chan struct{}
+	once      sync.Once
+}
+
+func (q *QueuedTask) cancel() {
+	q.once.Do(func() { close(q.cancelled) })
+}
+
+// QueueLimits configures one named sub-queue of a batch system.
+type QueueLimits struct {
+	// MaxWallTime rejects tasks whose EstRuntime exceeds it; 0 means
+	// unlimited (like a PBS queue's resources_max.walltime).
+	MaxWallTime time.Duration
+}
+
+// QueueConfig configures a Queue backend.
+type QueueConfig struct {
+	// Name is the backend name reported to clients ("pbs", "lsf").
+	Name string
+	// Slots is the number of concurrently executing tasks; defaults to 1.
+	Slots int
+	// Policy orders pending tasks; defaults to FIFO.
+	Policy Policy
+	// Queues optionally defines named sub-queues with limits. When
+	// non-empty, tasks must name an existing queue (an empty task queue
+	// maps to "default" if defined).
+	Queues map[string]QueueLimits
+	// Executor runs dispatched tasks; defaults to a Fork backend.
+	Executor Backend
+}
+
+// Queue is a slot-limited batch scheduler: the discrete simulation of a
+// PBS- or LSF-class local resource manager behind the GRAM backend
+// interface (paper §2). Tasks wait in a pending list; a dispatcher fills
+// free slots according to the policy; queue-wait times are recorded for
+// the E15 experiment.
+type Queue struct {
+	cfg   QueueConfig
+	waits *metrics.Series
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []*QueuedTask
+	running int
+	closed  bool
+}
+
+// NewQueue creates and starts a batch queue backend.
+func NewQueue(cfg QueueConfig) *Queue {
+	if cfg.Slots <= 0 {
+		cfg.Slots = 1
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = FIFO{}
+	}
+	if cfg.Executor == nil {
+		cfg.Executor = &Fork{}
+	}
+	if cfg.Name == "" {
+		cfg.Name = "queue"
+	}
+	q := &Queue{cfg: cfg, waits: &metrics.Series{}}
+	q.cond = sync.NewCond(&q.mu)
+	go q.dispatch()
+	return q
+}
+
+// Name implements Backend.
+func (q *Queue) Name() string { return q.cfg.Name }
+
+// PolicyName returns the configured policy's name.
+func (q *Queue) PolicyName() string { return q.cfg.Policy.Name() }
+
+// WaitStats returns queue-wait statistics across completed dispatches.
+func (q *Queue) WaitStats() metrics.Stats { return q.waits.Snapshot() }
+
+// Depth returns the number of pending (not yet running) tasks.
+func (q *Queue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.pending)
+}
+
+// Close stops the dispatcher; queued tasks fail, running tasks continue.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	pending := q.pending
+	q.pending = nil
+	q.mu.Unlock()
+	q.cond.Broadcast()
+	for _, t := range pending {
+		t.h.finish(Result{}, fmt.Errorf("scheduler: %s: queue closed", q.cfg.Name))
+	}
+}
+
+// Submit implements Backend: the task is validated against queue limits
+// and parked until the policy dispatches it.
+func (q *Queue) Submit(ctx context.Context, t Task) (Handle, error) {
+	if len(q.cfg.Queues) > 0 {
+		name := t.Queue
+		if name == "" {
+			name = "default"
+		}
+		lim, ok := q.cfg.Queues[name]
+		if !ok {
+			return nil, fmt.Errorf("scheduler: %s: unknown queue %q", q.cfg.Name, name)
+		}
+		if lim.MaxWallTime > 0 && t.EstRuntime > lim.MaxWallTime {
+			return nil, fmt.Errorf("scheduler: %s: queue %q walltime limit %s exceeded by request for %s",
+				q.cfg.Name, name, lim.MaxWallTime, t.EstRuntime)
+		}
+	}
+
+	qt := &QueuedTask{
+		Task:      t,
+		Enqueued:  time.Now(),
+		ctx:       ctx,
+		cancelled: make(chan struct{}),
+	}
+	qt.h = newResultHandle(qt.cancel)
+
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return nil, fmt.Errorf("scheduler: %s: queue closed", q.cfg.Name)
+	}
+	q.pending = append(q.pending, qt)
+	q.mu.Unlock()
+	q.cond.Signal()
+	return qt.h, nil
+}
+
+// dispatch is the scheduler loop: one goroutine owns slot accounting.
+func (q *Queue) dispatch() {
+	for {
+		q.mu.Lock()
+		for !q.closed && (len(q.pending) == 0 || q.running >= q.cfg.Slots) {
+			q.cond.Wait()
+		}
+		if q.closed {
+			q.mu.Unlock()
+			return
+		}
+		// Drop cancelled tasks before consulting the policy.
+		alive := q.pending[:0]
+		var dropped []*QueuedTask
+		for _, t := range q.pending {
+			select {
+			case <-t.cancelled:
+				dropped = append(dropped, t)
+			default:
+				select {
+				case <-t.ctx.Done():
+					dropped = append(dropped, t)
+				default:
+					alive = append(alive, t)
+				}
+			}
+		}
+		q.pending = alive
+		if len(q.pending) == 0 {
+			q.mu.Unlock()
+			for _, t := range dropped {
+				t.h.finish(Result{}, fmt.Errorf("scheduler: %s: cancelled while queued", q.cfg.Name))
+			}
+			continue
+		}
+		idx := q.cfg.Policy.Next(q.pending)
+		if idx < 0 || idx >= len(q.pending) {
+			q.mu.Unlock()
+			for _, t := range dropped {
+				t.h.finish(Result{}, fmt.Errorf("scheduler: %s: cancelled while queued", q.cfg.Name))
+			}
+			continue
+		}
+		qt := q.pending[idx]
+		q.pending = append(q.pending[:idx], q.pending[idx+1:]...)
+		q.running++
+		q.cfg.Policy.Started(qt)
+		q.mu.Unlock()
+
+		for _, t := range dropped {
+			t.h.finish(Result{}, fmt.Errorf("scheduler: %s: cancelled while queued", q.cfg.Name))
+		}
+		go q.run(qt)
+	}
+}
+
+// run executes one dispatched task on the inner executor.
+func (q *Queue) run(qt *QueuedTask) {
+	wait := time.Since(qt.Enqueued)
+	q.waits.Observe(wait)
+	start := time.Now()
+
+	inner, err := q.cfg.Executor.Submit(qt.ctx, qt.Task)
+	var res Result
+	if err == nil {
+		// Honour cancellation while running.
+		done := make(chan struct{})
+		go func() {
+			select {
+			case <-qt.cancelled:
+				inner.Cancel()
+			case <-done:
+			}
+		}()
+		res, err = inner.Wait(qt.ctx)
+		close(done)
+	}
+	res.QueueWait = wait
+	runtime := time.Since(start)
+
+	q.mu.Lock()
+	q.running--
+	q.cfg.Policy.Finished(qt, runtime)
+	q.mu.Unlock()
+	q.cond.Signal()
+
+	if err != nil {
+		qt.h.finish(res, fmt.Errorf("scheduler: %s: %w", q.cfg.Name, err))
+		return
+	}
+	qt.h.finish(res, nil)
+}

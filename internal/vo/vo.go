@@ -1,0 +1,305 @@
+// Package vo implements the virtual-organization layer of paper §4 and the
+// sporadic-grid application of §8: bring up a set of InfoGram resources
+// "just for a short period of time during sophisticated experiments",
+// broker jobs to the least-loaded resource using cached, quality-annotated
+// information queries, and tear everything down when the experiment ends.
+package vo
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"time"
+
+	"infogram/internal/clock"
+	"infogram/internal/core"
+	"infogram/internal/diffract"
+	"infogram/internal/gram"
+	"infogram/internal/gsi"
+	"infogram/internal/job"
+	"infogram/internal/mds"
+	"infogram/internal/provider"
+	"infogram/internal/scheduler"
+)
+
+// Member is one resource of a sporadic grid.
+type Member struct {
+	Name    string
+	Addr    string
+	Service *core.Service
+	Func    *scheduler.Func
+	// GRIS is the member's MDS face, present when the grid runs an index.
+	GRIS *mds.GRIS
+}
+
+// SporadicConfig configures a sporadic-grid bring-up.
+type SporadicConfig struct {
+	// OrgName names the virtual organization.
+	OrgName string
+	// Resources is the number of InfoGram services to start; at least 1.
+	Resources int
+	// LoadTTL is the cache lifetime of each member's CPULoad provider.
+	LoadTTL time.Duration
+	// Users maps identity DNs to local accounts; a credential is issued
+	// for each and available via Credential(). When empty, a single
+	// "experimenter" user is created.
+	Users map[string]string
+	// ExecMode is the in-process execution mode for func jobs.
+	ExecMode scheduler.ExecMode
+	// WithIndex additionally runs a GIIS for the organization: every
+	// member exposes its providers through an MDS GRIS registered in the
+	// index, so clients can discover the grid's members (paper §3/§4).
+	WithIndex bool
+	// Clock defaults to the system clock.
+	Clock clock.Clock
+}
+
+// SporadicGrid is a running short-lived grid: a CA, user credentials, and
+// N InfoGram resources sharing a trust root and gridmap. Its deployment
+// cost is one function call, the Go rendering of the paper's "easy to
+// install it on a number of machines" Web Start story (§7, §8).
+type SporadicGrid struct {
+	CA      *gsi.CA
+	Trust   *gsi.TrustStore
+	Gridmap *gsi.Gridmap
+	Members []*Member
+	// Index is the organization's GIIS when configured with WithIndex.
+	Index *mds.GIIS
+
+	creds map[string]*gsi.Credential
+	clk   clock.Clock
+}
+
+// NewSporadicGrid brings the grid up on loopback ephemeral ports.
+func NewSporadicGrid(cfg SporadicConfig) (*SporadicGrid, error) {
+	if cfg.Resources < 1 {
+		cfg.Resources = 1
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.System
+	}
+	if cfg.LoadTTL <= 0 {
+		cfg.LoadTTL = 100 * time.Millisecond
+	}
+	if len(cfg.Users) == 0 {
+		cfg.Users = map[string]string{"/O=Grid/OU=" + cfg.OrgName + "/CN=experimenter": "exp"}
+	}
+	now := cfg.Clock.Now()
+	ca, err := gsi.NewCA("/O=Grid/CN="+cfg.OrgName+" CA", 24*time.Hour, now)
+	if err != nil {
+		return nil, err
+	}
+	g := &SporadicGrid{
+		CA:      ca,
+		Trust:   gsi.NewTrustStore(ca.Certificate()),
+		Gridmap: gsi.NewGridmap(),
+		creds:   make(map[string]*gsi.Credential),
+		clk:     cfg.Clock,
+	}
+	for dn, local := range cfg.Users {
+		cred, err := ca.IssueIdentity(dn, 12*time.Hour, now)
+		if err != nil {
+			g.Close()
+			return nil, err
+		}
+		g.creds[dn] = cred
+		g.Gridmap.Add(dn, local)
+	}
+
+	for i := 0; i < cfg.Resources; i++ {
+		name := fmt.Sprintf("node%02d.%s", i, cfg.OrgName)
+		member, err := g.startMember(name, cfg, now)
+		if err != nil {
+			g.Close()
+			return nil, err
+		}
+		g.Members = append(g.Members, member)
+	}
+
+	if cfg.WithIndex {
+		indexCred, err := ca.IssueIdentity("/O=Grid/OU="+cfg.OrgName+"/CN=index", 24*time.Hour, now)
+		if err != nil {
+			g.Close()
+			return nil, err
+		}
+		g.Index = mds.NewGIIS(mds.GIISConfig{
+			OrgName:    cfg.OrgName,
+			Credential: indexCred,
+			Trust:      g.Trust,
+		})
+		if _, err := g.Index.Listen("127.0.0.1:0"); err != nil {
+			g.Close()
+			return nil, err
+		}
+		for _, m := range g.Members {
+			m.GRIS = m.Service.GRIS()
+			if _, err := m.GRIS.Listen("127.0.0.1:0"); err != nil {
+				g.Close()
+				return nil, err
+			}
+			g.Index.Register(m.GRIS.Addr())
+		}
+	}
+	return g, nil
+}
+
+// DiscoverMembers queries a VO index for its members' InfoGram contact
+// addresses: every member advertises a Resource provider whose "contact"
+// attribute is its service address, so one GIIS search reveals the whole
+// grid (the paper's resource-discovery path, §4).
+func DiscoverMembers(giisAddr string, cred *gsi.Credential, trust *gsi.TrustStore) ([]string, error) {
+	cl, err := mds.Dial(giisAddr, cred, trust)
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	entries, err := cl.Search(mds.SearchRequest{Filter: "(kw=Resource)"})
+	if err != nil {
+		return nil, err
+	}
+	var addrs []string
+	for _, e := range entries {
+		if contact, ok := e.Get("Resource:contact"); ok && contact != "" {
+			addrs = append(addrs, contact)
+		}
+	}
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("vo: the index lists no resources")
+	}
+	return addrs, nil
+}
+
+// startMember builds and starts one InfoGram resource.
+func (g *SporadicGrid) startMember(name string, cfg SporadicConfig, now time.Time) (*Member, error) {
+	svcCred, err := g.CA.IssueIdentity("/O=Grid/OU="+cfg.OrgName+"/CN=service/"+name, 24*time.Hour, now)
+	if err != nil {
+		return nil, err
+	}
+	registry := provider.NewRegistry(cfg.Clock)
+	fn := scheduler.NewFunc(cfg.ExecMode, scheduler.Budgets{})
+	RegisterAnalysisJobs(fn)
+
+	svc := core.NewService(core.Config{
+		ResourceName: name,
+		Credential:   svcCred,
+		Trust:        g.Trust,
+		Gridmap:      g.Gridmap,
+		Registry:     registry,
+		Backends: gram.Backends{
+			Exec: &scheduler.Fork{},
+			Func: fn,
+		},
+		Clock: cfg.Clock,
+	})
+	addr, err := svc.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+
+	// Standard providers: identity, runtime, and the load provider the
+	// broker schedules on (derived from the member's own job table).
+	registry.Register(&provider.StaticProvider{
+		KeywordName: "Resource",
+		Values: provider.Attributes{
+			{Name: "name", Value: name},
+			{Name: "contact", Value: addr},
+			{Name: "org", Value: cfg.OrgName},
+		},
+	}, provider.RegisterOptions{TTL: time.Hour})
+	registry.Register(provider.RuntimeProvider{}, provider.RegisterOptions{TTL: cfg.LoadTTL})
+	registry.Register(NewLoadProvider(svc), provider.RegisterOptions{TTL: cfg.LoadTTL})
+
+	return &Member{Name: name, Addr: addr, Service: svc, Func: fn}, nil
+}
+
+// Credential returns the credential issued for identity dn.
+func (g *SporadicGrid) Credential(dn string) (*gsi.Credential, bool) {
+	c, ok := g.creds[dn]
+	return c, ok
+}
+
+// AnyCredential returns some user credential (convenient when the grid was
+// created with the default single user).
+func (g *SporadicGrid) AnyCredential() *gsi.Credential {
+	for _, c := range g.creds {
+		return c
+	}
+	return nil
+}
+
+// Addrs returns the member service addresses.
+func (g *SporadicGrid) Addrs() []string {
+	out := make([]string, len(g.Members))
+	for i, m := range g.Members {
+		out[i] = m.Addr
+	}
+	return out
+}
+
+// Close dissolves the sporadic grid.
+func (g *SporadicGrid) Close() {
+	if g.Index != nil {
+		g.Index.Close()
+	}
+	for _, m := range g.Members {
+		if m.GRIS != nil {
+			m.GRIS.Close()
+		}
+		if m.Service != nil {
+			m.Service.Close()
+		}
+	}
+}
+
+// NewLoadProvider builds the CPULoad information provider of the paper's
+// motivating example (§5.1): it reports the resource's current load. In
+// this simulated grid the load is the number of pending+active jobs in the
+// member's own job table, so scheduling feedback is real: brokering jobs
+// to a member raises the load its provider reports.
+func NewLoadProvider(svc *core.Service) provider.Provider {
+	p := provider.NewFuncProvider("CPULoad", func(ctx context.Context) (provider.Attributes, error) {
+		var active, pending int
+		if t := svc.Table(); t != nil {
+			for _, rec := range t.List() {
+				switch rec.State {
+				case job.Active:
+					active++
+				case job.Pending:
+					pending++
+				}
+			}
+		}
+		return provider.Attributes{
+			{Name: "load1", Value: strconv.Itoa(active + pending)},
+			{Name: "active", Value: strconv.Itoa(active)},
+			{Name: "pending", Value: strconv.Itoa(pending)},
+		}, nil
+	})
+	p.SourceName = "func:jobtable-load"
+	p.Schemas = []provider.AttrSchema{
+		{Name: "load1", Type: "int", Doc: "pending+active jobs on the resource"},
+		{Name: "active", Type: "int", Doc: "jobs currently executing"},
+		{Name: "pending", Type: "int", Doc: "jobs queued"},
+	}
+	return p
+}
+
+// AnalysisJobName is the registered in-process function for diffraction
+// analysis.
+const AnalysisJobName = "diffract-analyze"
+
+// RegisterAnalysisJobs installs the §8 analysis kernels on a func backend.
+func RegisterAnalysisJobs(fn *scheduler.Func) {
+	fn.RegisterFunc(AnalysisJobName, func(ctx context.Context, sb *scheduler.Sandbox, args []string, _ string) (string, error) {
+		x, y, w, h, seed, err := diffract.DecodeArgs(args)
+		if err != nil {
+			return "", err
+		}
+		// Account the pattern analysis against the sandbox budget.
+		if err := sb.StepN(int64(diffract.PatternSize * diffract.PatternSize)); err != nil {
+			return "", err
+		}
+		a := diffract.AnalyzePoint(x, y, w, h, seed)
+		return diffract.FormatResult(a) + "\n", nil
+	})
+}

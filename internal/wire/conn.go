@@ -1,0 +1,98 @@
+package wire
+
+import (
+	"bufio"
+	"net"
+	"sync"
+	"time"
+)
+
+// Conn wraps a net.Conn with buffered frame I/O. Reads and writes are each
+// serialized by their own mutex so a connection can be shared between a
+// request writer and a callback reader (the GRAM client does this for
+// status callbacks).
+type Conn struct {
+	nc net.Conn
+
+	rmu sync.Mutex
+	r   *bufio.Reader
+
+	wmu sync.Mutex
+	w   *bufio.Writer
+
+	callMu sync.Mutex
+}
+
+// NewConn wraps nc for frame I/O.
+func NewConn(nc net.Conn) *Conn {
+	return &Conn{
+		nc: nc,
+		r:  bufio.NewReaderSize(nc, 16<<10),
+		w:  bufio.NewWriterSize(nc, 16<<10),
+	}
+}
+
+// Dial connects to addr over TCP and wraps the connection.
+func Dial(addr string) (*Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewConn(nc), nil
+}
+
+// DialTimeout is Dial with a connect timeout.
+func DialTimeout(addr string, d time.Duration) (*Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, d)
+	if err != nil {
+		return nil, err
+	}
+	return NewConn(nc), nil
+}
+
+// Read reads the next frame, blocking until one arrives.
+func (c *Conn) Read() (Frame, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	return ReadFrame(c.r)
+}
+
+// Write writes f and flushes it to the network.
+func (c *Conn) Write(f Frame) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := WriteFrame(c.w, f); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// WriteString writes a frame with a string payload.
+func (c *Conn) WriteString(verb, payload string) error {
+	return c.Write(Frame{Verb: verb, Payload: []byte(payload)})
+}
+
+// Call writes a request frame and reads a single response frame. It is the
+// basic request/response step used by all three protocol clients. Calls are
+// serialized per connection so concurrent callers sharing a client cannot
+// interleave each other's request/response pairs.
+func (c *Conn) Call(req Frame) (Frame, error) {
+	c.callMu.Lock()
+	defer c.callMu.Unlock()
+	if err := c.Write(req); err != nil {
+		return Frame{}, err
+	}
+	return c.Read()
+}
+
+// SetDeadline sets the read and write deadline on the underlying conn.
+func (c *Conn) SetDeadline(t time.Time) error { return c.nc.SetDeadline(t) }
+
+// RemoteAddr returns the remote network address.
+func (c *Conn) RemoteAddr() net.Addr { return c.nc.RemoteAddr() }
+
+// LocalAddr returns the local network address.
+func (c *Conn) LocalAddr() net.Addr { return c.nc.LocalAddr() }
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.nc.Close() }

@@ -1,0 +1,238 @@
+package wsgw_test
+
+import (
+	"context"
+	"encoding/xml"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"infogram/internal/core"
+	"infogram/internal/gram"
+	"infogram/internal/gsi"
+	"infogram/internal/provider"
+	"infogram/internal/scheduler"
+	"infogram/internal/wsgw"
+)
+
+// harness: an InfoGram backend plus an HTTP gateway in front of it.
+type harness struct {
+	backend *core.Service
+	gateway *wsgw.Gateway
+	web     *httptest.Server
+}
+
+func newHarness(t *testing.T, token string) *harness {
+	t.Helper()
+	now := time.Now()
+	ca, err := gsi.NewCA("/O=Grid/CN=CA", time.Hour, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trust := gsi.NewTrustStore(ca.Certificate())
+	svcCred, _ := ca.IssueIdentity("/O=Grid/CN=svc", time.Hour, now)
+	gwCred, _ := ca.IssueIdentity("/O=Grid/CN=web-gateway", time.Hour, now)
+	gm := gsi.NewGridmap()
+	gm.Add("/O=Grid/CN=web-gateway", "webuser")
+
+	reg := provider.NewRegistry(nil)
+	reg.Register(&provider.StaticProvider{
+		KeywordName: "Memory",
+		Values:      provider.Attributes{{Name: "total", Value: "1024"}},
+	}, provider.RegisterOptions{TTL: time.Hour})
+
+	fn := scheduler.NewFunc(scheduler.TrustedMode, scheduler.Budgets{})
+	fn.RegisterFunc("noop", func(ctx context.Context, sb *scheduler.Sandbox, args []string, stdin string) (string, error) {
+		return "web job done", nil
+	})
+	backend := core.NewService(core.Config{
+		ResourceName: "ws.example",
+		Credential:   svcCred, Trust: trust, Gridmap: gm,
+		Registry: reg,
+		Backends: gram.Backends{Func: fn},
+	})
+	addr, err := backend.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { backend.Close() })
+
+	gw := wsgw.New(wsgw.Config{
+		Backend:    addr,
+		Credential: gwCred,
+		Trust:      trust,
+		Token:      token,
+	})
+	t.Cleanup(gw.Close)
+	web := httptest.NewServer(gw)
+	t.Cleanup(web.Close)
+	return &harness{backend: backend, gateway: gw, web: web}
+}
+
+// post sends an envelope and returns the decoded body payload.
+func post(t *testing.T, h *harness, token, envelope string) (*http.Response, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, h.web.URL, strings.NewReader(envelope))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "text/xml")
+	if token != "" {
+		req.Header.Set("X-InfoGram-Token", token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(b)
+}
+
+func TestWSDL(t *testing.T) {
+	h := newHarness(t, "")
+	resp, err := http.Get(h.web.URL + "?wsdl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{"<definitions", "Submit", "Status", "Cancel", "urn:infogram"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("WSDL missing %q", want)
+		}
+	}
+}
+
+func TestInfoQueryOverHTTP(t *testing.T) {
+	h := newHarness(t, "")
+	_, body := post(t, h, "",
+		`<Envelope><Body><Submit><specification>(info=Memory)</specification></Submit></Body></Envelope>`)
+	if !strings.Contains(body, "<kind>info</kind>") {
+		t.Fatalf("body = %s", body)
+	}
+	if !strings.Contains(body, "Memory:total: 1024") {
+		t.Errorf("result document missing data: %s", body)
+	}
+}
+
+func TestJobOverHTTP(t *testing.T) {
+	h := newHarness(t, "")
+	_, body := post(t, h, "",
+		`<Envelope><Body><Submit><specification>(executable=noop)(jobtype=func)</specification></Submit></Body></Envelope>`)
+	if !strings.Contains(body, "<kind>job</kind>") {
+		t.Fatalf("body = %s", body)
+	}
+	// Extract the contact.
+	var env struct {
+		Body struct {
+			Resp wsgw.SubmitResponse `xml:"SubmitResponse"`
+		} `xml:"Body"`
+	}
+	if err := xml.Unmarshal([]byte(body), &env); err != nil {
+		t.Fatal(err)
+	}
+	contact := env.Body.Resp.Contact
+	if contact == "" {
+		t.Fatal("no contact")
+	}
+	// Poll over HTTP until terminal.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, statusBody := post(t, h, "",
+			`<Envelope><Body><Status><contact>`+contact+`</contact></Status></Body></Envelope>`)
+		if strings.Contains(statusBody, "<state>DONE</state>") {
+			if !strings.Contains(statusBody, "web job done") {
+				t.Errorf("stdout missing: %s", statusBody)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never finished: %s", statusBody)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestCancelOverHTTP(t *testing.T) {
+	h := newHarness(t, "")
+	// Cancel of an unknown contact surfaces as a Fault.
+	resp, body := post(t, h, "",
+		`<Envelope><Body><Cancel><contact>gram://nope/1/1</contact></Cancel></Body></Envelope>`)
+	if resp.StatusCode != http.StatusBadGateway || !strings.Contains(body, "<Fault>") {
+		t.Errorf("status=%d body=%s", resp.StatusCode, body)
+	}
+}
+
+func TestTokenAuth(t *testing.T) {
+	h := newHarness(t, "sekret")
+	resp, body := post(t, h, "",
+		`<Envelope><Body><Submit><specification>(info=Memory)</specification></Submit></Body></Envelope>`)
+	if resp.StatusCode != http.StatusUnauthorized || !strings.Contains(body, "Fault") {
+		t.Errorf("unauthenticated: status=%d body=%s", resp.StatusCode, body)
+	}
+	resp, body = post(t, h, "sekret",
+		`<Envelope><Body><Submit><specification>(info=Memory)</specification></Submit></Body></Envelope>`)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "<kind>info</kind>") {
+		t.Errorf("authenticated: status=%d body=%s", resp.StatusCode, body)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	h := newHarness(t, "")
+	cases := []struct {
+		name     string
+		envelope string
+		status   int
+	}{
+		{"garbage", "not xml", http.StatusBadRequest},
+		{"empty body op", "<Envelope><Body></Body></Envelope>", http.StatusBadRequest},
+		{"bad xrsl", "<Envelope><Body><Submit><specification>((((</specification></Submit></Body></Envelope>", http.StatusBadRequest},
+		{"multi rejected", "<Envelope><Body><Submit><specification>+(&amp;(info=all))(&amp;(info=schema))</specification></Submit></Body></Envelope>", http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			resp, _ := post(t, h, "", c.envelope)
+			if resp.StatusCode != c.status {
+				t.Errorf("status = %d, want %d", resp.StatusCode, c.status)
+			}
+		})
+	}
+	// GET without ?wsdl.
+	resp, err := http.Get(h.web.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bare GET status = %d", resp.StatusCode)
+	}
+}
+
+func TestGatewayReconnects(t *testing.T) {
+	h := newHarness(t, "")
+	// Prime the backend connection.
+	if _, body := post(t, h, "",
+		`<Envelope><Body><Submit><specification>(info=Memory)</specification></Submit></Body></Envelope>`); !strings.Contains(body, "info") {
+		t.Fatalf("prime failed: %s", body)
+	}
+	// Simulate a dropped backend connection: close it behind the
+	// gateway's back, then issue another request — the gateway must
+	// redial transparently.
+	h.gateway.Close()
+	_, body := post(t, h, "",
+		`<Envelope><Body><Submit><specification>(info=Memory)</specification></Submit></Body></Envelope>`)
+	if !strings.Contains(body, "Memory:total: 1024") {
+		t.Errorf("post-reconnect body = %s", body)
+	}
+}

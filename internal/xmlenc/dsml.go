@@ -1,0 +1,123 @@
+package xmlenc
+
+// DSML v1 support. The paper remarks that beyond LDIF and XML "it is
+// straightforward to support other formats such as DSML" (§6.5); this file
+// makes the remark true. The encoding follows the DSMLv1 document shape:
+// a directory-entries list where objectclass values are carried in a
+// dedicated <objectclass> element and other attributes in <attr> elements
+// with nested <value> children.
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"infogram/internal/ldif"
+)
+
+type dsmlDoc struct {
+	XMLName xml.Name    `xml:"dsml"`
+	Xmlns   string      `xml:"xmlns,attr"`
+	Entries dsmlEntries `xml:"directory-entries"`
+}
+
+type dsmlEntries struct {
+	Entries []dsmlEntry `xml:"entry"`
+}
+
+type dsmlEntry struct {
+	DN          string     `xml:"dn,attr"`
+	ObjectClass *dsmlOC    `xml:"objectclass,omitempty"`
+	Attrs       []dsmlAttr `xml:"attr"`
+}
+
+type dsmlOC struct {
+	Values []string `xml:"oc-value"`
+}
+
+type dsmlAttr struct {
+	Name   string   `xml:"name,attr"`
+	Values []string `xml:"value"`
+}
+
+// dsmlNamespace is the DSMLv1 namespace URI.
+const dsmlNamespace = "http://www.dsml.org/DSML"
+
+// EncodeDSML writes entries as a DSMLv1 document.
+func EncodeDSML(w io.Writer, entries []ldif.Entry) error {
+	doc := dsmlDoc{Xmlns: dsmlNamespace}
+	for _, e := range entries {
+		de := dsmlEntry{DN: e.DN}
+		// Group repeated attribute values, preserving first-appearance
+		// order; objectclass values go to the dedicated element.
+		order := make([]string, 0, len(e.Attrs))
+		grouped := make(map[string][]string, len(e.Attrs))
+		for _, a := range e.Attrs {
+			if strings.EqualFold(a.Name, "objectclass") {
+				if de.ObjectClass == nil {
+					de.ObjectClass = &dsmlOC{}
+				}
+				de.ObjectClass.Values = append(de.ObjectClass.Values, a.Value)
+				continue
+			}
+			if _, seen := grouped[a.Name]; !seen {
+				order = append(order, a.Name)
+			}
+			grouped[a.Name] = append(grouped[a.Name], a.Value)
+		}
+		for _, name := range order {
+			de.Attrs = append(de.Attrs, dsmlAttr{Name: name, Values: grouped[name]})
+		}
+		doc.Entries.Entries = append(doc.Entries.Entries, de)
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("xmlenc: encode dsml: %w", err)
+	}
+	return enc.Flush()
+}
+
+// MarshalDSML renders entries as a DSML string.
+func MarshalDSML(entries []ldif.Entry) (string, error) {
+	var sb strings.Builder
+	if err := EncodeDSML(&sb, entries); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}
+
+// DecodeDSML parses a DSMLv1 document produced by EncodeDSML. Objectclass
+// values come first in the reconstructed entry, matching how the LDIF
+// renderer emits them.
+func DecodeDSML(r io.Reader) ([]ldif.Entry, error) {
+	var doc dsmlDoc
+	if err := xml.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("xmlenc: decode dsml: %w", err)
+	}
+	entries := make([]ldif.Entry, 0, len(doc.Entries.Entries))
+	for _, de := range doc.Entries.Entries {
+		e := ldif.Entry{DN: de.DN}
+		if de.ObjectClass != nil {
+			for _, oc := range de.ObjectClass.Values {
+				e.Add("objectclass", oc)
+			}
+		}
+		for _, a := range de.Attrs {
+			for _, v := range a.Values {
+				e.Add(a.Name, v)
+			}
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// UnmarshalDSML parses a DSML string.
+func UnmarshalDSML(s string) ([]ldif.Entry, error) {
+	return DecodeDSML(strings.NewReader(s))
+}

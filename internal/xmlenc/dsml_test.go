@@ -1,0 +1,106 @@
+package xmlenc
+
+import (
+	"strings"
+	"testing"
+
+	"infogram/internal/ldif"
+)
+
+func dsmlSample() []ldif.Entry {
+	e := ldif.Entry{DN: "kw=Memory, resource=r, o=grid"}
+	e.Add("objectclass", "InfoGramProvider")
+	e.Add("kw", "Memory")
+	e.Add("Memory:total", "1024")
+	e.Add("member", "a")
+	e.Add("member", "b") // multi-valued
+	return []ldif.Entry{e}
+}
+
+func TestDSMLShape(t *testing.T) {
+	out, err := MarshalDSML(dsmlSample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`<dsml xmlns="http://www.dsml.org/DSML">`,
+		"<directory-entries>",
+		`<entry dn="kw=Memory, resource=r, o=grid">`,
+		"<oc-value>InfoGramProvider</oc-value>",
+		`<attr name="Memory:total">`,
+		"<value>1024</value>",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DSML output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDSMLRoundTrip(t *testing.T) {
+	entries := dsmlSample()
+	out, err := MarshalDSML(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalDSML(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 {
+		t.Fatalf("entries = %d", len(back))
+	}
+	e := back[0]
+	if e.DN != entries[0].DN {
+		t.Errorf("DN = %q", e.DN)
+	}
+	if v, _ := e.Get("objectclass"); v != "InfoGramProvider" {
+		t.Errorf("objectclass = %q", v)
+	}
+	if v, _ := e.Get("Memory:total"); v != "1024" {
+		t.Errorf("Memory:total = %q", v)
+	}
+	if members := e.All("member"); len(members) != 2 || members[1] != "b" {
+		t.Errorf("member = %v", members)
+	}
+}
+
+func TestDSMLMultipleEntries(t *testing.T) {
+	e2 := ldif.Entry{DN: "kw=CPU, resource=r, o=grid"}
+	e2.Add("CPU:count", "8")
+	entries := append(dsmlSample(), e2)
+	out, err := MarshalDSML(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalDSML(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("entries = %d", len(back))
+	}
+	// An entry with no objectclass round-trips without one.
+	if _, ok := back[1].Get("objectclass"); ok {
+		t.Error("objectclass invented for entry 2")
+	}
+}
+
+func TestDSMLDecodeGarbage(t *testing.T) {
+	if _, err := UnmarshalDSML("nope"); err == nil {
+		t.Error("expected decode error")
+	}
+}
+
+func TestDSMLEmpty(t *testing.T) {
+	out, err := MarshalDSML(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalDSML(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 0 {
+		t.Errorf("entries = %d", len(back))
+	}
+}

@@ -1,0 +1,85 @@
+// Package xmlenc renders information-service results as XML, the second
+// return format the paper supports next to LDIF (§5.5: "Our positive
+// experience with the use of XML schemas as basis for the next generation
+// of Information services"; §6.5 format tag). The element model mirrors the
+// LDIF record model one-to-one so a client can request either format for
+// the same query and see the same data.
+package xmlenc
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"infogram/internal/ldif"
+)
+
+// xmlResult is the top-level document: a sequence of entries.
+type xmlResult struct {
+	XMLName xml.Name   `xml:"result"`
+	Entries []xmlEntry `xml:"entry"`
+}
+
+type xmlEntry struct {
+	DN    string    `xml:"dn,attr"`
+	Attrs []xmlAttr `xml:"attr"`
+}
+
+type xmlAttr struct {
+	Name  string `xml:"name,attr"`
+	Value string `xml:",chardata"`
+}
+
+// Encode writes entries to w as an indented XML document.
+func Encode(w io.Writer, entries []ldif.Entry) error {
+	doc := xmlResult{Entries: make([]xmlEntry, len(entries))}
+	for i, e := range entries {
+		xe := xmlEntry{DN: e.DN, Attrs: make([]xmlAttr, len(e.Attrs))}
+		for j, a := range e.Attrs {
+			xe.Attrs[j] = xmlAttr{Name: a.Name, Value: a.Value}
+		}
+		doc.Entries[i] = xe
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("xmlenc: encode: %w", err)
+	}
+	return enc.Flush()
+}
+
+// Marshal renders entries as an XML string.
+func Marshal(entries []ldif.Entry) (string, error) {
+	var sb strings.Builder
+	if err := Encode(&sb, entries); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}
+
+// Decode parses a document produced by Encode back into entries, enabling
+// clients that negotiated format=XML to use the same record model.
+func Decode(r io.Reader) ([]ldif.Entry, error) {
+	var doc xmlResult
+	if err := xml.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("xmlenc: decode: %w", err)
+	}
+	entries := make([]ldif.Entry, len(doc.Entries))
+	for i, xe := range doc.Entries {
+		e := ldif.Entry{DN: xe.DN}
+		for _, a := range xe.Attrs {
+			e.Add(a.Name, a.Value)
+		}
+		entries[i] = e
+	}
+	return entries, nil
+}
+
+// Unmarshal parses an XML string produced by Marshal.
+func Unmarshal(s string) ([]ldif.Entry, error) {
+	return Decode(strings.NewReader(s))
+}

@@ -1,0 +1,187 @@
+package xmlenc
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"infogram/internal/ldif"
+)
+
+func sample() []ldif.Entry {
+	e1 := ldif.Entry{DN: "kw=Memory, resource=r, o=grid"}
+	e1.Add("Memory:total", "1024")
+	e1.Add("Memory:free", "512")
+	e2 := ldif.Entry{DN: "kw=CPU, resource=r, o=grid"}
+	e2.Add("CPU:count", "8")
+	return []ldif.Entry{e1, e2}
+}
+
+func TestMarshalShape(t *testing.T) {
+	out, err := Marshal(sample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"<?xml", "<result>", `<entry dn="kw=Memory, resource=r, o=grid">`,
+		`<attr name="Memory:total">1024</attr>`, "</result>",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	entries := sample()
+	out, err := Marshal(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(entries) {
+		t.Fatalf("%d entries back, want %d", len(back), len(entries))
+	}
+	for i := range entries {
+		if back[i].DN != entries[i].DN {
+			t.Errorf("DN %d = %q", i, back[i].DN)
+		}
+		for j, a := range entries[i].Attrs {
+			if back[i].Attrs[j] != a {
+				t.Errorf("attr %d/%d = %+v, want %+v", i, j, back[i].Attrs[j], a)
+			}
+		}
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	e := ldif.Entry{DN: `dn with <angle> & "quotes"`}
+	e.Add("attr", "<value> & 'more'")
+	out, err := Marshal([]ldif.Entry{e})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back[0].DN != e.DN {
+		t.Errorf("DN = %q", back[0].DN)
+	}
+	if v, _ := back[0].Get("attr"); v != "<value> & 'more'" {
+		t.Errorf("attr = %q", v)
+	}
+}
+
+func TestEmptyDocument(t *testing.T) {
+	out, err := Marshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 0 {
+		t.Errorf("got %d entries", len(back))
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := Unmarshal("not xml at all"); err == nil {
+		t.Error("expected decode error")
+	}
+}
+
+// TestSameDataBothFormats: the same record set renders to LDIF and XML and
+// decodes identically from both (the §6.5 format-tag contract).
+func TestSameDataBothFormats(t *testing.T) {
+	entries := sample()
+	lout, err := ldif.Marshal(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xout, err := Marshal(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromL, err := ldif.Unmarshal(lout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromX, err := Unmarshal(xout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fromL) != len(fromX) {
+		t.Fatalf("entry counts differ: %d vs %d", len(fromL), len(fromX))
+	}
+	for i := range fromL {
+		if fromL[i].DN != fromX[i].DN {
+			t.Errorf("DN %d differs: %q vs %q", i, fromL[i].DN, fromX[i].DN)
+		}
+		for j := range fromL[i].Attrs {
+			if fromL[i].Attrs[j] != fromX[i].Attrs[j] {
+				t.Errorf("attr %d/%d differs: %+v vs %+v", i, j, fromL[i].Attrs[j], fromX[i].Attrs[j])
+			}
+		}
+	}
+}
+
+// TestRoundTripProperty: arbitrary XML-safe strings survive.
+func TestRoundTripProperty(t *testing.T) {
+	sanitize := func(s string) string {
+		return strings.Map(func(r rune) rune {
+			if r < 0x20 && r != '\t' {
+				return -1
+			}
+			if r == 0xFFFD || !validXMLRune(r) {
+				return -1
+			}
+			return r
+		}, s)
+	}
+	prop := func(dn, name, value string) bool {
+		dn = sanitize(dn)
+		value = sanitize(value)
+		name = sanitizeName(name)
+		e := ldif.Entry{DN: dn}
+		e.Add(name, value)
+		out, err := Marshal([]ldif.Entry{e})
+		if err != nil {
+			return false
+		}
+		back, err := Unmarshal(out)
+		if err != nil || len(back) != 1 {
+			return false
+		}
+		got, _ := back[0].Get(name)
+		return back[0].DN == dn && got == value
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func validXMLRune(r rune) bool {
+	return r == 0x9 || r == 0xA || r == 0xD ||
+		(r >= 0x20 && r <= 0xD7FF) ||
+		(r >= 0xE000 && r <= 0xFFFD) ||
+		(r >= 0x10000 && r <= 0x10FFFF)
+}
+
+func sanitizeName(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		if (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9') {
+			sb.WriteRune(r)
+		}
+	}
+	if sb.Len() == 0 {
+		return "attr"
+	}
+	return sb.String()
+}
