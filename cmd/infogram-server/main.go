@@ -28,6 +28,7 @@ import (
 	"infogram/internal/logging"
 	"infogram/internal/provider"
 	"infogram/internal/scheduler"
+	"infogram/internal/telemetry"
 	"infogram/internal/wsgw"
 )
 
@@ -43,6 +44,7 @@ func main() {
 		wsToken   = flag.String("ws-token", "", "shared token required from Web-services clients")
 		restore   = flag.Bool("recover", false, "replay the log file and restart unfinished jobs")
 		sandbox   = flag.Bool("restricted", false, "run in-process jobs in the restricted sandbox")
+		metrics   = flag.String("metrics-addr", "", "serve Prometheus text metrics on this address at /metrics")
 	)
 	flag.Parse()
 
@@ -89,6 +91,16 @@ func main() {
 	}
 	fn := scheduler.NewFunc(mode, scheduler.Budgets{})
 
+	tel := telemetry.NewRegistry()
+	queue := scheduler.NewQueue(scheduler.QueueConfig{
+		Name:            "pbs",
+		Slots:           4,
+		Policy:          scheduler.FIFO{},
+		Executor:        &scheduler.Fork{},
+		DepthGauge:      tel.Gauge("infogram_queue_depth", "tasks pending in the batch queue"),
+		DispatchLatency: tel.Histogram("infogram_queue_dispatch_seconds", "enqueue-to-dispatch wait per task"),
+	})
+
 	svc := core.NewService(core.Config{
 		ResourceName: name,
 		Credential:   fabric.Service,
@@ -98,9 +110,10 @@ func main() {
 		Backends: gram.Backends{
 			Exec:  &scheduler.Fork{},
 			Func:  fn,
-			Queue: scheduler.NewPBS(4, nil, &scheduler.Fork{}),
+			Queue: queue,
 		},
-		Log: logger,
+		Log:       logger,
+		Telemetry: tel,
 	})
 	bound, err := svc.Listen(*addr)
 	if err != nil {
@@ -116,6 +129,19 @@ func main() {
 			log.Printf("recover: %v", err)
 		}
 		fmt.Printf("infogram: recovered %d unfinished job(s) from %s\n", len(contacts), *logPath)
+	}
+
+	if *metrics != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", telemetry.Handler(tel))
+		ln, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			log.Fatalf("metrics listen: %v", err)
+		}
+		metricsSrv := &http.Server{Handler: mux}
+		go func() { _ = metricsSrv.Serve(ln) }()
+		defer metricsSrv.Close()
+		fmt.Printf("infogram: Prometheus metrics on http://%s/metrics\n", ln.Addr())
 	}
 
 	if *mdsAddr != "" {

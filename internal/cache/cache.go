@@ -18,6 +18,7 @@ import (
 	"infogram/internal/clock"
 	"infogram/internal/metrics"
 	"infogram/internal/quality"
+	"infogram/internal/telemetry"
 )
 
 // Mode selects how a read interacts with the cache; it maps one-to-one to
@@ -97,8 +98,20 @@ type Options struct {
 	// Series optionally records provider execution durations for the
 	// performance tag.
 	Series *metrics.Series
+	// Telemetry optionally attaches service-wide cache counters; see
+	// SetTelemetry. Nil metrics inside are no-ops.
+	Telemetry Counters
 	// Clock defaults to the system clock.
 	Clock clock.Clock
+}
+
+// Counters is the telemetry an entry feeds: reads served from cache,
+// provider executions, and evictions (a stored value superseded by a fresh
+// execution). All fields are optional.
+type Counters struct {
+	Hits      *telemetry.Counter
+	Misses    *telemetry.Counter
+	Evictions *telemetry.Counter
 }
 
 // Entry caches the result of one key information provider.
@@ -164,6 +177,21 @@ func (e *Entry) SetDelay(d time.Duration) {
 	e.mu.Unlock()
 }
 
+// SetTelemetry attaches (or replaces) the entry's cache counters; used to
+// retrofit telemetry onto providers registered before the service's
+// registry existed.
+func (e *Entry) SetTelemetry(c Counters) {
+	e.mu.Lock()
+	e.opts.Telemetry = c
+	e.mu.Unlock()
+}
+
+// hitLocked counts one cache-served read. Caller holds e.mu.
+func (e *Entry) hitLocked() {
+	e.hits.Add(1)
+	e.opts.Telemetry.Hits.Inc()
+}
+
 // qualityAt computes the degradation score for a value of the given age.
 func (e *Entry) qualityAt(age time.Duration) quality.Score {
 	if e.opts.Degrade == nil {
@@ -219,7 +247,7 @@ func (e *Entry) Query() (Result, error) {
 	if !e.freshLocked(now, 0) {
 		return e.resultLocked(now, true), ErrStale
 	}
-	e.hits.Add(1)
+	e.hitLocked()
 	return e.resultLocked(now, true), nil
 }
 
@@ -243,13 +271,13 @@ func (e *Entry) Get(ctx context.Context, mode Mode, threshold quality.Score) (Re
 				e.mu.Unlock()
 				return Result{}, ErrNeverFetched
 			}
-			e.hits.Add(1)
+			e.hitLocked()
 			r := e.resultLocked(now, true)
 			e.mu.Unlock()
 			return r, nil
 		case Cached:
 			if e.freshLocked(now, threshold) {
-				e.hits.Add(1)
+				e.hitLocked()
 				r := e.resultLocked(now, true)
 				e.mu.Unlock()
 				return r, nil
@@ -264,7 +292,7 @@ func (e *Entry) Get(ctx context.Context, mode Mode, threshold quality.Score) (Re
 		// An update is needed. Delay suppression serves the stored value
 		// instead of executing again.
 		if e.withinDelayLocked(now) {
-			e.hits.Add(1)
+			e.hitLocked()
 			r := e.resultLocked(now, true)
 			e.mu.Unlock()
 			return r, nil
@@ -301,7 +329,9 @@ func (e *Entry) Get(ctx context.Context, mode Mode, threshold quality.Score) (Re
 		ch := make(chan struct{})
 		e.inflight = ch
 		e.lastExec = now
+		tel := e.opts.Telemetry
 		e.mu.Unlock()
+		tel.Misses.Inc()
 
 		start := e.opts.Clock.Now()
 		v, err := e.fn(ctx)
@@ -315,6 +345,9 @@ func (e *Entry) Get(ctx context.Context, mode Mode, threshold quality.Score) (Re
 		e.inflight = nil
 		e.lastErr = err
 		if err == nil {
+			if e.hasValue {
+				tel.Evictions.Inc()
+			}
 			e.observeDriftLocked(v)
 			e.value = v
 			e.fetchedAt = e.opts.Clock.Now()

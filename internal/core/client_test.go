@@ -217,6 +217,9 @@ func TestJobControlThroughInfoGram(t *testing.T) {
 }
 
 func TestEmptyRegistryInfoAll(t *testing.T) {
+	// An "empty" registry still carries the built-in selfmetrics provider
+	// the service registers at construction, so info=all answers with
+	// exactly that one entry.
 	g := newTestGrid(t, provider.NewRegistry(nil))
 	cl, err := core.Dial(g.addr, g.user, g.trust)
 	if err != nil {
@@ -227,12 +230,14 @@ func TestEmptyRegistryInfoAll(t *testing.T) {
 	if err != nil {
 		t.Fatalf("info=all on empty registry: %v", err)
 	}
-	if len(res.Entries) != 0 {
-		t.Errorf("entries = %d", len(res.Entries))
+	if len(res.Entries) != 1 {
+		t.Fatalf("entries = %d, want just selfmetrics", len(res.Entries))
 	}
-	// Schema of an empty registry is also empty but well-formed.
+	if kw, _ := res.Entries[0].Get("kw"); kw != provider.SelfMetricsKeyword {
+		t.Errorf("kw = %q, want %q", kw, provider.SelfMetricsKeyword)
+	}
 	schema, err := cl.Schema()
-	if err != nil || len(schema) != 0 {
+	if err != nil || len(schema) != 1 {
 		t.Errorf("schema = %v, %v", schema, err)
 	}
 }

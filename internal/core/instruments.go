@@ -1,0 +1,127 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"time"
+
+	"infogram/internal/clock"
+	"infogram/internal/gram"
+	"infogram/internal/gsi"
+	"infogram/internal/logging"
+	"infogram/internal/telemetry"
+	"infogram/internal/wire"
+)
+
+// instruments bundles every telemetry handle the service touches on the
+// request path. All handles are resolved once at construction so the hot
+// path does no registry lookups; the per-verb maps are read-only after
+// newInstruments returns.
+type instruments struct {
+	tel *telemetry.Registry
+
+	connsAccepted *telemetry.Counter
+	connsActive   *telemetry.Gauge
+	bytesRead     *telemetry.Counter
+	bytesWritten  *telemetry.Counter
+	frameErrors   *telemetry.Counter
+
+	authOK      *telemetry.Counter
+	authFailed  *telemetry.Counter
+	authExpired *telemetry.Counter
+	authLatency *telemetry.Histogram
+
+	inFlight       *telemetry.Gauge
+	infoQueries    *telemetry.Counter
+	jobSubmissions *telemetry.Counter
+
+	spawnLatency *telemetry.Histogram
+	jobsSpawned  *telemetry.Counter
+
+	requests map[string]*telemetry.Counter
+	latency  map[string]*telemetry.Histogram
+}
+
+// instrumentedVerbs is the protocol surface measured per verb.
+var instrumentedVerbs = []string{
+	gram.VerbPing, gram.VerbSubmit, gram.VerbStatus, gram.VerbCancel, gram.VerbSignal,
+}
+
+// newInstruments registers the service's metric families in tel.
+func newInstruments(tel *telemetry.Registry) *instruments {
+	in := &instruments{
+		tel: tel,
+
+		connsAccepted: tel.Counter("infogram_connections_accepted_total", "connections accepted by the gatekeeper listener"),
+		connsActive:   tel.Gauge("infogram_connections_active", "connections currently being served"),
+		bytesRead:     tel.Counter("infogram_wire_bytes_read_total", "protocol bytes read from clients, framing included"),
+		bytesWritten:  tel.Counter("infogram_wire_bytes_written_total", "protocol bytes written to clients, framing included"),
+		frameErrors:   tel.Counter("infogram_wire_frame_errors_total", "malformed or oversized protocol frames"),
+
+		authOK:      tel.Counter("infogram_auth_total", "GSI handshake outcomes", telemetry.Label{Key: "outcome", Value: "ok"}),
+		authFailed:  tel.Counter("infogram_auth_total", "GSI handshake outcomes", telemetry.Label{Key: "outcome", Value: "failed"}),
+		authExpired: tel.Counter("infogram_auth_total", "GSI handshake outcomes", telemetry.Label{Key: "outcome", Value: "expired"}),
+		authLatency: tel.Histogram("infogram_auth_duration_seconds", "GSI mutual-authentication handshake latency"),
+
+		inFlight:       tel.Gauge("infogram_requests_in_flight", "protocol requests currently executing"),
+		infoQueries:    tel.Counter("infogram_info_queries_total", "information query parts evaluated"),
+		jobSubmissions: tel.Counter("infogram_job_submissions_total", "job submission parts evaluated"),
+
+		spawnLatency: tel.Histogram("infogram_gram_spawn_duration_seconds", "time from job submission to manager goroutine launch"),
+		jobsSpawned:  tel.Counter("infogram_gram_jobs_spawned_total", "job manager goroutines launched"),
+
+		requests: make(map[string]*telemetry.Counter, len(instrumentedVerbs)),
+		latency:  make(map[string]*telemetry.Histogram, len(instrumentedVerbs)),
+	}
+	for _, verb := range instrumentedVerbs {
+		l := telemetry.Label{Key: "verb", Value: strings.ToLower(verb)}
+		in.requests[verb] = tel.Counter("infogram_requests_total", "protocol requests dispatched, by verb", l)
+		in.latency[verb] = tel.Histogram("infogram_request_duration_seconds", "request handling latency, by verb", l)
+	}
+	return in
+}
+
+// serverInstruments is what the wire listener feeds.
+func (in *instruments) serverInstruments() wire.ServerInstruments {
+	return wire.ServerInstruments{Accepted: in.connsAccepted, Active: in.connsActive}
+}
+
+// connInstruments is what each accepted connection feeds.
+func (in *instruments) connInstruments() wire.ConnInstruments {
+	return wire.ConnInstruments{
+		BytesRead:    in.bytesRead,
+		BytesWritten: in.bytesWritten,
+		FrameErrors:  in.frameErrors,
+	}
+}
+
+// observeAuth classifies one handshake outcome and its latency. Expired
+// certificates (typically short-lived proxies) are an expected operational
+// event and get their own bucket.
+func (in *instruments) observeAuth(err error, elapsed time.Duration) {
+	in.authLatency.Observe(elapsed)
+	switch {
+	case err == nil:
+		in.authOK.Inc()
+	case errors.Is(err, gsi.ErrExpired):
+		in.authExpired.Inc()
+	default:
+		in.authFailed.Inc()
+	}
+}
+
+// span appends a span record to log, tagging it with the trace ID; a nil
+// log or empty trace drops the record.
+func span(log *logging.Logger, clk clock.Clock, trace telemetry.TraceID, name, contact string, elapsed time.Duration) {
+	if log == nil || trace == "" {
+		return
+	}
+	_ = log.Append(logging.Record{
+		Time:      clk.Now(),
+		Kind:      logging.KindSpan,
+		Contact:   contact,
+		Trace:     string(trace),
+		Span:      name,
+		ElapsedUS: elapsed.Microseconds(),
+	})
+}

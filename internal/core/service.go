@@ -29,6 +29,7 @@ import (
 	"infogram/internal/mds"
 	"infogram/internal/provider"
 	"infogram/internal/rsl"
+	"infogram/internal/telemetry"
 	"infogram/internal/wire"
 	"infogram/internal/xrsl"
 )
@@ -64,6 +65,11 @@ type Config struct {
 	Backends gram.Backends
 	// Log is the logging service of Figure 3 (restart + accounting).
 	Log *logging.Logger
+	// Telemetry receives the service's metrics; a private registry is
+	// created when nil, so instrumentation is always live. Callers that
+	// want to expose the metrics (Prometheus endpoint, shared registry)
+	// pass their own.
+	Telemetry *telemetry.Registry
 	// Clock defaults to the system clock.
 	Clock clock.Clock
 	// Env provides server-side RSL substitution variables.
@@ -78,6 +84,7 @@ type Service struct {
 	server  *wire.Server
 	dialer  *gram.CallbackDialer
 	info    *infoEngine
+	instr   *instruments
 
 	mu   sync.Mutex
 	addr string
@@ -94,12 +101,28 @@ func NewService(cfg Config) *Service {
 	if cfg.Registry == nil {
 		cfg.Registry = provider.NewRegistry(cfg.Clock)
 	}
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = telemetry.NewRegistry()
+	}
+	cfg.Telemetry.MarkStart(cfg.Clock.Now())
+	// Per-keyword cache counters, for providers registered before and
+	// after this point.
+	cfg.Registry.SetTelemetry(cfg.Telemetry)
+	// The self-monitoring provider (§4 dogfooded): the service's own
+	// telemetry is just another key information provider, queryable with
+	// &(info=selfmetrics). TTL 0 = execute on every request, so the
+	// answer always reflects the current counters.
+	if _, ok := cfg.Registry.Lookup(provider.SelfMetricsKeyword); !ok {
+		cfg.Registry.Register(provider.NewSelfMetrics(cfg.Telemetry), provider.RegisterOptions{})
+	}
 	s := &Service{cfg: cfg, dialer: gram.NewCallbackDialer()}
+	s.instr = newInstruments(cfg.Telemetry)
 	s.info = &infoEngine{
 		resource: cfg.ResourceName,
 		registry: cfg.Registry,
 	}
 	s.server = wire.NewServer(wire.HandlerFunc(s.serveConn))
+	s.server.Instrument(s.instr.serverInstruments())
 	return s
 }
 
@@ -113,11 +136,13 @@ func (s *Service) Listen(addr string) (string, error) {
 	s.addr = bound
 	s.table = job.NewTable(bound)
 	s.manager = gram.NewManager(gram.ManagerConfig{
-		Table:    s.table,
-		Backends: s.cfg.Backends,
-		Log:      s.cfg.Log,
-		Notify:   s.dialer,
-		Clock:    s.cfg.Clock,
+		Table:        s.table,
+		Backends:     s.cfg.Backends,
+		Log:          s.cfg.Log,
+		Notify:       s.dialer,
+		Clock:        s.cfg.Clock,
+		SpawnLatency: s.instr.spawnLatency,
+		JobsSpawned:  s.instr.jobsSpawned,
 	})
 	s.mu.Unlock()
 	if s.cfg.Log != nil {
@@ -143,8 +168,13 @@ func (s *Service) Table() *job.Table {
 	return s.table
 }
 
-// AcceptedConns reports accepted connections (experiments E3/E4).
-func (s *Service) AcceptedConns() int64 { return s.server.AcceptedConns() }
+// AcceptedConns reports accepted connections (experiments E3/E4). It is a
+// thin reader over the telemetry counter that now carries the count.
+func (s *Service) AcceptedConns() int64 { return s.instr.connsAccepted.Value() }
+
+// Telemetry returns the service's metrics registry (for exposition or
+// embedding into a larger one).
+func (s *Service) Telemetry() *telemetry.Registry { return s.cfg.Telemetry }
 
 // Close shuts the service down.
 func (s *Service) Close() error {
@@ -196,9 +226,20 @@ func (s *Service) Recover(records []logging.Record) ([]string, error) {
 }
 
 // serveConn is the InfoGram gatekeeper: one GSI handshake, one gridmap
-// lookup, then a loop over the single unified protocol.
+// lookup, then a loop over the single unified protocol. A trace ID is
+// minted per connection-request and follows the request through every
+// layer; each verb is timed into the per-verb latency histogram and, when
+// a logger is configured, emitted as a span record.
 func (s *Service) serveConn(c *wire.Conn) {
-	peer, err := gsi.ServerHandshake(c, s.cfg.Credential, s.cfg.Trust, s.cfg.Clock.Now())
+	c.Instrument(s.instr.connInstruments())
+	trace := telemetry.NewTraceID()
+	ctx := telemetry.WithTrace(context.Background(), trace)
+
+	authStart := s.cfg.Clock.Now()
+	peer, err := gsi.ServerHandshake(c, s.cfg.Credential, s.cfg.Trust, authStart)
+	authElapsed := s.cfg.Clock.Now().Sub(authStart)
+	s.instr.observeAuth(err, authElapsed)
+	span(s.cfg.Log, s.cfg.Clock, trace, "auth", "", authElapsed)
 	if err != nil {
 		return
 	}
@@ -212,11 +253,16 @@ func (s *Service) serveConn(c *wire.Conn) {
 		if err != nil {
 			return
 		}
+		// Count before handling, so a request that queries selfmetrics
+		// sees itself in the answer.
+		s.instr.requests[f.Verb].Inc()
+		s.instr.inFlight.Inc()
+		start := s.cfg.Clock.Now()
 		switch f.Verb {
 		case gram.VerbPing:
 			_ = c.WriteString(gram.VerbPong, "")
 		case gram.VerbSubmit:
-			s.handleSubmit(c, string(f.Payload), peer, local)
+			s.handleSubmit(ctx, c, string(f.Payload), peer, local)
 		case gram.VerbStatus:
 			s.handleStatus(c, strings.TrimSpace(string(f.Payload)))
 		case gram.VerbCancel:
@@ -226,6 +272,10 @@ func (s *Service) serveConn(c *wire.Conn) {
 		default:
 			_ = c.WriteString(gram.VerbError, fmt.Sprintf("infogram: unknown verb %s", f.Verb))
 		}
+		elapsed := s.cfg.Clock.Now().Sub(start)
+		s.instr.latency[f.Verb].Observe(elapsed)
+		s.instr.inFlight.Dec()
+		span(s.cfg.Log, s.cfg.Clock, trace, "request:"+f.Verb, "", elapsed)
 	}
 }
 
@@ -239,20 +289,20 @@ type PartResult struct {
 }
 
 // handleSubmit dispatches one SUBMIT frame: job, info, or multi-request.
-func (s *Service) handleSubmit(c *wire.Conn, src string, peer *gsi.Peer, local string) {
+func (s *Service) handleSubmit(ctx context.Context, c *wire.Conn, src string, peer *gsi.Peer, local string) {
 	reqs, err := xrsl.Decode(src, s.env(local))
 	if err != nil {
 		_ = c.WriteString(gram.VerbError, err.Error())
 		return
 	}
 	if len(reqs) == 1 {
-		s.respondSingle(c, reqs[0], peer, local)
+		s.respondSingle(ctx, c, reqs[0], peer, local)
 		return
 	}
 	// Multi-request: evaluate every part, report per-part outcomes.
 	parts := make([]PartResult, 0, len(reqs))
 	for _, req := range reqs {
-		parts = append(parts, s.evalPart(req, peer, local))
+		parts = append(parts, s.evalPart(ctx, req, peer, local))
 	}
 	payload, err := json.Marshal(parts)
 	if err != nil {
@@ -262,8 +312,8 @@ func (s *Service) handleSubmit(c *wire.Conn, src string, peer *gsi.Peer, local s
 	_ = c.Write(wire.Frame{Verb: VerbMulti, Payload: payload})
 }
 
-func (s *Service) respondSingle(c *wire.Conn, req *xrsl.Request, peer *gsi.Peer, local string) {
-	part := s.evalPart(req, peer, local)
+func (s *Service) respondSingle(ctx context.Context, c *wire.Conn, req *xrsl.Request, peer *gsi.Peer, local string) {
+	part := s.evalPart(ctx, req, peer, local)
 	switch part.Kind {
 	case "job":
 		_ = c.WriteString(gram.VerbSubmitted, part.Contact)
@@ -281,15 +331,18 @@ func (s *Service) respondSingle(c *wire.Conn, req *xrsl.Request, peer *gsi.Peer,
 	}
 }
 
-// evalPart authorizes and executes one request part.
-func (s *Service) evalPart(req *xrsl.Request, peer *gsi.Peer, local string) PartResult {
+// evalPart authorizes and executes one request part, counting it into the
+// info-query or job-submission counter before execution so a selfmetrics
+// query observes itself.
+func (s *Service) evalPart(ctx context.Context, req *xrsl.Request, peer *gsi.Peer, local string) PartResult {
 	now := s.cfg.Clock.Now()
 	switch req.Kind {
 	case xrsl.KindJob:
+		s.instr.jobSubmissions.Inc()
 		if err := s.cfg.Policy.Authorize(peer.Identity, gsi.OpJobSubmit, now); err != nil {
 			return PartResult{Kind: "error", Error: err.Error()}
 		}
-		contact, err := s.manager.Submit(context.Background(), req.Job, job.Record{
+		contact, err := s.manager.Submit(ctx, req.Job, job.Record{
 			Spec:     req.Source,
 			Owner:    local,
 			Identity: peer.Identity,
@@ -299,11 +352,14 @@ func (s *Service) evalPart(req *xrsl.Request, peer *gsi.Peer, local string) Part
 		}
 		return PartResult{Kind: "job", Contact: contact}
 	case xrsl.KindInfo:
+		s.instr.infoQueries.Inc()
 		if err := s.cfg.Policy.Authorize(peer.Identity, gsi.OpInfoQuery, now); err != nil {
 			return PartResult{Kind: "error", Error: err.Error()}
 		}
-		s.logInfoQuery(req.Info, peer, local)
-		body, err := s.info.Answer(context.Background(), req.Info)
+		s.logInfoQuery(ctx, req.Info, peer, local)
+		start := s.cfg.Clock.Now()
+		body, err := s.info.Answer(ctx, req.Info)
+		span(s.cfg.Log, s.cfg.Clock, telemetry.TraceFrom(ctx), "info-collect", "", s.cfg.Clock.Now().Sub(start))
 		if err != nil {
 			return PartResult{Kind: "error", Error: err.Error()}
 		}
@@ -313,7 +369,7 @@ func (s *Service) evalPart(req *xrsl.Request, peer *gsi.Peer, local string) Part
 	}
 }
 
-func (s *Service) logInfoQuery(info *xrsl.InfoRequest, peer *gsi.Peer, local string) {
+func (s *Service) logInfoQuery(ctx context.Context, info *xrsl.InfoRequest, peer *gsi.Peer, local string) {
 	if s.cfg.Log == nil {
 		return
 	}
@@ -329,6 +385,7 @@ func (s *Service) logInfoQuery(info *xrsl.InfoRequest, peer *gsi.Peer, local str
 		Identity: peer.Identity,
 		Owner:    local,
 		Keywords: keywords,
+		Trace:    string(telemetry.TraceFrom(ctx)),
 	})
 }
 

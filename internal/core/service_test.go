@@ -253,10 +253,14 @@ func TestSchemaReflection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(entries) != 1 {
+	// Load plus the built-in selfmetrics provider.
+	if len(entries) != 2 {
 		t.Fatalf("schema entries = %d", len(entries))
 	}
 	e := entries[0]
+	if kw, _ := e.Get("keyword"); kw != "Load" {
+		e = entries[1]
+	}
 	checks := map[string]string{
 		"keyword":         "Load",
 		"ttl":             "500",
@@ -273,7 +277,7 @@ func TestSchemaReflection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Format != xrsl.FormatXML || len(res.Entries) != 1 {
+	if res.Format != xrsl.FormatXML || len(res.Entries) != 2 {
 		t.Errorf("xml schema = %+v", res.Format)
 	}
 }

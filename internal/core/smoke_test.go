@@ -164,13 +164,13 @@ func TestEndToEndInfoAndJob(t *testing.T) {
 		t.Errorf("part 1 = %+v, want job", parts[1])
 	}
 
-	// Schema reflection.
+	// Schema reflection: Memory plus the built-in selfmetrics provider.
 	schema, err := cl.Schema()
 	if err != nil {
 		t.Fatalf("Schema: %v", err)
 	}
-	if len(schema) != 1 {
-		t.Fatalf("expected 1 schema entry, got %d", len(schema))
+	if len(schema) != 2 {
+		t.Fatalf("expected 2 schema entries, got %d", len(schema))
 	}
 	if kw, _ := schema[0].Get("keyword"); kw != "Memory" {
 		t.Errorf("schema keyword = %q", kw)

@@ -19,6 +19,7 @@ import (
 	"infogram/internal/job"
 	"infogram/internal/logging"
 	"infogram/internal/scheduler"
+	"infogram/internal/telemetry"
 	"infogram/internal/xrsl"
 )
 
@@ -75,6 +76,11 @@ type ManagerConfig struct {
 	// contact are pushed to it.
 	Notify Notifier
 	Clock  clock.Clock
+	// SpawnLatency optionally records how long Submit takes to register a
+	// job and launch its manager goroutine (telemetry span "gram-submit").
+	SpawnLatency *telemetry.Histogram
+	// JobsSpawned optionally counts manager goroutines launched.
+	JobsSpawned *telemetry.Counter
 }
 
 // Manager executes jobs: one manager goroutine per submission, mirroring
@@ -109,6 +115,7 @@ func (m *Manager) Table() *job.Table { return m.cfg.Table }
 // allocated.
 func (m *Manager) Submit(ctx context.Context, req *xrsl.JobRequest, rec job.Record) (string, error) {
 	now := m.cfg.Clock.Now()
+	trace := telemetry.TraceFrom(ctx)
 	if rec.Contact == "" {
 		rec.Contact = m.cfg.Table.NewContact(now)
 	}
@@ -125,11 +132,15 @@ func (m *Manager) Submit(ctx context.Context, req *xrsl.JobRequest, rec job.Reco
 		Spec:     rec.Spec,
 		Owner:    rec.Owner,
 		Identity: rec.Identity,
+		Trace:    string(trace),
 	})
 	if err := m.transition(rec.Contact, req, job.Mutation{State: job.Pending}); err != nil {
 		return "", err
 	}
-	jobCtx, cancel := context.WithCancel(ctx)
+	// The job context deliberately detaches from the request context: the
+	// job outlives the connection that submitted it. The trace ID is
+	// carried over so the spawn remains correlatable.
+	jobCtx, cancel := context.WithCancel(telemetry.WithTrace(context.Background(), trace))
 	m.mu.Lock()
 	m.cancels[rec.Contact] = cancel
 	m.mu.Unlock()
@@ -142,6 +153,19 @@ func (m *Manager) Submit(ctx context.Context, req *xrsl.JobRequest, rec job.Reco
 		}()
 		m.run(jobCtx, rec.Contact, req)
 	}()
+	m.cfg.JobsSpawned.Inc()
+	spawnElapsed := m.cfg.Clock.Now().Sub(now)
+	m.cfg.SpawnLatency.Observe(spawnElapsed)
+	if trace != "" {
+		m.logRecord(logging.Record{
+			Time:      m.cfg.Clock.Now(),
+			Kind:      logging.KindSpan,
+			Contact:   rec.Contact,
+			Trace:     string(trace),
+			Span:      "gram-submit",
+			ElapsedUS: spawnElapsed.Microseconds(),
+		})
+	}
 	return rec.Contact, nil
 }
 
@@ -170,15 +194,18 @@ func (m *Manager) transition(contact string, req *xrsl.JobRequest, mut job.Mutat
 	if err != nil {
 		return err
 	}
-	m.logRecord(logging.Record{
+	rec := logging.Record{
 		Time:     ev.Time,
 		Kind:     logging.KindState,
 		Contact:  contact,
 		State:    ev.State.String(),
-		ExitCode: ev.ExitCode,
 		Error:    ev.Error,
 		Restarts: ev.Restarts,
-	})
+	}
+	if ev.State.Terminal() {
+		rec.ExitCode = logging.IntPtr(ev.ExitCode)
+	}
+	m.logRecord(rec)
 	if m.cfg.Notify != nil && req != nil && req.CallbackContact != "" {
 		m.cfg.Notify.Notify(req.CallbackContact, ev)
 	}

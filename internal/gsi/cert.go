@@ -78,13 +78,19 @@ func (c *Certificate) checkSignature(issuerPub ed25519.PublicKey) error {
 	return nil
 }
 
+// ErrExpired marks a certificate (typically a short-lived proxy) whose
+// validity window has closed. Callers classify authentication failures with
+// errors.Is(err, ErrExpired) — expired proxies are an expected operational
+// event worth counting separately from genuine credential problems.
+var ErrExpired = errors.New("gsi: certificate expired")
+
 // validAt checks the validity window.
 func (c *Certificate) validAt(now time.Time) error {
 	if now.Before(c.NotBefore) {
 		return fmt.Errorf("gsi: certificate %q not yet valid (notBefore %s)", c.Subject, c.NotBefore.Format(time.RFC3339))
 	}
 	if now.After(c.NotAfter) {
-		return fmt.Errorf("gsi: certificate %q expired at %s", c.Subject, c.NotAfter.Format(time.RFC3339))
+		return fmt.Errorf("%w: %q at %s", ErrExpired, c.Subject, c.NotAfter.Format(time.RFC3339))
 	}
 	return nil
 }

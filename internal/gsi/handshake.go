@@ -130,6 +130,13 @@ func ServerHandshakeFrame(conn *wire.Conn, first wire.Frame, cred *Credential, t
 		_ = conn.WriteString(verbAuthErr, msg)
 		return nil, fmt.Errorf("gsi: %s", msg)
 	}
+	// failErr keeps cause in the returned error chain (errors.Is still
+	// works, e.g. for ErrExpired) while sending the same flat message to
+	// the peer.
+	failErr := func(cause error, context string) (*Peer, error) {
+		_ = conn.WriteString(verbAuthErr, fmt.Sprintf("%s: %v", context, cause))
+		return nil, fmt.Errorf("gsi: %s: %w", context, cause)
+	}
 	if first.Verb != verbAuth {
 		return fail("expected AUTH, got %s", first.Verb)
 	}
@@ -141,7 +148,7 @@ func ServerHandshakeFrame(conn *wire.Conn, first wire.Frame, cred *Credential, t
 		return fail("bad nonce length %d", len(req.Nonce))
 	}
 	if err := trust.VerifyChain(req.Chain, now); err != nil {
-		return fail("client chain rejected: %v", err)
+		return failErr(err, "client chain rejected")
 	}
 	leaf, err := req.Chain.Leaf()
 	if err != nil {

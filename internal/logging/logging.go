@@ -42,6 +42,9 @@ const (
 	KindCheckpoint Kind = "checkpoint"
 	// KindServiceStart marks a service (re)start, delimiting recovery.
 	KindServiceStart Kind = "service-start"
+	// KindSpan records one timed span of a traced request (telemetry);
+	// span records are ignored by Recover and Accounting.
+	KindSpan Kind = "span"
 )
 
 // Record is one log line.
@@ -53,14 +56,28 @@ type Record struct {
 	Owner    string    `json:"owner,omitempty"`
 	Identity string    `json:"identity,omitempty"`
 	State    string    `json:"state,omitempty"`
-	ExitCode int       `json:"exitCode,omitempty"`
-	Error    string    `json:"error,omitempty"`
-	Restarts int       `json:"restarts,omitempty"`
+	// ExitCode is nil when no exit code applies (non-terminal states); a
+	// pointer keeps a successful exit (code 0) distinguishable from "no
+	// exit code" in the JSON encoding.
+	ExitCode *int   `json:"exitCode,omitempty"`
+	Error    string `json:"error,omitempty"`
+	Restarts int    `json:"restarts,omitempty"`
 	// Keywords lists the queried providers for info-query records.
 	Keywords []string `json:"keywords,omitempty"`
 	// Checkpoint carries opaque application checkpoint data.
 	Checkpoint string `json:"checkpoint,omitempty"`
+	// Trace is the telemetry trace ID of the request that produced the
+	// record, correlating log lines across one request path.
+	Trace string `json:"trace,omitempty"`
+	// Span names the timed section for span records ("request:SUBMIT",
+	// "auth", "info-collect", "gram-submit").
+	Span string `json:"span,omitempty"`
+	// ElapsedUS is the span duration in microseconds.
+	ElapsedUS int64 `json:"elapsedUs,omitempty"`
 }
+
+// IntPtr adapts a plain exit code to the Record.ExitCode field.
+func IntPtr(n int) *int { return &n }
 
 // Logger appends records to a writer. It is safe for concurrent use.
 type Logger struct {
@@ -118,20 +135,31 @@ func (l *Logger) Close() error {
 	return err
 }
 
-// Replay reads every record from r in order.
+// Replay reads every record from r in order. A final line that fails to
+// parse — the signature of a crash mid-append, where the process died
+// before the record (or its newline) hit the disk — is dropped so a
+// restart can proceed from the intact prefix; an unparsable line in the
+// middle of the log is genuine corruption and still fails the replay.
 func Replay(r io.Reader) ([]Record, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
 	var out []Record
 	line := 0
+	badLine := 0 // most recent unparsable line, 0 when none pending
+	var badErr error
 	for sc.Scan() {
 		line++
 		if len(sc.Bytes()) == 0 {
 			continue
 		}
+		if badLine != 0 {
+			// The bad line was not the tail after all.
+			return nil, fmt.Errorf("logging: replay line %d: %w", badLine, badErr)
+		}
 		var rec Record
 		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
-			return nil, fmt.Errorf("logging: replay line %d: %w", line, err)
+			badLine, badErr = line, err
+			continue
 		}
 		out = append(out, rec)
 	}

@@ -50,8 +50,70 @@ func TestAppendReplayRoundTrip(t *testing.T) {
 }
 
 func TestReplayBadLine(t *testing.T) {
-	if _, err := Replay(strings.NewReader("{\"kind\":\"submit\"}\nnot-json\n")); err == nil {
-		t.Error("expected error on malformed line")
+	// A malformed line in the middle of the log is genuine corruption.
+	in := "{\"kind\":\"submit\"}\nnot-json\n{\"kind\":\"state\"}\n"
+	if _, err := Replay(strings.NewReader(in)); err == nil {
+		t.Error("expected error on malformed mid-file line")
+	}
+}
+
+func TestReplayDropsCorruptTail(t *testing.T) {
+	// A process that dies mid-append leaves a truncated final line; the
+	// restart must proceed from the intact prefix.
+	cases := []string{
+		"{\"kind\":\"submit\",\"contact\":\"c1\"}\n{\"kind\":\"state\",\"con", // cut mid-record, no newline
+		"{\"kind\":\"submit\",\"contact\":\"c1\"}\nnot-json\n",                // garbage tail with newline
+	}
+	for _, in := range cases {
+		recs, err := Replay(strings.NewReader(in))
+		if err != nil {
+			t.Fatalf("Replay(%q): %v", in, err)
+		}
+		if len(recs) != 1 || recs[0].Contact != "c1" {
+			t.Errorf("Replay(%q) = %+v, want the intact prefix", in, recs)
+		}
+	}
+}
+
+func TestRecoverAfterTruncatedLog(t *testing.T) {
+	// End-to-end restart path: append records through the file logger,
+	// truncate the file mid-final-record (the crash signature), and check
+	// ReplayFile + Recover still produce the unfinished job.
+	path := filepath.Join(t.TempDir(), "jobs.log")
+	lg, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend := func(r Record) {
+		t.Helper()
+		if err := lg.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAppend(Record{Kind: KindSubmit, Contact: "gram://h/1/1", Spec: "&(executable=a)", Owner: "alice"})
+	mustAppend(Record{Kind: KindState, Contact: "gram://h/1/1", State: "ACTIVE"})
+	mustAppend(Record{Kind: KindState, Contact: "gram://h/1/1", State: "DONE"})
+	if err := lg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Chop the final record in half.
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b[:len(b)-15], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReplayFile(path)
+	if err != nil {
+		t.Fatalf("ReplayFile after truncation: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("replayed %d records, want 2", len(recs))
+	}
+	pending := Recover(recs)
+	if len(pending) != 1 || pending[0].Contact != "gram://h/1/1" {
+		t.Fatalf("Recover = %+v, want the job whose DONE record was lost", pending)
 	}
 }
 

@@ -156,3 +156,50 @@ func TestCatalogueConcurrent(t *testing.T) {
 		t.Errorf("total observations = %d, want 4000", total)
 	}
 }
+
+func TestCatalogueConcurrentReadersAndWriters(t *testing.T) {
+	// Stats and Keywords must be safe while Observe runs: the selfmetrics
+	// provider and the performance tag read the catalogue on the request
+	// path while providers are still executing. Run with -race.
+	c := NewCatalogue()
+	stop := make(chan struct{})
+	var writers, readers sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		writers.Add(1)
+		go func(i int) {
+			defer writers.Done()
+			kw := []string{"x", "y"}[i%2]
+			for j := 0; j < 300; j++ {
+				c.Observe(kw, time.Duration(j)*time.Microsecond)
+			}
+		}(i)
+	}
+	for i := 0; i < 4; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, kw := range c.Keywords() {
+					if st, ok := c.Stats(kw); ok && st.Count < 0 {
+						t.Error("negative count")
+						return
+					}
+				}
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if st, ok := c.Stats("x"); !ok || st.Count != 600 {
+		t.Errorf("Stats(x) = %+v, %v", st, ok)
+	}
+	if st, ok := c.Stats("y"); !ok || st.Count != 600 {
+		t.Errorf("Stats(y) = %+v, %v", st, ok)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"infogram/internal/clock"
 	"infogram/internal/metrics"
 	"infogram/internal/quality"
+	"infogram/internal/telemetry"
 )
 
 // RegisterOptions configures a provider registration.
@@ -40,6 +41,7 @@ type Registry struct {
 	byKeyword map[string]*Registered
 	catalogue *metrics.Catalogue
 	clk       clock.Clock
+	tel       *telemetry.Registry
 }
 
 // NewRegistry returns an empty registry using the given clock (nil for the
@@ -58,6 +60,37 @@ func NewRegistry(clk clock.Clock) *Registry {
 // Catalogue returns the performance catalogue shared by all providers.
 func (r *Registry) Catalogue() *metrics.Catalogue { return r.catalogue }
 
+// SetTelemetry attaches a telemetry registry: every provider's cache entry
+// — already registered or registered later — feeds per-keyword hit, miss,
+// and eviction counters into it. The owning service calls this once at
+// construction; providers registered earlier (e.g. from a configuration
+// file loaded before the service existed) are retrofitted.
+func (r *Registry) SetTelemetry(tel *telemetry.Registry) {
+	r.mu.Lock()
+	r.tel = tel
+	regs := make([]*Registered, 0, len(r.order))
+	for _, k := range r.order {
+		regs = append(regs, r.byKeyword[k])
+	}
+	r.mu.Unlock()
+	for _, g := range regs {
+		g.entry.SetTelemetry(cacheCounters(tel, g.Keyword()))
+	}
+}
+
+// cacheCounters builds the per-keyword cache counter set.
+func cacheCounters(tel *telemetry.Registry, keyword string) cache.Counters {
+	if tel == nil {
+		return cache.Counters{}
+	}
+	kw := telemetry.Label{Key: "keyword", Value: strings.ToLower(keyword)}
+	return cache.Counters{
+		Hits:      tel.Counter("infogram_cache_hits_total", "information reads served from a provider cache", kw),
+		Misses:    tel.Counter("infogram_cache_misses_total", "information reads that executed the provider", kw),
+		Evictions: tel.Counter("infogram_cache_evictions_total", "cached provider values superseded by a fresh execution", kw),
+	}
+}
+
 // Register binds p under its keyword. Re-registering a keyword replaces
 // the previous provider (used by configuration hot-reload).
 func (r *Registry) Register(p Provider, opts RegisterOptions) *Registered {
@@ -75,13 +108,17 @@ func (r *Registry) Register(p Provider, opts RegisterOptions) *Registered {
 		degrade:  opts.Degrade,
 		format:   opts.Format,
 	}
+	r.mu.RLock()
+	tel := r.tel
+	r.mu.RUnlock()
 	reg.entry = cache.NewEntry(cache.Options{
-		TTL:     opts.TTL,
-		Delay:   opts.Delay,
-		Degrade: opts.Degrade,
-		Drift:   opts.Drift,
-		Series:  series,
-		Clock:   opts.Clock,
+		TTL:       opts.TTL,
+		Delay:     opts.Delay,
+		Degrade:   opts.Degrade,
+		Drift:     opts.Drift,
+		Series:    series,
+		Telemetry: cacheCounters(tel, p.Keyword()),
+		Clock:     opts.Clock,
 	}, func(ctx context.Context) (any, error) {
 		attrs, err := p.Fetch(ctx)
 		if err != nil {

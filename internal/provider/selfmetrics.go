@@ -1,0 +1,89 @@
+package provider
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"infogram/internal/telemetry"
+)
+
+// SelfMetricsKeyword is the keyword under which a service's own telemetry
+// is published.
+const SelfMetricsKeyword = "selfmetrics"
+
+// SelfMetrics is the self-monitoring information provider: it renders the
+// service's telemetry registry as ordinary information attributes, so a
+// client can ask InfoGram about InfoGram — request rates, latency
+// distributions, cache effectiveness — through the same xRSL info query
+// used for any other keyword (&(info=selfmetrics)). This dogfoods the
+// paper's unified-protocol claim: the information service is itself just
+// another key information provider, no second monitoring protocol needed.
+type SelfMetrics struct {
+	reg *telemetry.Registry
+}
+
+// NewSelfMetrics wraps a telemetry registry as a provider.
+func NewSelfMetrics(reg *telemetry.Registry) *SelfMetrics {
+	return &SelfMetrics{reg: reg}
+}
+
+// Keyword returns "selfmetrics".
+func (p *SelfMetrics) Keyword() string { return SelfMetricsKeyword }
+
+// Source describes the provider.
+func (p *SelfMetrics) Source() string { return "telemetry" }
+
+// metricAttrName flattens a metric name and its labels into an LDIF-safe
+// attribute name: label values are dot-appended in label order
+// ("infogram_requests_total.submit").
+func metricAttrName(name string, labels []telemetry.Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var sb strings.Builder
+	sb.WriteString(name)
+	for _, l := range labels {
+		sb.WriteByte('.')
+		sb.WriteString(l.Value)
+	}
+	return sb.String()
+}
+
+// Fetch snapshots the registry. Counters and gauges become one attribute
+// each; histograms expand to count, sum, mean, and p50/p99 estimates in
+// seconds so latency distributions are queryable without Prometheus.
+func (p *SelfMetrics) Fetch(context.Context) (Attributes, error) {
+	var attrs Attributes
+	for _, pt := range p.reg.Snapshot() {
+		base := metricAttrName(pt.Name, pt.Labels)
+		switch pt.Kind {
+		case telemetry.KindCounter, telemetry.KindGauge:
+			attrs = append(attrs, Attr{Name: base, Value: strconv.FormatInt(pt.Value, 10)})
+		case telemetry.KindHistogram:
+			attrs = append(attrs,
+				Attr{Name: base + ".count", Value: strconv.FormatUint(pt.Hist.Count, 10)},
+				Attr{Name: base + ".sum_seconds", Value: fmt.Sprintf("%.6f", pt.Hist.Sum.Seconds())},
+				Attr{Name: base + ".mean_seconds", Value: fmt.Sprintf("%.6f", pt.Hist.Mean().Seconds())},
+				Attr{Name: base + ".p50_seconds", Value: fmt.Sprintf("%.6f", pt.Hist.Quantile(0.50).Seconds())},
+				Attr{Name: base + ".p99_seconds", Value: fmt.Sprintf("%.6f", pt.Hist.Quantile(0.99).Seconds())},
+			)
+		}
+	}
+	return attrs, nil
+}
+
+// AttrSchemas describes the attribute shape for reflection (§6.4). The
+// concrete attribute set depends on which metrics the service has touched,
+// so the schema documents the families rather than enumerating instances.
+func (p *SelfMetrics) AttrSchemas() []AttrSchema {
+	return []AttrSchema{
+		{Name: "<metric>[.<label>]", Type: "int", Doc: "counter or gauge value"},
+		{Name: "<metric>[.<label>].count", Type: "int", Doc: "histogram sample count"},
+		{Name: "<metric>[.<label>].sum_seconds", Type: "float", Doc: "histogram sum in seconds"},
+		{Name: "<metric>[.<label>].mean_seconds", Type: "float", Doc: "mean latency in seconds"},
+		{Name: "<metric>[.<label>].p50_seconds", Type: "float", Doc: "estimated median latency"},
+		{Name: "<metric>[.<label>].p99_seconds", Type: "float", Doc: "estimated 99th-percentile latency"},
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"infogram/internal/metrics"
+	"infogram/internal/telemetry"
 )
 
 // Policy orders a batch queue's pending tasks. Implementations pick which
@@ -61,6 +62,12 @@ type QueueConfig struct {
 	Queues map[string]QueueLimits
 	// Executor runs dispatched tasks; defaults to a Fork backend.
 	Executor Backend
+	// DepthGauge optionally mirrors the pending-task count into a
+	// telemetry gauge.
+	DepthGauge *telemetry.Gauge
+	// DispatchLatency optionally records queue-wait time (enqueue to
+	// dispatch) per task.
+	DispatchLatency *telemetry.Histogram
 }
 
 // Queue is a slot-limited batch scheduler: the discrete simulation of a
@@ -115,12 +122,19 @@ func (q *Queue) Depth() int {
 	return len(q.pending)
 }
 
+// syncDepthLocked mirrors the pending count into the telemetry gauge.
+// Caller holds q.mu.
+func (q *Queue) syncDepthLocked() {
+	q.cfg.DepthGauge.Set(int64(len(q.pending)))
+}
+
 // Close stops the dispatcher; queued tasks fail, running tasks continue.
 func (q *Queue) Close() {
 	q.mu.Lock()
 	q.closed = true
 	pending := q.pending
 	q.pending = nil
+	q.syncDepthLocked()
 	q.mu.Unlock()
 	q.cond.Broadcast()
 	for _, t := range pending {
@@ -160,6 +174,7 @@ func (q *Queue) Submit(ctx context.Context, t Task) (Handle, error) {
 		return nil, fmt.Errorf("scheduler: %s: queue closed", q.cfg.Name)
 	}
 	q.pending = append(q.pending, qt)
+	q.syncDepthLocked()
 	q.mu.Unlock()
 	q.cond.Signal()
 	return qt.h, nil
@@ -193,6 +208,7 @@ func (q *Queue) dispatch() {
 			}
 		}
 		q.pending = alive
+		q.syncDepthLocked()
 		if len(q.pending) == 0 {
 			q.mu.Unlock()
 			for _, t := range dropped {
@@ -210,6 +226,7 @@ func (q *Queue) dispatch() {
 		}
 		qt := q.pending[idx]
 		q.pending = append(q.pending[:idx], q.pending[idx+1:]...)
+		q.syncDepthLocked()
 		q.running++
 		q.cfg.Policy.Started(qt)
 		q.mu.Unlock()
@@ -225,6 +242,7 @@ func (q *Queue) dispatch() {
 func (q *Queue) run(qt *QueuedTask) {
 	wait := time.Since(qt.Enqueued)
 	q.waits.Observe(wait)
+	q.cfg.DispatchLatency.Observe(wait)
 	start := time.Now()
 
 	inner, err := q.cfg.Executor.Submit(qt.ctx, qt.Task)

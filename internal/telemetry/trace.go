@@ -1,0 +1,55 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/hex"
+	"math/rand/v2"
+	"net/http"
+)
+
+// TraceID identifies one client request end to end: minted when the
+// wire.Server accepts the connection's conversation, carried through the
+// core dispatcher into provider lookups, cache reads, and job-manager
+// spawns, and stamped onto every structured log record the request
+// produces. Correlating a slow query with its per-span log records is a
+// grep for the trace ID.
+type TraceID string
+
+// NewTraceID mints a random 64-bit trace ID in hex. It uses the per-P
+// math/rand/v2 source: trace IDs need uniqueness within a log window, not
+// cryptographic strength, and minting must stay off the allocator-heavy
+// path as much as possible.
+func NewTraceID() TraceID {
+	var b [8]byte
+	v := rand.Uint64()
+	for i := 7; i >= 0; i-- {
+		b[i] = byte(v)
+		v >>= 8
+	}
+	return TraceID(hex.EncodeToString(b[:]))
+}
+
+type traceKey struct{}
+
+// WithTrace returns a context carrying the trace ID.
+func WithTrace(ctx context.Context, id TraceID) context.Context {
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+// TraceFrom extracts the trace ID from ctx ("" when absent).
+func TraceFrom(ctx context.Context) TraceID {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(traceKey{}).(TraceID)
+	return id
+}
+
+// Handler serves the registry in Prometheus text exposition format, for
+// mounting at /metrics on an operator-facing HTTP port.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

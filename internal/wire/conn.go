@@ -5,6 +5,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"infogram/internal/telemetry"
 )
 
 // Conn wraps a net.Conn with buffered frame I/O. Reads and writes are each
@@ -21,7 +23,26 @@ type Conn struct {
 	w   *bufio.Writer
 
 	callMu sync.Mutex
+
+	instr ConnInstruments
 }
+
+// ConnInstruments holds the optional per-connection telemetry. Nil metrics
+// are no-ops, so a zero value disables instrumentation.
+type ConnInstruments struct {
+	// BytesRead counts frame bytes successfully read.
+	BytesRead *telemetry.Counter
+	// BytesWritten counts frame bytes successfully written.
+	BytesWritten *telemetry.Counter
+	// FrameErrors counts framing failures (malformed headers, oversized
+	// payloads, short reads) in either direction.
+	FrameErrors *telemetry.Counter
+}
+
+// Instrument attaches telemetry to the connection. Call before sharing the
+// connection between goroutines (the server handler does this first
+// thing).
+func (c *Conn) Instrument(i ConnInstruments) { c.instr = i }
 
 // NewConn wraps nc for frame I/O.
 func NewConn(nc net.Conn) *Conn {
@@ -54,7 +75,14 @@ func DialTimeout(addr string, d time.Duration) (*Conn, error) {
 func (c *Conn) Read() (Frame, error) {
 	c.rmu.Lock()
 	defer c.rmu.Unlock()
-	return ReadFrame(c.r)
+	f, err := ReadFrame(c.r)
+	switch {
+	case err == nil:
+		c.instr.BytesRead.Add(int64(f.WireSize()))
+	case IsFrameError(err):
+		c.instr.FrameErrors.Inc()
+	}
+	return f, err
 }
 
 // Write writes f and flushes it to the network.
@@ -62,9 +90,16 @@ func (c *Conn) Write(f Frame) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
 	if err := WriteFrame(c.w, f); err != nil {
+		if IsFrameError(err) {
+			c.instr.FrameErrors.Inc()
+		}
 		return err
 	}
-	return c.w.Flush()
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	c.instr.BytesWritten.Add(int64(f.WireSize()))
+	return nil
 }
 
 // WriteString writes a frame with a string payload.

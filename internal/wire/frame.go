@@ -37,6 +37,20 @@ type Frame struct {
 	Payload []byte
 }
 
+// WireSize returns the number of bytes the frame occupies on the wire:
+// header (verb, space, decimal length, LF) plus payload.
+func (f Frame) WireSize() int {
+	n := len(f.Verb) + 2 + len(f.Payload) // verb, SP, LF, payload
+	l := len(f.Payload)
+	for {
+		n++
+		l /= 10
+		if l == 0 {
+			return n
+		}
+	}
+}
+
 // String renders a short human-readable description for logs.
 func (f Frame) String() string {
 	const peek = 48
@@ -53,6 +67,13 @@ var (
 	ErrFrameSyntax = errors.New("wire: malformed frame header")
 	ErrTooLarge    = errors.New("wire: frame exceeds maximum payload size")
 )
+
+// IsFrameError reports whether err is a protocol framing violation (as
+// opposed to an I/O error such as a closed connection); the telemetry
+// layer counts these separately.
+func IsFrameError(err error) bool {
+	return errors.Is(err, ErrVerbSyntax) || errors.Is(err, ErrFrameSyntax) || errors.Is(err, ErrTooLarge)
+}
 
 // validVerb reports whether s is a legal verb token.
 func validVerb(s string) bool {

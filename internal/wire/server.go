@@ -5,6 +5,8 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+
+	"infogram/internal/telemetry"
 )
 
 // Handler serves one accepted connection. The server closes the connection
@@ -27,6 +29,7 @@ func (f HandlerFunc) ServeConn(c *Conn) { f(c) }
 // Figures 2 and 4).
 type Server struct {
 	handler Handler
+	instr   ServerInstruments
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -35,6 +38,18 @@ type Server struct {
 	wg       sync.WaitGroup
 	accepted atomic.Int64
 }
+
+// ServerInstruments holds the optional telemetry the accept loop feeds.
+// Nil metrics are no-ops, so a zero value disables instrumentation.
+type ServerInstruments struct {
+	// Accepted counts accepted connections.
+	Accepted *telemetry.Counter
+	// Active gauges connections whose handler is still running.
+	Active *telemetry.Gauge
+}
+
+// Instrument attaches telemetry to the accept loop. Call before Listen.
+func (s *Server) Instrument(i ServerInstruments) { s.instr = i }
 
 // NewServer returns a server that will dispatch connections to h.
 func NewServer(h Handler) *Server {
@@ -96,6 +111,8 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		s.conns[nc] = struct{}{}
 		s.mu.Unlock()
 		s.accepted.Add(1)
+		s.instr.Accepted.Inc()
+		s.instr.Active.Inc()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -104,6 +121,7 @@ func (s *Server) acceptLoop(ln net.Listener) {
 				s.mu.Lock()
 				delete(s.conns, nc)
 				s.mu.Unlock()
+				s.instr.Active.Dec()
 			}()
 			s.handler.ServeConn(NewConn(nc))
 		}()

@@ -1,0 +1,26 @@
+#!/bin/sh
+# Repository health gate: formatting, static analysis, and the full test
+# suite under the race detector. Run from the repository root:
+#
+#	./scripts/check.sh
+#
+# Exits non-zero on the first failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: the following files need formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "ok: all checks passed"
