@@ -24,6 +24,7 @@ import (
 	"infogram/internal/bootstrap"
 	"infogram/internal/config"
 	"infogram/internal/core"
+	"infogram/internal/faultinject"
 	"infogram/internal/gram"
 	"infogram/internal/logging"
 	"infogram/internal/provider"
@@ -45,6 +46,10 @@ func main() {
 		restore   = flag.Bool("recover", false, "replay the log file and restart unfinished jobs")
 		sandbox   = flag.Bool("restricted", false, "run in-process jobs in the restricted sandbox")
 		metrics   = flag.String("metrics-addr", "", "serve Prometheus text metrics on this address at /metrics")
+		reqTO     = flag.Duration("request-timeout", 0, "per-request deadline and slow-client I/O timeout (0 disables)")
+		provTO    = flag.Duration("provider-timeout", 0, "per-provider collection timeout; failures degrade replies instead of erroring (0 disables)")
+		faults    = flag.String("faultpoints", os.Getenv("INFOGRAM_FAULTPOINTS"),
+			"arm fault-injection failpoints, e.g. 'wire.read=delay(100ms),provider.collect=hang' (also via INFOGRAM_FAULTPOINTS)")
 	)
 	flag.Parse()
 
@@ -92,6 +97,13 @@ func main() {
 	fn := scheduler.NewFunc(mode, scheduler.Budgets{})
 
 	tel := telemetry.NewRegistry()
+	faultinject.SetTelemetry(tel)
+	if *faults != "" {
+		if err := faultinject.ArmSpec(*faults); err != nil {
+			log.Fatalf("faultpoints: %v", err)
+		}
+		fmt.Printf("infogram: fault injection armed: %v\n", faultinject.Armed())
+	}
 	queue := scheduler.NewQueue(scheduler.QueueConfig{
 		Name:            "pbs",
 		Slots:           4,
@@ -112,8 +124,10 @@ func main() {
 			Func:  fn,
 			Queue: queue,
 		},
-		Log:       logger,
-		Telemetry: tel,
+		Log:             logger,
+		Telemetry:       tel,
+		RequestTimeout:  *reqTO,
+		ProviderTimeout: *provTO,
 	})
 	bound, err := svc.Listen(*addr)
 	if err != nil {

@@ -30,6 +30,29 @@ func (Real) Since(t time.Time) time.Duration { return time.Since(t) }
 // System is a shared wall-clock instance.
 var System Clock = Real{}
 
+// Sleeper is implemented by clocks that can pause the caller. Real sleeps
+// on the wall clock; Fake advances itself instead, so backoff loops under
+// test complete instantly yet still observe the elapsed fake time.
+type Sleeper interface {
+	Sleep(d time.Duration)
+}
+
+// Sleep implements Sleeper using time.Sleep.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// SleepFor pauses for d on clk's timeline: through clk's Sleeper
+// implementation when it has one, otherwise by sleeping on the wall clock.
+func SleepFor(clk Clock, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if s, ok := clk.(Sleeper); ok {
+		s.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
 // Fake is a manually advanced clock for tests. The zero value starts at the
 // zero time; NewFake starts at a given instant.
 type Fake struct {
@@ -56,6 +79,14 @@ func (f *Fake) Advance(d time.Duration) time.Time {
 	defer f.mu.Unlock()
 	f.now = f.now.Add(d)
 	return f.now
+}
+
+// Sleep implements Sleeper by advancing the fake clock, so code sleeping
+// on a Fake never blocks the test.
+func (f *Fake) Sleep(d time.Duration) {
+	if d > 0 {
+		f.Advance(d)
+	}
 }
 
 // Set pins the clock to t.

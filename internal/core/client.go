@@ -3,53 +3,303 @@ package core
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
+	"net"
+	"os"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"infogram/internal/clock"
+	"infogram/internal/faultinject"
 	"infogram/internal/gram"
 	"infogram/internal/gsi"
 	"infogram/internal/ldif"
+	"infogram/internal/telemetry"
 	"infogram/internal/wire"
 	"infogram/internal/xmlenc"
 	"infogram/internal/xrsl"
 )
+
+// RetryPolicy bounds the client's transparent recovery from transient
+// transport failures: connect errors, handshake interruptions, broken or
+// timed-out connections. Retries apply only to connection establishment
+// and to idempotent requests (ping, query, status) — a SUBMIT that may
+// already have reached the server is never replayed, because the job
+// could run twice.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (first attempt included).
+	// Values below 2 disable retrying.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; it doubles per
+	// retry. Defaults to 50ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. Defaults to 2s.
+	MaxDelay time.Duration
+}
+
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts < 2 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// backoff returns the pause before the retry-th retry (1-based):
+// exponential from BaseDelay, capped at MaxDelay, with deterministic
+// jitter spreading the result over [d/2, d). The jitter hashes the retry
+// index instead of drawing randomness so tests (and replayed incidents)
+// see identical schedules.
+func (p RetryPolicy) backoff(retry int) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	cap := p.MaxDelay
+	if cap <= 0 {
+		cap = 2 * time.Second
+	}
+	d := base
+	for i := 1; i < retry; i++ {
+		d *= 2
+		if d >= cap || d <= 0 {
+			d = cap
+			break
+		}
+	}
+	if d > cap {
+		d = cap
+	}
+	h := uint64(retry) * 0x9E3779B97F4A7C15
+	frac := float64(h>>40) / float64(1<<24) // [0,1)
+	return d/2 + time.Duration(frac*float64(d/2))
+}
+
+// Options configures a client beyond the required credentials.
+type Options struct {
+	// Clock defaults to the system clock; a clock.Fake with its Sleeper
+	// implementation makes backoff instantaneous in tests.
+	Clock clock.Clock
+	// Retry is the transient-failure retry policy; the zero value
+	// disables retrying.
+	Retry RetryPolicy
+	// DialTimeout bounds connection establishment and, through the wire
+	// layer, each subsequent frame operation on the connection. Zero
+	// means unbounded.
+	DialTimeout time.Duration
+	// RequestTimeout bounds each request/response exchange (and each
+	// handshake). Zero means unbounded.
+	RequestTimeout time.Duration
+	// Telemetry optionally receives infogram_client_retries_total.
+	Telemetry *telemetry.Registry
+}
 
 // Client is the single client an InfoGram deployment needs: one
 // authenticated connection, one protocol, both job execution and
 // information queries — contrast with the Figure 2 baseline where a client
 // must hold a gram.Client and an mds.Client against two ports.
 type Client struct {
+	addr    string
+	cred    *gsi.Credential
+	trust   *gsi.TrustStore
+	opts    Options
+	clk     clock.Clock
+	retries *telemetry.Counter
+
+	mu   sync.Mutex
 	conn *wire.Conn
 	peer *gsi.Peer
-	clk  clock.Clock
 }
 
 // Dial connects and authenticates to an InfoGram service.
 func Dial(addr string, cred *gsi.Credential, trust *gsi.TrustStore) (*Client, error) {
-	return DialClock(addr, cred, trust, clock.System)
+	return DialWithOptions(addr, cred, trust, Options{})
 }
 
 // DialClock is Dial with an injected clock.
 func DialClock(addr string, cred *gsi.Credential, trust *gsi.TrustStore, clk clock.Clock) (*Client, error) {
-	conn, err := wire.Dial(addr)
-	if err != nil {
-		return nil, fmt.Errorf("infogram: dial %s: %w", addr, err)
+	return DialWithOptions(addr, cred, trust, Options{Clock: clk})
+}
+
+// DialWithOptions is Dial with timeouts, a retry policy, and telemetry.
+// Connection establishment itself honours the retry policy: transient
+// dial and handshake failures back off and try again.
+func DialWithOptions(addr string, cred *gsi.Credential, trust *gsi.TrustStore, opts Options) (*Client, error) {
+	if opts.Clock == nil {
+		opts.Clock = clock.System
 	}
-	peer, err := gsi.ClientHandshake(conn, cred, trust, clk.Now())
+	c := &Client{addr: addr, cred: cred, trust: trust, opts: opts, clk: opts.Clock}
+	if opts.Telemetry != nil {
+		c.retries = opts.Telemetry.Counter("infogram_client_retries_total",
+			"transparent client retries after transient connect, handshake, or wire failures")
+	}
+	attempts := opts.Retry.attempts()
+	for attempt := 1; ; attempt++ {
+		conn, peer, err := c.connect()
+		if err == nil {
+			c.conn, c.peer = conn, peer
+			return c, nil
+		}
+		if attempt >= attempts || !isTransient(err) {
+			return nil, err
+		}
+		c.retries.Inc()
+		clock.SleepFor(c.clk, opts.Retry.backoff(attempt))
+	}
+}
+
+// connect dials and authenticates one fresh connection.
+func (c *Client) connect() (*wire.Conn, *gsi.Peer, error) {
+	var conn *wire.Conn
+	var err error
+	if c.opts.DialTimeout > 0 {
+		conn, err = wire.DialTimeout(c.addr, c.opts.DialTimeout)
+	} else {
+		conn, err = wire.Dial(c.addr)
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("infogram: dial %s: %w", c.addr, err)
+	}
+	ctx, cancel := c.callCtx()
+	peer, err := gsi.ClientHandshakeContext(ctx, conn, c.cred, c.trust, c.clk.Now())
+	cancel()
 	if err != nil {
 		conn.Close()
-		return nil, err
+		return nil, nil, err
 	}
-	return &Client{conn: conn, peer: peer, clk: clk}, nil
+	return conn, peer, nil
+}
+
+func (c *Client) callCtx() (context.Context, context.CancelFunc) {
+	if c.opts.RequestTimeout > 0 {
+		return context.WithTimeout(context.Background(), c.opts.RequestTimeout)
+	}
+	return context.WithCancel(context.Background())
 }
 
 // Server returns the authenticated server identity.
-func (c *Client) Server() *gsi.Peer { return c.peer }
+func (c *Client) Server() *gsi.Peer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.peer
+}
 
 // Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+func (c *Client) Close() error {
+	c.mu.Lock()
+	conn := c.conn
+	c.conn = nil
+	c.mu.Unlock()
+	if conn == nil {
+		return nil
+	}
+	return conn.Close()
+}
+
+func (c *Client) currentConn() *wire.Conn {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn
+}
+
+// dropConn discards a connection observed failing, unless a concurrent
+// caller already replaced it.
+func (c *Client) dropConn(old *wire.Conn) {
+	old.Close()
+	c.mu.Lock()
+	if c.conn == old {
+		c.conn = nil
+	}
+	c.mu.Unlock()
+}
+
+// reconnect establishes a connection if none is live.
+func (c *Client) reconnect() error {
+	if c.currentConn() != nil {
+		return nil
+	}
+	conn, peer, err := c.connect()
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	if c.conn != nil {
+		c.mu.Unlock()
+		conn.Close() // lost the race to another caller's reconnect
+		return nil
+	}
+	c.conn, c.peer = conn, peer
+	c.mu.Unlock()
+	return nil
+}
+
+// call performs one request/response exchange. Idempotent requests (ping,
+// query, status) are transparently retried under the retry policy when the
+// transport fails: the connection is torn down, the backoff elapses on the
+// client's clock, and a fresh connection is dialed and authenticated.
+// Non-idempotent requests (submit, cancel, signal) are never retried once
+// the request may have been sent.
+func (c *Client) call(req wire.Frame, idempotent bool) (wire.Frame, error) {
+	attempts := 1
+	if idempotent {
+		attempts = c.opts.Retry.attempts()
+	}
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 {
+			c.retries.Inc()
+			clock.SleepFor(c.clk, c.opts.Retry.backoff(attempt-1))
+		}
+		if err := c.reconnect(); err != nil {
+			lastErr = err
+			if !isTransient(err) {
+				return wire.Frame{}, err
+			}
+			continue
+		}
+		conn := c.currentConn()
+		if conn == nil {
+			lastErr = fmt.Errorf("infogram: connection closed")
+			continue
+		}
+		ctx, cancel := c.callCtx()
+		resp, err := conn.CallContext(ctx, req)
+		cancel()
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if !idempotent || !isTransient(err) {
+			return wire.Frame{}, err
+		}
+		c.dropConn(conn)
+	}
+	return wire.Frame{}, lastErr
+}
+
+// isTransient classifies errors worth retrying: transport-level failures
+// where the server never (or no longer) holds the request. Protocol-level
+// rejections — authentication denials, server ERROR frames — are not
+// transient.
+func isTransient(err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, faultinject.ErrInjected):
+		return true
+	case errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF):
+		return true
+	case errors.Is(err, os.ErrDeadlineExceeded), errors.Is(err, context.DeadlineExceeded):
+		return true
+	case errors.Is(err, syscall.ECONNREFUSED), errors.Is(err, syscall.ECONNRESET), errors.Is(err, syscall.EPIPE):
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne)
+}
 
 func serverError(f wire.Frame) error {
 	return fmt.Errorf("infogram: server error: %s", strings.TrimSpace(string(f.Payload)))
@@ -57,7 +307,7 @@ func serverError(f wire.Frame) error {
 
 // Ping checks service liveness.
 func (c *Client) Ping() error {
-	resp, err := c.conn.Call(wire.Frame{Verb: gram.VerbPing})
+	resp, err := c.call(wire.Frame{Verb: gram.VerbPing}, true)
 	if err != nil {
 		return err
 	}
@@ -69,8 +319,11 @@ func (c *Client) Ping() error {
 
 // Submit sends raw xRSL. For a job it returns the job contact; an info
 // query submitted through Submit fails with a type hint — use Query.
+// Submissions are never retried: a transport failure after the request
+// was sent leaves the job's fate unknown, and replaying could run it
+// twice.
 func (c *Client) Submit(xrslSrc string) (string, error) {
-	resp, err := c.conn.Call(wire.Frame{Verb: gram.VerbSubmit, Payload: []byte(xrslSrc)})
+	resp, err := c.call(wire.Frame{Verb: gram.VerbSubmit, Payload: []byte(xrslSrc)}, false)
 	if err != nil {
 		return "", err
 	}
@@ -89,42 +342,63 @@ type InfoResult struct {
 	Format  xrsl.Format
 	Raw     string
 	Entries []ldif.Entry
+	// Degraded reports that the server answered partially because one or
+	// more providers failed or timed out; the reply carries a
+	// status=degraded entry naming the missing keywords.
+	Degraded bool
 }
 
-// QueryRaw sends raw xRSL expected to be an information query.
+// QueryRaw sends raw xRSL expected to be an information query. Queries
+// are read-only and therefore retried under the retry policy.
 func (c *Client) QueryRaw(xrslSrc string) (InfoResult, error) {
-	resp, err := c.conn.Call(wire.Frame{Verb: gram.VerbSubmit, Payload: []byte(xrslSrc)})
+	resp, err := c.call(wire.Frame{Verb: gram.VerbSubmit, Payload: []byte(xrslSrc)}, true)
 	if err != nil {
 		return InfoResult{}, err
 	}
 	return decodeInfoFrame(resp)
 }
 
+// entriesDegraded detects the status entry a degraded partial reply
+// carries.
+func entriesDegraded(entries []ldif.Entry) bool {
+	for _, e := range entries {
+		for _, a := range e.Attrs {
+			if strings.EqualFold(a.Name, "objectclass") && a.Value == DegradedObjectClass {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 func decodeInfoFrame(resp wire.Frame) (InfoResult, error) {
+	var format xrsl.Format
+	var entries []ldif.Entry
+	var err error
 	switch resp.Verb {
 	case VerbResultLDIF:
-		entries, err := ldif.Unmarshal(string(resp.Payload))
-		if err != nil {
-			return InfoResult{}, err
-		}
-		return InfoResult{Format: xrsl.FormatLDIF, Raw: string(resp.Payload), Entries: entries}, nil
+		format = xrsl.FormatLDIF
+		entries, err = ldif.Unmarshal(string(resp.Payload))
 	case VerbResultXML:
-		entries, err := xmlenc.Unmarshal(string(resp.Payload))
-		if err != nil {
-			return InfoResult{}, err
-		}
-		return InfoResult{Format: xrsl.FormatXML, Raw: string(resp.Payload), Entries: entries}, nil
+		format = xrsl.FormatXML
+		entries, err = xmlenc.Unmarshal(string(resp.Payload))
 	case VerbResultDSML:
-		entries, err := xmlenc.UnmarshalDSML(string(resp.Payload))
-		if err != nil {
-			return InfoResult{}, err
-		}
-		return InfoResult{Format: xrsl.FormatDSML, Raw: string(resp.Payload), Entries: entries}, nil
+		format = xrsl.FormatDSML
+		entries, err = xmlenc.UnmarshalDSML(string(resp.Payload))
 	case gram.VerbSubmitted:
 		return InfoResult{}, fmt.Errorf("infogram: specification was a job submission; use Submit")
 	default:
 		return InfoResult{}, serverError(resp)
 	}
+	if err != nil {
+		return InfoResult{}, err
+	}
+	return InfoResult{
+		Format:   format,
+		Raw:      string(resp.Payload),
+		Entries:  entries,
+		Degraded: entriesDegraded(entries),
+	}, nil
 }
 
 // Query sends a typed information request.
@@ -148,16 +422,18 @@ func (c *Client) SubmitJob(req xrsl.JobRequest) (string, error) {
 
 // MultiPart is the client view of one multi-request part outcome.
 type MultiPart struct {
-	Kind    string
-	Contact string
-	Info    *InfoResult
-	Err     error
+	Kind     string
+	Contact  string
+	Info     *InfoResult
+	Err      error
+	Degraded bool
 }
 
 // SubmitMulti sends a multi-request (+) carrying any mix of jobs and info
-// queries and decodes the per-part outcomes.
+// queries and decodes the per-part outcomes. Because a multi-request may
+// contain job submissions, it is never retried.
 func (c *Client) SubmitMulti(xrslSrc string) ([]MultiPart, error) {
-	resp, err := c.conn.Call(wire.Frame{Verb: gram.VerbSubmit, Payload: []byte(xrslSrc)})
+	resp, err := c.call(wire.Frame{Verb: gram.VerbSubmit, Payload: []byte(xrslSrc)}, false)
 	if err != nil {
 		return nil, err
 	}
@@ -171,7 +447,7 @@ func (c *Client) SubmitMulti(xrslSrc string) ([]MultiPart, error) {
 			if err != nil {
 				return nil, err
 			}
-			return []MultiPart{{Kind: "info", Info: &res}}, nil
+			return []MultiPart{{Kind: "info", Info: &res, Degraded: res.Degraded}}, nil
 		default:
 			return nil, serverError(resp)
 		}
@@ -182,7 +458,7 @@ func (c *Client) SubmitMulti(xrslSrc string) ([]MultiPart, error) {
 	}
 	out := make([]MultiPart, 0, len(parts))
 	for _, p := range parts {
-		mp := MultiPart{Kind: p.Kind, Contact: p.Contact}
+		mp := MultiPart{Kind: p.Kind, Contact: p.Contact, Degraded: p.Degraded}
 		switch p.Kind {
 		case "info":
 			format := xrsl.Format(p.Format)
@@ -199,7 +475,7 @@ func (c *Client) SubmitMulti(xrslSrc string) ([]MultiPart, error) {
 			if derr != nil {
 				mp.Err = derr
 			} else {
-				mp.Info = &InfoResult{Format: format, Raw: p.Body, Entries: entries}
+				mp.Info = &InfoResult{Format: format, Raw: p.Body, Entries: entries, Degraded: p.Degraded}
 			}
 		case "error":
 			mp.Err = fmt.Errorf("infogram: %s", p.Error)
@@ -209,9 +485,9 @@ func (c *Client) SubmitMulti(xrslSrc string) ([]MultiPart, error) {
 	return out, nil
 }
 
-// Status polls a job by contact.
+// Status polls a job by contact. Status reads are idempotent and retried.
 func (c *Client) Status(contact string) (gram.StatusReply, error) {
-	resp, err := c.conn.Call(wire.Frame{Verb: gram.VerbStatus, Payload: []byte(contact)})
+	resp, err := c.call(wire.Frame{Verb: gram.VerbStatus, Payload: []byte(contact)}, true)
 	if err != nil {
 		return gram.StatusReply{}, err
 	}
@@ -227,7 +503,7 @@ func (c *Client) Status(contact string) (gram.StatusReply, error) {
 
 // Cancel cancels a job by contact.
 func (c *Client) Cancel(contact string) error {
-	resp, err := c.conn.Call(wire.Frame{Verb: gram.VerbCancel, Payload: []byte(contact)})
+	resp, err := c.call(wire.Frame{Verb: gram.VerbCancel, Payload: []byte(contact)}, false)
 	if err != nil {
 		return err
 	}
@@ -239,7 +515,7 @@ func (c *Client) Cancel(contact string) error {
 
 // Signal suspends or resumes a job ("suspend" / "resume").
 func (c *Client) Signal(contact, signal string) error {
-	resp, err := c.conn.Call(wire.Frame{Verb: gram.VerbSignal, Payload: []byte(contact + " " + signal)})
+	resp, err := c.call(wire.Frame{Verb: gram.VerbSignal, Payload: []byte(contact + " " + signal)}, false)
 	if err != nil {
 		return err
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"infogram/internal/ldif"
 	"infogram/internal/provider"
@@ -19,17 +20,36 @@ import (
 type infoEngine struct {
 	resource string
 	registry *provider.Registry
+	// providerTimeout, when positive, bounds each keyword's retrieval and
+	// turns provider failures into degraded partial replies instead of
+	// query errors. Zero keeps the all-or-nothing semantics of §6.3.
+	providerTimeout time.Duration
 }
 
 // Answer evaluates an info request and renders it in the requested format.
-func (e *infoEngine) Answer(ctx context.Context, req *xrsl.InfoRequest) (string, error) {
+// degraded reports whether one or more providers failed or timed out and
+// the reply is therefore partial.
+func (e *infoEngine) Answer(ctx context.Context, req *xrsl.InfoRequest) (body string, degraded bool, err error) {
 	var entries []ldif.Entry
-	if req.Schema {
+	var missing []provider.DegradedKeyword
+	switch {
+	case req.Schema:
 		entries = e.schemaEntries()
-	} else {
+	case e.providerTimeout > 0:
+		reports, deg, err := e.registry.CollectDegraded(ctx, req.Keywords, req.Response, req.Quality, e.providerTimeout)
+		if err != nil {
+			return "", false, err
+		}
+		missing = deg
+		entries = provider.ReportEntries(e.resource, reports)
+		e.augmentQuality(entries, reports)
+		if req.Performance {
+			e.augmentPerformance(entries, reports)
+		}
+	default:
 		reports, err := e.registry.Collect(ctx, req.Keywords, req.Response, req.Quality)
 		if err != nil {
-			return "", err
+			return "", false, err
 		}
 		entries = provider.ReportEntries(e.resource, reports)
 		e.augmentQuality(entries, reports)
@@ -40,14 +60,39 @@ func (e *infoEngine) Answer(ctx context.Context, req *xrsl.InfoRequest) (string,
 	if req.Filter != "" {
 		entries = applyFilter(entries, req.Filter)
 	}
+	// The degradation marker is appended after filtering so a client that
+	// projected attributes away still learns its reply is partial.
+	if len(missing) > 0 {
+		entries = append(entries, degradedEntry(e.resource, missing))
+	}
+	var render func([]ldif.Entry) (string, error)
 	switch req.Format {
 	case xrsl.FormatXML:
-		return xmlenc.Marshal(entries)
+		render = xmlenc.Marshal
 	case xrsl.FormatDSML:
-		return xmlenc.MarshalDSML(entries)
+		render = xmlenc.MarshalDSML
 	default:
-		return ldif.Marshal(entries)
+		render = ldif.Marshal
 	}
+	body, err = render(entries)
+	return body, len(missing) > 0, err
+}
+
+// DegradedObjectClass marks the status entry appended to a partial reply.
+const DegradedObjectClass = "InfoGramStatus"
+
+// degradedEntry builds the status entry that flags a partial reply: one
+// "missing" attribute per unanswered keyword plus the provider error that
+// caused it.
+func degradedEntry(resource string, missing []provider.DegradedKeyword) ldif.Entry {
+	entry := ldif.Entry{DN: fmt.Sprintf("status=degraded, resource=%s, o=grid", resource)}
+	entry.Add("objectclass", DegradedObjectClass)
+	entry.Add("degraded", "true")
+	for _, d := range missing {
+		entry.Add("missing", d.Keyword)
+		entry.Add("error:"+strings.ToLower(d.Keyword), d.Err.Error())
+	}
+	return entry
 }
 
 // augmentQuality attaches the quality-of-information assessment of §6.3 to

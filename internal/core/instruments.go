@@ -31,9 +31,10 @@ type instruments struct {
 	authExpired *telemetry.Counter
 	authLatency *telemetry.Histogram
 
-	inFlight       *telemetry.Gauge
-	infoQueries    *telemetry.Counter
-	jobSubmissions *telemetry.Counter
+	inFlight         *telemetry.Gauge
+	infoQueries      *telemetry.Counter
+	jobSubmissions   *telemetry.Counter
+	requestsDegraded *telemetry.Counter
 
 	spawnLatency *telemetry.Histogram
 	jobsSpawned  *telemetry.Counter
@@ -63,9 +64,10 @@ func newInstruments(tel *telemetry.Registry) *instruments {
 		authExpired: tel.Counter("infogram_auth_total", "GSI handshake outcomes", telemetry.Label{Key: "outcome", Value: "expired"}),
 		authLatency: tel.Histogram("infogram_auth_duration_seconds", "GSI mutual-authentication handshake latency"),
 
-		inFlight:       tel.Gauge("infogram_requests_in_flight", "protocol requests currently executing"),
-		infoQueries:    tel.Counter("infogram_info_queries_total", "information query parts evaluated"),
-		jobSubmissions: tel.Counter("infogram_job_submissions_total", "job submission parts evaluated"),
+		inFlight:         tel.Gauge("infogram_requests_in_flight", "protocol requests currently executing"),
+		infoQueries:      tel.Counter("infogram_info_queries_total", "information query parts evaluated"),
+		jobSubmissions:   tel.Counter("infogram_job_submissions_total", "job submission parts evaluated"),
+		requestsDegraded: tel.Counter("infogram_requests_degraded_total", "information replies answered partially because a provider failed or timed out"),
 
 		spawnLatency: tel.Histogram("infogram_gram_spawn_duration_seconds", "time from job submission to manager goroutine launch"),
 		jobsSpawned:  tel.Counter("infogram_gram_jobs_spawned_total", "job manager goroutines launched"),

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffDeterministic(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 5, BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second}
+	for retry := 1; retry <= 8; retry++ {
+		a, b := p.backoff(retry), p.backoff(retry)
+		if a != b {
+			t.Fatalf("backoff(%d) not deterministic: %v vs %v", retry, a, b)
+		}
+	}
+}
+
+func TestBackoffExponentialWithinJitterBounds(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second}
+	for retry := 1; retry <= 10; retry++ {
+		// Un-jittered target: base doubled per retry, capped.
+		want := p.BaseDelay
+		for i := 1; i < retry; i++ {
+			want *= 2
+			if want >= p.MaxDelay {
+				want = p.MaxDelay
+				break
+			}
+		}
+		got := p.backoff(retry)
+		if got < want/2 || got >= want {
+			t.Errorf("backoff(%d) = %v; want in [%v, %v)", retry, got, want/2, want)
+		}
+	}
+}
+
+func TestBackoffDefaults(t *testing.T) {
+	var p RetryPolicy // zero: 50ms base, 2s cap
+	if got := p.backoff(1); got < 25*time.Millisecond || got >= 50*time.Millisecond {
+		t.Errorf("default backoff(1) = %v; want in [25ms, 50ms)", got)
+	}
+	if got := p.backoff(20); got < time.Second || got >= 2*time.Second {
+		t.Errorf("default backoff(20) = %v; want capped in [1s, 2s)", got)
+	}
+}
+
+func TestRetryAttempts(t *testing.T) {
+	cases := []struct{ max, want int }{{-1, 1}, {0, 1}, {1, 1}, {2, 2}, {5, 5}}
+	for _, tc := range cases {
+		if got := (RetryPolicy{MaxAttempts: tc.max}).attempts(); got != tc.want {
+			t.Errorf("attempts(MaxAttempts=%d) = %d; want %d", tc.max, got, tc.want)
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"infogram/internal/clock"
 	"infogram/internal/gram"
@@ -74,6 +75,20 @@ type Config struct {
 	Clock clock.Clock
 	// Env provides server-side RSL substitution variables.
 	Env rsl.Env
+	// RequestTimeout, when positive, bounds every connection I/O operation
+	// and every request's handling: the handshake, each frame read and
+	// write (so a client feeding or draining bytes too slowly is cut off),
+	// and the evaluation of each SUBMIT. It also bounds the idle wait for
+	// the next request, so clients that park connections longer than this
+	// must reconnect (the client's retry policy does so transparently).
+	// Zero disables all of these bounds.
+	RequestTimeout time.Duration
+	// ProviderTimeout, when positive, bounds each information provider's
+	// retrieval and switches info queries from the paper's all-or-nothing
+	// §6.3 semantics to graceful degradation: keywords whose provider
+	// fails or times out are reported in a degraded status entry while the
+	// rest of the reply is delivered. Zero keeps all-or-nothing.
+	ProviderTimeout time.Duration
 }
 
 // Service is one InfoGram instance.
@@ -118,8 +133,9 @@ func NewService(cfg Config) *Service {
 	s := &Service{cfg: cfg, dialer: gram.NewCallbackDialer()}
 	s.instr = newInstruments(cfg.Telemetry)
 	s.info = &infoEngine{
-		resource: cfg.ResourceName,
-		registry: cfg.Registry,
+		resource:        cfg.ResourceName,
+		registry:        cfg.Registry,
+		providerTimeout: cfg.ProviderTimeout,
 	}
 	s.server = wire.NewServer(wire.HandlerFunc(s.serveConn))
 	s.server.Instrument(s.instr.serverInstruments())
@@ -232,11 +248,19 @@ func (s *Service) Recover(records []logging.Record) ([]string, error) {
 // a logger is configured, emitted as a span record.
 func (s *Service) serveConn(c *wire.Conn) {
 	c.Instrument(s.instr.connInstruments())
+	// The request timeout doubles as the connection's per-operation I/O
+	// deadline: a slow sender cannot park a handshake or frame read, and a
+	// slow reader cannot wedge a response write.
+	if s.cfg.RequestTimeout > 0 {
+		c.SetIOTimeout(s.cfg.RequestTimeout)
+	}
 	trace := telemetry.NewTraceID()
 	ctx := telemetry.WithTrace(context.Background(), trace)
 
 	authStart := s.cfg.Clock.Now()
-	peer, err := gsi.ServerHandshake(c, s.cfg.Credential, s.cfg.Trust, authStart)
+	hctx, hcancel := s.requestCtx(ctx)
+	peer, err := gsi.ServerHandshakeContext(hctx, c, s.cfg.Credential, s.cfg.Trust, authStart)
+	hcancel()
 	authElapsed := s.cfg.Clock.Now().Sub(authStart)
 	s.instr.observeAuth(err, authElapsed)
 	span(s.cfg.Log, s.cfg.Clock, trace, "auth", "", authElapsed)
@@ -262,7 +286,9 @@ func (s *Service) serveConn(c *wire.Conn) {
 		case gram.VerbPing:
 			_ = c.WriteString(gram.VerbPong, "")
 		case gram.VerbSubmit:
-			s.handleSubmit(ctx, c, string(f.Payload), peer, local)
+			rctx, rcancel := s.requestCtx(ctx)
+			s.handleSubmit(rctx, c, string(f.Payload), peer, local)
+			rcancel()
 		case gram.VerbStatus:
 			s.handleStatus(c, strings.TrimSpace(string(f.Payload)))
 		case gram.VerbCancel:
@@ -279,6 +305,15 @@ func (s *Service) serveConn(c *wire.Conn) {
 	}
 }
 
+// requestCtx derives the per-request context: bounded by the configured
+// request timeout when one is set, plain cancellation otherwise.
+func (s *Service) requestCtx(parent context.Context) (context.Context, context.CancelFunc) {
+	if s.cfg.RequestTimeout > 0 {
+		return context.WithTimeout(parent, s.cfg.RequestTimeout)
+	}
+	return context.WithCancel(parent)
+}
+
 // PartResult is one element of a multi-request response.
 type PartResult struct {
 	Kind    string `json:"kind"` // "job", "info", or "error"
@@ -286,6 +321,9 @@ type PartResult struct {
 	Format  string `json:"format,omitempty"`
 	Body    string `json:"body,omitempty"`
 	Error   string `json:"error,omitempty"`
+	// Degraded marks an info part answered partially because one or more
+	// providers failed or timed out.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // handleSubmit dispatches one SUBMIT frame: job, info, or multi-request.
@@ -358,12 +396,15 @@ func (s *Service) evalPart(ctx context.Context, req *xrsl.Request, peer *gsi.Pee
 		}
 		s.logInfoQuery(ctx, req.Info, peer, local)
 		start := s.cfg.Clock.Now()
-		body, err := s.info.Answer(ctx, req.Info)
+		body, degraded, err := s.info.Answer(ctx, req.Info)
 		span(s.cfg.Log, s.cfg.Clock, telemetry.TraceFrom(ctx), "info-collect", "", s.cfg.Clock.Now().Sub(start))
 		if err != nil {
 			return PartResult{Kind: "error", Error: err.Error()}
 		}
-		return PartResult{Kind: "info", Format: string(req.Info.Format), Body: body}
+		if degraded {
+			s.instr.requestsDegraded.Inc()
+		}
+		return PartResult{Kind: "info", Format: string(req.Info.Format), Body: body, Degraded: degraded}
 	default:
 		return PartResult{Kind: "error", Error: "infogram: unclassifiable request"}
 	}

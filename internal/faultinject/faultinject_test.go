@@ -1,0 +1,306 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"infogram/internal/telemetry"
+)
+
+func TestDisarmedIsNoop(t *testing.T) {
+	Reset()
+	v, err := Eval(context.Background(), WireRead)
+	if err != nil || v.Drop || v.Truncate != 0 {
+		t.Fatalf("disarmed Eval = %+v, %v; want zero verdict, nil", v, err)
+	}
+	if got := Armed(); got != nil {
+		t.Fatalf("Armed() = %v; want nil", got)
+	}
+}
+
+func TestArmErrorAndReset(t *testing.T) {
+	Reset()
+	defer Reset()
+	before := Triggered(WireRead)
+	Arm(WireRead, Action{Err: errors.New("boom")})
+	_, err := Eval(context.Background(), WireRead)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v; want ErrInjected", err)
+	}
+	if got := Triggered(WireRead) - before; got != 1 {
+		t.Fatalf("Triggered delta = %d; want 1", got)
+	}
+	// Other points are unaffected.
+	if _, err := Eval(context.Background(), WireWrite); err != nil {
+		t.Fatalf("unarmed point errored: %v", err)
+	}
+	Reset()
+	if _, err := Eval(context.Background(), WireRead); err != nil {
+		t.Fatalf("after Reset: %v", err)
+	}
+}
+
+func TestBareArmReturnsInjectedError(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm(GramSpawn, Action{})
+	_, err := Eval(context.Background(), GramSpawn)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("bare arm err = %v; want ErrInjected", err)
+	}
+}
+
+func TestCountLimitsActivations(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm(GSIHandshake, Action{Err: errors.New("x"), Count: 2})
+	for i := 0; i < 2; i++ {
+		if _, err := Eval(context.Background(), GSIHandshake); err == nil {
+			t.Fatalf("activation %d: want error", i+1)
+		}
+	}
+	if _, err := Eval(context.Background(), GSIHandshake); err != nil {
+		t.Fatalf("after count exhausted: %v; want nil", err)
+	}
+	// Still listed as armed, just inert.
+	if got := Armed(); len(got) != 1 || got[0] != GSIHandshake {
+		t.Fatalf("Armed() = %v", got)
+	}
+}
+
+func TestCountUnderConcurrency(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm(ProviderCollect, Action{Err: errors.New("x"), Count: 5})
+	var wg sync.WaitGroup
+	var fired, clean [16]bool
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := Eval(context.Background(), ProviderCollect); err != nil {
+				fired[i] = true
+			} else {
+				clean[i] = true
+			}
+		}(i)
+	}
+	wg.Wait()
+	nf := 0
+	for _, f := range fired {
+		if f {
+			nf++
+		}
+	}
+	if nf != 5 {
+		t.Fatalf("fired %d times under concurrency; want exactly 5", nf)
+	}
+}
+
+func TestDelayProceeds(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm(WireRead, Action{Delay: 30 * time.Millisecond})
+	start := time.Now()
+	v, err := Eval(context.Background(), WireRead)
+	if err != nil || v.Drop {
+		t.Fatalf("delay Eval = %+v, %v", v, err)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("returned after %v; want >= 30ms", elapsed)
+	}
+}
+
+func TestDelayCancelledByContext(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm(WireRead, Action{Delay: time.Minute})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := Eval(ctx, WireRead)
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v; want injected + deadline", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("took %v; context did not interrupt the delay", elapsed)
+	}
+}
+
+func TestHangBlocksUntilCancel(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm(ProviderCollect, Action{Hang: true})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := Eval(ctx, ProviderCollect)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("Eval returned %v before cancellation", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrInjected) || !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v; want injected + canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Eval did not unblock after cancellation")
+	}
+}
+
+func TestDropAndTruncateVerdicts(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm(WireRead, Action{Drop: true})
+	v, err := Eval(context.Background(), WireRead)
+	if err != nil || !v.Drop {
+		t.Fatalf("drop Eval = %+v, %v", v, err)
+	}
+	Arm(WireWrite, Action{Truncate: 7})
+	v, err = Eval(context.Background(), WireWrite)
+	if err != nil || v.Truncate != 7 {
+		t.Fatalf("truncate Eval = %+v, %v", v, err)
+	}
+}
+
+func TestDisarmSinglePoint(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm(WireRead, Action{Drop: true})
+	Arm(WireWrite, Action{Drop: true})
+	Disarm(WireRead)
+	if _, err := Eval(context.Background(), WireRead); err != nil {
+		t.Fatalf("disarmed point: %v", err)
+	}
+	if v, _ := Eval(context.Background(), WireWrite); !v.Drop {
+		t.Fatal("sibling point lost its arming")
+	}
+}
+
+func TestTelemetryCounter(t *testing.T) {
+	Reset()
+	defer func() { Reset(); SetTelemetry(nil) }()
+	tel := telemetry.NewRegistry()
+	SetTelemetry(tel)
+	Arm(SchedulerDispatch, Action{Err: errors.New("x")})
+	_, _ = Eval(context.Background(), SchedulerDispatch)
+	c := tel.Counter("infogram_faultpoints_triggered_total", "fault-injection failpoint activations",
+		telemetry.Label{Key: "point", Value: string(SchedulerDispatch)})
+	if c.Value() != 1 {
+		t.Fatalf("telemetry counter = %d; want 1", c.Value())
+	}
+}
+
+func TestSetTelemetryRetrofitsArmedPoints(t *testing.T) {
+	Reset()
+	defer func() { Reset(); SetTelemetry(nil) }()
+	Arm(GramSpawn, Action{Err: errors.New("x"), Count: 3})
+	_, _ = Eval(context.Background(), GramSpawn) // consumes one before telemetry
+	tel := telemetry.NewRegistry()
+	SetTelemetry(tel)
+	_, _ = Eval(context.Background(), GramSpawn)
+	c := tel.Counter("infogram_faultpoints_triggered_total", "fault-injection failpoint activations",
+		telemetry.Label{Key: "point", Value: string(GramSpawn)})
+	if c.Value() != 1 {
+		t.Fatalf("post-retrofit counter = %d; want 1", c.Value())
+	}
+	// The remaining count carried over: one consumed before, one after,
+	// so a third activation still fires and a fourth does not.
+	if _, err := Eval(context.Background(), GramSpawn); err == nil {
+		t.Fatal("third activation should fire")
+	}
+	if _, err := Eval(context.Background(), GramSpawn); err != nil {
+		t.Fatalf("fourth activation fired: %v", err)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		spec    string
+		wantErr bool
+		check   func(t *testing.T, arms map[Point]Action)
+	}{
+		{spec: "wire.read=error", check: func(t *testing.T, a map[Point]Action) {
+			if a[WireRead].Err == nil {
+				t.Error("want Err set")
+			}
+		}},
+		{spec: "wire.read=error(no route)*2", check: func(t *testing.T, a map[Point]Action) {
+			act := a[WireRead]
+			if act.Err == nil || act.Err.Error() != "no route" || act.Count != 2 {
+				t.Errorf("got %+v", act)
+			}
+		}},
+		{spec: "provider.collect=delay(250ms)", check: func(t *testing.T, a map[Point]Action) {
+			if a[ProviderCollect].Delay != 250*time.Millisecond {
+				t.Errorf("delay = %v", a[ProviderCollect].Delay)
+			}
+		}},
+		{spec: "gsi.handshake=hang; wire.write=truncate(4)", check: func(t *testing.T, a map[Point]Action) {
+			if !a[GSIHandshake].Hang || a[WireWrite].Truncate != 4 {
+				t.Errorf("got %+v", a)
+			}
+		}},
+		{spec: "wire.write=drop, scheduler.dispatch=error*1", check: func(t *testing.T, a map[Point]Action) {
+			if !a[WireWrite].Drop || a[SchedulerDispatch].Count != 1 {
+				t.Errorf("got %+v", a)
+			}
+		}},
+		{spec: "", wantErr: true},
+		{spec: "nonsense", wantErr: true},
+		{spec: "bogus.point=error", wantErr: true},
+		{spec: "wire.read=explode", wantErr: true},
+		{spec: "wire.read=delay(banana)", wantErr: true},
+		{spec: "wire.read=truncate(-1)", wantErr: true},
+		{spec: "wire.read=error*0", wantErr: true},
+		{spec: "wire.read=error(unterminated", wantErr: true},
+	}
+	for _, tc := range cases {
+		arms, err := ParseSpec(tc.spec)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseSpec(%q): want error, got %+v", tc.spec, arms)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", tc.spec, err)
+			continue
+		}
+		tc.check(t, arms)
+	}
+}
+
+func TestArmSpec(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := ArmSpec("gram.spawn=error(spawn refused)*1"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Eval(context.Background(), GramSpawn)
+	if err == nil || !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := Eval(context.Background(), GramSpawn); err != nil {
+		t.Fatalf("count not honoured: %v", err)
+	}
+}
+
+func BenchmarkEvalDisarmed(b *testing.B) {
+	Reset()
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Eval(ctx, WireRead); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"infogram/internal/clock"
+	"infogram/internal/faultinject"
 	"infogram/internal/job"
 	"infogram/internal/logging"
 	"infogram/internal/scheduler"
@@ -114,6 +115,9 @@ func (m *Manager) Table() *job.Table { return m.cfg.Table }
 // job contact. rec.Contact may be empty, in which case a fresh contact is
 // allocated.
 func (m *Manager) Submit(ctx context.Context, req *xrsl.JobRequest, rec job.Record) (string, error) {
+	if _, err := faultinject.Eval(ctx, faultinject.GramSpawn); err != nil {
+		return "", fmt.Errorf("gram: spawn: %w", err)
+	}
 	now := m.cfg.Clock.Now()
 	trace := telemetry.TraceFrom(ctx)
 	if rec.Contact == "" {

@@ -1,12 +1,14 @@
 package gsi
 
 import (
+	"context"
 	"crypto/ed25519"
 	"crypto/rand"
 	"encoding/json"
 	"fmt"
 	"time"
 
+	"infogram/internal/faultinject"
 	"infogram/internal/wire"
 )
 
@@ -68,6 +70,15 @@ func newNonce() ([]byte, error) {
 // ClientHandshake authenticates conn from the client side using cred,
 // verifying the server against trust. It returns the server's identity.
 func ClientHandshake(conn *wire.Conn, cred *Credential, trust *TrustStore, now time.Time) (*Peer, error) {
+	return ClientHandshakeContext(context.Background(), conn, cred, trust, now)
+}
+
+// ClientHandshakeContext is ClientHandshake with the handshake's frame
+// exchange bounded by the context's deadline and cancellation.
+func ClientHandshakeContext(ctx context.Context, conn *wire.Conn, cred *Credential, trust *TrustStore, now time.Time) (*Peer, error) {
+	if _, err := faultinject.Eval(ctx, faultinject.GSIHandshake); err != nil {
+		return nil, fmt.Errorf("gsi: handshake: %w", err)
+	}
 	nonce, err := newNonce()
 	if err != nil {
 		return nil, err
@@ -76,7 +87,7 @@ func ClientHandshake(conn *wire.Conn, cred *Credential, trust *TrustStore, now t
 	if err != nil {
 		return nil, fmt.Errorf("gsi: encode auth: %w", err)
 	}
-	resp, err := conn.Call(wire.Frame{Verb: verbAuth, Payload: req})
+	resp, err := conn.CallContext(ctx, wire.Frame{Verb: verbAuth, Payload: req})
 	if err != nil {
 		return nil, fmt.Errorf("gsi: handshake: %w", err)
 	}
@@ -105,7 +116,7 @@ func ClientHandshake(conn *wire.Conn, cred *Credential, trust *TrustStore, now t
 	if err != nil {
 		return nil, fmt.Errorf("gsi: encode auth-fin: %w", err)
 	}
-	if err := conn.Write(wire.Frame{Verb: verbAuthFin, Payload: fin}); err != nil {
+	if err := conn.WriteContext(ctx, wire.Frame{Verb: verbAuthFin, Payload: fin}); err != nil {
 		return nil, fmt.Errorf("gsi: send auth-fin: %w", err)
 	}
 	return &Peer{Subject: leaf.Subject, Identity: IdentitySubject(leaf.Subject)}, nil
@@ -115,16 +126,29 @@ func ClientHandshake(conn *wire.Conn, cred *Credential, trust *TrustStore, now t
 // must already have been read by the caller if desired; here we read it
 // ourselves. On failure an AUTH-ERR frame is sent before returning.
 func ServerHandshake(conn *wire.Conn, cred *Credential, trust *TrustStore, now time.Time) (*Peer, error) {
-	first, err := conn.Read()
+	return ServerHandshakeContext(context.Background(), conn, cred, trust, now)
+}
+
+// ServerHandshakeContext is ServerHandshake with the handshake's frame
+// exchange bounded by the context's deadline and cancellation.
+func ServerHandshakeContext(ctx context.Context, conn *wire.Conn, cred *Credential, trust *TrustStore, now time.Time) (*Peer, error) {
+	if _, err := faultinject.Eval(ctx, faultinject.GSIHandshake); err != nil {
+		return nil, fmt.Errorf("gsi: handshake: %w", err)
+	}
+	first, err := conn.ReadContext(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("gsi: read auth: %w", err)
 	}
-	return ServerHandshakeFrame(conn, first, cred, trust, now)
+	return serverHandshakeFrame(ctx, conn, first, cred, trust, now)
 }
 
 // ServerHandshakeFrame completes the server side of the handshake when the
 // initial frame has already been read from conn.
 func ServerHandshakeFrame(conn *wire.Conn, first wire.Frame, cred *Credential, trust *TrustStore, now time.Time) (*Peer, error) {
+	return serverHandshakeFrame(context.Background(), conn, first, cred, trust, now)
+}
+
+func serverHandshakeFrame(ctx context.Context, conn *wire.Conn, first wire.Frame, cred *Credential, trust *TrustStore, now time.Time) (*Peer, error) {
 	fail := func(format string, args ...any) (*Peer, error) {
 		msg := fmt.Sprintf(format, args...)
 		_ = conn.WriteString(verbAuthErr, msg)
@@ -166,10 +190,10 @@ func ServerHandshakeFrame(conn *wire.Conn, first wire.Frame, cred *Credential, t
 	if err != nil {
 		return nil, fmt.Errorf("gsi: encode auth-ok: %w", err)
 	}
-	if err := conn.Write(wire.Frame{Verb: verbAuthOK, Payload: okPayload}); err != nil {
+	if err := conn.WriteContext(ctx, wire.Frame{Verb: verbAuthOK, Payload: okPayload}); err != nil {
 		return nil, fmt.Errorf("gsi: send auth-ok: %w", err)
 	}
-	finFrame, err := conn.Read()
+	finFrame, err := conn.ReadContext(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("gsi: read auth-fin: %w", err)
 	}

@@ -1,0 +1,348 @@
+// Chaos suite: every failpoint in internal/faultinject exercised through a
+// full client→service round trip, verifying the degradation paths the
+// ROADMAP's MDS performance studies motivate — retries absorb transport
+// faults, deadlines cut off wedged peers, and provider failures degrade
+// queries instead of sinking them.
+package integration_test
+
+import (
+	"context"
+	"errors"
+	"net"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"infogram/internal/core"
+	"infogram/internal/faultinject"
+	"infogram/internal/job"
+	"infogram/internal/provider"
+	"infogram/internal/scheduler"
+	"infogram/internal/telemetry"
+)
+
+// chaosRetry keeps chaos tests fast: near-instant backoff, a few attempts.
+var chaosRetry = core.RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+
+// startInfoGram starts an InfoGram service for one chaos scenario and
+// returns its address plus the telemetry registry to assert against.
+func startInfoGram(t *testing.T, d *deployment, mutate func(*core.Config)) (string, *telemetry.Registry) {
+	t.Helper()
+	tel := telemetry.NewRegistry()
+	cfg := core.Config{
+		ResourceName: "chaos-site",
+		Credential:   d.svcCred, Trust: d.trust, Gridmap: d.gridmap,
+		Registry:  d.reg,
+		Backends:  d.backends(),
+		Telemetry: tel,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	svc := core.NewService(cfg)
+	addr, err := svc.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	return addr, tel
+}
+
+func contextWithTimeout(t *testing.T) (context.Context, context.CancelFunc) {
+	t.Helper()
+	return context.WithTimeout(context.Background(), 10*time.Second)
+}
+
+func retryClient(t *testing.T, addr string, d *deployment) (*core.Client, *telemetry.Counter) {
+	t.Helper()
+	ctel := telemetry.NewRegistry()
+	retries := ctel.Counter("infogram_client_retries_total",
+		"transparent client retries after transient connect, handshake, or wire failures")
+	cl, err := core.DialWithOptions(addr, d.user, d.trust, core.Options{
+		Retry:          chaosRetry,
+		RequestTimeout: 2 * time.Second,
+		Telemetry:      ctel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl, retries
+}
+
+// wire.read=error*1 — the fault lands on whichever side reads next (both
+// sides of an in-process round trip share the failpoint); either way the
+// exchange fails as a transient transport error and the retry policy
+// recovers it.
+func TestChaosWireReadErrorRetried(t *testing.T) {
+	faultinject.Reset()
+	defer faultinject.Reset()
+	d := newDeployment(t)
+	addr, _ := startInfoGram(t, d, nil)
+	cl, retries := retryClient(t, addr, d)
+
+	before := faultinject.Triggered(faultinject.WireRead)
+	faultinject.Arm(faultinject.WireRead, faultinject.Action{Err: errors.New("read cable cut"), Count: 1})
+	if err := cl.Ping(); err != nil {
+		t.Fatalf("Ping did not survive one injected read fault: %v", err)
+	}
+	if got := faultinject.Triggered(faultinject.WireRead) - before; got != 1 {
+		t.Fatalf("wire.read fired %d times; want 1", got)
+	}
+	if retries.Value() == 0 {
+		t.Fatal("recovery happened without a counted retry")
+	}
+}
+
+// wire.write=error*1 — the client's own write of the request fails; the
+// connection is torn down and the request replayed on a fresh one.
+func TestChaosWireWriteErrorRetried(t *testing.T) {
+	faultinject.Reset()
+	defer faultinject.Reset()
+	d := newDeployment(t)
+	addr, _ := startInfoGram(t, d, nil)
+	cl, retries := retryClient(t, addr, d)
+
+	faultinject.Arm(faultinject.WireWrite, faultinject.Action{Err: errors.New("write cable cut"), Count: 1})
+	res, err := cl.QueryRaw("&(info=CPULoad)")
+	if err != nil {
+		t.Fatalf("query did not survive one injected write fault: %v", err)
+	}
+	if v, _ := res.Entries[0].Get("CPULoad:load1"); v != "2" {
+		t.Fatalf("post-retry reply corrupted: %v", res.Entries)
+	}
+	if retries.Value() == 0 {
+		t.Fatal("recovery happened without a counted retry")
+	}
+}
+
+// wire.read=drop*1 against a client WITHOUT retries: the reply frame is
+// discarded and the bounded call reports a deadline error instead of
+// hanging forever.
+func TestChaosWireDropTimesOutWithoutRetry(t *testing.T) {
+	faultinject.Reset()
+	defer faultinject.Reset()
+	d := newDeployment(t)
+	addr, _ := startInfoGram(t, d, nil)
+	cl, err := core.DialWithOptions(addr, d.user, d.trust, core.Options{
+		RequestTimeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	faultinject.Arm(faultinject.WireRead, faultinject.Action{Drop: true, Count: 1})
+	start := time.Now()
+	if err := cl.Ping(); err == nil {
+		t.Fatal("Ping succeeded although its reply was dropped")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("dropped reply stalled the client for %v", elapsed)
+	}
+}
+
+// gsi.handshake=error*1 — connection establishment itself retries: the
+// first handshake dies, the second connects the client.
+func TestChaosHandshakeFaultRetriedOnDial(t *testing.T) {
+	faultinject.Reset()
+	defer faultinject.Reset()
+	d := newDeployment(t)
+	addr, _ := startInfoGram(t, d, nil)
+
+	faultinject.Arm(faultinject.GSIHandshake, faultinject.Action{Err: errors.New("handshake torn"), Count: 1})
+	before := faultinject.Triggered(faultinject.GSIHandshake)
+	cl, retries := retryClient(t, addr, d)
+	if err := cl.Ping(); err != nil {
+		t.Fatalf("Ping after retried dial: %v", err)
+	}
+	if faultinject.Triggered(faultinject.GSIHandshake) == before {
+		t.Fatal("handshake failpoint never fired")
+	}
+	if retries.Value() == 0 {
+		t.Fatal("dial recovered without a counted retry")
+	}
+}
+
+// provider.collect=hang*1 with -provider-timeout: the acceptance scenario.
+// A query spanning two keywords, one of whose providers hangs past the
+// per-provider deadline, returns a degraded PARTIAL reply — not an error,
+// not a hang — and bumps infogram_requests_degraded_total.
+func TestChaosProviderHangDegradesQuery(t *testing.T) {
+	faultinject.Reset()
+	defer faultinject.Reset()
+	d := newDeployment(t)
+	d.reg.Register(&provider.StaticProvider{
+		KeywordName: "Memory",
+		Values:      provider.Attributes{{Name: "free", Value: "512"}},
+	}, provider.RegisterOptions{TTL: time.Minute})
+	addr, tel := startInfoGram(t, d, func(cfg *core.Config) {
+		cfg.ProviderTimeout = 100 * time.Millisecond
+	})
+	cl, _ := retryClient(t, addr, d)
+
+	faultinject.Arm(faultinject.ProviderCollect, faultinject.Action{Hang: true, Count: 1})
+	start := time.Now()
+	res, err := cl.QueryRaw("&(info=CPULoad)(info=Memory)")
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("degraded query returned an error instead of a partial reply: %v", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("query took %v; the provider timeout did not bound the hang", elapsed)
+	}
+	if !res.Degraded {
+		t.Fatalf("reply not marked degraded:\n%s", res.Raw)
+	}
+	// One keyword made it through, and the status entry names the other.
+	var gotData, gotStatus bool
+	for _, e := range res.Entries {
+		if v, ok := e.Get("CPULoad:load1"); ok && v == "2" {
+			gotData = true
+		}
+		if v, ok := e.Get("Memory:free"); ok && v == "512" {
+			gotData = true
+		}
+		if oc, _ := e.Get("objectclass"); oc == core.DegradedObjectClass {
+			gotStatus = true
+			if _, ok := e.Get("missing"); !ok {
+				t.Errorf("degraded status entry lists no missing keyword: %v", e)
+			}
+		}
+	}
+	if !gotData {
+		t.Fatalf("no surviving keyword data in degraded reply:\n%s", res.Raw)
+	}
+	if !gotStatus {
+		t.Fatalf("no degraded status entry in reply:\n%s", res.Raw)
+	}
+	degraded := tel.Counter("infogram_requests_degraded_total",
+		"information replies answered partially because a provider failed or timed out")
+	if degraded.Value() != 1 {
+		t.Fatalf("infogram_requests_degraded_total = %d; want 1", degraded.Value())
+	}
+}
+
+// gram.spawn=error*1 — a submission the server refuses is a protocol
+// answer, not a transport fault: the client reports it and must NOT retry,
+// because replaying could run the job twice.
+func TestChaosGramSpawnErrorNotRetried(t *testing.T) {
+	faultinject.Reset()
+	defer faultinject.Reset()
+	d := newDeployment(t)
+	addr, _ := startInfoGram(t, d, nil)
+	cl, retries := retryClient(t, addr, d)
+
+	faultinject.Arm(faultinject.GramSpawn, faultinject.Action{Err: errors.New("spawn refused"), Count: 1})
+	_, err := cl.Submit("&(executable=noop)(jobtype=func)")
+	if err == nil {
+		t.Fatal("Submit succeeded despite the armed spawn fault")
+	}
+	if !strings.Contains(err.Error(), "injected") {
+		t.Fatalf("error does not surface the injected fault: %v", err)
+	}
+	if retries.Value() != 0 {
+		t.Fatalf("submission was retried %d times; submissions must never retry", retries.Value())
+	}
+	// The fault consumed its count: the same client can now submit.
+	contact, err := cl.Submit("&(executable=noop)(jobtype=func)")
+	if err != nil {
+		t.Fatalf("submit after fault: %v", err)
+	}
+	ctx, cancel := contextWithTimeout(t)
+	defer cancel()
+	if st, err := cl.WaitTerminal(ctx, contact, 5*time.Millisecond); err != nil || st.State != job.Done {
+		t.Fatalf("job after fault: %+v %v", st, err)
+	}
+}
+
+// scheduler.dispatch=error*1 — the fault fires after the submission is
+// accepted, inside the batch queue: the job lands in Failed with the
+// injected message, observable through the normal status protocol.
+func TestChaosSchedulerDispatchFailsJob(t *testing.T) {
+	faultinject.Reset()
+	defer faultinject.Reset()
+	d := newDeployment(t)
+	addr, _ := startInfoGram(t, d, func(cfg *core.Config) {
+		fn := scheduler.NewFunc(scheduler.TrustedMode, scheduler.Budgets{})
+		fn.RegisterFunc("noop", func(ctx context.Context, sb *scheduler.Sandbox, args []string, stdin string) (string, error) {
+			return "done", nil
+		})
+		q := scheduler.NewQueue(scheduler.QueueConfig{Name: "chaos", Slots: 1, Executor: fn})
+		t.Cleanup(q.Close)
+		cfg.Backends.Queue = q
+	})
+	cl, _ := retryClient(t, addr, d)
+
+	faultinject.Arm(faultinject.SchedulerDispatch, faultinject.Action{Err: errors.New("node offline"), Count: 1})
+	contact, err := cl.Submit("&(executable=noop)(jobtype=queue)")
+	if err != nil {
+		t.Fatalf("queued submission should be accepted before dispatch: %v", err)
+	}
+	ctx, cancel := contextWithTimeout(t)
+	defer cancel()
+	st, err := cl.WaitTerminal(ctx, contact, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != job.Failed {
+		t.Fatalf("state = %v; want Failed", st.State)
+	}
+	if !strings.Contains(st.Error, "injected") {
+		t.Fatalf("job error does not surface the injected fault: %q", st.Error)
+	}
+}
+
+// A client that feeds bytes too slowly is cut off by the server's request
+// timeout: the broken frame is counted and the handler goroutine exits —
+// no leak, no unbounded stall.
+func TestChaosSlowClientCutOff(t *testing.T) {
+	faultinject.Reset()
+	defer faultinject.Reset()
+	d := newDeployment(t)
+	addr, tel := startInfoGram(t, d, func(cfg *core.Config) {
+		cfg.RequestTimeout = 150 * time.Millisecond
+	})
+	baseline := runtime.NumGoroutine()
+
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	// Drip-feed one byte every 50ms: the frame never completes within the
+	// server's deadline.
+	closed := make(chan struct{})
+	go func() {
+		defer close(closed)
+		for i := 0; i < 100; i++ {
+			if _, err := raw.Write([]byte("A")); err != nil {
+				return // server closed the connection: mission accomplished
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}()
+
+	frameErrs := tel.Counter("infogram_wire_frame_errors_total", "malformed or oversized protocol frames")
+	deadline := time.Now().Add(5 * time.Second)
+	for frameErrs.Value() == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if frameErrs.Value() == 0 {
+		t.Fatal("server never counted the stalled frame as a frame error")
+	}
+	<-closed // the writer observed the cut-off
+	raw.Close()
+
+	// The handler goroutine must be gone: poll until the count returns to
+	// (or below) the pre-connection baseline, with slack for unrelated
+	// runtime goroutines.
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+1 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines: baseline %d, now %d — handler leaked", baseline, runtime.NumGoroutine())
+}

@@ -1,0 +1,89 @@
+package provider
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"infogram/internal/cache"
+)
+
+// newDegradedRegistry builds a registry with one healthy provider and one
+// broken one.
+func newDegradedRegistry(bad Provider) *Registry {
+	reg := NewRegistry(nil)
+	reg.Register(&StaticProvider{
+		KeywordName: "Good",
+		Values:      Attributes{{Name: "v", Value: "1"}},
+	}, RegisterOptions{TTL: time.Minute})
+	reg.Register(bad, RegisterOptions{})
+	return reg
+}
+
+func TestCollectDegradedPartialOnProviderError(t *testing.T) {
+	boom := errors.New("sensor offline")
+	reg := newDegradedRegistry(NewFuncProvider("Bad", func(ctx context.Context) (Attributes, error) {
+		return nil, boom
+	}))
+	reports, degraded, err := reg.CollectDegraded(context.Background(),
+		[]string{"Good", "Bad"}, cache.Cached, 0, 0)
+	if err != nil {
+		t.Fatalf("CollectDegraded returned a fatal error: %v", err)
+	}
+	if len(reports) != 1 || reports[0].Keyword != "Good" {
+		t.Fatalf("reports = %+v; want just Good", reports)
+	}
+	if len(degraded) != 1 || degraded[0].Keyword != "Bad" || !errors.Is(degraded[0].Err, boom) {
+		t.Fatalf("degraded = %+v", degraded)
+	}
+}
+
+func TestCollectDegradedTimeoutBoundsSlowProvider(t *testing.T) {
+	reg := newDegradedRegistry(NewFuncProvider("Bad", func(ctx context.Context) (Attributes, error) {
+		<-ctx.Done() // a hung provider honours only cancellation
+		return nil, ctx.Err()
+	}))
+	start := time.Now()
+	reports, degraded, err := reg.CollectDegraded(context.Background(),
+		[]string{"Good", "Bad"}, cache.Cached, 0, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("per-provider timeout did not bound the hang: %v", elapsed)
+	}
+	if len(reports) != 1 {
+		t.Fatalf("reports = %+v", reports)
+	}
+	if len(degraded) != 1 || !errors.Is(degraded[0].Err, context.DeadlineExceeded) {
+		t.Fatalf("degraded = %+v; want deadline exceeded for Bad", degraded)
+	}
+}
+
+func TestCollectDegradedUnknownKeywordStillFatal(t *testing.T) {
+	reg := newDegradedRegistry(NewFuncProvider("Bad", func(ctx context.Context) (Attributes, error) {
+		return nil, errors.New("x")
+	}))
+	_, _, err := reg.CollectDegraded(context.Background(),
+		[]string{"Good", "Nope"}, cache.Cached, 0, 0)
+	if err == nil || !strings.Contains(err.Error(), "unknown keyword") {
+		t.Fatalf("err = %v; unknown keywords must fail the whole request", err)
+	}
+}
+
+func TestCollectDegradedAllHealthy(t *testing.T) {
+	reg := NewRegistry(nil)
+	reg.Register(&StaticProvider{KeywordName: "A", Values: Attributes{{Name: "v", Value: "1"}}},
+		RegisterOptions{TTL: time.Minute})
+	reg.Register(&StaticProvider{KeywordName: "B", Values: Attributes{{Name: "v", Value: "2"}}},
+		RegisterOptions{TTL: time.Minute})
+	reports, degraded, err := reg.CollectDegraded(context.Background(), nil, cache.Cached, 0, time.Second)
+	if err != nil || len(degraded) != 0 {
+		t.Fatalf("healthy registry degraded: %v %+v", err, degraded)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("reports = %+v", reports)
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"infogram/internal/cache"
 	"infogram/internal/clock"
+	"infogram/internal/faultinject"
 	"infogram/internal/metrics"
 	"infogram/internal/quality"
 	"infogram/internal/telemetry"
@@ -196,13 +197,60 @@ func (r *Registry) Collect(ctx context.Context, keywords []string, mode cache.Mo
 		if !ok {
 			return nil, fmt.Errorf("provider: unknown keyword %q", kw)
 		}
-		rep, err := g.Get(ctx, mode, threshold)
+		rep, err := collectOne(ctx, g, mode, threshold, 0)
 		if err != nil {
 			return nil, err
 		}
 		reports = append(reports, rep)
 	}
 	return reports, nil
+}
+
+// DegradedKeyword records a keyword whose provider failed or timed out
+// during a degraded collect.
+type DegradedKeyword struct {
+	Keyword string
+	Err     error
+}
+
+// CollectDegraded is Collect with partial-result degradation: each
+// keyword's retrieval is bounded by perTimeout (0 means unbounded, though
+// the caller's context still applies) and a provider that fails or blows
+// its timeout becomes a DegradedKeyword entry instead of failing the whole
+// request. Unknown keywords remain all-or-nothing errors — they indicate a
+// malformed query, not a degraded resource.
+func (r *Registry) CollectDegraded(ctx context.Context, keywords []string, mode cache.Mode, threshold quality.Score, perTimeout time.Duration) ([]Report, []DegradedKeyword, error) {
+	if len(keywords) == 0 {
+		keywords = r.Keywords()
+	}
+	reports := make([]Report, 0, len(keywords))
+	var degraded []DegradedKeyword
+	for _, kw := range keywords {
+		g, ok := r.Lookup(kw)
+		if !ok {
+			return nil, nil, fmt.Errorf("provider: unknown keyword %q", kw)
+		}
+		rep, err := collectOne(ctx, g, mode, threshold, perTimeout)
+		if err != nil {
+			degraded = append(degraded, DegradedKeyword{Keyword: g.Keyword(), Err: err})
+			continue
+		}
+		reports = append(reports, rep)
+	}
+	return reports, degraded, nil
+}
+
+// collectOne retrieves one keyword under its per-provider deadline.
+func collectOne(ctx context.Context, g *Registered, mode cache.Mode, threshold quality.Score, perTimeout time.Duration) (Report, error) {
+	if perTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, perTimeout)
+		defer cancel()
+	}
+	if _, err := faultinject.Eval(ctx, faultinject.ProviderCollect); err != nil {
+		return Report{}, err
+	}
+	return g.Get(ctx, mode, threshold)
 }
 
 // KeywordSchema is the reflection record for one keyword (paper §6.4: the

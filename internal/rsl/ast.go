@@ -130,12 +130,15 @@ type Variable struct {
 
 func (Variable) value() {}
 
-// Unparse renders the variable reference.
+// Unparse renders the variable reference. The name is quoted under the
+// same rules as a literal: the parser accepts quoted variable names, so
+// names with special characters must round-trip too.
 func (v Variable) Unparse() string {
+	name := Literal{Text: v.Name}.Unparse()
 	if v.Default == nil {
-		return "$(" + v.Name + ")"
+		return "$(" + name + ")"
 	}
-	return "$(" + v.Name + " " + v.Default.Unparse() + ")"
+	return "$(" + name + " " + v.Default.Unparse() + ")"
 }
 
 // Concat joins sub-values textually (the RSL '#' operator).

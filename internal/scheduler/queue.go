@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"infogram/internal/faultinject"
 	"infogram/internal/metrics"
 	"infogram/internal/telemetry"
 )
@@ -245,8 +246,12 @@ func (q *Queue) run(qt *QueuedTask) {
 	q.cfg.DispatchLatency.Observe(wait)
 	start := time.Now()
 
-	inner, err := q.cfg.Executor.Submit(qt.ctx, qt.Task)
 	var res Result
+	var inner Handle
+	_, err := faultinject.Eval(qt.ctx, faultinject.SchedulerDispatch)
+	if err == nil {
+		inner, err = q.cfg.Executor.Submit(qt.ctx, qt.Task)
+	}
 	if err == nil {
 		// Honour cancellation while running.
 		done := make(chan struct{})

@@ -2,10 +2,15 @@ package wire
 
 import (
 	"bufio"
+	"context"
+	"errors"
+	"fmt"
 	"net"
+	"os"
 	"sync"
 	"time"
 
+	"infogram/internal/faultinject"
 	"infogram/internal/telemetry"
 )
 
@@ -24,6 +29,10 @@ type Conn struct {
 
 	callMu sync.Mutex
 
+	// ioTimeout bounds each individual frame read and write. Zero means
+	// unbounded (context deadlines, when present, still apply).
+	ioTimeout time.Duration
+
 	instr ConnInstruments
 }
 
@@ -35,7 +44,7 @@ type ConnInstruments struct {
 	// BytesWritten counts frame bytes successfully written.
 	BytesWritten *telemetry.Counter
 	// FrameErrors counts framing failures (malformed headers, oversized
-	// payloads, short reads) in either direction.
+	// payloads, short reads, I/O deadline expiries) in either direction.
 	FrameErrors *telemetry.Counter
 }
 
@@ -62,43 +71,156 @@ func Dial(addr string) (*Conn, error) {
 	return NewConn(nc), nil
 }
 
-// DialTimeout is Dial with a connect timeout.
+// DialTimeout is Dial with a connect timeout. The same duration becomes
+// the connection's per-operation I/O timeout, so a peer that accepts and
+// then goes silent cannot hang a subsequent Read or Call forever.
 func DialTimeout(addr string, d time.Duration) (*Conn, error) {
 	nc, err := net.DialTimeout("tcp", addr, d)
 	if err != nil {
 		return nil, err
 	}
-	return NewConn(nc), nil
+	c := NewConn(nc)
+	c.ioTimeout = d
+	return c, nil
 }
 
-// Read reads the next frame, blocking until one arrives.
+// SetIOTimeout bounds every subsequent frame read and write individually;
+// zero removes the bound. Set it before sharing the connection between
+// goroutines.
+func (c *Conn) SetIOTimeout(d time.Duration) { c.ioTimeout = d }
+
+// armDeadline installs the effective deadline — the earlier of the
+// per-operation I/O timeout and the context deadline — via set (the
+// underlying conn's SetReadDeadline or SetWriteDeadline), and watches the
+// context so cancellation interrupts an in-flight operation. The returned
+// function must be called exactly once with the operation's error: it
+// stops the watcher, clears the deadline, and maps a deadline expiry
+// caused by the context back to the context's error.
+func (c *Conn) armDeadline(ctx context.Context, set func(time.Time) error) func(error) error {
+	var dl time.Time
+	if c.ioTimeout > 0 {
+		dl = time.Now().Add(c.ioTimeout)
+	}
+	if d, ok := ctx.Deadline(); ok && (dl.IsZero() || d.Before(dl)) {
+		dl = d
+	}
+	watch := ctx.Done() != nil
+	if dl.IsZero() && !watch {
+		return func(err error) error { return err }
+	}
+	if !dl.IsZero() {
+		_ = set(dl)
+	}
+	var stop, exited chan struct{}
+	if watch {
+		stop = make(chan struct{})
+		exited = make(chan struct{})
+		go func() {
+			defer close(exited)
+			select {
+			case <-ctx.Done():
+				// A deadline in the past fails the in-flight operation
+				// immediately with os.ErrDeadlineExceeded.
+				_ = set(time.Unix(1, 0))
+			case <-stop:
+			}
+		}()
+	}
+	return func(err error) error {
+		if watch {
+			close(stop)
+			<-exited
+		}
+		_ = set(time.Time{})
+		if err != nil && ctx.Err() != nil && errors.Is(err, os.ErrDeadlineExceeded) {
+			return fmt.Errorf("wire: %w", ctx.Err())
+		}
+		return err
+	}
+}
+
+// Read reads the next frame, blocking until one arrives (bounded by the
+// connection's I/O timeout, if set).
 func (c *Conn) Read() (Frame, error) {
+	return c.ReadContext(context.Background())
+}
+
+// ReadContext reads the next frame; the context's deadline and
+// cancellation bound the read in addition to the connection's I/O
+// timeout.
+func (c *Conn) ReadContext(ctx context.Context) (Frame, error) {
 	c.rmu.Lock()
 	defer c.rmu.Unlock()
-	f, err := ReadFrame(c.r)
-	switch {
-	case err == nil:
-		c.instr.BytesRead.Add(int64(f.WireSize()))
-	case IsFrameError(err):
-		c.instr.FrameErrors.Inc()
+	for {
+		v, ferr := faultinject.Eval(ctx, faultinject.WireRead)
+		if ferr != nil {
+			return Frame{}, ferr
+		}
+		fin := c.armDeadline(ctx, c.nc.SetReadDeadline)
+		f, err := ReadFrame(c.r)
+		raw := err
+		err = fin(err)
+		switch {
+		case err == nil:
+			c.instr.BytesRead.Add(int64(f.WireSize()))
+		case IsFrameError(raw) || errors.Is(raw, os.ErrDeadlineExceeded):
+			c.instr.FrameErrors.Inc()
+		}
+		if err != nil {
+			return Frame{}, err
+		}
+		if v.Drop {
+			continue // injected drop: discard this frame, deliver the next
+		}
+		if v.Truncate > 0 && len(f.Payload) > v.Truncate {
+			f.Payload = f.Payload[:v.Truncate]
+		}
+		return f, nil
 	}
-	return f, err
 }
 
 // Write writes f and flushes it to the network.
 func (c *Conn) Write(f Frame) error {
+	return c.WriteContext(context.Background(), f)
+}
+
+// WriteContext writes f and flushes it; the context's deadline and
+// cancellation bound the write in addition to the connection's I/O
+// timeout.
+func (c *Conn) WriteContext(ctx context.Context, f Frame) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	if err := WriteFrame(c.w, f); err != nil {
-		if IsFrameError(err) {
+	v, ferr := faultinject.Eval(ctx, faultinject.WireWrite)
+	if ferr != nil {
+		return ferr
+	}
+	if v.Drop {
+		return nil // injected drop: report success without sending
+	}
+	fin := c.armDeadline(ctx, c.nc.SetWriteDeadline)
+	wrote := f.WireSize()
+	var err error
+	if v.Truncate > 0 && len(f.Payload) > v.Truncate {
+		// Injected truncation: the header advertises the full payload
+		// length but only Truncate bytes follow, so the peer sees a
+		// sender that died mid-frame.
+		err = writeTruncatedFrame(c.w, f, v.Truncate)
+		wrote -= len(f.Payload) - v.Truncate
+	} else {
+		err = WriteFrame(c.w, f)
+	}
+	if err == nil {
+		err = c.w.Flush()
+	}
+	raw := err
+	err = fin(err)
+	if raw != nil {
+		if IsFrameError(raw) || errors.Is(raw, os.ErrDeadlineExceeded) {
 			c.instr.FrameErrors.Inc()
 		}
 		return err
 	}
-	if err := c.w.Flush(); err != nil {
-		return err
-	}
-	c.instr.BytesWritten.Add(int64(f.WireSize()))
+	c.instr.BytesWritten.Add(int64(wrote))
 	return nil
 }
 
@@ -110,14 +232,20 @@ func (c *Conn) WriteString(verb, payload string) error {
 // Call writes a request frame and reads a single response frame. It is the
 // basic request/response step used by all three protocol clients. Calls are
 // serialized per connection so concurrent callers sharing a client cannot
-// interleave each other's request/response pairs.
+// interleave each other's request/response pairs. Each leg is bounded by
+// the connection's I/O timeout, if set.
 func (c *Conn) Call(req Frame) (Frame, error) {
+	return c.CallContext(context.Background(), req)
+}
+
+// CallContext is Call bounded by the context's deadline and cancellation.
+func (c *Conn) CallContext(ctx context.Context, req Frame) (Frame, error) {
 	c.callMu.Lock()
 	defer c.callMu.Unlock()
-	if err := c.Write(req); err != nil {
+	if err := c.WriteContext(ctx, req); err != nil {
 		return Frame{}, err
 	}
-	return c.Read()
+	return c.ReadContext(ctx)
 }
 
 // SetDeadline sets the read and write deadline on the underlying conn.

@@ -93,6 +93,17 @@ func validVerb(s string) bool {
 	return true
 }
 
+// frameHeader builds the wire header for f: verb, SP, decimal payload
+// length, LF. Built in one buffer so small frames need a single write.
+func frameHeader(f Frame) []byte {
+	hdr := make([]byte, 0, len(f.Verb)+16)
+	hdr = append(hdr, f.Verb...)
+	hdr = append(hdr, ' ')
+	hdr = strconv.AppendInt(hdr, int64(len(f.Payload)), 10)
+	hdr = append(hdr, '\n')
+	return hdr
+}
+
 // WriteFrame writes f to w in wire format.
 func WriteFrame(w io.Writer, f Frame) error {
 	if !validVerb(f.Verb) {
@@ -101,19 +112,32 @@ func WriteFrame(w io.Writer, f Frame) error {
 	if len(f.Payload) > MaxPayload {
 		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(f.Payload))
 	}
-	// Build the header in one buffer so small frames need a single write.
-	hdr := make([]byte, 0, len(f.Verb)+16)
-	hdr = append(hdr, f.Verb...)
-	hdr = append(hdr, ' ')
-	hdr = strconv.AppendInt(hdr, int64(len(f.Payload)), 10)
-	hdr = append(hdr, '\n')
-	if _, err := w.Write(hdr); err != nil {
+	if _, err := w.Write(frameHeader(f)); err != nil {
 		return fmt.Errorf("wire: write header: %w", err)
 	}
 	if len(f.Payload) > 0 {
 		if _, err := w.Write(f.Payload); err != nil {
 			return fmt.Errorf("wire: write payload: %w", err)
 		}
+	}
+	return nil
+}
+
+// writeTruncatedFrame writes a deliberately broken frame: the header
+// advertises f's full payload length, but only the first n payload bytes
+// follow. Fault injection uses it to simulate a sender dying mid-frame.
+func writeTruncatedFrame(w io.Writer, f Frame, n int) error {
+	if !validVerb(f.Verb) {
+		return fmt.Errorf("%w: %q", ErrVerbSyntax, f.Verb)
+	}
+	if len(f.Payload) > MaxPayload {
+		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(f.Payload))
+	}
+	if _, err := w.Write(frameHeader(f)); err != nil {
+		return fmt.Errorf("wire: write header: %w", err)
+	}
+	if _, err := w.Write(f.Payload[:n]); err != nil {
+		return fmt.Errorf("wire: write payload: %w", err)
 	}
 	return nil
 }

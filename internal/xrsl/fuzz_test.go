@@ -1,0 +1,80 @@
+package xrsl
+
+import (
+	"testing"
+
+	"infogram/internal/rsl"
+)
+
+// FuzzParseXRSL guards the xRSL decoder against panics and checks that any
+// specification it accepts re-encodes into something it accepts again with
+// the same classification. Exact value round-trips are not asserted —
+// encoding normalizes representations (e.g. timeout renders in whole
+// milliseconds) — but a decoded request must never encode into garbage.
+func FuzzParseXRSL(f *testing.F) {
+	seeds := []string{
+		// Information queries across the §6.5 tag surface.
+		"(info=all)",
+		"(info=Date)(performance=true)",
+		"(info=Memory)(info=CPU)(format=xml)",
+		"(info=schema)",
+		"(info=all)(response=cached)(quality=75)",
+		"(info=all)(filter=Memory:*)(format=dsml)",
+		"(info=selfmetrics)",
+		// Job submissions: GRAM attributes plus the paper's extensions.
+		"(executable=/bin/date)(arguments=-u)",
+		"&(executable=/bin/echo)(arguments=a b c)(count=2)(jobtype=func)",
+		"(executable=/bin/sleep)(arguments=1)(timeout=500)(action=cancel)",
+		"(executable=/bin/true)(restart=3)(callback=127.0.0.1:9999)",
+		"(executable=/bin/ls)(directory=/tmp)(environment=(A 1)(B 2))(queue=default)(maxtime=5)",
+		"(executable=/bin/cat)(stdin=/etc/hostname)(jobtype=queue)",
+		// Multi-requests mixing both kinds.
+		"+(&(info=Date))(&(executable=/bin/echo)(arguments=hi))",
+		"+(&(info=all)(format=xml))(&(info=schema))",
+		// Invalid and adversarial inputs: must reject, not panic.
+		"(executable=/bin/date)(info=all)",
+		"(info=)",
+		"(timeout=abc)",
+		"(quality=999)",
+		"((((",
+		"",
+		"&",
+		"(a=$()",
+		"(info=all)(response=bogus)",
+		"(executable=/bin/x)(jobtype=marsrover)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		env := rsl.NewEnv("HOME", "/home/u", "LOGNAME", "u")
+		reqs, err := Decode(src, env)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		for _, req := range reqs {
+			var encoded string
+			switch req.Kind {
+			case KindInfo:
+				if req.Info == nil {
+					t.Fatalf("info request without Info: %q", src)
+				}
+				encoded = req.Info.Encode()
+			case KindJob:
+				if req.Job == nil {
+					t.Fatalf("job request without Job: %q", src)
+				}
+				encoded = req.Job.Encode()
+			default:
+				t.Fatalf("Decode accepted unclassifiable kind %v: %q", req.Kind, src)
+			}
+			again, err := DecodeOne(encoded, env)
+			if err != nil {
+				t.Fatalf("re-encode of accepted request does not decode:\nsrc: %q\nenc: %q\nerr: %v", src, encoded, err)
+			}
+			if again.Kind != req.Kind {
+				t.Fatalf("classification flipped on re-encode: %v -> %v\nsrc: %q\nenc: %q", req.Kind, again.Kind, src, encoded)
+			}
+		}
+	})
+}

@@ -23,4 +23,17 @@ go vet ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== fuzz smoke (10s per target) =="
+for target in \
+	FuzzParse:./internal/rsl \
+	FuzzEvalValue:./internal/rsl \
+	FuzzFrameRoundTrip:./internal/wire \
+	FuzzFrameDecode:./internal/wire \
+	FuzzParseXRSL:./internal/xrsl; do
+	name=${target%%:*}
+	pkg=${target#*:}
+	echo "-- $name ($pkg)"
+	go test -run='^$' -fuzz="^${name}\$" -fuzztime=10s "$pkg"
+done
+
 echo "ok: all checks passed"
