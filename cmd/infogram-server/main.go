@@ -48,6 +48,7 @@ func main() {
 		metrics   = flag.String("metrics-addr", "", "serve Prometheus text metrics on this address at /metrics")
 		reqTO     = flag.Duration("request-timeout", 0, "per-request deadline and slow-client I/O timeout (0 disables)")
 		provTO    = flag.Duration("provider-timeout", 0, "per-provider collection timeout; failures degrade replies instead of erroring (0 disables)")
+		collectP  = flag.Int("collect-parallelism", 0, "bound on the parallel provider fan-out per info query and on concurrent multi-request parts (0 = GOMAXPROCS-scaled default, 1 = serial)")
 		faults    = flag.String("faultpoints", os.Getenv("INFOGRAM_FAULTPOINTS"),
 			"arm fault-injection failpoints, e.g. 'wire.read=delay(100ms),provider.collect=hang' (also via INFOGRAM_FAULTPOINTS)")
 	)
@@ -124,10 +125,11 @@ func main() {
 			Func:  fn,
 			Queue: queue,
 		},
-		Log:             logger,
-		Telemetry:       tel,
-		RequestTimeout:  *reqTO,
-		ProviderTimeout: *provTO,
+		Log:                logger,
+		Telemetry:          tel,
+		RequestTimeout:     *reqTO,
+		ProviderTimeout:    *provTO,
+		CollectParallelism: *collectP,
 	})
 	bound, err := svc.Listen(*addr)
 	if err != nil {

@@ -41,6 +41,11 @@ type instruments struct {
 
 	requests map[string]*telemetry.Counter
 	latency  map[string]*telemetry.Histogram
+	// unknownRequests/unknownLatency absorb verbs outside the
+	// instrumented set, so a hostile or future verb never indexes the
+	// maps with a missing key.
+	unknownRequests *telemetry.Counter
+	unknownLatency  *telemetry.Histogram
 }
 
 // instrumentedVerbs is the protocol surface measured per verb.
@@ -80,7 +85,27 @@ func newInstruments(tel *telemetry.Registry) *instruments {
 		in.requests[verb] = tel.Counter("infogram_requests_total", "protocol requests dispatched, by verb", l)
 		in.latency[verb] = tel.Histogram("infogram_request_duration_seconds", "request handling latency, by verb", l)
 	}
+	unknown := telemetry.Label{Key: "verb", Value: "unknown"}
+	in.unknownRequests = tel.Counter("infogram_requests_total", "protocol requests dispatched, by verb", unknown)
+	in.unknownLatency = tel.Histogram("infogram_request_duration_seconds", "request handling latency, by verb", unknown)
 	return in
+}
+
+// requestCounter returns the per-verb request counter, or the catch-all
+// "unknown" counter for verbs outside the instrumented set.
+func (in *instruments) requestCounter(verb string) *telemetry.Counter {
+	if c, ok := in.requests[verb]; ok {
+		return c
+	}
+	return in.unknownRequests
+}
+
+// requestLatency is requestCounter's histogram counterpart.
+func (in *instruments) requestLatency(verb string) *telemetry.Histogram {
+	if h, ok := in.latency[verb]; ok {
+		return h
+	}
+	return in.unknownLatency
 }
 
 // serverInstruments is what the wire listener feeds.

@@ -33,6 +33,7 @@ import (
 	"infogram/internal/telemetry"
 	"infogram/internal/wire"
 	"infogram/internal/xrsl"
+	"infogram/internal/zerocopy"
 )
 
 // Protocol verbs specific to InfoGram; job verbs are shared with GRAMP
@@ -89,6 +90,11 @@ type Config struct {
 	// fails or times out are reported in a degraded status entry while the
 	// rest of the reply is delivered. Zero keeps all-or-nothing.
 	ProviderTimeout time.Duration
+	// CollectParallelism bounds the two request-path fan-outs: the
+	// provider worker pool behind a multi-keyword info query, and the
+	// concurrent evaluation of a multi-request's (+) parts. 1 forces both
+	// serial; 0 (or negative) selects provider.DefaultParallelism.
+	CollectParallelism int
 }
 
 // Service is one InfoGram instance.
@@ -123,6 +129,7 @@ func NewService(cfg Config) *Service {
 	// Per-keyword cache counters, for providers registered before and
 	// after this point.
 	cfg.Registry.SetTelemetry(cfg.Telemetry)
+	cfg.Registry.SetParallelism(cfg.CollectParallelism)
 	// The self-monitoring provider (§4 dogfooded): the service's own
 	// telemetry is just another key information provider, queryable with
 	// &(info=selfmetrics). TTL 0 = execute on every request, so the
@@ -278,28 +285,33 @@ func (s *Service) serveConn(c *wire.Conn) {
 			return
 		}
 		// Count before handling, so a request that queries selfmetrics
-		// sees itself in the answer.
-		s.instr.requests[f.Verb].Inc()
+		// sees itself in the answer. Verbs outside the instrumented set
+		// fall into the catch-all "unknown" series rather than indexing
+		// the per-verb maps with a hostile key.
+		s.instr.requestCounter(f.Verb).Inc()
 		s.instr.inFlight.Inc()
 		start := s.cfg.Clock.Now()
+		// The payload buffer is freshly allocated per frame and never
+		// reused, so handlers may alias it as a string without a copy.
+		payload := zerocopy.String(f.Payload)
 		switch f.Verb {
 		case gram.VerbPing:
 			_ = c.WriteString(gram.VerbPong, "")
 		case gram.VerbSubmit:
 			rctx, rcancel := s.requestCtx(ctx)
-			s.handleSubmit(rctx, c, string(f.Payload), peer, local)
+			s.handleSubmit(rctx, c, payload, peer, local)
 			rcancel()
 		case gram.VerbStatus:
-			s.handleStatus(c, strings.TrimSpace(string(f.Payload)))
+			s.handleStatus(c, strings.TrimSpace(payload))
 		case gram.VerbCancel:
-			s.handleCancel(c, strings.TrimSpace(string(f.Payload)))
+			s.handleCancel(c, strings.TrimSpace(payload))
 		case gram.VerbSignal:
-			s.handleSignal(c, strings.TrimSpace(string(f.Payload)))
+			s.handleSignal(c, strings.TrimSpace(payload))
 		default:
 			_ = c.WriteString(gram.VerbError, fmt.Sprintf("infogram: unknown verb %s", f.Verb))
 		}
 		elapsed := s.cfg.Clock.Now().Sub(start)
-		s.instr.latency[f.Verb].Observe(elapsed)
+		s.instr.requestLatency(f.Verb).Observe(elapsed)
 		s.instr.inFlight.Dec()
 		span(s.cfg.Log, s.cfg.Clock, trace, "request:"+f.Verb, "", elapsed)
 	}
@@ -337,10 +349,31 @@ func (s *Service) handleSubmit(ctx context.Context, c *wire.Conn, src string, pe
 		s.respondSingle(ctx, c, reqs[0], peer, local)
 		return
 	}
-	// Multi-request: evaluate every part, report per-part outcomes.
-	parts := make([]PartResult, 0, len(reqs))
-	for _, req := range reqs {
-		parts = append(parts, s.evalPart(ctx, req, peer, local))
+	// Multi-request: evaluate every part, report per-part outcomes in
+	// request order. Parts are independent requests (jobs and info mixed),
+	// so they evaluate concurrently under the same fan-out bound as
+	// provider collection; every layer a part touches — policy, job
+	// manager, provider cache, telemetry — already serves concurrent
+	// connections, so concurrent parts of one connection need no extra
+	// locking, and the per-part info/job counters stay exact.
+	parts := make([]PartResult, len(reqs))
+	if bound := min(s.cfg.Registry.Parallelism(), len(reqs)); bound <= 1 {
+		for i, req := range reqs {
+			parts[i] = s.evalPart(ctx, req, peer, local)
+		}
+	} else {
+		sem := make(chan struct{}, bound)
+		var wg sync.WaitGroup
+		for i, req := range reqs {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				parts[i] = s.evalPart(ctx, req, peer, local)
+			}()
+		}
+		wg.Wait()
 	}
 	payload, err := json.Marshal(parts)
 	if err != nil {
@@ -363,7 +396,9 @@ func (s *Service) respondSingle(ctx context.Context, c *wire.Conn, req *xrsl.Req
 		case xrsl.FormatDSML:
 			verb = VerbResultDSML
 		}
-		_ = c.Write(wire.Frame{Verb: verb, Payload: []byte(part.Body)})
+		// The rendered body is written once and never mutated, so the
+		// frame may alias it instead of copying.
+		_ = c.Write(wire.Frame{Verb: verb, Payload: zerocopy.Bytes(part.Body)})
 	default:
 		_ = c.WriteString(gram.VerbError, part.Error)
 	}

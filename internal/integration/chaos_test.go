@@ -224,6 +224,75 @@ func TestChaosProviderHangDegradesQuery(t *testing.T) {
 	}
 }
 
+// provider.collect=error*1 armed while the registry fans out over eight
+// keywords in parallel: exactly one keyword degrades, the other seven
+// arrive intact, and the reply's status entry names the lost keyword.
+func TestChaosProviderErrorDuringParallelFanout(t *testing.T) {
+	faultinject.Reset()
+	defer faultinject.Reset()
+	d := newDeployment(t)
+	keywords := []string{"CPULoad"}
+	for _, kw := range []string{"Extra0", "Extra1", "Extra2", "Extra3", "Extra4", "Extra5", "Extra6"} {
+		d.reg.Register(&provider.StaticProvider{
+			KeywordName: kw,
+			Values:      provider.Attributes{{Name: "v", Value: "1"}},
+		}, provider.RegisterOptions{TTL: 0})
+		keywords = append(keywords, kw)
+	}
+	addr, tel := startInfoGram(t, d, func(cfg *core.Config) {
+		cfg.ProviderTimeout = time.Second
+	})
+	cl, _ := retryClient(t, addr, d)
+
+	var filter strings.Builder
+	filter.WriteByte('&')
+	for _, kw := range keywords {
+		filter.WriteString("(info=" + kw + ")")
+	}
+	before := faultinject.Triggered(faultinject.ProviderCollect)
+	faultinject.Arm(faultinject.ProviderCollect, faultinject.Action{Err: errors.New("fanout casualty"), Count: 1})
+	res, err := cl.QueryRaw(filter.String())
+	if err != nil {
+		t.Fatalf("degraded query returned an error instead of a partial reply: %v", err)
+	}
+	if got := faultinject.Triggered(faultinject.ProviderCollect) - before; got != 1 {
+		t.Fatalf("provider.collect fired %d times; want 1", got)
+	}
+	if !res.Degraded {
+		t.Fatalf("reply not marked degraded:\n%s", res.Raw)
+	}
+	// Exactly one keyword is missing; the other seven answered.
+	var missing, answered int
+	for _, e := range res.Entries {
+		if oc, _ := e.Get("objectclass"); oc == core.DegradedObjectClass {
+			for _, a := range e.Attrs {
+				if a.Name == "missing" {
+					missing++
+				}
+			}
+			continue
+		}
+		for _, kw := range keywords {
+			if _, ok := e.Get(kw + ":load1"); ok {
+				answered++
+			} else if _, ok := e.Get(kw + ":v"); ok {
+				answered++
+			}
+		}
+	}
+	if missing != 1 {
+		t.Fatalf("degraded status lists %d missing keywords; want exactly 1:\n%s", missing, res.Raw)
+	}
+	if answered != len(keywords)-1 {
+		t.Fatalf("%d keywords answered; want %d:\n%s", answered, len(keywords)-1, res.Raw)
+	}
+	degraded := tel.Counter("infogram_requests_degraded_total",
+		"information replies answered partially because a provider failed or timed out")
+	if degraded.Value() != 1 {
+		t.Fatalf("infogram_requests_degraded_total = %d; want 1", degraded.Value())
+	}
+}
+
 // gram.spawn=error*1 — a submission the server refuses is a protocol
 // answer, not a transport fault: the client reports it and must NOT retry,
 // because replaying could run the job twice.

@@ -11,10 +11,14 @@ package ldif
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/base64"
 	"fmt"
 	"io"
 	"strings"
+	"sync"
+
+	"infogram/internal/zerocopy"
 )
 
 // Attr is one attribute/value pair. Values are opaque strings; ordering is
@@ -84,41 +88,98 @@ func needsBase64(value string) bool {
 	return false
 }
 
-// writeFolded writes line with RFC 2849 folding.
-func writeFolded(w io.Writer, line string) error {
-	for len(line) > foldWidth {
-		if _, err := io.WriteString(w, line[:foldWidth]+"\n"); err != nil {
+// encoder carries the scratch buffers of one Encode or Marshal call: the
+// logical line being assembled (name + separator + value, base64-encoded
+// in place when needed) and, for Marshal, the output buffer. Both are
+// pooled, so rendering a reply on the request hot path reuses warm
+// buffers instead of growing fresh ones per call.
+type encoder struct {
+	line []byte
+	out  bytes.Buffer
+}
+
+// maxPooledScratch caps what a returned encoder may retain; a pathological
+// giant reply should not pin its buffers in the pool forever.
+const maxPooledScratch = 1 << 20
+
+var encPool = sync.Pool{New: func() any { return new(encoder) }}
+
+func getEncoder() *encoder { return encPool.Get().(*encoder) }
+
+func (e *encoder) release() {
+	if cap(e.line) > maxPooledScratch || e.out.Cap() > maxPooledScratch {
+		return
+	}
+	e.line = e.line[:0]
+	e.out.Reset()
+	encPool.Put(e)
+}
+
+var (
+	nlByte    = []byte{'\n'}
+	spaceByte = []byte{' '}
+)
+
+// writeAttr assembles "name: value" (or the base64 ":: " form) in the
+// line scratch and writes it to w with RFC 2849 folding. No intermediate
+// strings are built.
+func (e *encoder) writeAttr(w io.Writer, name, value string) error {
+	e.line = append(e.line[:0], name...)
+	if needsBase64(value) {
+		e.line = append(e.line, ':', ':', ' ')
+		// zerocopy: base64 encoding only reads its source.
+		e.line = base64.StdEncoding.AppendEncode(e.line, zerocopy.Bytes(value))
+	} else {
+		e.line = append(e.line, ':', ' ')
+		e.line = append(e.line, value...)
+	}
+	return e.flushFolded(w)
+}
+
+// flushFolded writes the assembled line with RFC 2849 folding: rows of at
+// most foldWidth output columns, continuation rows led by one space.
+func (e *encoder) flushFolded(w io.Writer) error {
+	line := e.line
+	for first := true; ; first = false {
+		width := foldWidth
+		if !first {
+			if _, err := w.Write(spaceByte); err != nil {
+				return err
+			}
+			width-- // the leading space occupies one output column
+		}
+		if len(line) <= width {
+			if _, err := w.Write(line); err != nil {
+				return err
+			}
+			_, err := w.Write(nlByte)
 			return err
 		}
-		line = " " + line[foldWidth:]
+		if _, err := w.Write(line[:width]); err != nil {
+			return err
+		}
+		if _, err := w.Write(nlByte); err != nil {
+			return err
+		}
+		line = line[width:]
 	}
-	_, err := io.WriteString(w, line+"\n")
-	return err
 }
 
-func writeAttr(w io.Writer, name, value string) error {
-	if needsBase64(value) {
-		return writeFolded(w, name+":: "+base64.StdEncoding.EncodeToString([]byte(value)))
-	}
-	return writeFolded(w, name+": "+value)
-}
-
-// Encode writes entries to w in LDIF, separated by blank lines.
-func Encode(w io.Writer, entries []Entry) error {
-	for i, e := range entries {
+func (e *encoder) encode(w io.Writer, entries []Entry) error {
+	for i, ent := range entries {
 		if i > 0 {
-			if _, err := io.WriteString(w, "\n"); err != nil {
+			if _, err := w.Write(nlByte); err != nil {
 				return err
 			}
 		}
-		if err := writeAttr(w, "dn", e.DN); err != nil {
+		if err := e.writeAttr(w, "dn", ent.DN); err != nil {
 			return err
 		}
-		for _, a := range e.Attrs {
+		for _, a := range ent.Attrs {
 			if a.Name == "" {
-				return fmt.Errorf("ldif: empty attribute name in entry %q", e.DN)
+				return fmt.Errorf("ldif: empty attribute name in entry %q", ent.DN)
 			}
-			if err := writeAttr(w, a.Name, a.Value); err != nil {
+			if err := e.writeAttr(w, a.Name, a.Value); err != nil {
 				return err
 			}
 		}
@@ -126,13 +187,23 @@ func Encode(w io.Writer, entries []Entry) error {
 	return nil
 }
 
-// Marshal renders entries as an LDIF string.
+// Encode writes entries to w in LDIF, separated by blank lines.
+func Encode(w io.Writer, entries []Entry) error {
+	e := getEncoder()
+	defer e.release()
+	return e.encode(w, entries)
+}
+
+// Marshal renders entries as an LDIF string. The only allocation per call
+// in the steady state is the returned string itself.
 func Marshal(entries []Entry) (string, error) {
-	var sb strings.Builder
-	if err := Encode(&sb, entries); err != nil {
+	e := getEncoder()
+	defer e.release()
+	e.out.Reset()
+	if err := e.encode(&e.out, entries); err != nil {
 		return "", err
 	}
-	return sb.String(), nil
+	return e.out.String(), nil
 }
 
 // Decode parses LDIF from r. Comments (#) are skipped; folded lines are

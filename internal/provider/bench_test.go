@@ -1,0 +1,66 @@
+package provider
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"infogram/internal/cache"
+)
+
+// benchRegistry builds n TTL-0 providers that each cost fetchCost to
+// execute, the shape of a Table-1 exec-per-request keyword.
+func benchRegistry(n int, fetchCost time.Duration) *Registry {
+	reg := NewRegistry(nil)
+	for i := 0; i < n; i++ {
+		kw := fmt.Sprintf("Key%d", i)
+		reg.Register(NewFuncProvider(kw, func(ctx context.Context) (Attributes, error) {
+			select {
+			case <-time.After(fetchCost):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			return Attributes{{Name: "v", Value: "1"}}, nil
+		}), RegisterOptions{})
+	}
+	return reg
+}
+
+// BenchmarkCollectSerialVsParallel is the tentpole's acceptance measure:
+// 8 providers at a simulated 5ms fetch each. Serial collection pays the
+// sum (~40ms); the fan-out pays roughly the max (~5ms).
+func BenchmarkCollectSerialVsParallel(b *testing.B) {
+	const providers = 8
+	const fetchCost = 5 * time.Millisecond
+	for _, bc := range []struct {
+		name        string
+		parallelism int
+	}{
+		{"serial", 1},
+		{"parallel", 0}, // GOMAXPROCS-scaled default
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			reg := benchRegistry(providers, fetchCost)
+			reg.SetParallelism(bc.parallelism)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := reg.Collect(context.Background(), nil, cache.Cached, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCollectDegradedParallel measures the degraded path the server
+// runs under -provider-timeout, fan-out included.
+func BenchmarkCollectDegradedParallel(b *testing.B) {
+	reg := benchRegistry(8, 5*time.Millisecond)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := reg.CollectDegraded(context.Background(), nil, cache.Cached, 0, time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

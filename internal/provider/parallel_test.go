@@ -1,0 +1,244 @@
+package provider
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"infogram/internal/cache"
+	"infogram/internal/faultinject"
+	"infogram/internal/telemetry"
+)
+
+// sleepProvider returns a TTL-0 provider that sleeps d per fetch and
+// counts concurrent executions into inflight/maxInflight.
+func sleepProvider(kw string, d time.Duration, inflight, maxInflight *atomic.Int64) *FuncProvider {
+	return NewFuncProvider(kw, func(ctx context.Context) (Attributes, error) {
+		if inflight != nil {
+			n := inflight.Add(1)
+			for {
+				m := maxInflight.Load()
+				if n <= m || maxInflight.CompareAndSwap(m, n) {
+					break
+				}
+			}
+			defer inflight.Add(-1)
+		}
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return Attributes{{Name: "kw", Value: kw}}, nil
+	})
+}
+
+func TestParallelismKnob(t *testing.T) {
+	reg := NewRegistry(nil)
+	if got, want := reg.Parallelism(), DefaultParallelism(); got != want {
+		t.Fatalf("default Parallelism = %d; want %d", got, want)
+	}
+	reg.SetParallelism(3)
+	if got := reg.Parallelism(); got != 3 {
+		t.Fatalf("Parallelism = %d; want 3", got)
+	}
+	reg.SetParallelism(-1)
+	if got, want := reg.Parallelism(), DefaultParallelism(); got != want {
+		t.Fatalf("Parallelism after reset = %d; want %d", got, want)
+	}
+}
+
+// Parallel Collect must return reports in request order even when
+// providers finish in arbitrary order.
+func TestCollectParallelOrderPreserved(t *testing.T) {
+	reg := NewRegistry(nil)
+	const n = 12
+	for i := 0; i < n; i++ {
+		// Later keywords sleep less, so completion order inverts request
+		// order — the strongest order-scrambling a fan-out can see.
+		d := time.Duration(n-i) * 2 * time.Millisecond
+		reg.Register(sleepProvider(fmt.Sprintf("Key%02d", i), d, nil, nil), RegisterOptions{})
+	}
+	want := make([]string, 0, n)
+	for i := n - 1; i >= 0; i-- { // request in reverse registration order
+		want = append(want, fmt.Sprintf("Key%02d", i))
+	}
+	reports, err := reg.Collect(context.Background(), want, cache.Cached, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != n {
+		t.Fatalf("got %d reports; want %d", len(reports), n)
+	}
+	for i, rep := range reports {
+		if rep.Keyword != want[i] {
+			t.Fatalf("reports[%d] = %q; want %q (full order %v)", i, rep.Keyword, want[i], reports)
+		}
+	}
+}
+
+// The fan-out must actually overlap provider retrievals, and stay inside
+// the configured worker bound.
+func TestCollectParallelOverlapsWithinBound(t *testing.T) {
+	var inflight, maxInflight atomic.Int64
+	reg := NewRegistry(nil)
+	const n = 8
+	for i := 0; i < n; i++ {
+		reg.Register(sleepProvider(fmt.Sprintf("Key%d", i), 50*time.Millisecond, &inflight, &maxInflight), RegisterOptions{})
+	}
+	reg.SetParallelism(4)
+	start := time.Now()
+	if _, err := reg.Collect(context.Background(), nil, cache.Cached, 0); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	// Serial would be ≥ 400ms; four workers over eight 50ms fetches are
+	// ~100ms. Allow generous scheduler slack.
+	if elapsed > 300*time.Millisecond {
+		t.Errorf("collect took %v; fan-out is not overlapping provider fetches", elapsed)
+	}
+	if got := maxInflight.Load(); got < 2 {
+		t.Errorf("max concurrent fetches = %d; want ≥ 2", got)
+	}
+	if got := maxInflight.Load(); got > 4 {
+		t.Errorf("max concurrent fetches = %d; bound of 4 violated", got)
+	}
+}
+
+// Degraded fan-out: failures and timeouts become markers, reports and
+// degraded lists keep request order, and a hung provider costs the query
+// one perTimeout — not a serial queue behind every healthy keyword.
+func TestCollectDegradedParallelMarkersAndOrder(t *testing.T) {
+	boom := errors.New("sensor offline")
+	reg := NewRegistry(nil)
+	reg.Register(sleepProvider("Good1", time.Millisecond, nil, nil), RegisterOptions{})
+	reg.Register(NewFuncProvider("Bad", func(ctx context.Context) (Attributes, error) {
+		return nil, boom
+	}), RegisterOptions{})
+	reg.Register(sleepProvider("Good2", time.Millisecond, nil, nil), RegisterOptions{})
+	reg.Register(NewFuncProvider("Hang", func(ctx context.Context) (Attributes, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}), RegisterOptions{})
+
+	start := time.Now()
+	reports, degraded, err := reg.CollectDegraded(context.Background(),
+		[]string{"Good1", "Bad", "Good2", "Hang"}, cache.Cached, 0, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("hung provider was not bounded: %v", elapsed)
+	}
+	if len(reports) != 2 || reports[0].Keyword != "Good1" || reports[1].Keyword != "Good2" {
+		t.Fatalf("reports = %+v; want [Good1 Good2] in request order", reports)
+	}
+	if len(degraded) != 2 {
+		t.Fatalf("degraded = %+v; want 2 markers", degraded)
+	}
+	if degraded[0].Keyword != "Bad" || !errors.Is(degraded[0].Err, boom) {
+		t.Fatalf("degraded[0] = %+v; want Bad/%v", degraded[0], boom)
+	}
+	if degraded[1].Keyword != "Hang" || !errors.Is(degraded[1].Err, context.DeadlineExceeded) {
+		t.Fatalf("degraded[1] = %+v; want Hang/deadline", degraded[1])
+	}
+}
+
+// All-or-nothing Collect under parallel fan-out: any provider failure
+// fails the request, and with several failures the reported error is the
+// earliest failing keyword in request order — same as the serial path.
+func TestCollectParallelAllOrNothingError(t *testing.T) {
+	reg := NewRegistry(nil)
+	reg.Register(sleepProvider("Good", time.Millisecond, nil, nil), RegisterOptions{})
+	reg.Register(NewFuncProvider("Bad1", func(ctx context.Context) (Attributes, error) {
+		return nil, errors.New("first failure")
+	}), RegisterOptions{})
+	reg.Register(NewFuncProvider("Bad2", func(ctx context.Context) (Attributes, error) {
+		return nil, errors.New("second failure")
+	}), RegisterOptions{})
+	reports, err := reg.Collect(context.Background(), []string{"Good", "Bad1", "Bad2"}, cache.Cached, 0)
+	if err == nil {
+		t.Fatalf("Collect succeeded (%+v); want all-or-nothing failure", reports)
+	}
+	if !strings.Contains(err.Error(), "Bad1") {
+		t.Fatalf("err = %v; want the request-order-first failure (Bad1)", err)
+	}
+	if reports != nil {
+		t.Fatalf("reports = %+v; want nil on failure", reports)
+	}
+}
+
+// An unknown keyword must fail before any provider executes (all-or-
+// nothing requests have no side effects), in both collect variants.
+func TestCollectParallelUnknownKeywordNoSideEffects(t *testing.T) {
+	var execs atomic.Int64
+	reg := NewRegistry(nil)
+	reg.Register(NewFuncProvider("Known", func(ctx context.Context) (Attributes, error) {
+		execs.Add(1)
+		return Attributes{{Name: "v", Value: "1"}}, nil
+	}), RegisterOptions{})
+	if _, err := reg.Collect(context.Background(), []string{"Known", "Nope"}, cache.Cached, 0); err == nil {
+		t.Fatal("Collect with unknown keyword succeeded")
+	}
+	if _, _, err := reg.CollectDegraded(context.Background(), []string{"Known", "Nope"}, cache.Cached, 0, 0); err == nil {
+		t.Fatal("CollectDegraded with unknown keyword succeeded")
+	}
+	if n := execs.Load(); n != 0 {
+		t.Fatalf("provider executed %d times despite unknown keyword in the request", n)
+	}
+}
+
+// The fan-out telemetry: the in-flight gauge returns to zero and the
+// latency histogram records one fan-out per parallel collect.
+func TestCollectParallelTelemetry(t *testing.T) {
+	tel := telemetry.NewRegistry()
+	reg := NewRegistry(nil)
+	for i := 0; i < 4; i++ {
+		reg.Register(sleepProvider(fmt.Sprintf("Key%d", i), time.Millisecond, nil, nil), RegisterOptions{})
+	}
+	reg.SetTelemetry(tel)
+	if _, err := reg.Collect(context.Background(), nil, cache.Cached, 0); err != nil {
+		t.Fatal(err)
+	}
+	gauge := tel.Gauge("infogram_collect_parallel_inflight",
+		"provider retrievals currently executing inside a parallel collect fan-out")
+	if v := gauge.Value(); v != 0 {
+		t.Errorf("in-flight gauge = %d after collect; want 0", v)
+	}
+	hist := tel.Histogram("infogram_collect_fanout_duration_seconds",
+		"wall-clock latency of one multi-keyword parallel collect fan-out")
+	if n := hist.Snapshot().Count; n != 1 {
+		t.Errorf("fan-out histogram count = %d; want 1", n)
+	}
+}
+
+// Chaos: provider.collect=error*1 fired mid-fan-out degrades exactly one
+// keyword of a parallel degraded collect; the other seven arrive intact.
+func TestCollectParallelChaosErrorMidFanout(t *testing.T) {
+	faultinject.Reset()
+	defer faultinject.Reset()
+	reg := NewRegistry(nil)
+	const n = 8
+	for i := 0; i < n; i++ {
+		reg.Register(sleepProvider(fmt.Sprintf("Key%d", i), 2*time.Millisecond, nil, nil), RegisterOptions{})
+	}
+	before := faultinject.Triggered(faultinject.ProviderCollect)
+	faultinject.Arm(faultinject.ProviderCollect, faultinject.Action{Err: errors.New("injected mid-fanout"), Count: 1})
+	reports, degraded, err := reg.CollectDegraded(context.Background(), nil, cache.Cached, 0, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(degraded) != 1 || !errors.Is(degraded[0].Err, faultinject.ErrInjected) {
+		t.Fatalf("degraded = %+v; want exactly one injected-fault marker", degraded)
+	}
+	if len(reports) != n-1 {
+		t.Fatalf("got %d reports; want %d", len(reports), n-1)
+	}
+	if got := faultinject.Triggered(faultinject.ProviderCollect) - before; got != 1 {
+		t.Fatalf("failpoint fired %d times; want 1", got)
+	}
+}

@@ -3,8 +3,10 @@ package provider
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"infogram/internal/cache"
@@ -43,6 +45,45 @@ type Registry struct {
 	catalogue *metrics.Catalogue
 	clk       clock.Clock
 	tel       *telemetry.Registry
+
+	// par bounds the collect fan-out worker pool; 0 selects
+	// DefaultParallelism.
+	par atomic.Int64
+
+	// fanoutInflight / fanoutLatency are resolved once in SetTelemetry and
+	// read under mu on the collect path.
+	fanoutInflight *telemetry.Gauge
+	fanoutLatency  *telemetry.Histogram
+}
+
+// DefaultParallelism is the fan-out bound used when none is configured.
+// Providers block on exec, file, and network I/O rather than CPU, so the
+// pool is scaled a factor above GOMAXPROCS.
+func DefaultParallelism() int {
+	n := 4 * runtime.GOMAXPROCS(0)
+	if n < 8 {
+		n = 8
+	}
+	return n
+}
+
+// Parallelism returns the effective collect fan-out bound.
+func (r *Registry) Parallelism() int {
+	if n := r.par.Load(); n > 0 {
+		return int(n)
+	}
+	return DefaultParallelism()
+}
+
+// SetParallelism bounds the worker pool used to fan keyword retrievals
+// out across providers. 1 forces serial collection; values <= 0 restore
+// DefaultParallelism. Safe to call while collects are running — in-flight
+// fan-outs keep the bound they started with.
+func (r *Registry) SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	r.par.Store(int64(n))
 }
 
 // NewRegistry returns an empty registry using the given clock (nil for the
@@ -69,6 +110,10 @@ func (r *Registry) Catalogue() *metrics.Catalogue { return r.catalogue }
 func (r *Registry) SetTelemetry(tel *telemetry.Registry) {
 	r.mu.Lock()
 	r.tel = tel
+	r.fanoutInflight = tel.Gauge("infogram_collect_parallel_inflight",
+		"provider retrievals currently executing inside a parallel collect fan-out")
+	r.fanoutLatency = tel.Histogram("infogram_collect_fanout_duration_seconds",
+		"wall-clock latency of one multi-keyword parallel collect fan-out")
 	regs := make([]*Registered, 0, len(r.order))
 	for _, k := range r.order {
 		regs = append(regs, r.byKeyword[k])
@@ -184,26 +229,95 @@ func (r *Registry) Len() int {
 }
 
 // Collect queries the named keywords (or all, when keywords is empty)
-// through the cache with the given mode and threshold. Results are in
-// request order; querying an unknown keyword fails the whole request, the
-// all-or-nothing semantics of §6.3.
+// through the cache with the given mode and threshold. Retrieval fans out
+// across a worker pool bounded by SetParallelism, so slow providers
+// overlap instead of queueing; results are still in request order.
+// Querying an unknown keyword fails the whole request, the all-or-nothing
+// semantics of §6.3 — as does any provider failure, in which case the
+// error of the earliest failing keyword in request order is returned.
 func (r *Registry) Collect(ctx context.Context, keywords []string, mode cache.Mode, threshold quality.Score) ([]Report, error) {
+	regs, err := r.resolve(keywords)
+	if err != nil {
+		return nil, err
+	}
+	outs := r.collectAll(ctx, regs, mode, threshold, 0)
+	reports := make([]Report, len(outs))
+	for i, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		reports[i] = o.rep
+	}
+	return reports, nil
+}
+
+// resolve maps keywords (or all registered keywords, when empty) to their
+// registrations in request order. Unknown keywords fail before any
+// provider executes, so an all-or-nothing request has no side effects.
+func (r *Registry) resolve(keywords []string) ([]*Registered, error) {
 	if len(keywords) == 0 {
 		keywords = r.Keywords()
 	}
-	reports := make([]Report, 0, len(keywords))
-	for _, kw := range keywords {
+	regs := make([]*Registered, len(keywords))
+	for i, kw := range keywords {
 		g, ok := r.Lookup(kw)
 		if !ok {
 			return nil, fmt.Errorf("provider: unknown keyword %q", kw)
 		}
-		rep, err := collectOne(ctx, g, mode, threshold, 0)
-		if err != nil {
-			return nil, err
-		}
-		reports = append(reports, rep)
+		regs[i] = g
 	}
-	return reports, nil
+	return regs, nil
+}
+
+// collectOutcome is one keyword's fan-out result slot.
+type collectOutcome struct {
+	rep Report
+	err error
+}
+
+// collectAll retrieves every registration, in parallel when the
+// configured bound and the request size allow it. outs[i] always
+// corresponds to regs[i], which is what preserves request order in the
+// callers. Cache single-flight coalescing makes concurrent Entry.Get on
+// the same keyword safe, so no extra per-keyword locking is needed here.
+func (r *Registry) collectAll(ctx context.Context, regs []*Registered, mode cache.Mode, threshold quality.Score, perTimeout time.Duration) []collectOutcome {
+	outs := make([]collectOutcome, len(regs))
+	workers := r.Parallelism()
+	if workers > len(regs) {
+		workers = len(regs)
+	}
+	if workers <= 1 {
+		for i, g := range regs {
+			outs[i].rep, outs[i].err = collectOne(ctx, g, mode, threshold, perTimeout)
+		}
+		return outs
+	}
+
+	r.mu.RLock()
+	inflight, latency := r.fanoutInflight, r.fanoutLatency
+	r.mu.RUnlock()
+	start := r.clk.Now()
+
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				inflight.Inc()
+				outs[i].rep, outs[i].err = collectOne(ctx, regs[i], mode, threshold, perTimeout)
+				inflight.Dec()
+			}
+		}()
+	}
+	for i := range regs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	latency.Observe(r.clk.Since(start))
+	return outs
 }
 
 // DegradedKeyword records a keyword whose provider failed or timed out
@@ -217,25 +331,25 @@ type DegradedKeyword struct {
 // keyword's retrieval is bounded by perTimeout (0 means unbounded, though
 // the caller's context still applies) and a provider that fails or blows
 // its timeout becomes a DegradedKeyword entry instead of failing the whole
-// request. Unknown keywords remain all-or-nothing errors — they indicate a
+// request. Retrieval fans out like Collect's, so one hung provider costs
+// the query perTimeout once instead of serializing behind every healthy
+// keyword; both the reports and the degraded list stay in request order.
+// Unknown keywords remain all-or-nothing errors — they indicate a
 // malformed query, not a degraded resource.
 func (r *Registry) CollectDegraded(ctx context.Context, keywords []string, mode cache.Mode, threshold quality.Score, perTimeout time.Duration) ([]Report, []DegradedKeyword, error) {
-	if len(keywords) == 0 {
-		keywords = r.Keywords()
+	regs, err := r.resolve(keywords)
+	if err != nil {
+		return nil, nil, err
 	}
-	reports := make([]Report, 0, len(keywords))
+	outs := r.collectAll(ctx, regs, mode, threshold, perTimeout)
+	reports := make([]Report, 0, len(outs))
 	var degraded []DegradedKeyword
-	for _, kw := range keywords {
-		g, ok := r.Lookup(kw)
-		if !ok {
-			return nil, nil, fmt.Errorf("provider: unknown keyword %q", kw)
-		}
-		rep, err := collectOne(ctx, g, mode, threshold, perTimeout)
-		if err != nil {
-			degraded = append(degraded, DegradedKeyword{Keyword: g.Keyword(), Err: err})
+	for i, o := range outs {
+		if o.err != nil {
+			degraded = append(degraded, DegradedKeyword{Keyword: regs[i].Keyword(), Err: o.err})
 			continue
 		}
-		reports = append(reports, rep)
+		reports = append(reports, o.rep)
 	}
 	return reports, degraded, nil
 }

@@ -1,0 +1,34 @@
+package wire
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// discardConn is a net.Conn that swallows writes; reads are never used by
+// the write benchmarks.
+type discardConn struct{}
+
+func (discardConn) Read(b []byte) (int, error)       { select {} }
+func (discardConn) Write(b []byte) (int, error)      { return len(b), nil }
+func (discardConn) Close() error                     { return nil }
+func (discardConn) LocalAddr() net.Addr              { return nil }
+func (discardConn) RemoteAddr() net.Addr             { return nil }
+func (discardConn) SetDeadline(time.Time) error      { return nil }
+func (discardConn) SetReadDeadline(time.Time) error  { return nil }
+func (discardConn) SetWriteDeadline(time.Time) error { return nil }
+
+// BenchmarkConnWriteFrame measures the steady-state frame write path; the
+// per-connection header scratch should make it allocation-free.
+func BenchmarkConnWriteFrame(b *testing.B) {
+	c := NewConn(discardConn{})
+	f := Frame{Verb: "RESULT-LDIF", Payload: make([]byte, 512)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Write(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

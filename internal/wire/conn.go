@@ -8,6 +8,7 @@ import (
 	"net"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"infogram/internal/faultinject"
@@ -24,16 +25,21 @@ type Conn struct {
 	rmu sync.Mutex
 	r   *bufio.Reader
 
-	wmu sync.Mutex
-	w   *bufio.Writer
+	wmu  sync.Mutex
+	w    *bufio.Writer
+	whdr [64]byte // frame-header scratch, guarded by wmu
 
 	callMu sync.Mutex
 
-	// ioTimeout bounds each individual frame read and write. Zero means
-	// unbounded (context deadlines, when present, still apply).
-	ioTimeout time.Duration
+	// ioTimeout bounds each individual frame read and write, in
+	// nanoseconds. Zero means unbounded (context deadlines, when present,
+	// still apply). Atomic so SetIOTimeout is safe while a reader or
+	// writer goroutine is in flight.
+	ioTimeout atomic.Int64
 
-	instr ConnInstruments
+	// instr is atomic for the same reason: the server attaches telemetry
+	// while the connection may already be shared.
+	instr atomic.Pointer[ConnInstruments]
 }
 
 // ConnInstruments holds the optional per-connection telemetry. Nil metrics
@@ -48,10 +54,18 @@ type ConnInstruments struct {
 	FrameErrors *telemetry.Counter
 }
 
-// Instrument attaches telemetry to the connection. Call before sharing the
-// connection between goroutines (the server handler does this first
-// thing).
-func (c *Conn) Instrument(i ConnInstruments) { c.instr = i }
+// Instrument attaches telemetry to the connection. The write is atomic,
+// so it is safe even when the connection is already shared between
+// goroutines; operations that raced the attach simply go uncounted.
+func (c *Conn) Instrument(i ConnInstruments) { c.instr.Store(&i) }
+
+// instruments snapshots the attached telemetry (zero value when none).
+func (c *Conn) instruments() ConnInstruments {
+	if p := c.instr.Load(); p != nil {
+		return *p
+	}
+	return ConnInstruments{}
+}
 
 // NewConn wraps nc for frame I/O.
 func NewConn(nc net.Conn) *Conn {
@@ -80,33 +94,43 @@ func DialTimeout(addr string, d time.Duration) (*Conn, error) {
 		return nil, err
 	}
 	c := NewConn(nc)
-	c.ioTimeout = d
+	c.SetIOTimeout(d)
 	return c, nil
 }
 
 // SetIOTimeout bounds every subsequent frame read and write individually;
-// zero removes the bound. Set it before sharing the connection between
-// goroutines.
-func (c *Conn) SetIOTimeout(d time.Duration) { c.ioTimeout = d }
+// zero removes the bound. The write is atomic, so it is safe while other
+// goroutines are already reading or writing; operations that are already
+// in flight keep the deadline they armed with.
+func (c *Conn) SetIOTimeout(d time.Duration) { c.ioTimeout.Store(int64(d)) }
+
+// finNop finishes an operation that armed no deadline and no watcher.
+var finNop = func(err error) error { return err }
 
 // armDeadline installs the effective deadline — the earlier of the
-// per-operation I/O timeout and the context deadline — via set (the
-// underlying conn's SetReadDeadline or SetWriteDeadline), and watches the
+// per-operation I/O timeout and the context deadline — on the write (or,
+// with write false, read) side of the underlying conn, and watches the
 // context so cancellation interrupts an in-flight operation. The returned
 // function must be called exactly once with the operation's error: it
 // stops the watcher, clears the deadline, and maps a deadline expiry
 // caused by the context back to the context's error.
-func (c *Conn) armDeadline(ctx context.Context, set func(time.Time) error) func(error) error {
+func (c *Conn) armDeadline(ctx context.Context, write bool) func(error) error {
 	var dl time.Time
-	if c.ioTimeout > 0 {
-		dl = time.Now().Add(c.ioTimeout)
+	if io := time.Duration(c.ioTimeout.Load()); io > 0 {
+		dl = time.Now().Add(io)
 	}
 	if d, ok := ctx.Deadline(); ok && (dl.IsZero() || d.Before(dl)) {
 		dl = d
 	}
 	watch := ctx.Done() != nil
 	if dl.IsZero() && !watch {
-		return func(err error) error { return err }
+		return finNop
+	}
+	// The method value is created only past the fast path above, keeping
+	// deadline-free frame I/O allocation-free.
+	set := c.nc.SetReadDeadline
+	if write {
+		set = c.nc.SetWriteDeadline
 	}
 	if !dl.IsZero() {
 		_ = set(dl)
@@ -156,15 +180,16 @@ func (c *Conn) ReadContext(ctx context.Context) (Frame, error) {
 		if ferr != nil {
 			return Frame{}, ferr
 		}
-		fin := c.armDeadline(ctx, c.nc.SetReadDeadline)
+		fin := c.armDeadline(ctx, false)
 		f, err := ReadFrame(c.r)
 		raw := err
 		err = fin(err)
+		instr := c.instruments()
 		switch {
 		case err == nil:
-			c.instr.BytesRead.Add(int64(f.WireSize()))
+			instr.BytesRead.Add(int64(f.WireSize()))
 		case IsFrameError(raw) || errors.Is(raw, os.ErrDeadlineExceeded):
-			c.instr.FrameErrors.Inc()
+			instr.FrameErrors.Inc()
 		}
 		if err != nil {
 			return Frame{}, err
@@ -197,7 +222,7 @@ func (c *Conn) WriteContext(ctx context.Context, f Frame) error {
 	if v.Drop {
 		return nil // injected drop: report success without sending
 	}
-	fin := c.armDeadline(ctx, c.nc.SetWriteDeadline)
+	fin := c.armDeadline(ctx, true)
 	wrote := f.WireSize()
 	var err error
 	if v.Truncate > 0 && len(f.Payload) > v.Truncate {
@@ -207,20 +232,23 @@ func (c *Conn) WriteContext(ctx context.Context, f Frame) error {
 		err = writeTruncatedFrame(c.w, f, v.Truncate)
 		wrote -= len(f.Payload) - v.Truncate
 	} else {
-		err = WriteFrame(c.w, f)
+		// The header is built in the connection's scratch buffer (wmu is
+		// held), so a steady-state frame write allocates nothing.
+		err = writeFrameInto(c.w, f, c.whdr[:0])
 	}
 	if err == nil {
 		err = c.w.Flush()
 	}
 	raw := err
 	err = fin(err)
+	instr := c.instruments()
 	if raw != nil {
 		if IsFrameError(raw) || errors.Is(raw, os.ErrDeadlineExceeded) {
-			c.instr.FrameErrors.Inc()
+			instr.FrameErrors.Inc()
 		}
 		return err
 	}
-	c.instr.BytesWritten.Add(int64(wrote))
+	instr.BytesWritten.Add(int64(wrote))
 	return nil
 }
 

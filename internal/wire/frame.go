@@ -93,26 +93,28 @@ func validVerb(s string) bool {
 	return true
 }
 
-// frameHeader builds the wire header for f: verb, SP, decimal payload
-// length, LF. Built in one buffer so small frames need a single write.
-func frameHeader(f Frame) []byte {
-	hdr := make([]byte, 0, len(f.Verb)+16)
+// appendFrameHeader appends f's wire header — verb, SP, decimal payload
+// length, LF — to hdr. A validated verb (≤ maxVerbLen bytes) plus the
+// widest length fits in 54 bytes, so a caller passing a fixed-size
+// scratch buffer of 64 bytes never triggers a grow.
+func appendFrameHeader(hdr []byte, f Frame) []byte {
 	hdr = append(hdr, f.Verb...)
 	hdr = append(hdr, ' ')
 	hdr = strconv.AppendInt(hdr, int64(len(f.Payload)), 10)
-	hdr = append(hdr, '\n')
-	return hdr
+	return append(hdr, '\n')
 }
 
-// WriteFrame writes f to w in wire format.
-func WriteFrame(w io.Writer, f Frame) error {
+// writeFrameInto writes f to w, building the header in hdr's backing
+// array; the Conn write path passes a per-connection scratch so
+// steady-state frame writes allocate nothing.
+func writeFrameInto(w io.Writer, f Frame, hdr []byte) error {
 	if !validVerb(f.Verb) {
 		return fmt.Errorf("%w: %q", ErrVerbSyntax, f.Verb)
 	}
 	if len(f.Payload) > MaxPayload {
 		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(f.Payload))
 	}
-	if _, err := w.Write(frameHeader(f)); err != nil {
+	if _, err := w.Write(appendFrameHeader(hdr, f)); err != nil {
 		return fmt.Errorf("wire: write header: %w", err)
 	}
 	if len(f.Payload) > 0 {
@@ -121,6 +123,11 @@ func WriteFrame(w io.Writer, f Frame) error {
 		}
 	}
 	return nil
+}
+
+// WriteFrame writes f to w in wire format.
+func WriteFrame(w io.Writer, f Frame) error {
+	return writeFrameInto(w, f, nil)
 }
 
 // writeTruncatedFrame writes a deliberately broken frame: the header
@@ -133,7 +140,7 @@ func writeTruncatedFrame(w io.Writer, f Frame, n int) error {
 	if len(f.Payload) > MaxPayload {
 		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(f.Payload))
 	}
-	if _, err := w.Write(frameHeader(f)); err != nil {
+	if _, err := w.Write(appendFrameHeader(nil, f)); err != nil {
 		return fmt.Errorf("wire: write header: %w", err)
 	}
 	if _, err := w.Write(f.Payload[:n]); err != nil {

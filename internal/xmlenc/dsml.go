@@ -84,11 +84,7 @@ func EncodeDSML(w io.Writer, entries []ldif.Entry) error {
 
 // MarshalDSML renders entries as a DSML string.
 func MarshalDSML(entries []ldif.Entry) (string, error) {
-	var sb strings.Builder
-	if err := EncodeDSML(&sb, entries); err != nil {
-		return "", err
-	}
-	return sb.String(), nil
+	return marshalPooled(EncodeDSML, entries)
 }
 
 // DecodeDSML parses a DSMLv1 document produced by EncodeDSML. Objectclass

@@ -7,13 +7,37 @@
 package xmlenc
 
 import (
+	"bytes"
 	"encoding/xml"
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"infogram/internal/ldif"
 )
+
+// bufPool recycles Marshal/MarshalDSML output buffers; rendering on the
+// request hot path then allocates only the returned string (plus what
+// encoding/xml itself allocates).
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// maxPooledBuf caps what a returned buffer may retain in the pool.
+const maxPooledBuf = 1 << 20
+
+func marshalPooled(encode func(io.Writer, []ldif.Entry) error, entries []ldif.Entry) (string, error) {
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer func() {
+		if buf.Cap() <= maxPooledBuf {
+			bufPool.Put(buf)
+		}
+	}()
+	if err := encode(buf, entries); err != nil {
+		return "", err
+	}
+	return buf.String(), nil
+}
 
 // xmlResult is the top-level document: a sequence of entries.
 type xmlResult struct {
@@ -54,11 +78,7 @@ func Encode(w io.Writer, entries []ldif.Entry) error {
 
 // Marshal renders entries as an XML string.
 func Marshal(entries []ldif.Entry) (string, error) {
-	var sb strings.Builder
-	if err := Encode(&sb, entries); err != nil {
-		return "", err
-	}
-	return sb.String(), nil
+	return marshalPooled(Encode, entries)
 }
 
 // Decode parses a document produced by Encode back into entries, enabling

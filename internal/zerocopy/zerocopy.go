@@ -1,0 +1,37 @@
+// Package zerocopy converts between string and []byte without copying the
+// underlying bytes. The request hot path moves payloads between the wire
+// layer ([]byte frames) and the protocol layer (string xRSL sources and
+// rendered bodies); converting with the built-in conversions copies the
+// whole payload each way, which at high request rates is pure allocator
+// pressure. These helpers alias the memory instead.
+//
+// Safety contract, enforced by the callers:
+//
+//   - Bytes(s): the returned slice aliases the string's storage and must
+//     never be written to — doing so would mutate an "immutable" string.
+//   - String(b): the caller must not mutate b after the call; the
+//     returned string aliases it.
+//
+// Both are the same aliasing the standard library performs inside
+// strings.Builder.String; they are package-local so each call site's
+// ownership argument is documented where the conversion happens.
+package zerocopy
+
+import "unsafe"
+
+// String aliases b as a string. b must not be mutated afterwards.
+func String(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(unsafe.SliceData(b), len(b))
+}
+
+// Bytes aliases s as a byte slice. The result must be treated as
+// read-only.
+func Bytes(s string) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice(unsafe.StringData(s), len(s))
+}

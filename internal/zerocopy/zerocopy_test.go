@@ -1,0 +1,35 @@
+package zerocopy
+
+import "testing"
+
+func TestStringRoundTrip(t *testing.T) {
+	b := []byte("hello, grid")
+	s := String(b)
+	if s != "hello, grid" {
+		t.Fatalf("String = %q", s)
+	}
+	if got := Bytes(s); string(got) != "hello, grid" {
+		t.Fatalf("Bytes = %q", got)
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	if String(nil) != "" {
+		t.Fatal("String(nil) != \"\"")
+	}
+	if String([]byte{}) != "" {
+		t.Fatal("String(empty) != \"\"")
+	}
+	if Bytes("") != nil {
+		t.Fatal("Bytes(\"\") != nil")
+	}
+}
+
+func TestAliasing(t *testing.T) {
+	b := []byte("abc")
+	s := String(b)
+	b[0] = 'x' // violating the contract on purpose to prove aliasing
+	if s != "xbc" {
+		t.Fatalf("String does not alias its input: %q", s)
+	}
+}

@@ -1,0 +1,41 @@
+#!/bin/sh
+# Benchmark harness: runs every Go benchmark with -benchmem and records the
+# results as machine-readable JSON. Run from the repository root:
+#
+#	./scripts/bench.sh
+#
+# Each run writes BENCH_<n>.json (lowest unused n) in the repository root:
+# one JSON object per line with pkg, name, iterations, ns_per_op, and —
+# when -benchmem reports them — bytes_per_op and allocs_per_op. Narrow the
+# run with BENCH_PATTERN (a -bench regexp) or BENCH_PKGS (package list):
+#
+#	BENCH_PATTERN=BenchmarkCollect BENCH_PKGS=./internal/provider/ ./scripts/bench.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+n=0
+while [ -e "BENCH_${n}.json" ]; do
+	n=$((n + 1))
+done
+out="BENCH_${n}.json"
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+echo "== go test -bench ${BENCH_PATTERN:-.} =="
+go test -run='^$' -bench "${BENCH_PATTERN:-.}" -benchmem ${BENCH_PKGS:-./...} | tee "$raw"
+
+awk '
+/^pkg: /            { pkg = $2 }
+/^Benchmark/ && NF >= 4 {
+	line = sprintf("{\"pkg\":\"%s\",\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s", pkg, $1, $2, $3)
+	for (i = 4; i < NF; i++) {
+		if ($(i + 1) == "B/op")        line = line sprintf(",\"bytes_per_op\":%s", $i)
+		else if ($(i + 1) == "allocs/op") line = line sprintf(",\"allocs_per_op\":%s", $i)
+	}
+	print line "}"
+}
+' "$raw" >"$out"
+
+echo "ok: $(wc -l <"$out" | tr -d ' ') benchmark(s) recorded in $out"

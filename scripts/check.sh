@@ -36,4 +36,12 @@ for target in \
 	go test -run='^$' -fuzz="^${name}\$" -fuzztime=10s "$pkg"
 done
 
+# Benchmarks are opt-in — they add minutes and their numbers only mean
+# something on a quiet machine. CHECK_BENCH=1 ./scripts/check.sh runs them
+# and records BENCH_<n>.json via scripts/bench.sh.
+if [ "${CHECK_BENCH:-}" = "1" ]; then
+	echo "== benchmarks =="
+	./scripts/bench.sh
+fi
+
 echo "ok: all checks passed"
