@@ -1,0 +1,122 @@
+package infogram_test
+
+// Connection-amortization benchmarks: what the mux + pool tentpole buys.
+// BenchmarkDialHandshake prices the per-connection cost being amortized
+// (TCP dial plus the three-message GSI handshake); the pooled-vs-dial
+// suite measures end-to-end query throughput at increasing client
+// concurrency, once paying that cost per request (the seed-era pattern)
+// and once amortizing it over a pool of mux'd connections.
+//
+//	BENCH_PATTERN='BenchmarkDialHandshake|BenchmarkPooledVsDialPerRequest' BENCH_PKGS=. ./scripts/bench.sh
+
+import (
+	"context"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"infogram/internal/core"
+)
+
+// BenchmarkDialHandshake measures one full connection establishment — TCP
+// dial, GSI mutual authentication, mux negotiation — the fixed cost the
+// pool exists to amortize.
+func BenchmarkDialHandshake(b *testing.B) {
+	f := newFabric(b)
+	reg, _ := benchRegistry(time.Minute, 0, nil)
+	_, addr := startInfoGram(b, f, reg)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cl, err := core.Dial(addr, f.user, f.trust)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cl.Close()
+	}
+}
+
+// runConcurrent splits b.N requests over `clients` goroutines, each
+// running fn until the shared budget is spent.
+func runConcurrent(b *testing.B, clients int, fn func() error) {
+	b.Helper()
+	var wg sync.WaitGroup
+	work := make(chan struct{}, b.N)
+	for i := 0; i < b.N; i++ {
+		work <- struct{}{}
+	}
+	close(work)
+	errCh := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range work {
+				if err := fn(); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkPooledVsDialPerRequest compares query throughput when every
+// request dials and authenticates its own connection (the Figure 2-era
+// usage pattern) against a pool of reused mux'd connections, at 1, 8, and
+// 64 concurrent clients. The provider is cached so the measured work is
+// connection and protocol overhead, not information collection.
+func BenchmarkPooledVsDialPerRequest(b *testing.B) {
+	const query = "&(info=CPULoad)"
+	clientCounts := []int{1, 8, 64}
+
+	for _, clients := range clientCounts {
+		b.Run(benchName("dial-per-request/clients", clients), func(b *testing.B) {
+			f := newFabric(b)
+			reg, _ := benchRegistry(time.Minute, 0, nil)
+			_, addr := startInfoGram(b, f, reg)
+			b.ReportAllocs()
+			b.ResetTimer()
+			runConcurrent(b, clients, func() error {
+				cl, err := core.Dial(addr, f.user, f.trust)
+				if err != nil {
+					return err
+				}
+				defer cl.Close()
+				_, err = cl.QueryRaw(query)
+				return err
+			})
+		})
+	}
+	for _, clients := range clientCounts {
+		b.Run(benchName("pooled/clients", clients), func(b *testing.B) {
+			f := newFabric(b)
+			reg, _ := benchRegistry(time.Minute, 0, nil)
+			_, addr := startInfoGram(b, f, reg)
+			pool := core.NewPool(addr, f.user, f.trust, core.PoolOptions{Size: 8})
+			b.Cleanup(func() { pool.Close() })
+			ctx := context.Background()
+			// Warm the pool so the steady state is measured.
+			if err := pool.Ping(ctx); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			runConcurrent(b, clients, func() error {
+				_, err := pool.QueryRaw(ctx, query)
+				return err
+			})
+		})
+	}
+}
+
+func benchName(prefix string, n int) string {
+	return prefix + "=" + strconv.Itoa(n)
+}

@@ -49,6 +49,7 @@ func main() {
 		reqTO     = flag.Duration("request-timeout", 0, "per-request deadline and slow-client I/O timeout (0 disables)")
 		provTO    = flag.Duration("provider-timeout", 0, "per-provider collection timeout; failures degrade replies instead of erroring (0 disables)")
 		collectP  = flag.Int("collect-parallelism", 0, "bound on the parallel provider fan-out per info query and on concurrent multi-request parts (0 = GOMAXPROCS-scaled default, 1 = serial)")
+		connP     = flag.Int("conn-parallelism", 0, "bound on concurrently executing requests per multiplexed connection (0 = default of 8, 1 = serial)")
 		faults    = flag.String("faultpoints", os.Getenv("INFOGRAM_FAULTPOINTS"),
 			"arm fault-injection failpoints, e.g. 'wire.read=delay(100ms),provider.collect=hang' (also via INFOGRAM_FAULTPOINTS)")
 	)
@@ -130,6 +131,7 @@ func main() {
 		RequestTimeout:     *reqTO,
 		ProviderTimeout:    *provTO,
 		CollectParallelism: *collectP,
+		ConnParallelism:    *connP,
 	})
 	bound, err := svc.Listen(*addr)
 	if err != nil {

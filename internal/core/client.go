@@ -95,12 +95,22 @@ type Options struct {
 	RequestTimeout time.Duration
 	// Telemetry optionally receives infogram_client_retries_total.
 	Telemetry *telemetry.Registry
+	// DisableMux forces the pre-mux serial protocol even against servers
+	// that support multiplexing. With mux (the default against a mux-aware
+	// server), concurrent requests share the one authenticated connection
+	// and responses return by correlation ID; without it they serialize.
+	DisableMux bool
 }
 
 // Client is the single client an InfoGram deployment needs: one
 // authenticated connection, one protocol, both job execution and
 // information queries — contrast with the Figure 2 baseline where a client
 // must hold a gram.Client and an mds.Client against two ports.
+//
+// A Client is safe for concurrent use. Against a mux-aware server (any
+// post-negotiation deployment) concurrent requests genuinely share the
+// one GSI-authenticated connection out of order; against a pre-mux server
+// they serialize on it.
 type Client struct {
 	addr    string
 	cred    *gsi.Credential
@@ -111,6 +121,7 @@ type Client struct {
 
 	mu   sync.Mutex
 	conn *wire.Conn
+	mux  *wire.MuxConn // non-nil when the server accepted MUX mode
 	peer *gsi.Peer
 }
 
@@ -138,9 +149,9 @@ func DialWithOptions(addr string, cred *gsi.Credential, trust *gsi.TrustStore, o
 	}
 	attempts := opts.Retry.attempts()
 	for attempt := 1; ; attempt++ {
-		conn, peer, err := c.connect()
+		conn, mux, peer, err := c.connect()
 		if err == nil {
-			c.conn, c.peer = conn, peer
+			c.conn, c.mux, c.peer = conn, mux, peer
 			return c, nil
 		}
 		if attempt >= attempts || !isTransient(err) {
@@ -151,8 +162,11 @@ func DialWithOptions(addr string, cred *gsi.Credential, trust *gsi.TrustStore, o
 	}
 }
 
-// connect dials and authenticates one fresh connection.
-func (c *Client) connect() (*wire.Conn, *gsi.Peer, error) {
+// connect dials, authenticates, and — unless disabled — negotiates mux
+// mode on one fresh connection. A server that declines the MUX offer (any
+// pre-mux deployment answers it with ERROR) leaves the connection in the
+// serial protocol, so the client interoperates in both directions.
+func (c *Client) connect() (*wire.Conn, *wire.MuxConn, *gsi.Peer, error) {
 	var conn *wire.Conn
 	var err error
 	if c.opts.DialTimeout > 0 {
@@ -161,16 +175,29 @@ func (c *Client) connect() (*wire.Conn, *gsi.Peer, error) {
 		conn, err = wire.Dial(c.addr)
 	}
 	if err != nil {
-		return nil, nil, fmt.Errorf("infogram: dial %s: %w", c.addr, err)
+		return nil, nil, nil, fmt.Errorf("infogram: dial %s: %w", c.addr, err)
 	}
 	ctx, cancel := c.callCtx()
 	peer, err := gsi.ClientHandshakeContext(ctx, conn, c.cred, c.trust, c.clk.Now())
 	cancel()
 	if err != nil {
 		conn.Close()
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return conn, peer, nil
+	var mux *wire.MuxConn
+	if !c.opts.DisableMux {
+		nctx, ncancel := c.callCtx()
+		ok, err := wire.NegotiateMux(nctx, conn)
+		ncancel()
+		if err != nil {
+			conn.Close()
+			return nil, nil, nil, err
+		}
+		if ok {
+			mux = wire.NewMuxConn(conn)
+		}
+	}
+	return conn, mux, peer, nil
 }
 
 func (c *Client) callCtx() (context.Context, context.CancelFunc) {
@@ -190,48 +217,62 @@ func (c *Client) Server() *gsi.Peer {
 // Close closes the connection.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	conn := c.conn
-	c.conn = nil
+	conn, mux := c.conn, c.mux
+	c.conn, c.mux = nil, nil
 	c.mu.Unlock()
+	if mux != nil {
+		return mux.Close()
+	}
 	if conn == nil {
 		return nil
 	}
 	return conn.Close()
 }
 
-func (c *Client) currentConn() *wire.Conn {
+// current snapshots the live connection (and its mux layer, when
+// negotiated).
+func (c *Client) current() (*wire.Conn, *wire.MuxConn) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.conn
+	return c.conn, c.mux
 }
 
 // dropConn discards a connection observed failing, unless a concurrent
 // caller already replaced it.
-func (c *Client) dropConn(old *wire.Conn) {
-	old.Close()
+func (c *Client) dropConn(old *wire.Conn, oldMux *wire.MuxConn) {
+	if oldMux != nil {
+		oldMux.Close()
+	} else {
+		old.Close()
+	}
 	c.mu.Lock()
 	if c.conn == old {
-		c.conn = nil
+		c.conn, c.mux = nil, nil
 	}
 	c.mu.Unlock()
 }
 
 // reconnect establishes a connection if none is live.
 func (c *Client) reconnect() error {
-	if c.currentConn() != nil {
+	if conn, _ := c.current(); conn != nil {
 		return nil
 	}
-	conn, peer, err := c.connect()
+	conn, mux, peer, err := c.connect()
 	if err != nil {
 		return err
 	}
 	c.mu.Lock()
 	if c.conn != nil {
 		c.mu.Unlock()
-		conn.Close() // lost the race to another caller's reconnect
+		// Lost the race to another caller's reconnect.
+		if mux != nil {
+			mux.Close()
+		} else {
+			conn.Close()
+		}
 		return nil
 	}
-	c.conn, c.peer = conn, peer
+	c.conn, c.mux, c.peer = conn, mux, peer
 	c.mu.Unlock()
 	return nil
 }
@@ -260,22 +301,37 @@ func (c *Client) call(req wire.Frame, idempotent bool) (wire.Frame, error) {
 			}
 			continue
 		}
-		conn := c.currentConn()
+		conn, mux := c.current()
 		if conn == nil {
 			lastErr = fmt.Errorf("infogram: connection closed")
 			continue
 		}
 		ctx, cancel := c.callCtx()
-		resp, err := conn.CallContext(ctx, req)
+		var resp wire.Frame
+		var err error
+		if mux != nil {
+			resp, err = mux.Call(ctx, req)
+		} else {
+			resp, err = conn.CallContext(ctx, req)
+		}
 		cancel()
 		if err == nil {
 			return resp, nil
 		}
 		lastErr = err
+		// A mux'd call that failed alone (its own deadline expired while
+		// the transport stayed healthy) must not tear down the shared
+		// connection under its sibling requests — the correlation ID
+		// already guarantees its late response is discarded, never
+		// mis-paired. A serial connection has no such guarantee, so it is
+		// always dropped: the unread response would otherwise answer the
+		// next request.
+		if mux == nil || mux.Err() != nil {
+			c.dropConn(conn, mux)
+		}
 		if !idempotent || !isTransient(err) {
 			return wire.Frame{}, err
 		}
-		c.dropConn(conn)
 	}
 	return wire.Frame{}, lastErr
 }

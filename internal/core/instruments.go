@@ -36,6 +36,9 @@ type instruments struct {
 	jobSubmissions   *telemetry.Counter
 	requestsDegraded *telemetry.Counter
 
+	muxConns    *telemetry.Counter
+	muxInFlight *telemetry.Gauge
+
 	spawnLatency *telemetry.Histogram
 	jobsSpawned  *telemetry.Counter
 
@@ -73,6 +76,9 @@ func newInstruments(tel *telemetry.Registry) *instruments {
 		infoQueries:      tel.Counter("infogram_info_queries_total", "information query parts evaluated"),
 		jobSubmissions:   tel.Counter("infogram_job_submissions_total", "job submission parts evaluated"),
 		requestsDegraded: tel.Counter("infogram_requests_degraded_total", "information replies answered partially because a provider failed or timed out"),
+
+		muxConns:    tel.Counter("infogram_mux_connections_total", "connections upgraded to multiplexed framing"),
+		muxInFlight: tel.Gauge("infogram_mux_inflight", "mux'd requests currently executing, summed over all connections"),
 
 		spawnLatency: tel.Histogram("infogram_gram_spawn_duration_seconds", "time from job submission to manager goroutine launch"),
 		jobsSpawned:  tel.Counter("infogram_gram_jobs_spawned_total", "job manager goroutines launched"),

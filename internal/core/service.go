@@ -95,7 +95,22 @@ type Config struct {
 	// concurrent evaluation of a multi-request's (+) parts. 1 forces both
 	// serial; 0 (or negative) selects provider.DefaultParallelism.
 	CollectParallelism int
+	// ConnParallelism bounds concurrent request evaluation on one
+	// multiplexed connection: after a client negotiates MUX mode, up to
+	// this many of its requests execute at once (responses return by
+	// correlation ID, so ordering is preserved per request, not per
+	// connection). 1 forces mux'd connections serial; 0 (or negative)
+	// selects DefaultConnParallelism. Serial (non-mux) connections are
+	// unaffected.
+	ConnParallelism int
 }
+
+// DefaultConnParallelism is the per-connection worker bound for mux'd
+// connections when Config.ConnParallelism is zero. Requests are mostly
+// provider- and scheduler-bound, not CPU-bound, so a moderate constant
+// beats scaling with the host: the global fan-out bound
+// (CollectParallelism) governs total provider pressure.
+const DefaultConnParallelism = 8
 
 // Service is one InfoGram instance.
 type Service struct {
@@ -250,9 +265,15 @@ func (s *Service) Recover(records []logging.Record) ([]string, error) {
 
 // serveConn is the InfoGram gatekeeper: one GSI handshake, one gridmap
 // lookup, then a loop over the single unified protocol. A trace ID is
-// minted per connection-request and follows the request through every
-// layer; each verb is timed into the per-verb latency histogram and, when
-// a logger is configured, emitted as a span record.
+// minted per connection and follows each request through every layer;
+// each verb is timed into the per-verb latency histogram and, when a
+// logger is configured, emitted as a span record.
+//
+// The loop starts strictly serial — read one frame, answer it — which is
+// the seed-era wire contract, so clients that never heard of MUX work
+// unchanged. A MUX frame upgrades the connection: the one handshake and
+// gridmap identity are reused for every subsequent request, but requests
+// dispatch concurrently and responses return by correlation ID.
 func (s *Service) serveConn(c *wire.Conn) {
 	c.Instrument(s.instr.connInstruments())
 	// The request timeout doubles as the connection's per-operation I/O
@@ -284,37 +305,115 @@ func (s *Service) serveConn(c *wire.Conn) {
 		if err != nil {
 			return
 		}
-		// Count before handling, so a request that queries selfmetrics
-		// sees itself in the answer. Verbs outside the instrumented set
-		// fall into the catch-all "unknown" series rather than indexing
-		// the per-verb maps with a hostile key.
-		s.instr.requestCounter(f.Verb).Inc()
-		s.instr.inFlight.Inc()
-		start := s.cfg.Clock.Now()
-		// The payload buffer is freshly allocated per frame and never
-		// reused, so handlers may alias it as a string without a copy.
-		payload := zerocopy.String(f.Payload)
-		switch f.Verb {
-		case gram.VerbPing:
-			_ = c.WriteString(gram.VerbPong, "")
-		case gram.VerbSubmit:
-			rctx, rcancel := s.requestCtx(ctx)
-			s.handleSubmit(rctx, c, payload, peer, local)
-			rcancel()
-		case gram.VerbStatus:
-			s.handleStatus(c, strings.TrimSpace(payload))
-		case gram.VerbCancel:
-			s.handleCancel(c, strings.TrimSpace(payload))
-		case gram.VerbSignal:
-			s.handleSignal(c, strings.TrimSpace(payload))
-		default:
-			_ = c.WriteString(gram.VerbError, fmt.Sprintf("infogram: unknown verb %s", f.Verb))
+		if f.Verb == wire.VerbMux {
+			// Capability upgrade: acknowledge, then dispatch this
+			// connection's remaining requests concurrently. Negotiation
+			// itself is not a protocol request, so it is not counted
+			// into the per-verb series.
+			if err := c.WriteString(wire.VerbMuxOK, ""); err != nil {
+				return
+			}
+			s.serveMux(ctx, c, peer, local)
+			return
 		}
-		elapsed := s.cfg.Clock.Now().Sub(start)
-		s.instr.requestLatency(f.Verb).Observe(elapsed)
-		s.instr.inFlight.Dec()
-		span(s.cfg.Log, s.cfg.Clock, trace, "request:"+f.Verb, "", elapsed)
+		resp := s.dispatch(ctx, f, peer, local)
+		_ = c.Write(resp)
 	}
+}
+
+// connParallelism resolves the per-connection mux worker bound.
+func (s *Service) connParallelism() int {
+	if s.cfg.ConnParallelism > 0 {
+		return s.cfg.ConnParallelism
+	}
+	return DefaultConnParallelism
+}
+
+// serveMux serves the post-negotiation half of a multiplexed connection:
+// every frame carries a correlation ID, and up to connParallelism
+// requests evaluate concurrently under one worker semaphore — reusing the
+// connection's single GSI handshake and gridmap identity for all of them,
+// while SUBMIT authorization (evalPart) still runs per request. The read
+// loop itself provides backpressure: when the semaphore is full it stops
+// reading, so a client cannot queue unbounded work on one connection.
+func (s *Service) serveMux(ctx context.Context, c *wire.Conn, peer *gsi.Peer, local string) {
+	s.instr.muxConns.Inc()
+	sem := make(chan struct{}, s.connParallelism())
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		f, err := c.Read()
+		if err != nil {
+			return
+		}
+		id, req, err := wire.DecodeMux(f)
+		if err != nil {
+			// A peer that negotiated mux and then sends uncorrelated
+			// frames is broken; count the violation and drop it.
+			s.instr.frameErrors.Inc()
+			return
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			s.instr.muxInFlight.Inc()
+			resp := s.dispatch(ctx, req, peer, local)
+			s.instr.muxInFlight.Dec()
+			// Conn serializes concurrent writers; responses may leave in
+			// any completion order because the ID re-pairs them.
+			_ = c.Write(wire.EncodeMux(id, resp))
+		}()
+	}
+}
+
+// dispatch instruments and evaluates one request frame, returning the
+// response frame. It is shared by the serial loop and the mux workers:
+// every layer below it — policy, job manager, provider cache, telemetry —
+// already serves concurrent connections, so concurrent dispatches on one
+// connection need no extra locking. Counting happens before handling, so
+// a request that queries selfmetrics sees itself in the answer; verbs
+// outside the instrumented set fall into the catch-all "unknown" series
+// rather than indexing the per-verb maps with a hostile key.
+func (s *Service) dispatch(ctx context.Context, f wire.Frame, peer *gsi.Peer, local string) wire.Frame {
+	s.instr.requestCounter(f.Verb).Inc()
+	s.instr.inFlight.Inc()
+	start := s.cfg.Clock.Now()
+	resp := s.handleFrame(ctx, f, peer, local)
+	elapsed := s.cfg.Clock.Now().Sub(start)
+	s.instr.requestLatency(f.Verb).Observe(elapsed)
+	s.instr.inFlight.Dec()
+	span(s.cfg.Log, s.cfg.Clock, telemetry.TraceFrom(ctx), "request:"+f.Verb, "", elapsed)
+	return resp
+}
+
+// handleFrame evaluates one request and returns its response frame.
+func (s *Service) handleFrame(ctx context.Context, f wire.Frame, peer *gsi.Peer, local string) wire.Frame {
+	// The payload buffer is freshly allocated per frame and never
+	// reused, so handlers may alias it as a string without a copy.
+	payload := zerocopy.String(f.Payload)
+	switch f.Verb {
+	case gram.VerbPing:
+		return wire.Frame{Verb: gram.VerbPong}
+	case gram.VerbSubmit:
+		rctx, rcancel := s.requestCtx(ctx)
+		defer rcancel()
+		return s.handleSubmit(rctx, payload, peer, local)
+	case gram.VerbStatus:
+		return s.handleStatus(strings.TrimSpace(payload))
+	case gram.VerbCancel:
+		return s.handleCancel(strings.TrimSpace(payload))
+	case gram.VerbSignal:
+		return s.handleSignal(strings.TrimSpace(payload))
+	default:
+		return errorFrame(fmt.Sprintf("infogram: unknown verb %s", f.Verb))
+	}
+}
+
+// errorFrame builds an ERROR response.
+func errorFrame(msg string) wire.Frame {
+	return wire.Frame{Verb: gram.VerbError, Payload: []byte(msg)}
 }
 
 // requestCtx derives the per-request context: bounded by the configured
@@ -339,15 +438,13 @@ type PartResult struct {
 }
 
 // handleSubmit dispatches one SUBMIT frame: job, info, or multi-request.
-func (s *Service) handleSubmit(ctx context.Context, c *wire.Conn, src string, peer *gsi.Peer, local string) {
+func (s *Service) handleSubmit(ctx context.Context, src string, peer *gsi.Peer, local string) wire.Frame {
 	reqs, err := xrsl.Decode(src, s.env(local))
 	if err != nil {
-		_ = c.WriteString(gram.VerbError, err.Error())
-		return
+		return errorFrame(err.Error())
 	}
 	if len(reqs) == 1 {
-		s.respondSingle(ctx, c, reqs[0], peer, local)
-		return
+		return partFrame(s.evalPart(ctx, reqs[0], peer, local))
 	}
 	// Multi-request: evaluate every part, report per-part outcomes in
 	// request order. Parts are independent requests (jobs and info mixed),
@@ -377,17 +474,17 @@ func (s *Service) handleSubmit(ctx context.Context, c *wire.Conn, src string, pe
 	}
 	payload, err := json.Marshal(parts)
 	if err != nil {
-		_ = c.WriteString(gram.VerbError, err.Error())
-		return
+		return errorFrame(err.Error())
 	}
-	_ = c.Write(wire.Frame{Verb: VerbMulti, Payload: payload})
+	return wire.Frame{Verb: VerbMulti, Payload: payload}
 }
 
-func (s *Service) respondSingle(ctx context.Context, c *wire.Conn, req *xrsl.Request, peer *gsi.Peer, local string) {
-	part := s.evalPart(ctx, req, peer, local)
+// partFrame renders a single request part's outcome as its response
+// frame.
+func partFrame(part PartResult) wire.Frame {
 	switch part.Kind {
 	case "job":
-		_ = c.WriteString(gram.VerbSubmitted, part.Contact)
+		return wire.Frame{Verb: gram.VerbSubmitted, Payload: []byte(part.Contact)}
 	case "info":
 		verb := VerbResultLDIF
 		switch xrsl.Format(part.Format) {
@@ -398,9 +495,9 @@ func (s *Service) respondSingle(ctx context.Context, c *wire.Conn, req *xrsl.Req
 		}
 		// The rendered body is written once and never mutated, so the
 		// frame may alias it instead of copying.
-		_ = c.Write(wire.Frame{Verb: verb, Payload: zerocopy.Bytes(part.Body)})
+		return wire.Frame{Verb: verb, Payload: zerocopy.Bytes(part.Body)}
 	default:
-		_ = c.WriteString(gram.VerbError, part.Error)
+		return errorFrame(part.Error)
 	}
 }
 
@@ -474,11 +571,10 @@ func (s *Service) env(local string) rsl.Env {
 	return env
 }
 
-func (s *Service) handleStatus(c *wire.Conn, contact string) {
+func (s *Service) handleStatus(contact string) wire.Frame {
 	rec, err := s.table.Get(contact)
 	if err != nil {
-		_ = c.WriteString(gram.VerbError, err.Error())
-		return
+		return errorFrame(err.Error())
 	}
 	reply := gram.StatusReply{
 		Contact:  rec.Contact,
@@ -491,29 +587,25 @@ func (s *Service) handleStatus(c *wire.Conn, contact string) {
 	}
 	b, err := json.Marshal(reply)
 	if err != nil {
-		_ = c.WriteString(gram.VerbError, err.Error())
-		return
+		return errorFrame(err.Error())
 	}
-	_ = c.Write(wire.Frame{Verb: gram.VerbStatusOK, Payload: b})
+	return wire.Frame{Verb: gram.VerbStatusOK, Payload: b}
 }
 
-func (s *Service) handleCancel(c *wire.Conn, contact string) {
+func (s *Service) handleCancel(contact string) wire.Frame {
 	if err := s.manager.Cancel(contact); err != nil {
-		_ = c.WriteString(gram.VerbError, err.Error())
-		return
+		return errorFrame(err.Error())
 	}
-	_ = c.WriteString(gram.VerbCancelOK, contact)
+	return wire.Frame{Verb: gram.VerbCancelOK, Payload: []byte(contact)}
 }
 
-func (s *Service) handleSignal(c *wire.Conn, payload string) {
+func (s *Service) handleSignal(payload string) wire.Frame {
 	contact, signal, ok := strings.Cut(payload, " ")
 	if !ok {
-		_ = c.WriteString(gram.VerbError, "infogram: SIGNAL payload must be 'contact signal'")
-		return
+		return errorFrame("infogram: SIGNAL payload must be 'contact signal'")
 	}
 	if err := s.manager.Signal(contact, strings.TrimSpace(signal)); err != nil {
-		_ = c.WriteString(gram.VerbError, err.Error())
-		return
+		return errorFrame(err.Error())
 	}
-	_ = c.WriteString(gram.VerbSignalOK, contact)
+	return wire.Frame{Verb: gram.VerbSignalOK, Payload: []byte(contact)}
 }

@@ -10,6 +10,7 @@
 //
 //	wire.read           frame reads (client and server side)
 //	wire.write          frame writes (client and server side)
+//	wire.mux            mux'd response delivery in the client demultiplexer
 //	gsi.handshake       the GSI mutual-authentication handshake
 //	provider.collect    per-keyword information collection
 //	gram.spawn          job-manager registration and launch
@@ -45,6 +46,10 @@ const (
 	WireRead Point = "wire.read"
 	// WireWrite fires at the top of every frame write.
 	WireWrite Point = "wire.write"
+	// WireMux fires per mux'd response inside the client demultiplexer,
+	// so one in-flight call can be poisoned (error, drop, truncate,
+	// delay) while its siblings on the same connection complete.
+	WireMux Point = "wire.mux"
 	// GSIHandshake fires at the start of both handshake sides.
 	GSIHandshake Point = "gsi.handshake"
 	// ProviderCollect fires once per keyword collected for an info query.
@@ -57,7 +62,7 @@ const (
 
 // Points returns every known failpoint.
 func Points() []Point {
-	return []Point{WireRead, WireWrite, GSIHandshake, ProviderCollect, GramSpawn, SchedulerDispatch}
+	return []Point{WireRead, WireWrite, WireMux, GSIHandshake, ProviderCollect, GramSpawn, SchedulerDispatch}
 }
 
 func knownPoint(p Point) bool {

@@ -18,9 +18,10 @@ import (
 // submit a job, poll its status through the job handle, cancel it, or
 // receive event notifications through a callback listener.
 type Client struct {
-	conn *wire.Conn
-	peer *gsi.Peer
-	clk  clock.Clock
+	conn    *wire.Conn
+	peer    *gsi.Peer
+	clk     clock.Clock
+	timeout time.Duration
 }
 
 // Dial connects and authenticates to a GRAM service at addr.
@@ -28,18 +29,55 @@ func Dial(addr string, cred *gsi.Credential, trust *gsi.TrustStore) (*Client, er
 	return DialClock(addr, cred, trust, clock.System)
 }
 
+// DialTimeout is Dial with a bound on connection establishment, the
+// handshake, and every subsequent request/response exchange. Zero means
+// unbounded.
+func DialTimeout(addr string, cred *gsi.Credential, trust *gsi.TrustStore, timeout time.Duration) (*Client, error) {
+	return dial(addr, cred, trust, clock.System, timeout)
+}
+
 // DialClock is Dial with an injected clock for tests.
 func DialClock(addr string, cred *gsi.Credential, trust *gsi.TrustStore, clk clock.Clock) (*Client, error) {
-	conn, err := wire.Dial(addr)
+	return dial(addr, cred, trust, clk, 0)
+}
+
+func dial(addr string, cred *gsi.Credential, trust *gsi.TrustStore, clk clock.Clock, timeout time.Duration) (*Client, error) {
+	var conn *wire.Conn
+	var err error
+	if timeout > 0 {
+		conn, err = wire.DialTimeout(addr, timeout)
+	} else {
+		conn, err = wire.Dial(addr)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("gram: dial %s: %w", addr, err)
 	}
-	peer, err := gsi.ClientHandshake(conn, cred, trust, clk.Now())
+	c := &Client{conn: conn, clk: clk, timeout: timeout}
+	ctx, cancel := c.callCtx()
+	defer cancel()
+	peer, err := gsi.ClientHandshakeContext(ctx, conn, cred, trust, clk.Now())
 	if err != nil {
 		conn.Close()
 		return nil, err
 	}
-	return &Client{conn: conn, peer: peer, clk: clk}, nil
+	c.peer = peer
+	return c, nil
+}
+
+// callCtx bounds one exchange by the client's timeout; without one the
+// context is merely cancellable.
+func (c *Client) callCtx() (context.Context, context.CancelFunc) {
+	if c.timeout > 0 {
+		return context.WithTimeout(context.Background(), c.timeout)
+	}
+	return context.WithCancel(context.Background())
+}
+
+// call performs one deadline-bounded request/response exchange.
+func (c *Client) call(req wire.Frame) (wire.Frame, error) {
+	ctx, cancel := c.callCtx()
+	defer cancel()
+	return c.conn.CallContext(ctx, req)
 }
 
 // Server returns the authenticated server identity.
@@ -55,7 +93,7 @@ func errorReply(f wire.Frame) error {
 
 // Ping checks service liveness.
 func (c *Client) Ping() error {
-	resp, err := c.conn.Call(wire.Frame{Verb: VerbPing})
+	resp, err := c.call(wire.Frame{Verb: VerbPing})
 	if err != nil {
 		return err
 	}
@@ -67,7 +105,7 @@ func (c *Client) Ping() error {
 
 // Submit sends an RSL job specification and returns the job contact.
 func (c *Client) Submit(rslSrc string) (string, error) {
-	resp, err := c.conn.Call(wire.Frame{Verb: VerbSubmit, Payload: []byte(rslSrc)})
+	resp, err := c.call(wire.Frame{Verb: VerbSubmit, Payload: []byte(rslSrc)})
 	if err != nil {
 		return "", err
 	}
@@ -79,7 +117,7 @@ func (c *Client) Submit(rslSrc string) (string, error) {
 
 // Status polls a job by contact.
 func (c *Client) Status(contact string) (StatusReply, error) {
-	resp, err := c.conn.Call(wire.Frame{Verb: VerbStatus, Payload: []byte(contact)})
+	resp, err := c.call(wire.Frame{Verb: VerbStatus, Payload: []byte(contact)})
 	if err != nil {
 		return StatusReply{}, err
 	}
@@ -95,7 +133,7 @@ func (c *Client) Status(contact string) (StatusReply, error) {
 
 // Cancel cancels a job by contact.
 func (c *Client) Cancel(contact string) error {
-	resp, err := c.conn.Call(wire.Frame{Verb: VerbCancel, Payload: []byte(contact)})
+	resp, err := c.call(wire.Frame{Verb: VerbCancel, Payload: []byte(contact)})
 	if err != nil {
 		return err
 	}
@@ -107,7 +145,7 @@ func (c *Client) Cancel(contact string) error {
 
 // Signal suspends or resumes a job ("suspend" / "resume").
 func (c *Client) Signal(contact, signal string) error {
-	resp, err := c.conn.Call(wire.Frame{Verb: VerbSignal, Payload: []byte(contact + " " + signal)})
+	resp, err := c.call(wire.Frame{Verb: VerbSignal, Payload: []byte(contact + " " + signal)})
 	if err != nil {
 		return err
 	}

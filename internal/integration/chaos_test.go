@@ -11,6 +11,7 @@ import (
 	"net"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -140,6 +141,77 @@ func TestChaosWireDropTimesOutWithoutRetry(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > 5*time.Second {
 		t.Fatalf("dropped reply stalled the client for %v", elapsed)
+	}
+}
+
+// wire.mux=drop*1 — one mux'd response is discarded inside the client
+// demultiplexer while three sibling requests are in flight on the same
+// authenticated connection. Exactly the poisoned call times out; the
+// siblings complete, the connection survives (no re-handshake), and a
+// follow-up request reuses it.
+func TestChaosMuxDropFailsOneCallAlone(t *testing.T) {
+	faultinject.Reset()
+	defer faultinject.Reset()
+	d := newDeployment(t)
+	addr, tel := startInfoGram(t, d, nil)
+	// No retry policy: a retried call would mask whether the fault stayed
+	// contained to one request.
+	cl, err := core.DialWithOptions(addr, d.user, d.trust, core.Options{
+		RequestTimeout: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Warm up before arming so the drop lands on one of the concurrent
+	// calls, then record the handshake count to prove the connection is
+	// never replaced.
+	if _, err := cl.QueryRaw("&(info=CPULoad)"); err != nil {
+		t.Fatalf("warm-up query: %v", err)
+	}
+	authOK := tel.Counter("infogram_auth_total", "GSI handshake outcomes",
+		telemetry.Label{Key: "outcome", Value: "ok"})
+	handshakes := authOK.Value()
+
+	before := faultinject.Triggered(faultinject.WireMux)
+	faultinject.Arm(faultinject.WireMux, faultinject.Action{Drop: true, Count: 1})
+
+	const calls = 4
+	errs := make([]error, calls)
+	var wg sync.WaitGroup
+	for i := 0; i < calls; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = cl.QueryRaw("&(info=CPULoad)")
+		}(i)
+	}
+	wg.Wait()
+
+	failed := 0
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		failed++
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("call %d failed with %v; want its own deadline, not a transport error", i, err)
+		}
+	}
+	if failed != 1 {
+		t.Fatalf("%d of %d concurrent calls failed; the dropped response must fail exactly one", failed, calls)
+	}
+	if got := faultinject.Triggered(faultinject.WireMux) - before; got != 1 {
+		t.Fatalf("wire.mux fired %d times; want 1", got)
+	}
+
+	// The surviving connection keeps serving: no reconnect, no handshake.
+	if _, err := cl.QueryRaw("&(info=CPULoad)"); err != nil {
+		t.Fatalf("follow-up query on the surviving connection: %v", err)
+	}
+	if got := authOK.Value(); got != handshakes {
+		t.Fatalf("handshakes went %d -> %d; the poisoned call tore down the shared connection", handshakes, got)
 	}
 }
 

@@ -10,6 +10,11 @@
 # run with BENCH_PATTERN (a -bench regexp) or BENCH_PKGS (package list):
 #
 #	BENCH_PATTERN=BenchmarkCollect BENCH_PKGS=./internal/provider/ ./scripts/bench.sh
+#
+# The connection-amortization suite (GSI handshake cost, pooled vs
+# dial-per-request throughput) lives in the root package:
+#
+#	BENCH_PATTERN='BenchmarkDialHandshake|BenchmarkPooledVsDialPerRequest' BENCH_PKGS=. ./scripts/bench.sh
 set -eu
 
 cd "$(dirname "$0")/.."
