@@ -1,0 +1,127 @@
+package infogram_test
+
+// Durability-cost benchmarks: what the write-ahead journal adds to the
+// job path, measured against an in-memory gatekeeper and journaled ones
+// under each fsync policy.
+//
+// BenchmarkJournaledSubmit measures the SUBMIT operation itself — the
+// client round trip to the SUBMITTED ack, which the journal gates with
+// the submission record and the PENDING transition; the acceptance bar
+// is interval-fsync overhead under 15% of the in-memory path.
+// BenchmarkJournaledJobLifecycle runs the whole submit→execute→poll-DONE
+// loop (its numbers are poll-quantized: a job whose DONE lands after a
+// status poll costs one extra poll interval, so treat them as end-to-end
+// context, not append cost). BenchmarkJournalAppend isolates the
+// per-record append.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"infogram/internal/core"
+	"infogram/internal/gram"
+	"infogram/internal/journal"
+	"infogram/internal/provider"
+	"infogram/internal/scheduler"
+)
+
+// journalModes maps sub-benchmark names to fsync policies; "memory" runs
+// without a journal at all.
+var journalModes = []struct {
+	name  string
+	fsync journal.Policy
+}{
+	{"memory", 0},
+	{"interval", journal.FsyncInterval},
+	{"always", journal.FsyncAlways},
+	{"never", journal.FsyncNever},
+}
+
+func openBenchJournal(b *testing.B, fsync journal.Policy) *journal.Journal {
+	b.Helper()
+	jnl, _, err := journal.Open(journal.Options{Dir: b.TempDir(), Fsync: fsync})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { jnl.Close() })
+	return jnl
+}
+
+// startJournaledInfoGram builds a gatekeeper with (or without) a journal
+// and hands back an authenticated client.
+func startJournaledInfoGram(b *testing.B, modeName string, fsync journal.Policy) *core.Client {
+	b.Helper()
+	f := newFabric(b)
+	var jnl *journal.Journal
+	if modeName != "memory" {
+		jnl = openBenchJournal(b, fsync)
+	}
+	svc := core.NewService(core.Config{
+		ResourceName: "bench.resource",
+		Credential:   f.svcCred,
+		Trust:        f.trust,
+		Gridmap:      f.gridmap,
+		Registry:     provider.NewRegistry(nil),
+		Backends:     gram.Backends{Func: noopFunc(), Exec: &scheduler.Fork{}},
+		Journal:      jnl,
+	})
+	addr, err := svc.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { svc.Close() })
+	return dialInfoGram(b, f, addr)
+}
+
+func BenchmarkJournaledSubmit(b *testing.B) {
+	for _, mode := range journalModes {
+		b.Run(mode.name, func(b *testing.B) {
+			cl := startJournaledInfoGram(b, mode.name, mode.fsync)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cl.Submit("&(executable=noop)(jobtype=func)"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkJournaledJobLifecycle(b *testing.B) {
+	for _, mode := range journalModes {
+		b.Run(mode.name, func(b *testing.B) {
+			cl := startJournaledInfoGram(b, mode.name, mode.fsync)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				runJobToDone(b, cl, "&(executable=noop)(jobtype=func)")
+			}
+		})
+	}
+}
+
+func BenchmarkJournalAppend(b *testing.B) {
+	for _, mode := range journalModes {
+		if mode.name == "memory" {
+			continue
+		}
+		b.Run(mode.name, func(b *testing.B) {
+			jnl := openBenchJournal(b, mode.fsync)
+			ctx := context.Background()
+			now := time.Now()
+			entry := journal.Entry{
+				Kind:    journal.KindSubmit,
+				Time:    now.UnixNano(),
+				Contact: "gram://bench/1/1",
+				Spec:    "&(executable=noop)(jobtype=func)",
+				Owner:   "bench",
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := jnl.Append(ctx, entry); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

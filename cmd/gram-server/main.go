@@ -13,6 +13,7 @@ import (
 
 	"infogram/internal/bootstrap"
 	"infogram/internal/gram"
+	"infogram/internal/journal"
 	"infogram/internal/logging"
 	"infogram/internal/scheduler"
 )
@@ -22,6 +23,8 @@ func main() {
 		addr      = flag.String("addr", "127.0.0.1:2119", "listen address")
 		fabricDir = flag.String("fabric", "./fabric", "security fabric directory")
 		logPath   = flag.String("log", "", "job log file (disabled when empty)")
+		stateDir  = flag.String("state-dir", "", "durable job-state directory (write-ahead journal + snapshots); crash recovery replays it on boot (empty = in-memory only)")
+		fsync     = flag.String("fsync", "interval", "journal fsync policy: always, interval, or never")
 		slots     = flag.Int("queue-slots", 4, "slots in the batch queue backend")
 	)
 	flag.Parse()
@@ -39,6 +42,24 @@ func main() {
 		defer logger.Close()
 	}
 
+	var (
+		jnl       *journal.Journal
+		recovered *journal.Recovered
+	)
+	if *stateDir != "" {
+		policy, err := journal.ParsePolicy(*fsync)
+		if err != nil {
+			log.Fatalf("fsync: %v", err)
+		}
+		jnl, recovered, err = journal.Open(journal.Options{
+			Dir:   *stateDir,
+			Fsync: policy,
+		})
+		if err != nil {
+			log.Fatalf("journal: %v", err)
+		}
+	}
+
 	svc := gram.NewService(gram.Config{
 		Credential: fabric.Service,
 		Trust:      fabric.Trust,
@@ -48,7 +69,8 @@ func main() {
 			Func:  scheduler.NewFunc(scheduler.TrustedMode, scheduler.Budgets{}),
 			Queue: scheduler.NewPBS(*slots, nil, &scheduler.Fork{}),
 		},
-		Log: logger,
+		Log:     logger,
+		Journal: jnl,
 	})
 	bound, err := svc.Listen(*addr)
 	if err != nil {
@@ -56,6 +78,15 @@ func main() {
 	}
 	defer svc.Close()
 	fmt.Printf("gram: serving GRAMP on %s (jobs only; pair with mds-server for information)\n", bound)
+
+	if recovered != nil && len(recovered.Jobs) > 0 {
+		contacts, err := svc.RecoverJournal(recovered)
+		if err != nil {
+			log.Printf("recover: %v", err)
+		}
+		fmt.Printf("gram: journal replayed %d job(s) from %s (%d resumed)\n",
+			len(recovered.Jobs), *stateDir, len(contacts))
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

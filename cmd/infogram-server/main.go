@@ -26,6 +26,7 @@ import (
 	"infogram/internal/core"
 	"infogram/internal/faultinject"
 	"infogram/internal/gram"
+	"infogram/internal/journal"
 	"infogram/internal/logging"
 	"infogram/internal/provider"
 	"infogram/internal/scheduler"
@@ -44,6 +45,8 @@ func main() {
 		wsAddr    = flag.String("ws-addr", "", "also serve the Web-services (SOAP/WSDL) gateway on this address")
 		wsToken   = flag.String("ws-token", "", "shared token required from Web-services clients")
 		restore   = flag.Bool("recover", false, "replay the log file and restart unfinished jobs")
+		stateDir  = flag.String("state-dir", "", "durable job-state directory (write-ahead journal + snapshots); crash recovery replays it on boot (empty = in-memory only)")
+		fsync     = flag.String("fsync", "interval", "journal fsync policy: always, interval, or never")
 		sandbox   = flag.Bool("restricted", false, "run in-process jobs in the restricted sandbox")
 		metrics   = flag.String("metrics-addr", "", "serve Prometheus text metrics on this address at /metrics")
 		reqTO     = flag.Duration("request-timeout", 0, "per-request deadline and slow-client I/O timeout (0 disables)")
@@ -106,6 +109,28 @@ func main() {
 		}
 		fmt.Printf("infogram: fault injection armed: %v\n", faultinject.Armed())
 	}
+	var (
+		jnl       *journal.Journal
+		recovered *journal.Recovered
+	)
+	if *stateDir != "" {
+		policy, err := journal.ParsePolicy(*fsync)
+		if err != nil {
+			log.Fatalf("fsync: %v", err)
+		}
+		jnl, recovered, err = journal.Open(journal.Options{
+			Dir:       *stateDir,
+			Fsync:     policy,
+			Telemetry: tel,
+		})
+		if err != nil {
+			log.Fatalf("journal: %v", err)
+		}
+		if recovered.TornTail {
+			log.Printf("journal: torn record at the tail of the newest segment was discarded")
+		}
+	}
+
 	queue := scheduler.NewQueue(scheduler.QueueConfig{
 		Name:            "pbs",
 		Slots:           4,
@@ -127,6 +152,7 @@ func main() {
 			Queue: queue,
 		},
 		Log:                logger,
+		Journal:            jnl,
 		Telemetry:          tel,
 		RequestTimeout:     *reqTO,
 		ProviderTimeout:    *provTO,
@@ -140,6 +166,15 @@ func main() {
 	defer svc.Close()
 	fmt.Printf("infogram: resource %q serving on %s (%d providers, sandbox %s)\n",
 		name, bound, registry.Len(), mode)
+
+	if recovered != nil && len(recovered.Jobs) > 0 {
+		contacts, err := svc.RecoverJournal(recovered)
+		if err != nil {
+			log.Printf("recover: %v", err)
+		}
+		fmt.Printf("infogram: journal replayed %d job(s) from %s (%d resumed)\n",
+			len(recovered.Jobs), *stateDir, len(contacts))
+	}
 
 	if len(priorRecords) > 0 {
 		contacts, err := svc.Recover(priorRecords)

@@ -26,6 +26,7 @@ import (
 	"infogram/internal/gram"
 	"infogram/internal/gsi"
 	"infogram/internal/job"
+	"infogram/internal/journal"
 	"infogram/internal/logging"
 	"infogram/internal/mds"
 	"infogram/internal/provider"
@@ -67,6 +68,11 @@ type Config struct {
 	Backends gram.Backends
 	// Log is the logging service of Figure 3 (restart + accounting).
 	Log *logging.Logger
+	// Journal is the optional durable job-state layer (write-ahead
+	// journal + snapshots). When set, every submission and transition is
+	// journaled before it is acknowledged, and RecoverJournal can rebuild
+	// the job table after a crash. Nil keeps the in-memory behaviour.
+	Journal *journal.Journal
 	// Telemetry receives the service's metrics; a private registry is
 	// created when nil, so instrumentation is always live. Callers that
 	// want to expose the metrics (Prometheus endpoint, shared registry)
@@ -177,6 +183,7 @@ func (s *Service) Listen(addr string) (string, error) {
 		Table:        s.table,
 		Backends:     s.cfg.Backends,
 		Log:          s.cfg.Log,
+		Journal:      s.cfg.Journal,
 		Notify:       s.dialer,
 		Clock:        s.cfg.Clock,
 		SpawnLatency: s.instr.spawnLatency,
@@ -217,7 +224,11 @@ func (s *Service) Telemetry() *telemetry.Registry { return s.cfg.Telemetry }
 // Close shuts the service down.
 func (s *Service) Close() error {
 	s.dialer.Close()
-	return s.server.Close()
+	err := s.server.Close()
+	if jerr := s.cfg.Journal.Close(); err == nil {
+		err = jerr
+	}
+	return err
 }
 
 // GRIS exposes the same provider registry through the MDS directory
@@ -261,6 +272,23 @@ func (s *Service) Recover(records []logging.Record) ([]string, error) {
 		contacts = append(contacts, contact)
 	}
 	return contacts, nil
+}
+
+// RecoverJournal rebuilds the job table from a journal replay: terminal
+// jobs become queryable again under their original contacts with their
+// recorded output, and non-terminal jobs are resubmitted to their
+// backends, resuming from the last journaled checkpoint with their
+// remaining restart budget (jobs that cannot be re-attached come back
+// FAILED with a "recovery:" annotation). Call it after Listen and before
+// serving traffic; it returns the contacts of the resumed jobs.
+func (s *Service) RecoverJournal(rec *journal.Recovered) ([]string, error) {
+	s.mu.Lock()
+	m := s.manager
+	s.mu.Unlock()
+	if m == nil {
+		return nil, fmt.Errorf("core: RecoverJournal before Listen")
+	}
+	return m.RecoverJournal(rec, s.env)
 }
 
 // serveConn is the InfoGram gatekeeper: one GSI handshake, one gridmap

@@ -15,6 +15,8 @@
 //	provider.collect    per-keyword information collection
 //	gram.spawn          job-manager registration and launch
 //	scheduler.dispatch  batch-queue task dispatch
+//	journal.append      durable job-state journal record appends
+//	journal.fsync       journal fsync-to-stable-storage calls
 //
 // Disarmed failpoints cost one atomic pointer load and a nil check — no
 // map lookup, no lock, no allocation — so the hooks stay compiled into
@@ -58,11 +60,17 @@ const (
 	GramSpawn Point = "gram.spawn"
 	// SchedulerDispatch fires when the batch queue dispatches a task.
 	SchedulerDispatch Point = "scheduler.dispatch"
+	// JournalAppend fires before every job-state journal record append, so
+	// a submission can be refused at the durability layer.
+	JournalAppend Point = "journal.append"
+	// JournalFsync fires before every journal fsync, modelling a disk that
+	// stalls or errors exactly at the sync barrier.
+	JournalFsync Point = "journal.fsync"
 )
 
 // Points returns every known failpoint.
 func Points() []Point {
-	return []Point{WireRead, WireWrite, WireMux, GSIHandshake, ProviderCollect, GramSpawn, SchedulerDispatch}
+	return []Point{WireRead, WireWrite, WireMux, GSIHandshake, ProviderCollect, GramSpawn, SchedulerDispatch, JournalAppend, JournalFsync}
 }
 
 func knownPoint(p Point) bool {

@@ -3,24 +3,52 @@ package gram
 import (
 	"encoding/json"
 	"sync"
+	"time"
 
 	"infogram/internal/job"
 	"infogram/internal/wire"
 )
 
+// DefaultCallbackTimeout bounds each callback dial and write. A callback
+// listener is an arbitrary remote client; without a deadline one wedged
+// listener would park the job-manager goroutine delivering to it.
+const DefaultCallbackTimeout = 2 * time.Second
+
 // CallbackDialer pushes job events to client callback listeners, caching
 // one connection per contact. Delivery is best-effort: a client that has
 // gone away is forgotten; pollers still see the final job state through
 // STATUS.
+//
+// Delivery is serialized per contact, not globally: the dialer's own lock
+// only guards the contact map, and each contact carries its own lock held
+// across the (deadline-bounded) dial and write. A dead or slow listener
+// therefore delays only its own events — notifications to every other
+// contact proceed concurrently.
 type CallbackDialer struct {
-	mu     sync.Mutex
-	conns  map[string]*wire.Conn
-	closed bool
+	timeout time.Duration
+	// dial is the connection factory, replaceable in tests.
+	dial func(addr string, timeout time.Duration) (*wire.Conn, error)
+
+	mu       sync.Mutex
+	contacts map[string]*callbackConn
+	closed   bool
 }
 
-// NewCallbackDialer returns an empty dialer.
+// callbackConn is the per-contact delivery state. Its mutex serializes
+// dial+write for one contact so events stay ordered on the wire.
+type callbackConn struct {
+	mu   sync.Mutex
+	conn *wire.Conn
+}
+
+// NewCallbackDialer returns an empty dialer with the default per-delivery
+// timeout.
 func NewCallbackDialer() *CallbackDialer {
-	return &CallbackDialer{conns: make(map[string]*wire.Conn)}
+	return &CallbackDialer{
+		timeout:  DefaultCallbackTimeout,
+		dial:     wire.DialTimeout,
+		contacts: make(map[string]*callbackConn),
+	}
 }
 
 var _ Notifier = (*CallbackDialer)(nil)
@@ -32,31 +60,61 @@ func (d *CallbackDialer) Notify(contact string, ev job.Event) {
 		return
 	}
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if d.closed {
+		d.mu.Unlock()
 		return
 	}
-	conn, ok := d.conns[contact]
+	cc, ok := d.contacts[contact]
 	if !ok {
-		conn, err = wire.Dial(contact)
+		cc = &callbackConn{}
+		d.contacts[contact] = cc
+	}
+	d.mu.Unlock()
+
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.conn == nil {
+		conn, err := d.dial(contact, d.timeout)
 		if err != nil {
 			return
 		}
-		d.conns[contact] = conn
+		conn.SetIOTimeout(d.timeout)
+		cc.conn = conn
+		// Close may have raced the dial; re-check under the global lock so
+		// no connection outlives the dialer.
+		d.mu.Lock()
+		closed := d.closed
+		d.mu.Unlock()
+		if closed {
+			conn.Close()
+			cc.conn = nil
+			return
+		}
 	}
-	if err := conn.Write(wire.Frame{Verb: VerbCallback, Payload: payload}); err != nil {
-		conn.Close()
-		delete(d.conns, contact)
+	if err := cc.conn.Write(wire.Frame{Verb: VerbCallback, Payload: payload}); err != nil {
+		cc.conn.Close()
+		cc.conn = nil
 	}
 }
 
 // Close drops all cached connections.
 func (d *CallbackDialer) Close() {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	d.closed = true
-	for c, conn := range d.conns {
-		conn.Close()
-		delete(d.conns, c)
+	contacts := make([]*callbackConn, 0, len(d.contacts))
+	for c, cc := range d.contacts {
+		contacts = append(contacts, cc)
+		delete(d.contacts, c)
+	}
+	d.mu.Unlock()
+	// Take each per-contact lock outside the map lock: an in-flight
+	// delivery finishes (or times out) before its connection is closed.
+	for _, cc := range contacts {
+		cc.mu.Lock()
+		if cc.conn != nil {
+			cc.conn.Close()
+			cc.conn = nil
+		}
+		cc.mu.Unlock()
 	}
 }

@@ -18,7 +18,9 @@ import (
 	"infogram/internal/clock"
 	"infogram/internal/faultinject"
 	"infogram/internal/job"
+	"infogram/internal/journal"
 	"infogram/internal/logging"
+	"infogram/internal/rsl"
 	"infogram/internal/scheduler"
 	"infogram/internal/telemetry"
 	"infogram/internal/xrsl"
@@ -73,6 +75,11 @@ type ManagerConfig struct {
 	// Log is optional; when set, submissions and transitions are
 	// recorded for restart recovery and accounting.
 	Log *logging.Logger
+	// Journal is the optional durable job-state layer: every submission
+	// and state transition is appended to it before the operation is
+	// acknowledged, and a failed submission append refuses the submit. A
+	// nil journal preserves the in-memory-only behaviour.
+	Journal *journal.Journal
 	// Notify is optional; when set, events for jobs carrying a callback
 	// contact are pushed to it.
 	Notify Notifier
@@ -129,6 +136,22 @@ func (m *Manager) Submit(ctx context.Context, req *xrsl.JobRequest, rec job.Reco
 	if err := m.cfg.Table.Create(rec); err != nil {
 		return "", err
 	}
+	// The submission is journaled before anything acknowledges it: if the
+	// durability layer refuses the record, the job is rolled back and the
+	// client sees the submission fail — an unjournaled job could silently
+	// vanish in a crash, which is exactly what the journal exists to
+	// prevent.
+	if err := m.cfg.Journal.Append(ctx, journal.Entry{
+		Kind:     journal.KindSubmit,
+		Time:     now.UnixNano(),
+		Contact:  rec.Contact,
+		Spec:     rec.Spec,
+		Owner:    rec.Owner,
+		Identity: rec.Identity,
+	}); err != nil {
+		m.cfg.Table.Remove(rec.Contact)
+		return "", fmt.Errorf("gram: submit not durable: %w", err)
+	}
 	m.logRecord(logging.Record{
 		Time:     now,
 		Kind:     logging.KindSubmit,
@@ -138,7 +161,7 @@ func (m *Manager) Submit(ctx context.Context, req *xrsl.JobRequest, rec job.Reco
 		Identity: rec.Identity,
 		Trace:    string(trace),
 	})
-	if err := m.transition(rec.Contact, req, job.Mutation{State: job.Pending}); err != nil {
+	if err := m.transition(ctx, rec.Contact, req, job.Mutation{State: job.Pending}); err != nil {
 		return "", err
 	}
 	// The job context deliberately detaches from the request context: the
@@ -192,8 +215,19 @@ func (m *Manager) Cancel(contact string) error {
 	return nil
 }
 
-// transition applies a table transition, logs it, and notifies callbacks.
-func (m *Manager) transition(contact string, req *xrsl.JobRequest, mut job.Mutation) error {
+// transition applies a table transition, journals and logs it, and
+// notifies callbacks. The journal append happens before the callback so an
+// event is never observable outside the process ahead of its durable
+// record; a journal failure on a transition is counted but does not abort
+// the job — the accepted submission is already durable, and recovery
+// re-runs any job whose tail transitions are missing.
+//
+// Recovery-neutral transitions are not journaled: a first-attempt PENDING
+// or ACTIVE record with no restart count, no error, and no output folds
+// into exactly the state recovery infers from the submission record alone
+// (non-terminal, attempt zero → resubmit), so writing it buys nothing and
+// costs two of the four per-job appends on the happy path.
+func (m *Manager) transition(ctx context.Context, contact string, req *xrsl.JobRequest, mut job.Mutation) error {
 	ev, err := m.cfg.Table.Transition(contact, mut, m.cfg.Clock.Now())
 	if err != nil {
 		return err
@@ -208,6 +242,22 @@ func (m *Manager) transition(contact string, req *xrsl.JobRequest, mut job.Mutat
 	}
 	if ev.State.Terminal() {
 		rec.ExitCode = logging.IntPtr(ev.ExitCode)
+	}
+	if ev.State.Terminal() || ev.Restarts > 0 || ev.Error != "" || mut.Stdout != nil || mut.Stderr != nil {
+		je := journal.Entry{
+			Kind:     journal.KindState,
+			Time:     ev.Time.UnixNano(),
+			Contact:  contact,
+			State:    ev.State.String(),
+			Error:    ev.Error,
+			Restarts: ev.Restarts,
+			Stdout:   mut.Stdout,
+			Stderr:   mut.Stderr,
+		}
+		if ev.State.Terminal() {
+			je.ExitCode = logging.IntPtr(ev.ExitCode)
+		}
+		_ = m.cfg.Journal.Append(ctx, je)
 	}
 	m.logRecord(rec)
 	if m.cfg.Notify != nil && req != nil && req.CallbackContact != "" {
@@ -226,36 +276,44 @@ func (m *Manager) logRecord(r logging.Record) {
 // run is the per-job manager: it executes the job with fault-tolerant
 // restarts (paper §6.1) and timeout actions (§6.5 Extensions).
 func (m *Manager) run(ctx context.Context, contact string, req *xrsl.JobRequest) {
+	m.runFrom(ctx, contact, req, 0)
+}
+
+// runFrom is run starting at a given attempt index: 0 for fresh
+// submissions, the journaled restart count for jobs resumed by crash
+// recovery — the interrupted attempt is re-run and only the remaining
+// restart budget is consumed.
+func (m *Manager) runFrom(ctx context.Context, contact string, req *xrsl.JobRequest, start int) {
 	backend, err := m.cfg.Backends.Select(req.JobType)
 	if err != nil {
-		m.fail(contact, req, scheduler.Result{}, -1, err.Error(), 0)
+		m.fail(ctx, contact, req, scheduler.Result{}, -1, err.Error(), start)
 		return
 	}
 
 	attempts := req.Restart + 1
-	for attempt := 0; attempt < attempts; attempt++ {
-		if attempt > 0 {
+	for attempt := start; attempt < attempts; attempt++ {
+		if attempt > start {
 			// Fault-tolerant restart: FAILED -> PENDING with the restart
 			// counter bumped.
 			restarts := attempt
-			if err := m.transition(contact, req, job.Mutation{State: job.Pending, Restarts: &restarts}); err != nil {
+			if err := m.transition(ctx, contact, req, job.Mutation{State: job.Pending, Restarts: &restarts}); err != nil {
 				return
 			}
 		}
-		if err := m.transition(contact, req, job.Mutation{State: job.Active, Restarts: intPtr(attempt)}); err != nil {
+		if err := m.transition(ctx, contact, req, job.Mutation{State: job.Active, Restarts: intPtr(attempt)}); err != nil {
 			return
 		}
 
 		res, runErr := m.attempt(ctx, backend, contact, req)
 		if ctx.Err() != nil {
 			// Cancelled: no restart, report the cancellation.
-			m.fail(contact, req, res, -1, "cancelled: "+ctx.Err().Error(), attempt)
+			m.fail(ctx, contact, req, res, -1, "cancelled: "+ctx.Err().Error(), attempt)
 			return
 		}
 		switch {
 		case runErr == nil && res.ExitCode == 0:
 			stdout, stderr := res.Stdout, res.Stderr
-			_ = m.transition(contact, req, job.Mutation{
+			_ = m.transition(ctx, contact, req, job.Mutation{
 				State:    job.Done,
 				Stdout:   &stdout,
 				Stderr:   &stderr,
@@ -264,17 +322,17 @@ func (m *Manager) run(ctx context.Context, contact string, req *xrsl.JobRequest)
 			return
 		case runErr == nil:
 			if attempt == attempts-1 {
-				m.fail(contact, req, res, res.ExitCode,
+				m.fail(ctx, contact, req, res, res.ExitCode,
 					fmt.Sprintf("exit code %d", res.ExitCode), attempt)
 				return
 			}
-			m.fail(contact, req, res, res.ExitCode, fmt.Sprintf("exit code %d (will restart)", res.ExitCode), attempt)
+			m.fail(ctx, contact, req, res, res.ExitCode, fmt.Sprintf("exit code %d (will restart)", res.ExitCode), attempt)
 		default:
 			if attempt == attempts-1 {
-				m.fail(contact, req, res, -1, runErr.Error(), attempt)
+				m.fail(ctx, contact, req, res, -1, runErr.Error(), attempt)
 				return
 			}
-			m.fail(contact, req, res, -1, runErr.Error()+" (will restart)", attempt)
+			m.fail(ctx, contact, req, res, -1, runErr.Error()+" (will restart)", attempt)
 		}
 	}
 }
@@ -299,11 +357,19 @@ func (m *Manager) attempt(ctx context.Context, backend scheduler.Backend, contac
 		EstRuntime: req.MaxWallTime,
 		Checkpoint: req.Checkpoint,
 		OnCheckpoint: func(data string) {
-			// Checkpoints feed the log and the in-memory request so a
-			// later retry (or a restarted service) resumes from here.
+			// Checkpoints feed the journal, the log, and the in-memory
+			// request so a later retry (or a restarted service) resumes
+			// from here.
 			req.Checkpoint = data
+			now := m.cfg.Clock.Now()
+			_ = m.cfg.Journal.Append(ctx, journal.Entry{
+				Kind:       journal.KindCheckpoint,
+				Time:       now.UnixNano(),
+				Contact:    contact,
+				Checkpoint: data,
+			})
 			m.logRecord(logging.Record{
-				Time:       m.cfg.Clock.Now(),
+				Time:       now,
 				Kind:       logging.KindCheckpoint,
 				Contact:    contact,
 				Checkpoint: data,
@@ -387,7 +453,7 @@ func (m *Manager) Signal(contact, signal string) error {
 
 // transitionState applies a bare state transition without callback data.
 func (m *Manager) transitionState(contact string, st job.State) error {
-	return m.transition(contact, nil, job.Mutation{State: st})
+	return m.transition(context.Background(), contact, nil, job.Mutation{State: st})
 }
 
 // signalAll suspends or resumes every handle; backends without suspend
@@ -484,9 +550,9 @@ func waitAll(ctx context.Context, handles []scheduler.Handle) (scheduler.Result,
 
 // fail transitions a job to FAILED, preserving whatever output the failed
 // attempt produced.
-func (m *Manager) fail(contact string, req *xrsl.JobRequest, res scheduler.Result, exitCode int, msg string, attempt int) {
+func (m *Manager) fail(ctx context.Context, contact string, req *xrsl.JobRequest, res scheduler.Result, exitCode int, msg string, attempt int) {
 	stdout, stderr := res.Stdout, res.Stderr
-	_ = m.transition(contact, req, job.Mutation{
+	_ = m.transition(ctx, contact, req, job.Mutation{
 		State:    job.Failed,
 		ExitCode: exitCode,
 		Error:    msg,
@@ -497,3 +563,153 @@ func (m *Manager) fail(contact string, req *xrsl.JobRequest, res scheduler.Resul
 }
 
 func intPtr(n int) *int { return &n }
+
+// restoreTerminal re-inserts a terminal job exactly as journaled, so
+// STATUS keeps answering for pre-crash contacts with the recorded output.
+func (m *Manager) restoreTerminal(js journal.JobState) error {
+	return m.cfg.Table.Create(job.Record{
+		Contact:   js.Contact,
+		Spec:      js.Spec,
+		Owner:     js.Owner,
+		Identity:  js.Identity,
+		State:     js.State,
+		ExitCode:  js.ExitCode,
+		Error:     js.Error,
+		Stdout:    js.Stdout,
+		Stderr:    js.Stderr,
+		Restarts:  js.Restarts,
+		Submitted: js.Submitted,
+		Updated:   js.Updated,
+	})
+}
+
+// restoreFailed registers a journaled job that cannot be resumed and
+// immediately fails it with a recovery annotation, so the outcome is
+// visible to STATUS rather than silently dropped.
+func (m *Manager) restoreFailed(js journal.JobState, msg string) error {
+	now := m.cfg.Clock.Now()
+	rec := job.Record{
+		Contact:   js.Contact,
+		Spec:      js.Spec,
+		Owner:     js.Owner,
+		Identity:  js.Identity,
+		State:     job.Unsubmitted,
+		Submitted: js.Submitted,
+		Updated:   now,
+	}
+	if rec.Submitted.IsZero() {
+		rec.Submitted = now
+	}
+	if err := m.cfg.Table.Create(rec); err != nil {
+		return err
+	}
+	return m.transition(context.Background(), js.Contact, nil, job.Mutation{
+		State:    job.Failed,
+		ExitCode: -1,
+		Error:    msg,
+		Restarts: intPtr(js.Restarts),
+	})
+}
+
+// Resume re-registers a journaled, non-terminal job under its original
+// contact and restarts its manager goroutine. Execution starts at the
+// journaled restart count (clamped to the request's restart budget), so
+// the interrupted attempt is re-run rather than the job gaining a fresh
+// budget. The submission is not re-journaled: the journal seeded its
+// folded state from the very records being recovered, so the next
+// snapshot already covers this job.
+func (m *Manager) Resume(req *xrsl.JobRequest, js journal.JobState) error {
+	now := m.cfg.Clock.Now()
+	rec := job.Record{
+		Contact:   js.Contact,
+		Spec:      js.Spec,
+		Owner:     js.Owner,
+		Identity:  js.Identity,
+		State:     job.Unsubmitted,
+		Submitted: js.Submitted,
+		Updated:   now,
+	}
+	if rec.Submitted.IsZero() {
+		rec.Submitted = now
+	}
+	if err := m.cfg.Table.Create(rec); err != nil {
+		return err
+	}
+	start := js.Restarts
+	if start > req.Restart {
+		start = req.Restart
+	}
+	if start < 0 {
+		start = 0
+	}
+	if _, err := m.cfg.Backends.Select(req.JobType); err != nil {
+		// The backend the job ran on does not exist in this process: it
+		// cannot be re-attached, only reported.
+		m.fail(context.Background(), js.Contact, req, scheduler.Result{}, -1,
+			"recovery: "+err.Error(), start)
+		return nil
+	}
+	if err := m.transition(context.Background(), js.Contact, req, job.Mutation{
+		State: job.Pending, Restarts: intPtr(start),
+	}); err != nil {
+		return err
+	}
+	jobCtx, cancel := context.WithCancel(context.Background())
+	m.mu.Lock()
+	m.cancels[js.Contact] = cancel
+	m.mu.Unlock()
+	go func() {
+		defer func() {
+			cancel()
+			m.mu.Lock()
+			delete(m.cancels, js.Contact)
+			m.mu.Unlock()
+		}()
+		m.runFrom(jobCtx, js.Contact, req, start)
+	}()
+	m.cfg.JobsSpawned.Inc()
+	return nil
+}
+
+// RecoverJournal rebuilds the job table from a journal replay. Terminal
+// jobs are restored verbatim; non-terminal jobs are resubmitted to their
+// backends under their original contacts, resuming from the last
+// journaled checkpoint and honouring the remaining restart budget. Jobs
+// whose spec no longer decodes — or whose backend is absent — come back
+// FAILED with a "recovery:" annotation instead of vanishing. It returns
+// the contacts of the jobs that were resumed.
+func (m *Manager) RecoverJournal(rec *journal.Recovered, envFor func(owner string) rsl.Env) ([]string, error) {
+	if rec == nil {
+		return nil, nil
+	}
+	var resumed []string
+	replayed := 0
+	for _, js := range rec.Jobs {
+		if js.State.Terminal() {
+			if err := m.restoreTerminal(js); err != nil {
+				return resumed, fmt.Errorf("gram: recover %q: %w", js.Contact, err)
+			}
+			continue
+		}
+		replayed++
+		req, err := xrsl.DecodeOne(js.Spec, envFor(js.Owner))
+		if err != nil || req.Kind != xrsl.KindJob {
+			msg := "recovery: spec is not a restartable job"
+			if err != nil {
+				msg = "recovery: " + err.Error()
+			}
+			if rerr := m.restoreFailed(js, msg); rerr != nil {
+				return resumed, fmt.Errorf("gram: recover %q: %w", js.Contact, rerr)
+			}
+			continue
+		}
+		// Resume from the last checkpoint the crashed run journaled (§10).
+		req.Job.Checkpoint = js.Checkpoint
+		if err := m.Resume(req.Job, js); err != nil {
+			return resumed, fmt.Errorf("gram: recover %q: %w", js.Contact, err)
+		}
+		resumed = append(resumed, js.Contact)
+	}
+	m.cfg.Journal.NoteRecovered(replayed)
+	return resumed, nil
+}

@@ -10,6 +10,7 @@ import (
 	"infogram/internal/clock"
 	"infogram/internal/gsi"
 	"infogram/internal/job"
+	"infogram/internal/journal"
 	"infogram/internal/logging"
 	"infogram/internal/rsl"
 	"infogram/internal/wire"
@@ -58,6 +59,11 @@ type Config struct {
 	Backends Backends
 	// Log is optional restart/accounting logging.
 	Log *logging.Logger
+	// Journal is the optional durable job-state layer (write-ahead
+	// journal + snapshots). When set, every submission and transition is
+	// journaled before it is acknowledged, and RecoverJournal can rebuild
+	// the job table after a crash. Nil keeps the in-memory behaviour.
+	Journal *journal.Journal
 	// Clock defaults to the system clock.
 	Clock clock.Clock
 	// Env provides server-side RSL substitution variables.
@@ -103,6 +109,7 @@ func (s *Service) Listen(addr string) (string, error) {
 		Table:    s.table,
 		Backends: s.cfg.Backends,
 		Log:      s.cfg.Log,
+		Journal:  s.cfg.Journal,
 		Notify:   s.dialer,
 		Clock:    s.cfg.Clock,
 	})
@@ -140,7 +147,18 @@ func (s *Service) AcceptedConns() int64 { return s.server.AcceptedConns() }
 // Close shuts the service down.
 func (s *Service) Close() error {
 	s.dialer.Close()
-	return s.server.Close()
+	err := s.server.Close()
+	if jerr := s.cfg.Journal.Close(); err == nil {
+		err = jerr
+	}
+	return err
+}
+
+// RecoverJournal rebuilds the job table from a journal replay (see
+// Manager.RecoverJournal). Call it after Listen and before serving
+// traffic. It returns the contacts of the resumed (non-terminal) jobs.
+func (s *Service) RecoverJournal(rec *journal.Recovered) ([]string, error) {
+	return s.Manager().RecoverJournal(rec, s.env)
 }
 
 // serveConn is the gatekeeper: authenticate, authorize, map to a local

@@ -153,6 +153,15 @@ func (t *Table) Create(rec Record) error {
 	return nil
 }
 
+// Remove deletes a job record outright. It exists for submission
+// rollback: when the durability layer refuses the submit record, the job
+// must not remain visible in the table it was never journaled into.
+func (t *Table) Remove(contact string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.jobs, contact)
+}
+
 // Get returns a snapshot of the job record.
 func (t *Table) Get(contact string) (Record, error) {
 	t.mu.RLock()

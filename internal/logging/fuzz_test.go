@@ -1,0 +1,74 @@
+package logging
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReplay throws arbitrary bytes at the log reader: torn writes,
+// CRC-less corrupt JSON lines, binary garbage, oversized lines. Replay
+// must never panic; when it accepts an input, the parsed records must
+// survive an append/replay round trip, and Recover over them must stay
+// consistent with the submit records it saw.
+func FuzzReplay(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("{\"kind\":\"submit\",\"contact\":\"c1\",\"spec\":\"&(executable=a)\"}\n"))
+	f.Add([]byte("{\"kind\":\"submit\",\"contact\":\"c1\"}\n{\"kind\":\"state\",\"contact\":\"c1\",\"state\":\"DONE\"}\n"))
+	f.Add([]byte("{\"kind\":\"submit\",\"contact\":\"c1\"}\n{\"kind\":\"state\",\"con")) // torn tail
+	f.Add([]byte("not-json\n"))
+	f.Add([]byte("{\"kind\":\"submit\"}\nnot-json\n{\"kind\":\"state\"}\n")) // mid-file corruption
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte("{\"kind\":\"checkpoint\",\"contact\":\"c1\",\"checkpoint\":\"step=1\"}\n"))
+	f.Add([]byte{0x00, 0xFF, 0x7B, 0x7D, 0x0A})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			// JSON re-encoding can expand a near-limit line past the
+			// scanner's cap; size-bound the round-trip property instead of
+			// re-deriving the escape blow-up.
+			return
+		}
+		recs, err := Replay(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: corruption detected, nothing to check
+		}
+
+		// Round trip: everything Replay accepted must re-encode and
+		// replay to the same record count.
+		var buf bytes.Buffer
+		l := NewLogger(&buf)
+		for _, r := range recs {
+			if err := l.Append(r); err != nil {
+				t.Fatalf("re-append of replayed record %+v: %v", r, err)
+			}
+		}
+		back, err := Replay(&buf)
+		if err != nil {
+			t.Fatalf("replay of re-appended log: %v", err)
+		}
+		if len(back) != len(recs) {
+			t.Fatalf("round trip changed record count: %d -> %d", len(recs), len(back))
+		}
+
+		// Recover must not panic, must only return submitted contacts,
+		// and can never return more jobs than were submitted.
+		submitted := make(map[string]bool)
+		for _, r := range recs {
+			if r.Kind == KindSubmit {
+				submitted[r.Contact] = true
+			}
+		}
+		pending := Recover(recs)
+		if len(pending) > len(submitted) {
+			t.Fatalf("Recover returned %d jobs from %d submissions", len(pending), len(submitted))
+		}
+		for _, rj := range pending {
+			if !submitted[rj.Contact] {
+				t.Fatalf("Recover invented contact %q", rj.Contact)
+			}
+			if rj.LastState.Terminal() {
+				t.Fatalf("Recover returned terminal job %+v", rj)
+			}
+		}
+	})
+}

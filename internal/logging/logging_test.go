@@ -225,6 +225,121 @@ func TestRecoverRestartedJob(t *testing.T) {
 	}
 }
 
+func TestRecoverInterleavedContacts(t *testing.T) {
+	// Two jobs whose records interleave line by line — the realistic shape
+	// of a concurrent log — must fold independently: the one that finished
+	// stays finished, the one mid-flight is recovered with ITS spec and
+	// checkpoint, not its neighbour's.
+	recs := []Record{
+		{Kind: KindSubmit, Contact: "c1", Spec: "&(executable=/bin/a)", Owner: "alice", Identity: "idA"},
+		{Kind: KindSubmit, Contact: "c2", Spec: "&(executable=/bin/b)", Owner: "bob", Identity: "idB"},
+		{Kind: KindState, Contact: "c2", State: "PENDING"},
+		{Kind: KindState, Contact: "c1", State: "PENDING"},
+		{Kind: KindState, Contact: "c1", State: "ACTIVE"},
+		{Kind: KindState, Contact: "c2", State: "ACTIVE"},
+		{Kind: KindCheckpoint, Contact: "c1", Checkpoint: "c1-step"},
+		{Kind: KindCheckpoint, Contact: "c2", Checkpoint: "c2-step"},
+		{Kind: KindState, Contact: "c2", State: "DONE"},
+	}
+	pending := Recover(recs)
+	if len(pending) != 1 {
+		t.Fatalf("recovered %d jobs, want only the unfinished one: %+v", len(pending), pending)
+	}
+	got := pending[0]
+	if got.Contact != "c1" || got.Spec != "&(executable=/bin/a)" || got.Owner != "alice" {
+		t.Errorf("recovered job mixed up contacts: %+v", got)
+	}
+	if got.Checkpoint != "c1-step" {
+		t.Errorf("checkpoint = %q, want c1's own", got.Checkpoint)
+	}
+	if got.LastState != job.Active {
+		t.Errorf("state = %s", got.LastState)
+	}
+}
+
+func TestRecoverExcludesCancelledJobs(t *testing.T) {
+	// A cancelled job lands in FAILED with a cancellation error — terminal,
+	// so a restart must NOT resurrect it: the user asked for it to stop.
+	recs := []Record{
+		{Kind: KindSubmit, Contact: "c1", Spec: "s", Owner: "o", Identity: "i"},
+		{Kind: KindState, Contact: "c1", State: "PENDING"},
+		{Kind: KindState, Contact: "c1", State: "ACTIVE"},
+		{Kind: KindState, Contact: "c1", State: "FAILED", Error: "cancelled: context canceled"},
+	}
+	if got := Recover(recs); len(got) != 0 {
+		t.Errorf("cancelled job resurrected: %+v", got)
+	}
+}
+
+func TestRecoverRestartAttemptCounting(t *testing.T) {
+	// restart=N bookkeeping across several failures: the recovered job
+	// carries the LATEST restart count so the resubmitted run resumes the
+	// remaining budget instead of starting a fresh one.
+	recs := []Record{
+		{Kind: KindSubmit, Contact: "c1", Spec: "s", Owner: "o", Identity: "i"},
+		{Kind: KindState, Contact: "c1", State: "PENDING"},
+		{Kind: KindState, Contact: "c1", State: "ACTIVE"},
+		{Kind: KindState, Contact: "c1", State: "FAILED"},
+		{Kind: KindState, Contact: "c1", State: "PENDING", Restarts: 1},
+		{Kind: KindState, Contact: "c1", State: "ACTIVE", Restarts: 1},
+		{Kind: KindState, Contact: "c1", State: "FAILED", Restarts: 1},
+		{Kind: KindState, Contact: "c1", State: "PENDING", Restarts: 2},
+		{Kind: KindState, Contact: "c1", State: "ACTIVE", Restarts: 2},
+	}
+	pending := Recover(recs)
+	if len(pending) != 1 {
+		t.Fatalf("pending = %+v", pending)
+	}
+	if pending[0].Restarts != 2 || pending[0].LastState != job.Active {
+		t.Errorf("recovered job = %+v; want restart count 2 at ACTIVE", pending[0])
+	}
+}
+
+func TestRecoverFromCorruptTailFeedsRecovery(t *testing.T) {
+	// The corrupt-tail path end to end: the torn final record is the very
+	// transition that would have finished the job, so replay's tail
+	// tolerance decides what recovery resubmits. The job must come back,
+	// with the checkpoint that preceded the tear intact.
+	path := filepath.Join(t.TempDir(), "jobs.log")
+	lg, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []Record{
+		{Kind: KindSubmit, Contact: "c1", Spec: "&(executable=a)", Owner: "alice"},
+		{Kind: KindState, Contact: "c1", State: "PENDING"},
+		{Kind: KindState, Contact: "c1", State: "ACTIVE"},
+		{Kind: KindCheckpoint, Contact: "c1", Checkpoint: "step=7"},
+		{Kind: KindState, Contact: "c1", State: "DONE"},
+	} {
+		if err := lg.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := lg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the DONE record in half, the signature of dying mid-append.
+	if err := os.WriteFile(path, b[:len(b)-20], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReplayFile(path)
+	if err != nil {
+		t.Fatalf("replay after torn tail: %v", err)
+	}
+	pending := Recover(recs)
+	if len(pending) != 1 || pending[0].Contact != "c1" {
+		t.Fatalf("pending = %+v; the job whose DONE was torn must be recovered", pending)
+	}
+	if pending[0].Checkpoint != "step=7" {
+		t.Errorf("checkpoint = %q; the pre-tear checkpoint must survive", pending[0].Checkpoint)
+	}
+}
+
 func TestRecoverIgnoresStateForUnknownContact(t *testing.T) {
 	recs := []Record{
 		{Kind: KindState, Contact: "ghost", State: "ACTIVE"},

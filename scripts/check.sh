@@ -23,17 +23,21 @@ go vet ./...
 echo "== go test -race =="
 go test -race ./...
 
-echo "== fuzz smoke (10s per target) =="
+# CHECK_FUZZTIME extends the per-target fuzz budget (e.g. the nightly CI
+# run passes 60s); the default keeps interactive runs quick.
+fuzztime=${CHECK_FUZZTIME:-10s}
+echo "== fuzz smoke ($fuzztime per target) =="
 for target in \
 	FuzzParse:./internal/rsl \
 	FuzzEvalValue:./internal/rsl \
 	FuzzFrameRoundTrip:./internal/wire \
 	FuzzFrameDecode:./internal/wire \
-	FuzzParseXRSL:./internal/xrsl; do
+	FuzzParseXRSL:./internal/xrsl \
+	FuzzReplay:./internal/logging; do
 	name=${target%%:*}
 	pkg=${target#*:}
 	echo "-- $name ($pkg)"
-	go test -run='^$' -fuzz="^${name}\$" -fuzztime=10s "$pkg"
+	go test -run='^$' -fuzz="^${name}\$" -fuzztime="$fuzztime" "$pkg"
 done
 
 # Benchmarks are opt-in — they add minutes and their numbers only mean
