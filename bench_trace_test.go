@@ -1,0 +1,90 @@
+package infogram_test
+
+// Tracing-overhead benchmarks: what the distributed-tracing tentpole
+// costs on the hot path. BenchmarkUntracedQuery is the disarmed baseline —
+// the span instrumentation is compiled in everywhere but the service runs
+// with DisableTracing and the client never negotiates TRACE, so every
+// StartSpan is a single context lookup returning nil. BenchmarkTracedQuery
+// arms everything: the client mints and propagates a trace context per
+// request and the server records, tail-samples, and stores the full span
+// tree. The acceptance bar is that the disarmed path stays within 5% of
+// the pre-tracing hot path (compare against the pooled/clients=1 numbers
+// in BENCH_2.json), with the armed cost reported alongside.
+//
+//	BENCH_PATTERN='BenchmarkTracedQuery|BenchmarkUntracedQuery' BENCH_PKGS=. ./scripts/bench.sh
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"infogram/internal/core"
+	"infogram/internal/gram"
+	"infogram/internal/scheduler"
+	"infogram/internal/telemetry"
+)
+
+// startTraceBenchService starts an InfoGram service with tracing either
+// fully enabled (default options) or disabled outright.
+func startTraceBenchService(b *testing.B, f *fabric, disabled bool) string {
+	b.Helper()
+	reg, _ := benchRegistry(time.Minute, 0, nil)
+	svc := core.NewService(core.Config{
+		ResourceName:   "bench.resource",
+		Credential:     f.svcCred,
+		Trust:          f.trust,
+		Gridmap:        f.gridmap,
+		Registry:       reg,
+		Backends:       gram.Backends{Func: noopFunc(), Exec: &scheduler.Fork{}},
+		DisableTracing: disabled,
+	})
+	addr, err := svc.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { svc.Close() })
+	return addr
+}
+
+// benchQueryLoop measures cached info queries over one warm client so the
+// difference between runs is tracing, not connection setup or provider
+// work.
+func benchQueryLoop(b *testing.B, f *fabric, addr string, opts core.Options, traced bool) {
+	b.Helper()
+	cl, err := core.DialWithOptions(addr, f.user, f.trust, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { cl.Close() })
+	if _, err := cl.QueryRaw("&(info=CPULoad)"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := context.Background()
+		if traced {
+			ctx = telemetry.WithTrace(ctx, telemetry.NewTraceID())
+		}
+		if _, err := cl.QueryRawContext(ctx, "&(info=CPULoad)"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUntracedQuery is the disarmed path: tracing code compiled in,
+// nothing armed on either side.
+func BenchmarkUntracedQuery(b *testing.B) {
+	f := newFabric(b)
+	addr := startTraceBenchService(b, f, true)
+	benchQueryLoop(b, f, addr, core.Options{DisableTrace: true}, false)
+}
+
+// BenchmarkTracedQuery arms the full pipeline: per-request client-minted
+// trace context on the wire, server-side span tree recording, tail
+// sampling at rate 1.0, and trace-store retention.
+func BenchmarkTracedQuery(b *testing.B) {
+	f := newFabric(b)
+	addr := startTraceBenchService(b, f, false)
+	benchQueryLoop(b, f, addr, core.Options{}, true)
+}

@@ -7,6 +7,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -16,16 +18,20 @@ import (
 	"infogram/internal/journal"
 	"infogram/internal/logging"
 	"infogram/internal/scheduler"
+	"infogram/internal/telemetry"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", "127.0.0.1:2119", "listen address")
-		fabricDir = flag.String("fabric", "./fabric", "security fabric directory")
-		logPath   = flag.String("log", "", "job log file (disabled when empty)")
-		stateDir  = flag.String("state-dir", "", "durable job-state directory (write-ahead journal + snapshots); crash recovery replays it on boot (empty = in-memory only)")
-		fsync     = flag.String("fsync", "interval", "journal fsync policy: always, interval, or never")
-		slots     = flag.Int("queue-slots", 4, "slots in the batch queue backend")
+		addr        = flag.String("addr", "127.0.0.1:2119", "listen address")
+		fabricDir   = flag.String("fabric", "./fabric", "security fabric directory")
+		logPath     = flag.String("log", "", "job log file (disabled when empty)")
+		stateDir    = flag.String("state-dir", "", "durable job-state directory (write-ahead journal + snapshots); crash recovery replays it on boot (empty = in-memory only)")
+		fsync       = flag.String("fsync", "interval", "journal fsync policy: always, interval, or never")
+		slots       = flag.Int("queue-slots", 4, "slots in the batch queue backend")
+		metrics     = flag.String("metrics-addr", "", "serve Prometheus text metrics on this address at /metrics, plus /debug/traces and /debug/pprof")
+		traceSample = flag.Float64("trace-sample", 1.0, "fraction of healthy traces to keep (errored and slow traces are always kept; 0 keeps only those)")
+		traceSlow   = flag.Duration("trace-slow", 0, "always keep traces at least this slow (0 disables the slow rule)")
 	)
 	flag.Parse()
 
@@ -42,6 +48,11 @@ func main() {
 		defer logger.Close()
 	}
 
+	tel := telemetry.NewRegistry()
+	traceOpts := telemetry.TracerOptionsFromFlags(*traceSample, *traceSlow)
+	traceOpts.Telemetry = tel
+	tracer := telemetry.NewTracer(traceOpts)
+
 	var (
 		jnl       *journal.Journal
 		recovered *journal.Recovered
@@ -52,8 +63,9 @@ func main() {
 			log.Fatalf("fsync: %v", err)
 		}
 		jnl, recovered, err = journal.Open(journal.Options{
-			Dir:   *stateDir,
-			Fsync: policy,
+			Dir:       *stateDir,
+			Fsync:     policy,
+			Telemetry: tel,
 		})
 		if err != nil {
 			log.Fatalf("journal: %v", err)
@@ -71,6 +83,7 @@ func main() {
 		},
 		Log:     logger,
 		Journal: jnl,
+		Tracer:  tracer,
 	})
 	bound, err := svc.Listen(*addr)
 	if err != nil {
@@ -86,6 +99,18 @@ func main() {
 		}
 		fmt.Printf("gram: journal replayed %d job(s) from %s (%d resumed)\n",
 			len(recovered.Jobs), *stateDir, len(contacts))
+	}
+
+	if *metrics != "" {
+		mux := telemetry.NewDebugMux(tel, tracer)
+		ln, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			log.Fatalf("metrics listen: %v", err)
+		}
+		metricsSrv := &http.Server{Handler: mux}
+		go func() { _ = metricsSrv.Serve(ln) }()
+		defer metricsSrv.Close()
+		fmt.Printf("gram: Prometheus metrics on http://%s/metrics (traces at /debug/traces, profiles at /debug/pprof)\n", ln.Addr())
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -36,24 +36,26 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", "127.0.0.1:2119", "listen address (GRAM's classic port by default)")
-		fabricDir = flag.String("fabric", "./fabric", "security fabric directory (self-generated when missing)")
-		confPath  = flag.String("config", "", "provider configuration file (Table 1 format); built-in providers when empty")
-		resource  = flag.String("resource", "", "resource name in entry DNs (hostname when empty)")
-		logPath   = flag.String("log", "", "job/accounting log file (disabled when empty)")
-		mdsAddr   = flag.String("mds-addr", "", "also serve the MDS GRIS protocol on this address")
-		wsAddr    = flag.String("ws-addr", "", "also serve the Web-services (SOAP/WSDL) gateway on this address")
-		wsToken   = flag.String("ws-token", "", "shared token required from Web-services clients")
-		restore   = flag.Bool("recover", false, "replay the log file and restart unfinished jobs")
-		stateDir  = flag.String("state-dir", "", "durable job-state directory (write-ahead journal + snapshots); crash recovery replays it on boot (empty = in-memory only)")
-		fsync     = flag.String("fsync", "interval", "journal fsync policy: always, interval, or never")
-		sandbox   = flag.Bool("restricted", false, "run in-process jobs in the restricted sandbox")
-		metrics   = flag.String("metrics-addr", "", "serve Prometheus text metrics on this address at /metrics")
-		reqTO     = flag.Duration("request-timeout", 0, "per-request deadline and slow-client I/O timeout (0 disables)")
-		provTO    = flag.Duration("provider-timeout", 0, "per-provider collection timeout; failures degrade replies instead of erroring (0 disables)")
-		collectP  = flag.Int("collect-parallelism", 0, "bound on the parallel provider fan-out per info query and on concurrent multi-request parts (0 = GOMAXPROCS-scaled default, 1 = serial)")
-		connP     = flag.Int("conn-parallelism", 0, "bound on concurrently executing requests per multiplexed connection (0 = default of 8, 1 = serial)")
-		faults    = flag.String("faultpoints", os.Getenv("INFOGRAM_FAULTPOINTS"),
+		addr        = flag.String("addr", "127.0.0.1:2119", "listen address (GRAM's classic port by default)")
+		fabricDir   = flag.String("fabric", "./fabric", "security fabric directory (self-generated when missing)")
+		confPath    = flag.String("config", "", "provider configuration file (Table 1 format); built-in providers when empty")
+		resource    = flag.String("resource", "", "resource name in entry DNs (hostname when empty)")
+		logPath     = flag.String("log", "", "job/accounting log file (disabled when empty)")
+		mdsAddr     = flag.String("mds-addr", "", "also serve the MDS GRIS protocol on this address")
+		wsAddr      = flag.String("ws-addr", "", "also serve the Web-services (SOAP/WSDL) gateway on this address")
+		wsToken     = flag.String("ws-token", "", "shared token required from Web-services clients")
+		restore     = flag.Bool("recover", false, "replay the log file and restart unfinished jobs")
+		stateDir    = flag.String("state-dir", "", "durable job-state directory (write-ahead journal + snapshots); crash recovery replays it on boot (empty = in-memory only)")
+		fsync       = flag.String("fsync", "interval", "journal fsync policy: always, interval, or never")
+		sandbox     = flag.Bool("restricted", false, "run in-process jobs in the restricted sandbox")
+		metrics     = flag.String("metrics-addr", "", "serve Prometheus text metrics on this address at /metrics, plus /debug/traces and /debug/pprof")
+		traceSample = flag.Float64("trace-sample", 1.0, "fraction of healthy traces to keep (errored and slow traces are always kept; 0 keeps only those)")
+		traceSlow   = flag.Duration("trace-slow", 0, "always keep traces at least this slow (0 disables the slow rule)")
+		reqTO       = flag.Duration("request-timeout", 0, "per-request deadline and slow-client I/O timeout (0 disables)")
+		provTO      = flag.Duration("provider-timeout", 0, "per-provider collection timeout; failures degrade replies instead of erroring (0 disables)")
+		collectP    = flag.Int("collect-parallelism", 0, "bound on the parallel provider fan-out per info query and on concurrent multi-request parts (0 = GOMAXPROCS-scaled default, 1 = serial)")
+		connP       = flag.Int("conn-parallelism", 0, "bound on concurrently executing requests per multiplexed connection (0 = default of 8, 1 = serial)")
+		faults      = flag.String("faultpoints", os.Getenv("INFOGRAM_FAULTPOINTS"),
 			"arm fault-injection failpoints, e.g. 'wire.read=delay(100ms),provider.collect=hang' (also via INFOGRAM_FAULTPOINTS)")
 	)
 	flag.Parse()
@@ -154,6 +156,7 @@ func main() {
 		Log:                logger,
 		Journal:            jnl,
 		Telemetry:          tel,
+		TraceOptions:       telemetry.TracerOptionsFromFlags(*traceSample, *traceSlow),
 		RequestTimeout:     *reqTO,
 		ProviderTimeout:    *provTO,
 		CollectParallelism: *collectP,
@@ -185,8 +188,7 @@ func main() {
 	}
 
 	if *metrics != "" {
-		mux := http.NewServeMux()
-		mux.Handle("/metrics", telemetry.Handler(tel))
+		mux := telemetry.NewDebugMux(tel, svc.Tracer())
 		ln, err := net.Listen("tcp", *metrics)
 		if err != nil {
 			log.Fatalf("metrics listen: %v", err)
@@ -194,7 +196,7 @@ func main() {
 		metricsSrv := &http.Server{Handler: mux}
 		go func() { _ = metricsSrv.Serve(ln) }()
 		defer metricsSrv.Close()
-		fmt.Printf("infogram: Prometheus metrics on http://%s/metrics\n", ln.Addr())
+		fmt.Printf("infogram: Prometheus metrics on http://%s/metrics (traces at /debug/traces, profiles at /debug/pprof)\n", ln.Addr())
 	}
 
 	if *mdsAddr != "" {

@@ -8,6 +8,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -17,16 +19,20 @@ import (
 	"infogram/internal/config"
 	"infogram/internal/mds"
 	"infogram/internal/provider"
+	"infogram/internal/telemetry"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", "127.0.0.1:2135", "GRIS listen address (MDS's classic port by default)")
-		fabricDir = flag.String("fabric", "./fabric", "security fabric directory")
-		confPath  = flag.String("config", "", "provider configuration file (Table 1 format)")
-		resource  = flag.String("resource", "", "resource name (hostname when empty)")
-		giisAddr  = flag.String("giis-addr", "", "also run a GIIS aggregate on this address")
-		members   = flag.String("giis-members", "", "comma-separated GRIS addresses to pre-register in the GIIS")
+		addr        = flag.String("addr", "127.0.0.1:2135", "GRIS listen address (MDS's classic port by default)")
+		fabricDir   = flag.String("fabric", "./fabric", "security fabric directory")
+		confPath    = flag.String("config", "", "provider configuration file (Table 1 format)")
+		resource    = flag.String("resource", "", "resource name (hostname when empty)")
+		giisAddr    = flag.String("giis-addr", "", "also run a GIIS aggregate on this address")
+		members     = flag.String("giis-members", "", "comma-separated GRIS addresses to pre-register in the GIIS")
+		metrics     = flag.String("metrics-addr", "", "serve Prometheus text metrics on this address at /metrics, plus /debug/traces and /debug/pprof")
+		traceSample = flag.Float64("trace-sample", 1.0, "fraction of healthy traces to keep (errored and slow traces are always kept; 0 keeps only those)")
+		traceSlow   = flag.Duration("trace-slow", 0, "always keep traces at least this slow (0 disables the slow rule)")
 	)
 	flag.Parse()
 
@@ -42,7 +48,13 @@ func main() {
 		}
 	}
 
+	tel := telemetry.NewRegistry()
+	traceOpts := telemetry.TracerOptionsFromFlags(*traceSample, *traceSlow)
+	traceOpts.Telemetry = tel
+	tracer := telemetry.NewTracer(traceOpts)
+
 	registry := provider.NewRegistry(nil)
+	registry.SetTelemetry(tel)
 	if *confPath != "" {
 		cfg, err := config.Load(*confPath)
 		if err != nil {
@@ -60,6 +72,7 @@ func main() {
 		Registry:     registry,
 		Credential:   fabric.Service,
 		Trust:        fabric.Trust,
+		Tracer:       tracer,
 	})
 	bound, err := gris.Listen(*addr)
 	if err != nil {
@@ -86,6 +99,18 @@ func main() {
 			}
 		}
 		fmt.Printf("mds: GIIS on %s (%d members)\n", giisBound, len(giis.Members()))
+	}
+
+	if *metrics != "" {
+		mux := telemetry.NewDebugMux(tel, tracer)
+		ln, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			log.Fatalf("metrics listen: %v", err)
+		}
+		metricsSrv := &http.Server{Handler: mux}
+		go func() { _ = metricsSrv.Serve(ln) }()
+		defer metricsSrv.Close()
+		fmt.Printf("mds: Prometheus metrics on http://%s/metrics (traces at /debug/traces, profiles at /debug/pprof)\n", ln.Addr())
 	}
 
 	sig := make(chan os.Signal, 1)

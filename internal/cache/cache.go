@@ -260,8 +260,25 @@ func (e *Entry) Update(ctx context.Context) (Result, error) {
 
 // Get reads the entry under the given response mode and quality threshold
 // (0 disables the threshold). It is the entry point used by the InfoGram
-// request dispatcher.
+// request dispatcher. A traced request records the lookup as a
+// "cache.lookup" span annotated with whether the answer came from cache.
 func (e *Entry) Get(ctx context.Context, mode Mode, threshold quality.Score) (Result, error) {
+	ctx, sp := telemetry.StartSpan(ctx, "cache.lookup")
+	r, err := e.get(ctx, mode, threshold)
+	if sp != nil {
+		if err != nil {
+			sp.Fail(err.Error())
+		} else if r.FromCache {
+			sp.SetAttr("outcome", "hit")
+		} else {
+			sp.SetAttr("outcome", "miss")
+		}
+		sp.End()
+	}
+	return r, err
+}
+
+func (e *Entry) get(ctx context.Context, mode Mode, threshold quality.Score) (Result, error) {
 	for {
 		e.mu.Lock()
 		now := e.opts.Clock.Now()

@@ -100,6 +100,12 @@ type Options struct {
 	// server), concurrent requests share the one authenticated connection
 	// and responses return by correlation ID; without it they serialize.
 	DisableMux bool
+	// DisableTrace skips the TRACE capability offer, so requests never
+	// carry a trace-context prefix — byte-for-byte the pre-trace
+	// protocol. With trace propagation (the default against a tracing
+	// server), every request carries the caller's trace context and the
+	// server joins the caller's trace instead of minting its own.
+	DisableTrace bool
 }
 
 // Client is the single client an InfoGram deployment needs: one
@@ -119,10 +125,11 @@ type Client struct {
 	clk     clock.Clock
 	retries *telemetry.Counter
 
-	mu   sync.Mutex
-	conn *wire.Conn
-	mux  *wire.MuxConn // non-nil when the server accepted MUX mode
-	peer *gsi.Peer
+	mu     sync.Mutex
+	conn   *wire.Conn
+	mux    *wire.MuxConn // non-nil when the server accepted MUX mode
+	traced bool          // the server accepted TRACE mode on this conn
+	peer   *gsi.Peer
 }
 
 // Dial connects and authenticates to an InfoGram service.
@@ -149,9 +156,9 @@ func DialWithOptions(addr string, cred *gsi.Credential, trust *gsi.TrustStore, o
 	}
 	attempts := opts.Retry.attempts()
 	for attempt := 1; ; attempt++ {
-		conn, mux, peer, err := c.connect()
+		conn, mux, traced, peer, err := c.connect()
 		if err == nil {
-			c.conn, c.mux, c.peer = conn, mux, peer
+			c.conn, c.mux, c.traced, c.peer = conn, mux, traced, peer
 			return c, nil
 		}
 		if attempt >= attempts || !isTransient(err) {
@@ -162,11 +169,14 @@ func DialWithOptions(addr string, cred *gsi.Credential, trust *gsi.TrustStore, o
 	}
 }
 
-// connect dials, authenticates, and — unless disabled — negotiates mux
-// mode on one fresh connection. A server that declines the MUX offer (any
-// pre-mux deployment answers it with ERROR) leaves the connection in the
-// serial protocol, so the client interoperates in both directions.
-func (c *Client) connect() (*wire.Conn, *wire.MuxConn, *gsi.Peer, error) {
+// connect dials, authenticates, and — unless disabled — negotiates the
+// trace and mux capabilities on one fresh connection. A server that
+// declines an offer (any pre-capability deployment answers it with
+// ERROR) leaves the connection in the corresponding legacy mode, so the
+// client interoperates in both directions. TRACE is offered before MUX
+// because NewMuxConn takes over the connection's read side; on a mux'd
+// connection the trace prefix then rides inside the mux inner frame.
+func (c *Client) connect() (*wire.Conn, *wire.MuxConn, bool, *gsi.Peer, error) {
 	var conn *wire.Conn
 	var err error
 	if c.opts.DialTimeout > 0 {
@@ -175,36 +185,46 @@ func (c *Client) connect() (*wire.Conn, *wire.MuxConn, *gsi.Peer, error) {
 		conn, err = wire.Dial(c.addr)
 	}
 	if err != nil {
-		return nil, nil, nil, fmt.Errorf("infogram: dial %s: %w", c.addr, err)
+		return nil, nil, false, nil, fmt.Errorf("infogram: dial %s: %w", c.addr, err)
 	}
-	ctx, cancel := c.callCtx()
+	ctx, cancel := c.callCtx(context.Background())
 	peer, err := gsi.ClientHandshakeContext(ctx, conn, c.cred, c.trust, c.clk.Now())
 	cancel()
 	if err != nil {
 		conn.Close()
-		return nil, nil, nil, err
+		return nil, nil, false, nil, err
+	}
+	var traced bool
+	if !c.opts.DisableTrace {
+		nctx, ncancel := c.callCtx(context.Background())
+		traced, err = wire.NegotiateTrace(nctx, conn)
+		ncancel()
+		if err != nil {
+			conn.Close()
+			return nil, nil, false, nil, err
+		}
 	}
 	var mux *wire.MuxConn
 	if !c.opts.DisableMux {
-		nctx, ncancel := c.callCtx()
+		nctx, ncancel := c.callCtx(context.Background())
 		ok, err := wire.NegotiateMux(nctx, conn)
 		ncancel()
 		if err != nil {
 			conn.Close()
-			return nil, nil, nil, err
+			return nil, nil, false, nil, err
 		}
 		if ok {
 			mux = wire.NewMuxConn(conn)
 		}
 	}
-	return conn, mux, peer, nil
+	return conn, mux, traced, peer, nil
 }
 
-func (c *Client) callCtx() (context.Context, context.CancelFunc) {
+func (c *Client) callCtx(parent context.Context) (context.Context, context.CancelFunc) {
 	if c.opts.RequestTimeout > 0 {
-		return context.WithTimeout(context.Background(), c.opts.RequestTimeout)
+		return context.WithTimeout(parent, c.opts.RequestTimeout)
 	}
-	return context.WithCancel(context.Background())
+	return context.WithCancel(parent)
 }
 
 // Server returns the authenticated server identity.
@@ -229,12 +249,12 @@ func (c *Client) Close() error {
 	return conn.Close()
 }
 
-// current snapshots the live connection (and its mux layer, when
-// negotiated).
-func (c *Client) current() (*wire.Conn, *wire.MuxConn) {
+// current snapshots the live connection (and its mux layer and trace
+// mode, when negotiated).
+func (c *Client) current() (*wire.Conn, *wire.MuxConn, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.conn, c.mux
+	return c.conn, c.mux, c.traced
 }
 
 // dropConn discards a connection observed failing, unless a concurrent
@@ -254,10 +274,10 @@ func (c *Client) dropConn(old *wire.Conn, oldMux *wire.MuxConn) {
 
 // reconnect establishes a connection if none is live.
 func (c *Client) reconnect() error {
-	if conn, _ := c.current(); conn != nil {
+	if conn, _, _ := c.current(); conn != nil {
 		return nil
 	}
-	conn, mux, peer, err := c.connect()
+	conn, mux, traced, peer, err := c.connect()
 	if err != nil {
 		return err
 	}
@@ -272,7 +292,7 @@ func (c *Client) reconnect() error {
 		}
 		return nil
 	}
-	c.conn, c.mux, c.peer = conn, mux, peer
+	c.conn, c.mux, c.traced, c.peer = conn, mux, traced, peer
 	c.mu.Unlock()
 	return nil
 }
@@ -282,8 +302,11 @@ func (c *Client) reconnect() error {
 // transport fails: the connection is torn down, the backoff elapses on the
 // client's clock, and a fresh connection is dialed and authenticated.
 // Non-idempotent requests (submit, cancel, signal) are never retried once
-// the request may have been sent.
-func (c *Client) call(req wire.Frame, idempotent bool) (wire.Frame, error) {
+// the request may have been sent. On a traced connection, the caller's
+// trace context — the current span when parent carries one, the bare
+// trace ID otherwise, a freshly minted trace as the last resort — is
+// prefixed to the request so the server joins the caller's trace.
+func (c *Client) call(parent context.Context, req wire.Frame, idempotent bool) (wire.Frame, error) {
 	attempts := 1
 	if idempotent {
 		attempts = c.opts.Retry.attempts()
@@ -301,18 +324,30 @@ func (c *Client) call(req wire.Frame, idempotent bool) (wire.Frame, error) {
 			}
 			continue
 		}
-		conn, mux := c.current()
+		conn, mux, traced := c.current()
 		if conn == nil {
 			lastErr = fmt.Errorf("infogram: connection closed")
 			continue
 		}
-		ctx, cancel := c.callCtx()
+		sendReq := req
+		if traced {
+			tc := wire.TraceContext{Sampled: true}
+			if sp := telemetry.SpanFrom(parent); sp != nil {
+				tc.Trace, tc.Parent = sp.Trace(), sp.ID()
+			} else if trace := telemetry.TraceFrom(parent); trace != "" {
+				tc.Trace = trace
+			} else {
+				tc.Trace = telemetry.NewTraceID()
+			}
+			sendReq = wire.EncodeTraceCtx(tc, req)
+		}
+		ctx, cancel := c.callCtx(parent)
 		var resp wire.Frame
 		var err error
 		if mux != nil {
-			resp, err = mux.Call(ctx, req)
+			resp, err = mux.Call(ctx, sendReq)
 		} else {
-			resp, err = conn.CallContext(ctx, req)
+			resp, err = conn.CallContext(ctx, sendReq)
 		}
 		cancel()
 		if err == nil {
@@ -362,8 +397,12 @@ func serverError(f wire.Frame) error {
 }
 
 // Ping checks service liveness.
-func (c *Client) Ping() error {
-	resp, err := c.call(wire.Frame{Verb: gram.VerbPing}, true)
+func (c *Client) Ping() error { return c.PingContext(context.Background()) }
+
+// PingContext is Ping carrying the caller's context (and, on a traced
+// connection, its trace context).
+func (c *Client) PingContext(ctx context.Context) error {
+	resp, err := c.call(ctx, wire.Frame{Verb: gram.VerbPing}, true)
 	if err != nil {
 		return err
 	}
@@ -379,7 +418,12 @@ func (c *Client) Ping() error {
 // was sent leaves the job's fate unknown, and replaying could run it
 // twice.
 func (c *Client) Submit(xrslSrc string) (string, error) {
-	resp, err := c.call(wire.Frame{Verb: gram.VerbSubmit, Payload: []byte(xrslSrc)}, false)
+	return c.SubmitContext(context.Background(), xrslSrc)
+}
+
+// SubmitContext is Submit carrying the caller's context.
+func (c *Client) SubmitContext(ctx context.Context, xrslSrc string) (string, error) {
+	resp, err := c.call(ctx, wire.Frame{Verb: gram.VerbSubmit, Payload: []byte(xrslSrc)}, false)
 	if err != nil {
 		return "", err
 	}
@@ -407,7 +451,12 @@ type InfoResult struct {
 // QueryRaw sends raw xRSL expected to be an information query. Queries
 // are read-only and therefore retried under the retry policy.
 func (c *Client) QueryRaw(xrslSrc string) (InfoResult, error) {
-	resp, err := c.call(wire.Frame{Verb: gram.VerbSubmit, Payload: []byte(xrslSrc)}, true)
+	return c.QueryRawContext(context.Background(), xrslSrc)
+}
+
+// QueryRawContext is QueryRaw carrying the caller's context.
+func (c *Client) QueryRawContext(ctx context.Context, xrslSrc string) (InfoResult, error) {
+	resp, err := c.call(ctx, wire.Frame{Verb: gram.VerbSubmit, Payload: []byte(xrslSrc)}, true)
 	if err != nil {
 		return InfoResult{}, err
 	}
@@ -462,6 +511,11 @@ func (c *Client) Query(req xrsl.InfoRequest) (InfoResult, error) {
 	return c.QueryRaw(req.Encode())
 }
 
+// QueryContext is Query carrying the caller's context.
+func (c *Client) QueryContext(ctx context.Context, req xrsl.InfoRequest) (InfoResult, error) {
+	return c.QueryRawContext(ctx, req.Encode())
+}
+
 // Schema fetches the service reflection schema (§6.4).
 func (c *Client) Schema() ([]ldif.Entry, error) {
 	res, err := c.Query(xrsl.InfoRequest{Schema: true})
@@ -489,7 +543,12 @@ type MultiPart struct {
 // queries and decodes the per-part outcomes. Because a multi-request may
 // contain job submissions, it is never retried.
 func (c *Client) SubmitMulti(xrslSrc string) ([]MultiPart, error) {
-	resp, err := c.call(wire.Frame{Verb: gram.VerbSubmit, Payload: []byte(xrslSrc)}, false)
+	return c.SubmitMultiContext(context.Background(), xrslSrc)
+}
+
+// SubmitMultiContext is SubmitMulti carrying the caller's context.
+func (c *Client) SubmitMultiContext(ctx context.Context, xrslSrc string) ([]MultiPart, error) {
+	resp, err := c.call(ctx, wire.Frame{Verb: gram.VerbSubmit, Payload: []byte(xrslSrc)}, false)
 	if err != nil {
 		return nil, err
 	}
@@ -543,7 +602,12 @@ func (c *Client) SubmitMulti(xrslSrc string) ([]MultiPart, error) {
 
 // Status polls a job by contact. Status reads are idempotent and retried.
 func (c *Client) Status(contact string) (gram.StatusReply, error) {
-	resp, err := c.call(wire.Frame{Verb: gram.VerbStatus, Payload: []byte(contact)}, true)
+	return c.StatusContext(context.Background(), contact)
+}
+
+// StatusContext is Status carrying the caller's context.
+func (c *Client) StatusContext(ctx context.Context, contact string) (gram.StatusReply, error) {
+	resp, err := c.call(ctx, wire.Frame{Verb: gram.VerbStatus, Payload: []byte(contact)}, true)
 	if err != nil {
 		return gram.StatusReply{}, err
 	}
@@ -559,7 +623,7 @@ func (c *Client) Status(contact string) (gram.StatusReply, error) {
 
 // Cancel cancels a job by contact.
 func (c *Client) Cancel(contact string) error {
-	resp, err := c.call(wire.Frame{Verb: gram.VerbCancel, Payload: []byte(contact)}, false)
+	resp, err := c.call(context.Background(), wire.Frame{Verb: gram.VerbCancel, Payload: []byte(contact)}, false)
 	if err != nil {
 		return err
 	}
@@ -571,7 +635,7 @@ func (c *Client) Cancel(contact string) error {
 
 // Signal suspends or resumes a job ("suspend" / "resume").
 func (c *Client) Signal(contact, signal string) error {
-	resp, err := c.call(wire.Frame{Verb: gram.VerbSignal, Payload: []byte(contact + " " + signal)}, false)
+	resp, err := c.call(context.Background(), wire.Frame{Verb: gram.VerbSignal, Payload: []byte(contact + " " + signal)}, false)
 	if err != nil {
 		return err
 	}

@@ -217,9 +217,9 @@ func TestJobControlThroughInfoGram(t *testing.T) {
 }
 
 func TestEmptyRegistryInfoAll(t *testing.T) {
-	// An "empty" registry still carries the built-in selfmetrics provider
-	// the service registers at construction, so info=all answers with
-	// exactly that one entry.
+	// An "empty" registry still carries the built-in selfmetrics and
+	// selftrace providers the service registers at construction, so
+	// info=all answers with exactly those two entries.
 	g := newTestGrid(t, provider.NewRegistry(nil))
 	cl, err := core.Dial(g.addr, g.user, g.trust)
 	if err != nil {
@@ -230,14 +230,19 @@ func TestEmptyRegistryInfoAll(t *testing.T) {
 	if err != nil {
 		t.Fatalf("info=all on empty registry: %v", err)
 	}
-	if len(res.Entries) != 1 {
-		t.Fatalf("entries = %d, want just selfmetrics", len(res.Entries))
+	if len(res.Entries) != 2 {
+		t.Fatalf("entries = %d, want selfmetrics and selftrace", len(res.Entries))
 	}
-	if kw, _ := res.Entries[0].Get("kw"); kw != provider.SelfMetricsKeyword {
-		t.Errorf("kw = %q, want %q", kw, provider.SelfMetricsKeyword)
+	kws := map[string]bool{}
+	for _, e := range res.Entries {
+		kw, _ := e.Get("kw")
+		kws[kw] = true
+	}
+	if !kws[provider.SelfMetricsKeyword] || !kws[provider.SelfTraceKeyword] {
+		t.Errorf("keywords = %v, want %q and %q", kws, provider.SelfMetricsKeyword, provider.SelfTraceKeyword)
 	}
 	schema, err := cl.Schema()
-	if err != nil || len(schema) != 1 {
+	if err != nil || len(schema) != 2 {
 		t.Errorf("schema = %v, %v", schema, err)
 	}
 }

@@ -143,9 +143,11 @@ func (in *instruments) observeAuth(err error, elapsed time.Duration) {
 	}
 }
 
-// span appends a span record to log, tagging it with the trace ID; a nil
-// log or empty trace drops the record.
-func span(log *logging.Logger, clk clock.Clock, trace telemetry.TraceID, name, contact string, elapsed time.Duration) {
+// span appends a span record to log, tagging it with the trace ID and —
+// when a live span is supplied — the span/parent IDs, so a grep for the
+// trace correlates log records with the stored span tree. A nil log or
+// empty trace drops the record; a nil span leaves the IDs blank.
+func span(log *logging.Logger, clk clock.Clock, trace telemetry.TraceID, sp *telemetry.Span, name, contact string, elapsed time.Duration) {
 	if log == nil || trace == "" {
 		return
 	}
@@ -155,6 +157,8 @@ func span(log *logging.Logger, clk clock.Clock, trace telemetry.TraceID, name, c
 		Contact:   contact,
 		Trace:     string(trace),
 		Span:      name,
+		SpanID:    sp.ID().String(),
+		ParentID:  sp.Parent().String(),
 		ElapsedUS: elapsed.Microseconds(),
 	})
 }

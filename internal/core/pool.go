@@ -304,16 +304,17 @@ func (p *Pool) do(ctx context.Context, fn func(*Client) error) error {
 
 // Ping checks service liveness over a pooled connection.
 func (p *Pool) Ping(ctx context.Context) error {
-	return p.do(ctx, func(c *Client) error { return c.Ping() })
+	return p.do(ctx, func(c *Client) error { return c.PingContext(ctx) })
 }
 
 // QueryRaw evaluates raw xRSL expected to be an information query over a
-// pooled connection.
+// pooled connection. The caller's context (and trace context, when it
+// carries one) rides along to the leased client.
 func (p *Pool) QueryRaw(ctx context.Context, xrslSrc string) (InfoResult, error) {
 	var res InfoResult
 	err := p.do(ctx, func(c *Client) error {
 		var err error
-		res, err = c.QueryRaw(xrslSrc)
+		res, err = c.QueryRawContext(ctx, xrslSrc)
 		return err
 	})
 	return res, err
@@ -329,7 +330,7 @@ func (p *Pool) Submit(ctx context.Context, xrslSrc string) (string, error) {
 	var contact string
 	err := p.do(ctx, func(c *Client) error {
 		var err error
-		contact, err = c.Submit(xrslSrc)
+		contact, err = c.SubmitContext(ctx, xrslSrc)
 		return err
 	})
 	return contact, err
@@ -340,7 +341,7 @@ func (p *Pool) Status(ctx context.Context, contact string) (gram.StatusReply, er
 	var reply gram.StatusReply
 	err := p.do(ctx, func(c *Client) error {
 		var err error
-		reply, err = c.Status(contact)
+		reply, err = c.StatusContext(ctx, contact)
 		return err
 	})
 	return reply, err

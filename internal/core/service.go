@@ -18,8 +18,10 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"infogram/internal/clock"
@@ -78,6 +80,18 @@ type Config struct {
 	// want to expose the metrics (Prometheus endpoint, shared registry)
 	// pass their own.
 	Telemetry *telemetry.Registry
+	// Tracer records request span trees. When nil one is built from
+	// TraceOptions (unless DisableTracing is set), so tracing is on by
+	// default; the disarmed per-operation cost is a single context
+	// lookup.
+	Tracer *telemetry.Tracer
+	// TraceOptions configures the tracer built when Tracer is nil
+	// (sample rate, slow-trace threshold, store capacity).
+	TraceOptions telemetry.TracerOptions
+	// DisableTracing turns span recording and TRACE negotiation off
+	// entirely; the server then declines TRACE offers like a pre-trace
+	// peer.
+	DisableTracing bool
 	// Clock defaults to the system clock.
 	Clock clock.Clock
 	// Env provides server-side RSL substitution variables.
@@ -158,6 +172,20 @@ func NewService(cfg Config) *Service {
 	if _, ok := cfg.Registry.Lookup(provider.SelfMetricsKeyword); !ok {
 		cfg.Registry.Register(provider.NewSelfMetrics(cfg.Telemetry), provider.RegisterOptions{})
 	}
+	if cfg.Tracer == nil && !cfg.DisableTracing {
+		opts := cfg.TraceOptions
+		if opts.Telemetry == nil {
+			opts.Telemetry = cfg.Telemetry
+		}
+		cfg.Tracer = telemetry.NewTracer(opts)
+	}
+	// The tracing counterpart of selfmetrics: retained traces are just
+	// another key information provider, queryable with &(info=selftrace).
+	if cfg.Tracer != nil {
+		if _, ok := cfg.Registry.Lookup(provider.SelfTraceKeyword); !ok {
+			cfg.Registry.Register(provider.NewSelfTrace(cfg.Tracer), provider.RegisterOptions{})
+		}
+	}
 	s := &Service{cfg: cfg, dialer: gram.NewCallbackDialer()}
 	s.instr = newInstruments(cfg.Telemetry)
 	s.info = &infoEngine{
@@ -221,6 +249,9 @@ func (s *Service) AcceptedConns() int64 { return s.instr.connsAccepted.Value() }
 // embedding into a larger one).
 func (s *Service) Telemetry() *telemetry.Registry { return s.cfg.Telemetry }
 
+// Tracer returns the service's tracer (nil when tracing is disabled).
+func (s *Service) Tracer() *telemetry.Tracer { return s.cfg.Tracer }
+
 // Close shuts the service down.
 func (s *Service) Close() error {
 	s.dialer.Close()
@@ -243,6 +274,7 @@ func (s *Service) GRIS() *mds.GRIS {
 		Trust:        s.cfg.Trust,
 		Policy:       s.cfg.Policy,
 		Clock:        s.cfg.Clock,
+		Tracer:       s.cfg.Tracer,
 	})
 }
 
@@ -319,10 +351,14 @@ func (s *Service) serveConn(c *wire.Conn) {
 	hcancel()
 	authElapsed := s.cfg.Clock.Now().Sub(authStart)
 	s.instr.observeAuth(err, authElapsed)
-	span(s.cfg.Log, s.cfg.Clock, trace, "auth", "", authElapsed)
+	span(s.cfg.Log, s.cfg.Clock, trace, nil, "auth", "", authElapsed)
 	if err != nil {
 		return
 	}
+	// The handshake predates any trace, so its timing is kept aside and
+	// recorded as a child of the connection's first traced request.
+	ts := &traceState{hsStart: authStart, hsDur: authElapsed}
+	ts.hsPending.Store(true)
 	local, err := s.cfg.Gridmap.Map(peer.Identity)
 	if err != nil {
 		_ = c.WriteString(gram.VerbError, fmt.Sprintf("gatekeeper: %v", err))
@@ -333,6 +369,23 @@ func (s *Service) serveConn(c *wire.Conn) {
 		if err != nil {
 			return
 		}
+		if f.Verb == wire.VerbTrace {
+			// Capability negotiation: a tracing server accepts and from
+			// then on expects a trace-context prefix on every request
+			// frame; a server without a tracer declines with ERROR,
+			// byte-identical to a pre-trace peer.
+			if s.cfg.Tracer == nil {
+				if err := c.Write(errorFrame("infogram: tracing not enabled")); err != nil {
+					return
+				}
+				continue
+			}
+			if err := c.WriteString(wire.VerbTraceOK, ""); err != nil {
+				return
+			}
+			ts.enabled = true
+			continue
+		}
 		if f.Verb == wire.VerbMux {
 			// Capability upgrade: acknowledge, then dispatch this
 			// connection's remaining requests concurrently. Negotiation
@@ -341,12 +394,22 @@ func (s *Service) serveConn(c *wire.Conn) {
 			if err := c.WriteString(wire.VerbMuxOK, ""); err != nil {
 				return
 			}
-			s.serveMux(ctx, c, peer, local)
+			s.serveMux(ctx, c, peer, local, ts)
 			return
 		}
-		resp := s.dispatch(ctx, f, peer, local)
+		resp := s.dispatch(ctx, f, peer, local, ts)
 		_ = c.Write(resp)
 	}
+}
+
+// traceState is the per-connection tracing state: whether the peer
+// negotiated the trace-context prefix, and the handshake timing waiting
+// to be recorded into the connection's first traced request.
+type traceState struct {
+	enabled   bool // trace prefix negotiated (set only pre-mux, in the serial loop)
+	hsStart   time.Time
+	hsDur     time.Duration
+	hsPending atomic.Bool
 }
 
 // connParallelism resolves the per-connection mux worker bound.
@@ -364,7 +427,7 @@ func (s *Service) connParallelism() int {
 // while SUBMIT authorization (evalPart) still runs per request. The read
 // loop itself provides backpressure: when the semaphore is full it stops
 // reading, so a client cannot queue unbounded work on one connection.
-func (s *Service) serveMux(ctx context.Context, c *wire.Conn, peer *gsi.Peer, local string) {
+func (s *Service) serveMux(ctx context.Context, c *wire.Conn, peer *gsi.Peer, local string, ts *traceState) {
 	s.instr.muxConns.Inc()
 	sem := make(chan struct{}, s.connParallelism())
 	var wg sync.WaitGroup
@@ -387,7 +450,7 @@ func (s *Service) serveMux(ctx context.Context, c *wire.Conn, peer *gsi.Peer, lo
 			defer wg.Done()
 			defer func() { <-sem }()
 			s.instr.muxInFlight.Inc()
-			resp := s.dispatch(ctx, req, peer, local)
+			resp := s.dispatch(ctx, req, peer, local, ts)
 			s.instr.muxInFlight.Dec()
 			// Conn serializes concurrent writers; responses may leave in
 			// any completion order because the ID re-pairs them.
@@ -404,15 +467,47 @@ func (s *Service) serveMux(ctx context.Context, c *wire.Conn, peer *gsi.Peer, lo
 // a request that queries selfmetrics sees itself in the answer; verbs
 // outside the instrumented set fall into the catch-all "unknown" series
 // rather than indexing the per-verb maps with a hostile key.
-func (s *Service) dispatch(ctx context.Context, f wire.Frame, peer *gsi.Peer, local string) wire.Frame {
+func (s *Service) dispatch(ctx context.Context, f wire.Frame, peer *gsi.Peer, local string, ts *traceState) wire.Frame {
+	var root *telemetry.Span
+	if ts.enabled {
+		// The peer negotiated trace propagation: every request frame
+		// carries a trace-context prefix. The server joins the caller's
+		// trace instead of minting its own, so multi-hop queries build
+		// one coherent tree.
+		tc, inner, derr := wire.DecodeTraceCtx(f)
+		if derr != nil {
+			s.instr.frameErrors.Inc()
+			return errorFrame(derr.Error())
+		}
+		f = inner
+		ctx = telemetry.WithTrace(ctx, tc.Trace)
+		if tc.Sampled {
+			ctx, root = s.cfg.Tracer.JoinTrace(ctx, tc.Trace, tc.Parent, "request:"+f.Verb)
+		}
+	} else if s.cfg.Tracer != nil {
+		// Legacy peer on a tracing server: mint a server-local trace.
+		ctx, root = s.cfg.Tracer.StartTrace(ctx, "request:"+f.Verb)
+	}
+	if root != nil {
+		root.SetAttr("peer", peer.Identity)
+		// The connection's first traced request adopts the handshake
+		// timing as a child span (the handshake predates any trace).
+		if ts.hsPending.CompareAndSwap(true, false) {
+			s.cfg.Tracer.RecordSpan(root, "gsi.handshake", ts.hsStart, ts.hsDur, "")
+		}
+	}
 	s.instr.requestCounter(f.Verb).Inc()
 	s.instr.inFlight.Inc()
 	start := s.cfg.Clock.Now()
 	resp := s.handleFrame(ctx, f, peer, local)
 	elapsed := s.cfg.Clock.Now().Sub(start)
-	s.instr.requestLatency(f.Verb).Observe(elapsed)
+	s.instr.requestLatency(f.Verb).ObserveTrace(elapsed, telemetry.TraceFrom(ctx))
 	s.instr.inFlight.Dec()
-	span(s.cfg.Log, s.cfg.Clock, telemetry.TraceFrom(ctx), "request:"+f.Verb, "", elapsed)
+	if resp.Verb == gram.VerbError {
+		root.Fail(string(resp.Payload))
+	}
+	root.End()
+	span(s.cfg.Log, s.cfg.Clock, telemetry.TraceFrom(ctx), root, "request:"+f.Verb, "", elapsed)
 	return resp
 }
 
@@ -482,9 +577,19 @@ func (s *Service) handleSubmit(ctx context.Context, src string, peer *gsi.Peer, 
 	// connections, so concurrent parts of one connection need no extra
 	// locking, and the per-part info/job counters stay exact.
 	parts := make([]PartResult, len(reqs))
+	evalSpanned := func(ctx context.Context, i int, req *xrsl.Request) PartResult {
+		pctx, sp := telemetry.StartSpan(ctx, "part")
+		sp.SetAttr("index", strconv.Itoa(i))
+		part := s.evalPart(pctx, req, peer, local)
+		if part.Kind == "error" {
+			sp.Fail(part.Error)
+		}
+		sp.End()
+		return part
+	}
 	if bound := min(s.cfg.Registry.Parallelism(), len(reqs)); bound <= 1 {
 		for i, req := range reqs {
-			parts[i] = s.evalPart(ctx, req, peer, local)
+			parts[i] = evalSpanned(ctx, i, req)
 		}
 	} else {
 		sem := make(chan struct{}, bound)
@@ -495,7 +600,7 @@ func (s *Service) handleSubmit(ctx context.Context, src string, peer *gsi.Peer, 
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
-				parts[i] = s.evalPart(ctx, req, peer, local)
+				parts[i] = evalSpanned(ctx, i, req)
 			}()
 		}
 		wg.Wait()
@@ -556,8 +661,13 @@ func (s *Service) evalPart(ctx context.Context, req *xrsl.Request, peer *gsi.Pee
 		}
 		s.logInfoQuery(ctx, req.Info, peer, local)
 		start := s.cfg.Clock.Now()
-		body, degraded, err := s.info.Answer(ctx, req.Info)
-		span(s.cfg.Log, s.cfg.Clock, telemetry.TraceFrom(ctx), "info-collect", "", s.cfg.Clock.Now().Sub(start))
+		ictx, isp := telemetry.StartSpan(ctx, "info.collect")
+		body, degraded, err := s.info.Answer(ictx, req.Info)
+		if err != nil {
+			isp.Fail(err.Error())
+		}
+		isp.End()
+		span(s.cfg.Log, s.cfg.Clock, telemetry.TraceFrom(ctx), isp, "info-collect", "", s.cfg.Clock.Now().Sub(start))
 		if err != nil {
 			return PartResult{Kind: "error", Error: err.Error()}
 		}

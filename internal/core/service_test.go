@@ -253,13 +253,16 @@ func TestSchemaReflection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Load plus the built-in selfmetrics provider.
-	if len(entries) != 2 {
+	// Load plus the built-in selfmetrics and selftrace providers.
+	if len(entries) != 3 {
 		t.Fatalf("schema entries = %d", len(entries))
 	}
 	e := entries[0]
-	if kw, _ := e.Get("keyword"); kw != "Load" {
-		e = entries[1]
+	for _, cand := range entries {
+		if kw, _ := cand.Get("keyword"); kw == "Load" {
+			e = cand
+			break
+		}
 	}
 	checks := map[string]string{
 		"keyword":         "Load",
@@ -277,7 +280,7 @@ func TestSchemaReflection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Format != xrsl.FormatXML || len(res.Entries) != 2 {
+	if res.Format != xrsl.FormatXML || len(res.Entries) != 3 {
 		t.Errorf("xml schema = %+v", res.Format)
 	}
 }

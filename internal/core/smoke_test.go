@@ -164,16 +164,23 @@ func TestEndToEndInfoAndJob(t *testing.T) {
 		t.Errorf("part 1 = %+v, want job", parts[1])
 	}
 
-	// Schema reflection: Memory plus the built-in selfmetrics provider.
+	// Schema reflection: Memory plus the built-in selfmetrics and
+	// selftrace providers.
 	schema, err := cl.Schema()
 	if err != nil {
 		t.Fatalf("Schema: %v", err)
 	}
-	if len(schema) != 2 {
-		t.Fatalf("expected 2 schema entries, got %d", len(schema))
+	if len(schema) != 3 {
+		t.Fatalf("expected 3 schema entries, got %d", len(schema))
 	}
-	if kw, _ := schema[0].Get("keyword"); kw != "Memory" {
-		t.Errorf("schema keyword = %q", kw)
+	found := false
+	for _, e := range schema {
+		if kw, _ := e.Get("keyword"); kw == "Memory" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("schema missing the Memory provider: %v", schema)
 	}
 
 	// Real process execution via fork.

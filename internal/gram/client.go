@@ -10,6 +10,7 @@ import (
 	"infogram/internal/clock"
 	"infogram/internal/gsi"
 	"infogram/internal/job"
+	"infogram/internal/telemetry"
 	"infogram/internal/wire"
 )
 
@@ -22,6 +23,7 @@ type Client struct {
 	peer    *gsi.Peer
 	clk     clock.Clock
 	timeout time.Duration
+	traced  bool // server accepted the TRACE capability
 }
 
 // Dial connects and authenticates to a GRAM service at addr.
@@ -61,6 +63,14 @@ func dial(addr string, cred *gsi.Credential, trust *gsi.TrustStore, clk clock.Cl
 		return nil, err
 	}
 	c.peer = peer
+	// Offer trace propagation; an old server declines with ERROR and the
+	// client simply sends unprefixed frames.
+	traced, err := wire.NegotiateTrace(ctx, conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c.traced = traced
 	return c, nil
 }
 
@@ -73,8 +83,13 @@ func (c *Client) callCtx() (context.Context, context.CancelFunc) {
 	return context.WithCancel(context.Background())
 }
 
-// call performs one deadline-bounded request/response exchange.
+// call performs one deadline-bounded request/response exchange. On a
+// trace-negotiated connection each request carries a freshly minted,
+// sampled trace context so the server records a span tree for it.
 func (c *Client) call(req wire.Frame) (wire.Frame, error) {
+	if c.traced {
+		req = wire.EncodeTraceCtx(wire.TraceContext{Trace: telemetry.NewTraceID(), Sampled: true}, req)
+	}
 	ctx, cancel := c.callCtx()
 	defer cancel()
 	return c.conn.CallContext(ctx, req)

@@ -120,8 +120,23 @@ func (m *Manager) Table() *job.Table { return m.cfg.Table }
 
 // Submit registers a job and starts its manager goroutine, returning the
 // job contact. rec.Contact may be empty, in which case a fresh contact is
-// allocated.
+// allocated. A traced submission records a "gram.spawn" span covering
+// registration through goroutine launch; the job's later spans
+// (scheduler dispatch, state-transition journal appends) parent under it
+// even though they finish after the submit acknowledges.
 func (m *Manager) Submit(ctx context.Context, req *xrsl.JobRequest, rec job.Record) (string, error) {
+	ctx, sp := telemetry.StartSpan(ctx, "gram.spawn")
+	contact, err := m.submit(ctx, req, rec)
+	if err != nil {
+		sp.Fail(err.Error())
+	} else {
+		sp.SetAttr("contact", contact)
+	}
+	sp.End()
+	return contact, err
+}
+
+func (m *Manager) submit(ctx context.Context, req *xrsl.JobRequest, rec job.Record) (string, error) {
 	if _, err := faultinject.Eval(ctx, faultinject.GramSpawn); err != nil {
 		return "", fmt.Errorf("gram: spawn: %w", err)
 	}
@@ -165,9 +180,14 @@ func (m *Manager) Submit(ctx context.Context, req *xrsl.JobRequest, rec job.Reco
 		return "", err
 	}
 	// The job context deliberately detaches from the request context: the
-	// job outlives the connection that submitted it. The trace ID is
-	// carried over so the spawn remains correlatable.
-	jobCtx, cancel := context.WithCancel(telemetry.WithTrace(context.Background(), trace))
+	// job outlives the connection that submitted it. The trace ID and the
+	// spawn span are carried over so the job's later spans stay
+	// correlatable and parent under the submit that launched them.
+	base := telemetry.WithTrace(context.Background(), trace)
+	if sp := telemetry.SpanFrom(ctx); sp != nil {
+		base = telemetry.ContextWithSpan(base, sp)
+	}
+	jobCtx, cancel := context.WithCancel(base)
 	m.mu.Lock()
 	m.cancels[rec.Contact] = cancel
 	m.mu.Unlock()
@@ -184,14 +204,19 @@ func (m *Manager) Submit(ctx context.Context, req *xrsl.JobRequest, rec job.Reco
 	spawnElapsed := m.cfg.Clock.Now().Sub(now)
 	m.cfg.SpawnLatency.Observe(spawnElapsed)
 	if trace != "" {
-		m.logRecord(logging.Record{
+		lr := logging.Record{
 			Time:      m.cfg.Clock.Now(),
 			Kind:      logging.KindSpan,
 			Contact:   rec.Contact,
 			Trace:     string(trace),
 			Span:      "gram-submit",
 			ElapsedUS: spawnElapsed.Microseconds(),
-		})
+		}
+		if sp := telemetry.SpanFrom(ctx); sp != nil {
+			lr.SpanID = sp.ID().String()
+			lr.ParentID = sp.Parent().String()
+		}
+		m.logRecord(lr)
 	}
 	return rec.Contact, nil
 }
@@ -338,8 +363,20 @@ func (m *Manager) runFrom(ctx context.Context, contact string, req *xrsl.JobRequ
 }
 
 // attempt runs one execution attempt, expanding count and applying the
-// timeout/action extension.
+// timeout/action extension. A traced attempt records a "scheduler.run"
+// span naming the backend.
 func (m *Manager) attempt(ctx context.Context, backend scheduler.Backend, contact string, req *xrsl.JobRequest) (scheduler.Result, error) {
+	ctx, sp := telemetry.StartSpan(ctx, "scheduler.run")
+	sp.SetAttr("backend", backend.Name())
+	res, err := m.attemptRun(ctx, backend, contact, req)
+	if err != nil {
+		sp.Fail(err.Error())
+	}
+	sp.End()
+	return res, err
+}
+
+func (m *Manager) attemptRun(ctx context.Context, backend scheduler.Backend, contact string, req *xrsl.JobRequest) (scheduler.Result, error) {
 	runCtx := ctx
 	var cancel context.CancelFunc
 	if req.MaxWallTime > 0 {

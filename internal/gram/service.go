@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"infogram/internal/clock"
 	"infogram/internal/gsi"
@@ -13,6 +15,7 @@ import (
 	"infogram/internal/journal"
 	"infogram/internal/logging"
 	"infogram/internal/rsl"
+	"infogram/internal/telemetry"
 	"infogram/internal/wire"
 	"infogram/internal/xrsl"
 )
@@ -68,6 +71,9 @@ type Config struct {
 	Clock clock.Clock
 	// Env provides server-side RSL substitution variables.
 	Env rsl.Env
+	// Tracer, when set, records a span tree per request and accepts the
+	// TRACE capability so clients can propagate their trace context.
+	Tracer *telemetry.Tracer
 }
 
 // Service is the GRAM middle tier: gatekeeper plus job managers.
@@ -164,30 +170,86 @@ func (s *Service) RecoverJournal(rec *journal.Recovered) ([]string, error) {
 // serveConn is the gatekeeper: authenticate, authorize, map to a local
 // account, then serve GRAMP requests on the connection.
 func (s *Service) serveConn(c *wire.Conn) {
+	authStart := s.cfg.Clock.Now()
 	peer, err := gsi.ServerHandshake(c, s.cfg.Credential, s.cfg.Trust, s.cfg.Clock.Now())
 	if err != nil {
 		return // handshake already reported AUTH-ERR where possible
 	}
-	local, err := s.cfg.Gridmap.Map(peer.Identity)
-	if err != nil {
-		_ = c.WriteString(VerbError, fmt.Sprintf("gatekeeper: %v", err))
-		return
-	}
+	// The handshake predates any trace; its timing is kept aside and
+	// adopted by the connection's first traced request.
+	ts := &traceState{hsStart: authStart, hsDur: s.cfg.Clock.Now().Sub(authStart)}
+	ts.hsPending.Store(true)
+	// The gridmap check waits for the first real request so that
+	// capability negotiation (TRACE) completes even for identities the
+	// gatekeeper will reject — the rejection then answers the request
+	// that needed the mapping, as it did before tracing existed.
+	local, mapped := "", false
 	for {
 		f, err := c.Read()
 		if err != nil {
 			return
 		}
-		s.dispatch(c, f, peer, local)
+		if f.Verb == wire.VerbTrace {
+			if s.cfg.Tracer == nil {
+				_ = c.WriteString(VerbError, "gram: tracing not enabled")
+			} else {
+				_ = c.WriteString(wire.VerbTraceOK, "")
+				ts.enabled = true
+			}
+			continue
+		}
+		if !mapped {
+			local, err = s.cfg.Gridmap.Map(peer.Identity)
+			if err != nil {
+				_ = c.WriteString(VerbError, fmt.Sprintf("gatekeeper: %v", err))
+				return
+			}
+			mapped = true
+		}
+		s.dispatch(c, f, peer, local, ts)
 	}
 }
 
-func (s *Service) dispatch(c *wire.Conn, f wire.Frame, peer *gsi.Peer, local string) {
+// traceState is the per-connection tracing state: whether the peer
+// negotiated the trace-context prefix, and the handshake timing waiting
+// to be recorded into the connection's first traced request.
+type traceState struct {
+	enabled   bool
+	hsStart   time.Time
+	hsDur     time.Duration
+	hsPending atomic.Bool
+}
+
+func (s *Service) dispatch(c *wire.Conn, f wire.Frame, peer *gsi.Peer, local string, ts *traceState) {
+	ctx := context.Background()
+	var root *telemetry.Span
+	if ts.enabled {
+		// The peer negotiated trace propagation: join its trace rather
+		// than minting a server-local one.
+		tc, inner, derr := wire.DecodeTraceCtx(f)
+		if derr != nil {
+			_ = c.WriteString(VerbError, derr.Error())
+			return
+		}
+		f = inner
+		ctx = telemetry.WithTrace(ctx, tc.Trace)
+		if tc.Sampled {
+			ctx, root = s.cfg.Tracer.JoinTrace(ctx, tc.Trace, tc.Parent, "request:"+f.Verb)
+		}
+	} else if s.cfg.Tracer != nil {
+		ctx, root = s.cfg.Tracer.StartTrace(ctx, "request:"+f.Verb)
+	}
+	if root != nil {
+		root.SetAttr("peer", peer.Identity)
+		if ts.hsPending.CompareAndSwap(true, false) {
+			s.cfg.Tracer.RecordSpan(root, "gsi.handshake", ts.hsStart, ts.hsDur, "")
+		}
+	}
 	switch f.Verb {
 	case VerbPing:
 		_ = c.WriteString(VerbPong, "")
 	case VerbSubmit:
-		s.handleSubmit(c, string(f.Payload), peer, local)
+		s.handleSubmit(ctx, c, string(f.Payload), peer, local)
 	case VerbStatus:
 		s.handleStatus(c, strings.TrimSpace(string(f.Payload)))
 	case VerbCancel:
@@ -197,6 +259,7 @@ func (s *Service) dispatch(c *wire.Conn, f wire.Frame, peer *gsi.Peer, local str
 	default:
 		_ = c.WriteString(VerbError, fmt.Sprintf("gram: unknown verb %s", f.Verb))
 	}
+	root.End()
 }
 
 // handleSignal parses "contact signal" and applies it.
@@ -213,7 +276,7 @@ func (s *Service) handleSignal(c *wire.Conn, payload string) {
 	_ = c.WriteString(VerbSignalOK, contact)
 }
 
-func (s *Service) handleSubmit(c *wire.Conn, src string, peer *gsi.Peer, local string) {
+func (s *Service) handleSubmit(ctx context.Context, c *wire.Conn, src string, peer *gsi.Peer, local string) {
 	if err := s.cfg.Policy.Authorize(peer.Identity, gsi.OpJobSubmit, s.cfg.Clock.Now()); err != nil {
 		_ = c.WriteString(VerbError, err.Error())
 		return
@@ -229,7 +292,7 @@ func (s *Service) handleSubmit(c *wire.Conn, src string, peer *gsi.Peer, local s
 		_ = c.WriteString(VerbError, "gram: this service accepts job submissions only; query MDS for information")
 		return
 	}
-	contact, err := s.manager.Submit(context.Background(), req.Job, job.Record{
+	contact, err := s.manager.Submit(ctx, req.Job, job.Record{
 		Spec:     src,
 		Owner:    local,
 		Identity: peer.Identity,

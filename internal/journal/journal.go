@@ -351,11 +351,24 @@ func (j *Journal) Dir() string {
 // flushed+synced by the interval timer, so a crash loses at most one
 // interval of appends. An error means the record is NOT durable and the
 // caller must not acknowledge the operation it records. Nil-safe: a nil
-// journal accepts everything.
+// journal accepts everything. A traced append records a "journal.append"
+// span (with the fsync, if any, as a child).
 func (j *Journal) Append(ctx context.Context, e Entry) error {
 	if j == nil {
 		return nil
 	}
+	ctx, sp := telemetry.StartSpan(ctx, "journal.append")
+	err := j.append(ctx, e)
+	if sp != nil {
+		if err != nil {
+			sp.Fail(err.Error())
+		}
+		sp.End()
+	}
+	return err
+}
+
+func (j *Journal) append(ctx context.Context, e Entry) error {
 	if _, err := faultinject.Eval(ctx, faultinject.JournalAppend); err != nil {
 		j.appendErrors.Inc()
 		return fmt.Errorf("journal: append: %w", err)
@@ -536,8 +549,20 @@ func (j *Journal) flushLocked() error {
 }
 
 // syncLocked flushes any buffered appends and fsyncs the current segment.
-// Caller holds mu.
+// Caller holds mu. A traced sync records a "journal.fsync" span.
 func (j *Journal) syncLocked(ctx context.Context) error {
+	ctx, sp := telemetry.StartSpan(ctx, "journal.fsync")
+	err := j.syncRunLocked(ctx)
+	if sp != nil {
+		if err != nil {
+			sp.Fail(err.Error())
+		}
+		sp.End()
+	}
+	return err
+}
+
+func (j *Journal) syncRunLocked(ctx context.Context) error {
 	if _, err := faultinject.Eval(ctx, faultinject.JournalFsync); err != nil {
 		return fmt.Errorf("journal: fsync: %w", err)
 	}

@@ -72,6 +72,11 @@ type Record struct {
 	// Span names the timed section for span records ("request:SUBMIT",
 	// "auth", "info-collect", "gram-submit").
 	Span string `json:"span,omitempty"`
+	// SpanID/ParentID are the hex span IDs of the timed section within
+	// the trace's span tree, so a grep for the trace correlates log
+	// records with stored spans. Empty when the section ran untraced.
+	SpanID   string `json:"spanId,omitempty"`
+	ParentID string `json:"parentSpanId,omitempty"`
 	// ElapsedUS is the span duration in microseconds.
 	ElapsedUS int64 `json:"elapsedUs,omitempty"`
 }

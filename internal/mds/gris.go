@@ -11,6 +11,7 @@ import (
 	"infogram/internal/gsi"
 	"infogram/internal/ldif"
 	"infogram/internal/provider"
+	"infogram/internal/telemetry"
 	"infogram/internal/wire"
 )
 
@@ -46,6 +47,9 @@ type GRISConfig struct {
 	// Policy authorizes info queries; nil allows all authenticated users.
 	Policy *gsi.Policy
 	Clock  clock.Clock
+	// Tracer, when set, records a span tree per SEARCH (the MDS protocol
+	// itself carries no trace context, so GRIS traces are local roots).
+	Tracer *telemetry.Tracer
 }
 
 // GRIS is a Grid Resource Information Service for one resource: it answers
@@ -110,11 +114,16 @@ func (g *GRIS) handleSearch(c *wire.Conn, payload []byte, peer *gsi.Peer) {
 		_ = c.WriteString(VerbMDSError, fmt.Sprintf("mds: bad search payload: %v", err))
 		return
 	}
-	entries, err := g.Search(context.Background(), req)
+	ctx, root := g.cfg.Tracer.StartTrace(context.Background(), "request:"+VerbSearch)
+	root.SetAttr("peer", peer.Identity)
+	entries, err := g.Search(ctx, req)
 	if err != nil {
+		root.Fail(err.Error())
+		root.End()
 		_ = c.WriteString(VerbMDSError, err.Error())
 		return
 	}
+	root.End()
 	out, err := ldif.Marshal(entries)
 	if err != nil {
 		_ = c.WriteString(VerbMDSError, err.Error())

@@ -354,8 +354,21 @@ func (r *Registry) CollectDegraded(ctx context.Context, keywords []string, mode 
 	return reports, degraded, nil
 }
 
-// collectOne retrieves one keyword under its per-provider deadline.
+// collectOne retrieves one keyword under its per-provider deadline. A
+// traced request records each provider as a "provider.collect" span, so
+// the fan-out's per-keyword costs decompose in the trace tree.
 func collectOne(ctx context.Context, g *Registered, mode cache.Mode, threshold quality.Score, perTimeout time.Duration) (Report, error) {
+	ctx, sp := telemetry.StartSpan(ctx, "provider.collect")
+	sp.SetAttr("keyword", g.Keyword())
+	rep, err := collectProvider(ctx, g, mode, threshold, perTimeout)
+	if err != nil {
+		sp.Fail(err.Error())
+	}
+	sp.End()
+	return rep, err
+}
+
+func collectProvider(ctx context.Context, g *Registered, mode cache.Mode, threshold quality.Score, perTimeout time.Duration) (Report, error) {
 	if perTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, perTimeout)

@@ -1,0 +1,83 @@
+package provider
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"infogram/internal/telemetry"
+)
+
+// SelfTraceKeyword is the keyword under which a service's retained
+// request traces are published.
+const SelfTraceKeyword = "selftrace"
+
+// SelfTrace is the tracing counterpart of SelfMetrics: it renders the
+// tracer's tail-sampled trace store as ordinary information attributes,
+// so recent slow or errored request trees are queryable through the same
+// xRSL info query used for any other keyword (&(info=selftrace)) — the
+// paper's unified-protocol claim applied to the service's own latency
+// decomposition.
+type SelfTrace struct {
+	tracer *telemetry.Tracer
+}
+
+// NewSelfTrace wraps a tracer as a provider.
+func NewSelfTrace(t *telemetry.Tracer) *SelfTrace {
+	return &SelfTrace{tracer: t}
+}
+
+// Keyword returns "selftrace".
+func (p *SelfTrace) Keyword() string { return SelfTraceKeyword }
+
+// Source describes the provider.
+func (p *SelfTrace) Source() string { return "telemetry:traces" }
+
+// Fetch snapshots the trace store. Each trace becomes one summary
+// attribute (trace.<id>) plus one attribute per span
+// (trace.<id>.span.<spanID>) carrying space-separated key=value pairs:
+// name, parent, start, duration, and the error message when the span
+// failed. Attribute values are machine-splittable so a client can
+// rebuild the span tree from the LDIF answer.
+func (p *SelfTrace) Fetch(context.Context) (Attributes, error) {
+	traces := p.tracer.Store().Snapshot()
+	attrs := Attributes{
+		Attr{Name: "traces", Value: strconv.Itoa(len(traces))},
+		Attr{Name: "traces_evicted", Value: strconv.FormatInt(p.tracer.Store().Evicted(), 10)},
+	}
+	for _, tr := range traces {
+		base := "trace." + string(tr.Trace)
+		attrs = append(attrs, Attr{Name: base, Value: fmt.Sprintf(
+			"root=%s start=%s duration_us=%d err=%t spans=%d",
+			tr.Root, tr.Start.UTC().Format(time.RFC3339Nano),
+			tr.Duration.Microseconds(), tr.Err, len(tr.Spans))})
+		for _, sp := range tr.Spans {
+			var sb strings.Builder
+			fmt.Fprintf(&sb, "name=%s parent=%s start=%s duration_us=%d",
+				sp.Name, sp.Parent, sp.Start.UTC().Format(time.RFC3339Nano),
+				sp.Duration.Microseconds())
+			if sp.Err != "" {
+				fmt.Fprintf(&sb, " err=%s", strings.ReplaceAll(sp.Err, " ", "_"))
+			}
+			for _, a := range sp.Attrs {
+				fmt.Fprintf(&sb, " attr.%s=%s", a.Key, strings.ReplaceAll(a.Value, " ", "_"))
+			}
+			attrs = append(attrs, Attr{Name: base + ".span." + sp.ID.String(), Value: sb.String()})
+		}
+	}
+	return attrs, nil
+}
+
+// AttrSchemas describes the attribute shape for reflection (§6.4). The
+// concrete attributes depend on which traces the tail sampler retained,
+// so the schema documents the families rather than enumerating them.
+func (p *SelfTrace) AttrSchemas() []AttrSchema {
+	return []AttrSchema{
+		{Name: "traces", Type: "int", Doc: "traces currently retained by the tail sampler"},
+		{Name: "traces_evicted", Type: "int", Doc: "retained traces evicted to bound the store"},
+		{Name: "trace.<id>", Type: "string", Doc: "trace summary: root span, start, duration, error flag, span count"},
+		{Name: "trace.<id>.span.<spanId>", Type: "string", Doc: "one span: name, parent, start, duration, error, attrs"},
+	}
+}

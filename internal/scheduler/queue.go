@@ -3,6 +3,7 @@ package scheduler
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -239,18 +240,24 @@ func (q *Queue) dispatch() {
 	}
 }
 
-// run executes one dispatched task on the inner executor.
+// run executes one dispatched task on the inner executor. A traced task
+// records a "scheduler.dispatch" span covering the executor run, with
+// the queue wait recorded as an attribute.
 func (q *Queue) run(qt *QueuedTask) {
 	wait := time.Since(qt.Enqueued)
 	q.waits.Observe(wait)
 	q.cfg.DispatchLatency.Observe(wait)
 	start := time.Now()
 
+	ctx, sp := telemetry.StartSpan(qt.ctx, "scheduler.dispatch")
+	sp.SetAttr("queue", q.cfg.Name)
+	sp.SetAttr("wait_us", strconv.FormatInt(wait.Microseconds(), 10))
+
 	var res Result
 	var inner Handle
-	_, err := faultinject.Eval(qt.ctx, faultinject.SchedulerDispatch)
+	_, err := faultinject.Eval(ctx, faultinject.SchedulerDispatch)
 	if err == nil {
-		inner, err = q.cfg.Executor.Submit(qt.ctx, qt.Task)
+		inner, err = q.cfg.Executor.Submit(ctx, qt.Task)
 	}
 	if err == nil {
 		// Honour cancellation while running.
@@ -262,11 +269,15 @@ func (q *Queue) run(qt *QueuedTask) {
 			case <-done:
 			}
 		}()
-		res, err = inner.Wait(qt.ctx)
+		res, err = inner.Wait(ctx)
 		close(done)
 	}
 	res.QueueWait = wait
 	runtime := time.Since(start)
+	if err != nil {
+		sp.Fail(err.Error())
+	}
+	sp.End()
 
 	q.mu.Lock()
 	q.running--

@@ -1,0 +1,23 @@
+package telemetry
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewDebugMux builds the HTTP mux every server binary serves on its
+// metrics address: the Prometheus text endpoint at /metrics, the trace
+// store (plus histogram exemplars) as JSON at /debug/traces, and the
+// standard pprof handlers under /debug/pprof/. A nil tracer leaves
+// /debug/traces serving an empty trace list.
+func NewDebugMux(reg *Registry, t *Tracer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(reg))
+	mux.Handle("/debug/traces", TraceDebugHandler(t, reg))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -135,10 +135,21 @@ type histStripe struct {
 	_      [6]uint64
 }
 
+// Exemplar links one histogram bucket to a concrete trace: the most
+// recent traced observation that landed in that bucket.
+type Exemplar struct {
+	Trace TraceID
+	Value time.Duration
+}
+
 // Histogram is a lock-free latency histogram with log-spaced buckets.
 // Observe is allocation-free and safe on a nil receiver.
 type Histogram struct {
 	stripes [histStripes]histStripe
+	// exemplars holds the latest traced observation per bucket. They are
+	// surfaced via Snapshot and the /debug/traces endpoint, deliberately
+	// not in the Prometheus 0.0.4 text format (which predates exemplars).
+	exemplars [NumBuckets + 1]atomic.Pointer[Exemplar]
 }
 
 // Observe records one duration sample. Negative durations count as zero.
@@ -154,6 +165,20 @@ func (h *Histogram) Observe(d time.Duration) {
 	s.sumNS.Add(int64(d))
 }
 
+// ObserveTrace is Observe plus an exemplar: when trace is non-empty the
+// sample's bucket remembers it, linking the latency distribution to a
+// concrete trace in the trace store.
+func (h *Histogram) ObserveTrace(d time.Duration, trace TraceID) {
+	h.Observe(d)
+	if h == nil || trace == "" {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.exemplars[bucketIndex(d)].Store(&Exemplar{Trace: trace, Value: d})
+}
+
 // HistogramSnapshot is a point-in-time aggregate of a histogram.
 type HistogramSnapshot struct {
 	// Count is the total number of observations.
@@ -163,6 +188,9 @@ type HistogramSnapshot struct {
 	// Buckets holds the per-bucket (non-cumulative) counts; index i covers
 	// (BucketBound(i-1), BucketBound(i)], index NumBuckets is overflow.
 	Buckets [NumBuckets + 1]uint64
+	// Exemplars holds, per bucket, the latest traced observation (nil
+	// when the bucket never saw one).
+	Exemplars [NumBuckets + 1]*Exemplar
 }
 
 // Mean returns the average observed duration, or 0 with no observations.
@@ -222,6 +250,9 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 			out.Buckets[b] += n
 			out.Count += n
 		}
+	}
+	for b := range h.exemplars {
+		out.Exemplars[b] = h.exemplars[b].Load()
 	}
 	return out
 }

@@ -1,0 +1,249 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// TraceRecord is one retained trace: its root request window plus every
+// span the tail sampler committed (late spans append after the fact).
+type TraceRecord struct {
+	Trace    TraceID       `json:"trace"`
+	Root     SpanID        `json:"root"`
+	Err      bool          `json:"err,omitempty"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"durationNs"`
+	Spans    []SpanRecord  `json:"spans"`
+}
+
+// storeStripes shards the trace store; must be a power of two.
+const storeStripes = 8
+
+type storeStripe struct {
+	mu      sync.Mutex
+	byTrace map[TraceID]*TraceRecord
+	order   []TraceID // FIFO insertion order for eviction
+}
+
+// TraceStore is a bounded, lock-striped in-process store of retained
+// traces. When a stripe is full its oldest trace is evicted (counted, so
+// retention loss is never silent). Put merges spans into an existing
+// record with the same trace ID — concurrent requests joining the same
+// client-minted trace land in one tree.
+type TraceStore struct {
+	stripes  [storeStripes]storeStripe
+	perShard int
+	evicted  Counter
+}
+
+// DefaultTraceCapacity is the store bound when TracerOptions.Capacity is
+// unset.
+const DefaultTraceCapacity = 512
+
+// NewTraceStore builds a store holding about cap traces (default
+// DefaultTraceCapacity; minimum one per stripe).
+func NewTraceStore(capacity int) *TraceStore {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	per := capacity / storeStripes
+	if per < 1 {
+		per = 1
+	}
+	s := &TraceStore{perShard: per}
+	for i := range s.stripes {
+		s.stripes[i].byTrace = make(map[TraceID]*TraceRecord)
+	}
+	return s
+}
+
+// fnv-1a over the trace ID selects the stripe.
+func (s *TraceStore) stripe(trace TraceID) *storeStripe {
+	h := uint32(2166136261)
+	for i := 0; i < len(trace); i++ {
+		h ^= uint32(trace[i])
+		h *= 16777619
+	}
+	return &s.stripes[h&(storeStripes-1)]
+}
+
+// Put stores rec, merging into any existing record for the same trace:
+// spans append, the error bit ORs, and the trace window extends to cover
+// both requests. A full stripe evicts its oldest trace.
+func (s *TraceStore) Put(rec TraceRecord) {
+	if s == nil {
+		return
+	}
+	st := s.stripe(rec.Trace)
+	st.mu.Lock()
+	if cur, ok := st.byTrace[rec.Trace]; ok {
+		cur.Spans = append(cur.Spans, rec.Spans...)
+		cur.Err = cur.Err || rec.Err
+		curEnd := cur.Start.Add(cur.Duration)
+		recEnd := rec.Start.Add(rec.Duration)
+		if rec.Start.Before(cur.Start) {
+			cur.Start = rec.Start
+		}
+		end := curEnd
+		if recEnd.After(end) {
+			end = recEnd
+		}
+		cur.Duration = end.Sub(cur.Start)
+		st.mu.Unlock()
+		return
+	}
+	if len(st.order) >= s.perShard {
+		oldest := st.order[0]
+		st.order = st.order[1:]
+		delete(st.byTrace, oldest)
+		s.evicted.Inc()
+	}
+	cp := rec
+	st.byTrace[rec.Trace] = &cp
+	st.order = append(st.order, rec.Trace)
+	st.mu.Unlock()
+}
+
+// AppendSpan adds a late span to an already-stored trace, extending the
+// trace window to cover it. It reports whether the trace was present.
+func (s *TraceStore) AppendSpan(trace TraceID, rec SpanRecord) bool {
+	if s == nil {
+		return false
+	}
+	st := s.stripe(trace)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	cur, ok := st.byTrace[trace]
+	if !ok {
+		return false
+	}
+	cur.Spans = append(cur.Spans, rec)
+	if rec.Err != "" {
+		cur.Err = true
+	}
+	if end := rec.Start.Add(rec.Duration); end.After(cur.Start.Add(cur.Duration)) {
+		cur.Duration = end.Sub(cur.Start)
+	}
+	return true
+}
+
+// Get returns a deep copy of the stored trace, or false.
+func (s *TraceStore) Get(trace TraceID) (TraceRecord, bool) {
+	if s == nil {
+		return TraceRecord{}, false
+	}
+	st := s.stripe(trace)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	cur, ok := st.byTrace[trace]
+	if !ok {
+		return TraceRecord{}, false
+	}
+	return copyRecord(cur), true
+}
+
+// Snapshot returns deep copies of every stored trace, newest first.
+func (s *TraceStore) Snapshot() []TraceRecord {
+	if s == nil {
+		return nil
+	}
+	var out []TraceRecord
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		for _, trace := range st.order {
+			out = append(out, copyRecord(st.byTrace[trace]))
+		}
+		st.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.After(out[j].Start) })
+	return out
+}
+
+// Len returns the number of stored traces.
+func (s *TraceStore) Len() int {
+	if s == nil {
+		return 0
+	}
+	n := 0
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		n += len(st.byTrace)
+		st.mu.Unlock()
+	}
+	return n
+}
+
+// Evicted returns the count of traces dropped to make room.
+func (s *TraceStore) Evicted() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.evicted.Value()
+}
+
+func copyRecord(r *TraceRecord) TraceRecord {
+	cp := *r
+	cp.Spans = append([]SpanRecord(nil), r.Spans...)
+	return cp
+}
+
+// traceDebugPayload is the /debug/traces JSON shape.
+type traceDebugPayload struct {
+	Traces    []TraceRecord   `json:"traces"`
+	Evicted   int64           `json:"evicted"`
+	Exemplars []debugExemplar `json:"exemplars,omitempty"`
+}
+
+type debugExemplar struct {
+	Metric string        `json:"metric"`
+	Labels []Label       `json:"labels,omitempty"`
+	Bucket string        `json:"bucketLe"`
+	Trace  TraceID       `json:"trace"`
+	Value  time.Duration `json:"valueNs"`
+}
+
+// TraceDebugHandler serves the tracer's retained traces (newest first) as
+// JSON, together with trace-ID exemplars gathered from reg's latency
+// histograms — the glue from a p99 bucket to a concrete trace.
+func TraceDebugHandler(t *Tracer, reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		var payload traceDebugPayload
+		if t != nil {
+			payload.Traces = t.Store().Snapshot()
+			payload.Evicted = t.Store().Evicted()
+		}
+		if payload.Traces == nil {
+			payload.Traces = []TraceRecord{}
+		}
+		for _, p := range reg.Snapshot() {
+			if p.Kind != KindHistogram {
+				continue
+			}
+			for i, ex := range p.Hist.Exemplars {
+				if ex == nil {
+					continue
+				}
+				le := "+Inf"
+				if i < NumBuckets {
+					le = BucketBound(i).String()
+				}
+				payload.Exemplars = append(payload.Exemplars, debugExemplar{
+					Metric: p.Name,
+					Labels: p.Labels,
+					Bucket: le,
+					Trace:  ex.Trace,
+					Value:  ex.Value,
+				})
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(payload)
+	})
+}

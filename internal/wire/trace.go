@@ -1,0 +1,112 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+
+	"infogram/internal/telemetry"
+)
+
+// Trace propagation rides on the frame layout exactly like multiplexing:
+// an opt-in capability negotiated after the GSI handshake. A client that
+// wants its trace context to cross the wire sends a TRACE frame; a
+// trace-aware server answers TRACE-OK and from then on every request
+// frame (client → server) carries the trace context prefixed to its
+// payload:
+//
+//	VERB SP DECIMAL-LENGTH LF TRACEID SP PARENT-HEX SP SAMPLED SP payload
+//
+// Responses are never prefixed. On a multiplexed connection the trace
+// prefix sits inside the mux inner frame (after the correlation ID), so
+// the two capabilities compose. The verb grammar and frame header are
+// untouched and the prefix only appears after a successful negotiation,
+// so wire compatibility is preserved in both directions: an old client
+// never negotiates, and an old server answers the TRACE frame with
+// ERROR, which the new client takes as "declined" and sends unprefixed
+// frames.
+const (
+	// VerbTrace offers trace propagation (client → server, after
+	// handshake and before MUX).
+	VerbTrace = "TRACE"
+	// VerbTraceOK accepts the offer; every subsequent request frame
+	// carries a trace-context prefix.
+	VerbTraceOK = "TRACE-OK"
+)
+
+// ErrTraceSyntax reports a frame that should carry a trace-context
+// prefix but does not.
+var ErrTraceSyntax = errors.New("wire: malformed trace context")
+
+// TraceContext is the client-minted trace context carried on the wire:
+// which trace the request belongs to, which client span is the caller,
+// and whether the client asks the server to record spans for it.
+type TraceContext struct {
+	Trace   telemetry.TraceID
+	Parent  telemetry.SpanID
+	Sampled bool
+}
+
+// EncodeTraceCtx prefixes f's payload with the trace context, producing
+// the frame that actually crosses the wire after TRACE negotiation.
+func EncodeTraceCtx(tc TraceContext, f Frame) Frame {
+	p := make([]byte, 0, len(tc.Trace)+21+len(f.Payload))
+	p = append(p, tc.Trace...)
+	p = append(p, ' ')
+	p = strconv.AppendUint(p, uint64(tc.Parent), 16)
+	p = append(p, ' ')
+	if tc.Sampled {
+		p = append(p, '1')
+	} else {
+		p = append(p, '0')
+	}
+	p = append(p, ' ')
+	p = append(p, f.Payload...)
+	return Frame{Verb: f.Verb, Payload: p}
+}
+
+// DecodeTraceCtx splits a trace-prefixed frame into its trace context
+// and the inner frame. The inner payload aliases f's buffer (no copy).
+func DecodeTraceCtx(f Frame) (TraceContext, Frame, error) {
+	var idx [3]int
+	n := 0
+	for i := 0; i < len(f.Payload) && n < 3; i++ {
+		if f.Payload[i] == ' ' {
+			idx[n] = i
+			n++
+		}
+	}
+	if n < 3 || idx[0] == 0 {
+		return TraceContext{}, Frame{}, fmt.Errorf("%w: %s", ErrTraceSyntax, f)
+	}
+	trace := telemetry.TraceID(f.Payload[:idx[0]])
+	parent, err := strconv.ParseUint(string(f.Payload[idx[0]+1:idx[1]]), 16, 64)
+	if err != nil {
+		return TraceContext{}, Frame{}, fmt.Errorf("%w: %s", ErrTraceSyntax, f)
+	}
+	var sampled bool
+	switch string(f.Payload[idx[1]+1 : idx[2]]) {
+	case "1":
+		sampled = true
+	case "0":
+		sampled = false
+	default:
+		return TraceContext{}, Frame{}, fmt.Errorf("%w: %s", ErrTraceSyntax, f)
+	}
+	tc := TraceContext{Trace: trace, Parent: telemetry.SpanID(parent), Sampled: sampled}
+	return tc, Frame{Verb: f.Verb, Payload: f.Payload[idx[2]+1:]}, nil
+}
+
+// NegotiateTrace offers trace propagation on a freshly authenticated
+// client connection. It returns true when the server accepted (every
+// subsequent request frame must carry a trace-context prefix), false
+// when the peer declined — a pre-trace server answers with ERROR, which
+// is a decline, not a failure. Transport errors are returned as errors.
+func NegotiateTrace(ctx context.Context, conn *Conn) (bool, error) {
+	resp, err := conn.CallContext(ctx, Frame{Verb: VerbTrace})
+	if err != nil {
+		return false, fmt.Errorf("wire: trace negotiation: %w", err)
+	}
+	return resp.Verb == VerbTraceOK, nil
+}

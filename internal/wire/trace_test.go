@@ -1,0 +1,128 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+
+	"infogram/internal/telemetry"
+)
+
+func TestTraceCtxRoundtrip(t *testing.T) {
+	tc := TraceContext{Trace: telemetry.NewTraceID(), Parent: telemetry.NewSpanID(), Sampled: true}
+	orig := Frame{Verb: "SUBMIT", Payload: []byte("&(executable=noop)")}
+	wireFrame := EncodeTraceCtx(tc, orig)
+	got, inner, err := DecodeTraceCtx(wireFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != tc {
+		t.Errorf("decoded = %+v, want %+v", got, tc)
+	}
+	if inner.Verb != orig.Verb || string(inner.Payload) != string(orig.Payload) {
+		t.Errorf("inner = %+v, want %+v", inner, orig)
+	}
+}
+
+func TestTraceCtxUnsampledZeroParent(t *testing.T) {
+	// A request from a client with no local span: zero parent, sampled
+	// bit off, empty payload.
+	tc := TraceContext{Trace: telemetry.NewTraceID()}
+	got, inner, err := DecodeTraceCtx(EncodeTraceCtx(tc, Frame{Verb: "PING"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != tc || got.Sampled || got.Parent != 0 {
+		t.Errorf("decoded = %+v, want %+v", got, tc)
+	}
+	if len(inner.Payload) != 0 {
+		t.Errorf("inner payload = %q, want empty", inner.Payload)
+	}
+}
+
+func TestDecodeTraceCtxRejectsMalformed(t *testing.T) {
+	for _, payload := range []string{
+		"",           // nothing
+		"abc",        // no separators
+		"abc 12",     // two fields
+		" 12 1 x",    // empty trace
+		"abc zz 1 x", // bad parent hex
+		"abc 12 2 x", // bad sampled bit
+		"abc 12  x",  // empty sampled bit
+	} {
+		if _, _, err := DecodeTraceCtx(Frame{Verb: "PING", Payload: []byte(payload)}); !errors.Is(err, ErrTraceSyntax) {
+			t.Errorf("payload %q: err = %v, want ErrTraceSyntax", payload, err)
+		}
+	}
+}
+
+// tracePair dials a TCP pair and runs handler on the accepting side.
+func tracePair(t *testing.T, handler func(c *Conn)) *Conn {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer nc.Close()
+		handler(NewConn(nc))
+	}()
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := NewConn(nc)
+	t.Cleanup(func() {
+		conn.Close()
+		<-done
+	})
+	return conn
+}
+
+func TestNegotiateTraceAccepted(t *testing.T) {
+	conn := tracePair(t, func(c *Conn) {
+		f, err := c.Read()
+		if err != nil || f.Verb != VerbTrace {
+			return
+		}
+		_ = c.WriteString(VerbTraceOK, "")
+	})
+	ok, err := NegotiateTrace(context.Background(), conn)
+	if err != nil || !ok {
+		t.Fatalf("NegotiateTrace = %t, %v; want accepted", ok, err)
+	}
+}
+
+func TestNegotiateTraceDeclinedByOldServer(t *testing.T) {
+	// A pre-trace server answers the unknown verb with ERROR; the client
+	// must treat that as a decline, not a failure.
+	conn := tracePair(t, func(c *Conn) {
+		_, _ = c.Read()
+		_ = c.WriteString("ERROR", "unknown verb TRACE")
+	})
+	ok, err := NegotiateTrace(context.Background(), conn)
+	if err != nil {
+		t.Fatalf("decline surfaced as error: %v", err)
+	}
+	if ok {
+		t.Fatal("ERROR reply treated as acceptance")
+	}
+}
+
+func TestNegotiateTraceTransportError(t *testing.T) {
+	conn := tracePair(t, func(c *Conn) {
+		_, _ = c.Read()
+		c.Close() // cut the connection instead of answering
+	})
+	if _, err := NegotiateTrace(context.Background(), conn); err == nil {
+		t.Fatal("transport failure not surfaced")
+	}
+}

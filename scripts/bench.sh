@@ -15,6 +15,12 @@
 # dial-per-request throughput) lives in the root package:
 #
 #	BENCH_PATTERN='BenchmarkDialHandshake|BenchmarkPooledVsDialPerRequest' BENCH_PKGS=. ./scripts/bench.sh
+#
+# The tracing-overhead suite compares the disarmed hot path (tracing
+# compiled in, nothing armed) against fully armed end-to-end tracing; the
+# disarmed numbers must stay within 5% of the pre-tracing baseline:
+#
+#	BENCH_PATTERN='BenchmarkTracedQuery|BenchmarkUntracedQuery' BENCH_PKGS=. ./scripts/bench.sh
 set -eu
 
 cd "$(dirname "$0")/.."

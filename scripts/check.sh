@@ -23,6 +23,12 @@ go vet ./...
 echo "== go test -race =="
 go test -race ./...
 
+# The trace chaos scenarios re-run explicitly (and under -race): they
+# assert that injected wire and provider faults still leave finished,
+# correctly-parented span trees in the trace store.
+echo "== trace chaos (-race) =="
+go test -race -count=1 -run '^TestTraceChaos$|^TestTraceConcurrentPoolCalls$' ./internal/integration/
+
 # CHECK_FUZZTIME extends the per-target fuzz budget (e.g. the nightly CI
 # run passes 60s); the default keeps interactive runs quick.
 fuzztime=${CHECK_FUZZTIME:-10s}
