@@ -1,0 +1,96 @@
+// Command infogram-loadgen offers open-loop load to an InfoGram service:
+// requests arrive at a fixed rate whether or not earlier ones have been
+// answered, which is how real aggregate demand behaves and what reveals a
+// server's collapse point (a closed-loop client slows down with the server
+// and hides it). It reports goodput, shed counts, and latency quantiles
+// measured from each request's scheduled arrival time.
+//
+// Typical curve, against a server capped for the experiment:
+//
+//	infogram-server -fabric ./fabric -addr 127.0.0.1:2119 \
+//	    -max-inflight 64 -quota quota.conf
+//	for r in 100 200 400 800 1600; do
+//	    infogram-loadgen -fabric ./fabric -server 127.0.0.1:2119 \
+//	        -rate $r -duration 10s
+//	done
+//
+// One JSON report per run goes to stdout; the human summary to stderr.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"infogram/internal/bootstrap"
+	"infogram/internal/loadgen"
+)
+
+func main() {
+	var (
+		server      = flag.String("server", "127.0.0.1:2119", "InfoGram service address")
+		fabricDir   = flag.String("fabric", "./fabric", "security fabric directory (must match the server's)")
+		rate        = flag.Float64("rate", 100, "offered arrival rate, requests/second")
+		duration    = flag.Duration("duration", 10*time.Second, "how long to offer arrivals")
+		mixSpec     = flag.String("mix", loadgen.DefaultMix.String(), "per-verb weights, e.g. ping=6,info=3,submit=0,status=1")
+		poolSize    = flag.Int("pool", 16, "connection pool size (the client-side queue)")
+		timeout     = flag.Duration("timeout", 5*time.Second, "per-request deadline, pool checkout wait included")
+		outstanding = flag.Int("max-outstanding", 4096, "local cap on concurrently outstanding requests; arrivals beyond it count as overrun")
+		infoXRSL    = flag.String("info-xrsl", "&(info=Runtime)", "xRSL for info arrivals")
+		jobXRSL     = flag.String("job-xrsl", "", "xRSL for submit arrivals (required when the mix weights submit)")
+		noMux       = flag.Bool("no-mux", false, "force serial (pre-mux) connections")
+		jsonPath    = flag.String("json", "-", "write the JSON report here ('-' = stdout)")
+	)
+	flag.Parse()
+
+	mix, err := loadgen.ParseMix(*mixSpec)
+	if err != nil {
+		log.Fatalf("mix: %v", err)
+	}
+	fabric, err := bootstrap.SelfSigned(*fabricDir)
+	if err != nil {
+		log.Fatalf("fabric: %v", err)
+	}
+	gen, err := loadgen.New(loadgen.Config{
+		Addr:           *server,
+		Cred:           fabric.User,
+		Trust:          fabric.Trust,
+		Rate:           *rate,
+		Duration:       *duration,
+		Mix:            mix,
+		PoolSize:       *poolSize,
+		RequestTimeout: *timeout,
+		MaxOutstanding: *outstanding,
+		InfoXRSL:       *infoXRSL,
+		JobXRSL:        *jobXRSL,
+		DisableMux:     *noMux,
+	})
+	if err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "loadgen: offering %.0f req/s to %s for %s (mix %s)\n",
+		*rate, *server, *duration, mix)
+	rep := gen.Run(ctx)
+	fmt.Fprintln(os.Stderr, rep.String())
+
+	b, err := json.Marshal(rep)
+	if err != nil {
+		log.Fatalf("report: %v", err)
+	}
+	if *jsonPath == "-" || *jsonPath == "" {
+		fmt.Println(string(b))
+		return
+	}
+	if err := os.WriteFile(*jsonPath, append(b, '\n'), 0o644); err != nil {
+		log.Fatalf("report: %v", err)
+	}
+}

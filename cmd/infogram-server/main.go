@@ -26,6 +26,7 @@ import (
 	"infogram/internal/core"
 	"infogram/internal/faultinject"
 	"infogram/internal/gram"
+	"infogram/internal/gsi"
 	"infogram/internal/journal"
 	"infogram/internal/logging"
 	"infogram/internal/provider"
@@ -55,6 +56,11 @@ func main() {
 		provTO      = flag.Duration("provider-timeout", 0, "per-provider collection timeout; failures degrade replies instead of erroring (0 disables)")
 		collectP    = flag.Int("collect-parallelism", 0, "bound on the parallel provider fan-out per info query and on concurrent multi-request parts (0 = GOMAXPROCS-scaled default, 1 = serial)")
 		connP       = flag.Int("conn-parallelism", 0, "bound on concurrently executing requests per multiplexed connection (0 = default of 8, 1 = serial)")
+		quotaPath   = flag.String("quota", "", "admission-control contract file: §5.3 contracts with rate=/burst=/priority= clauses metering each identity with a token bucket (empty = unmetered)")
+		maxInflight = flag.Int("max-inflight", 0, "global bound on concurrently executing requests; excess waits briefly, then is shed with REJECT (0 disables)")
+		shedQueue   = flag.Int("shed-queue", 0, "backpressure wait-queue length; low/normal/high priorities shed at 1/2, 3/4, and full occupancy (0 = 2*max-inflight)")
+		queueTO     = flag.Duration("queue-timeout", 0, "max wait for an inflight slot before shedding (0 = 1s default)")
+		submitBL    = flag.Int("submit-backlog", 0, "refuse job submissions with REJECT while the selected backend holds this many pending tasks (0 disables)")
 		faults      = flag.String("faultpoints", os.Getenv("INFOGRAM_FAULTPOINTS"),
 			"arm fault-injection failpoints, e.g. 'wire.read=delay(100ms),provider.collect=hang' (also via INFOGRAM_FAULTPOINTS)")
 	)
@@ -63,6 +69,13 @@ func main() {
 	fabric, err := bootstrap.SelfSigned(*fabricDir)
 	if err != nil {
 		log.Fatalf("fabric: %v", err)
+	}
+	var quota *gsi.Policy
+	if *quotaPath != "" {
+		quota, err = gsi.LoadContracts(*quotaPath)
+		if err != nil {
+			log.Fatalf("quota: %v", err)
+		}
 	}
 	name := *resource
 	if name == "" {
@@ -161,6 +174,11 @@ func main() {
 		ProviderTimeout:    *provTO,
 		CollectParallelism: *collectP,
 		ConnParallelism:    *connP,
+		Quota:              quota,
+		MaxInflight:        *maxInflight,
+		ShedQueue:          *shedQueue,
+		QueueTimeout:       *queueTO,
+		SubmitBacklog:      *submitBL,
 	})
 	bound, err := svc.Listen(*addr)
 	if err != nil {

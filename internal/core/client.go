@@ -351,6 +351,25 @@ func (c *Client) call(parent context.Context, req wire.Frame, idempotent bool) (
 		}
 		cancel()
 		if err == nil {
+			if resp.Verb == wire.VerbReject {
+				// The server's admission control refused the request before
+				// doing any work on it. This is a protocol answer, not a
+				// transport failure: the connection stays up (dropping it
+				// would force a fresh GSI handshake — the most expensive
+				// thing a shedding server could be asked to do), and the
+				// request is not retried here. The caller gets the scope
+				// and backoff hint and decides; retrying immediately would
+				// be precisely the hammering the REJECT asked to stop.
+				rej, derr := wire.DecodeReject(resp)
+				if derr != nil {
+					return wire.Frame{}, derr
+				}
+				return wire.Frame{}, &RejectedError{
+					Scope:      rej.Scope,
+					RetryAfter: rej.RetryAfter,
+					Reason:     rej.Reason,
+				}
+			}
 			return resp, nil
 		}
 		lastErr = err

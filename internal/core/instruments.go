@@ -39,6 +39,12 @@ type instruments struct {
 	muxConns    *telemetry.Counter
 	muxInFlight *telemetry.Gauge
 
+	admissionAdmitted *telemetry.Counter
+	admissionWaiting  *telemetry.Gauge
+	admissionWait     *telemetry.Histogram
+	admissionRejects  map[string]*telemetry.Counter
+	rejectsOther      *telemetry.Counter
+
 	spawnLatency *telemetry.Histogram
 	jobsSpawned  *telemetry.Counter
 
@@ -80,6 +86,11 @@ func newInstruments(tel *telemetry.Registry) *instruments {
 		muxConns:    tel.Counter("infogram_mux_connections_total", "connections upgraded to multiplexed framing"),
 		muxInFlight: tel.Gauge("infogram_mux_inflight", "mux'd requests currently executing, summed over all connections"),
 
+		admissionAdmitted: tel.Counter("infogram_admission_admitted_total", "requests passed through the admission gates"),
+		admissionWaiting:  tel.Gauge("infogram_admission_waiting", "requests parked in the backpressure wait queue"),
+		admissionWait:     tel.Histogram("infogram_admission_wait_seconds", "time spent waiting for a global inflight slot"),
+		admissionRejects:  make(map[string]*telemetry.Counter, 3),
+
 		spawnLatency: tel.Histogram("infogram_gram_spawn_duration_seconds", "time from job submission to manager goroutine launch"),
 		jobsSpawned:  tel.Counter("infogram_gram_jobs_spawned_total", "job manager goroutines launched"),
 
@@ -94,7 +105,22 @@ func newInstruments(tel *telemetry.Registry) *instruments {
 	unknown := telemetry.Label{Key: "verb", Value: "unknown"}
 	in.unknownRequests = tel.Counter("infogram_requests_total", "protocol requests dispatched, by verb", unknown)
 	in.unknownLatency = tel.Histogram("infogram_request_duration_seconds", "request handling latency, by verb", unknown)
+	for _, scope := range []string{wire.RejectScopeQuota, wire.RejectScopeOverload, wire.RejectScopeBacklog} {
+		in.admissionRejects[scope] = tel.Counter("infogram_admission_rejected_total",
+			"requests refused by admission control, by gate", telemetry.Label{Key: "scope", Value: scope})
+	}
+	in.rejectsOther = tel.Counter("infogram_admission_rejected_total",
+		"requests refused by admission control, by gate", telemetry.Label{Key: "scope", Value: "other"})
 	return in
+}
+
+// admissionRejected returns the per-scope rejection counter, with a
+// catch-all for unexpected scopes so callers never index a missing key.
+func (in *instruments) admissionRejected(scope string) *telemetry.Counter {
+	if c, ok := in.admissionRejects[scope]; ok {
+		return c
+	}
+	return in.rejectsOther
 }
 
 // requestCounter returns the per-verb request counter, or the catch-all

@@ -17,6 +17,7 @@ package core
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -33,6 +34,7 @@ import (
 	"infogram/internal/mds"
 	"infogram/internal/provider"
 	"infogram/internal/rsl"
+	"infogram/internal/scheduler"
 	"infogram/internal/telemetry"
 	"infogram/internal/wire"
 	"infogram/internal/xrsl"
@@ -115,6 +117,31 @@ type Config struct {
 	// concurrent evaluation of a multi-request's (+) parts. 1 forces both
 	// serial; 0 (or negative) selects provider.DefaultParallelism.
 	CollectParallelism int
+	// Quota is the admission-control policy: §5.3 contracts whose rate=
+	// clauses meter each identity with a token bucket, charged before any
+	// request work happens (an empty bucket answers REJECT with a
+	// retry-after hint). Nil — or a policy without rate clauses — leaves
+	// admission unmetered. It is deliberately separate from Policy:
+	// Authorize decides *whether* an identity may do something, Admit
+	// decides *how much*, and most deployments want the quota file
+	// independent of the authorization file.
+	Quota *gsi.Policy
+	// MaxInflight, when positive, bounds concurrent request execution
+	// across all connections (the global backpressure gate). Requests
+	// beyond it wait briefly for a slot; requests beyond the wait queue
+	// are shed with REJECT. Zero disables the gate.
+	MaxInflight int
+	// ShedQueue bounds the backpressure wait queue; the shed thresholds
+	// are priority-dependent (low sheds at half, normal at three
+	// quarters, high at full). Zero defaults to 2*MaxInflight.
+	ShedQueue int
+	// QueueTimeout bounds how long a request may wait for an inflight
+	// slot before being shed. Zero defaults to DefaultQueueTimeout.
+	QueueTimeout time.Duration
+	// SubmitBacklog, when positive, refuses job submissions with REJECT
+	// while the selected backend already holds this many pending tasks,
+	// before the job is registered or journaled.
+	SubmitBacklog int
 	// ConnParallelism bounds concurrent request evaluation on one
 	// multiplexed connection: after a client negotiates MUX mode, up to
 	// this many of its requests execute at once (responses return by
@@ -141,6 +168,7 @@ type Service struct {
 	dialer  *gram.CallbackDialer
 	info    *infoEngine
 	instr   *instruments
+	gate    *gate
 
 	mu   sync.Mutex
 	addr string
@@ -188,6 +216,7 @@ func NewService(cfg Config) *Service {
 	}
 	s := &Service{cfg: cfg, dialer: gram.NewCallbackDialer()}
 	s.instr = newInstruments(cfg.Telemetry)
+	s.gate = newGate(cfg.MaxInflight, cfg.ShedQueue, cfg.QueueTimeout)
 	s.info = &infoEngine{
 		resource:        cfg.ResourceName,
 		registry:        cfg.Registry,
@@ -216,6 +245,7 @@ func (s *Service) Listen(addr string) (string, error) {
 		Clock:        s.cfg.Clock,
 		SpawnLatency: s.instr.spawnLatency,
 		JobsSpawned:  s.instr.jobsSpawned,
+		MaxBacklog:   s.cfg.SubmitBacklog,
 	})
 	s.mu.Unlock()
 	if s.cfg.Log != nil {
@@ -497,6 +527,19 @@ func (s *Service) dispatch(ctx context.Context, f wire.Frame, peer *gsi.Peer, lo
 		}
 	}
 	s.instr.requestCounter(f.Verb).Inc()
+	// Admission runs after the request is counted (so selfmetrics sees the
+	// arrival) but before any handling: a rejected request costs one quota
+	// charge, one frame write, and nothing else — it never touches the
+	// per-verb latency series, because measuring the latency of saying
+	// "no" into the same histogram as real work would mask the collapse
+	// the histogram exists to reveal.
+	release, reject, admitted := s.admit(f.Verb, peer, root)
+	if !admitted {
+		root.End()
+		span(s.cfg.Log, s.cfg.Clock, telemetry.TraceFrom(ctx), root, "reject:"+f.Verb, "", 0)
+		return reject
+	}
+	defer release()
 	s.instr.inFlight.Inc()
 	start := s.cfg.Clock.Now()
 	resp := s.handleFrame(ctx, f, peer, local)
@@ -558,6 +601,11 @@ type PartResult struct {
 	// Degraded marks an info part answered partially because one or more
 	// providers failed or timed out.
 	Degraded bool `json:"degraded,omitempty"`
+	// RetryAfterMS, on an error part, marks the refusal as backpressure
+	// (scheduler backlog saturated) rather than failure, carrying the
+	// server's backoff hint. A single-part submission renders it as a
+	// REJECT frame instead of an ERROR.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
 }
 
 // handleSubmit dispatches one SUBMIT frame: job, info, or multi-request.
@@ -630,6 +678,13 @@ func partFrame(part PartResult) wire.Frame {
 		// frame may alias it instead of copying.
 		return wire.Frame{Verb: verb, Payload: zerocopy.Bytes(part.Body)}
 	default:
+		if part.RetryAfterMS > 0 {
+			return wire.EncodeReject(wire.Reject{
+				RetryAfter: time.Duration(part.RetryAfterMS) * time.Millisecond,
+				Scope:      wire.RejectScopeBacklog,
+				Reason:     part.Error,
+			})
+		}
 		return errorFrame(part.Error)
 	}
 }
@@ -651,6 +706,14 @@ func (s *Service) evalPart(ctx context.Context, req *xrsl.Request, peer *gsi.Pee
 			Identity: peer.Identity,
 		})
 		if err != nil {
+			// A saturated backlog is backpressure, not failure: surface the
+			// drain estimate so the response becomes a REJECT with a
+			// retry-after hint instead of an opaque error.
+			var sat *scheduler.SaturatedError
+			if errors.As(err, &sat) {
+				s.instr.admissionRejected(wire.RejectScopeBacklog).Inc()
+				return PartResult{Kind: "error", Error: err.Error(), RetryAfterMS: max(sat.RetryAfter.Milliseconds(), 1)}
+			}
 			return PartResult{Kind: "error", Error: err.Error()}
 		}
 		return PartResult{Kind: "job", Contact: contact}

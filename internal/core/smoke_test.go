@@ -56,6 +56,12 @@ func newTestGrid(t *testing.T, reg *provider.Registry) *testGrid {
 }
 
 func newTestGridWithLog(t *testing.T, reg *provider.Registry, logger *logging.Logger) *testGrid {
+	return newTestGridConfig(t, reg, logger, nil)
+}
+
+// newTestGridConfig is the harness with a pre-Listen config hook, for
+// tests exercising admission control and other Config knobs.
+func newTestGridConfig(t *testing.T, reg *provider.Registry, logger *logging.Logger, mutate func(*core.Config)) *testGrid {
 	t.Helper()
 	now := time.Now()
 	ca, err := gsi.NewCA("/O=Grid/CN=Test CA", time.Hour, now)
@@ -79,7 +85,7 @@ func newTestGridWithLog(t *testing.T, reg *provider.Registry, logger *logging.Lo
 		return "hello " + strings.Join(args, " "), nil
 	})
 
-	svc := core.NewService(core.Config{
+	cfg := core.Config{
 		ResourceName: "test.resource",
 		Credential:   svcCred,
 		Trust:        trust,
@@ -90,7 +96,11 @@ func newTestGridWithLog(t *testing.T, reg *provider.Registry, logger *logging.Lo
 			Func: fn,
 		},
 		Log: logger,
-	})
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	svc := core.NewService(cfg)
 	addr, err := svc.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatalf("Listen: %v", err)

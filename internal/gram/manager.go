@@ -89,6 +89,13 @@ type ManagerConfig struct {
 	SpawnLatency *telemetry.Histogram
 	// JobsSpawned optionally counts manager goroutines launched.
 	JobsSpawned *telemetry.Counter
+	// MaxBacklog, when positive, refuses a submission up front if the
+	// selected backend already reports at least this many pending tasks.
+	// Without it a saturated queue would still accept the job, spawn its
+	// manager goroutine, journal it, and only then park it behind an
+	// unbounded backlog — admission control wants the refusal before any
+	// of that work is done, so it can be turned into a cheap REJECT.
+	MaxBacklog int
 }
 
 // Manager executes jobs: one manager goroutine per submission, mirroring
@@ -139,6 +146,24 @@ func (m *Manager) Submit(ctx context.Context, req *xrsl.JobRequest, rec job.Reco
 func (m *Manager) submit(ctx context.Context, req *xrsl.JobRequest, rec job.Record) (string, error) {
 	if _, err := faultinject.Eval(ctx, faultinject.GramSpawn); err != nil {
 		return "", fmt.Errorf("gram: spawn: %w", err)
+	}
+	// Backend selection proper happens asynchronously in the job's run
+	// goroutine, but the backlog gate must decide *now*, before the job is
+	// registered and journaled. Peek at the backend the jobtype will route
+	// to; selection errors are deliberately ignored here so they surface
+	// through the normal run path with full state accounting.
+	if m.cfg.MaxBacklog > 0 {
+		if backend, err := m.cfg.Backends.Select(req.JobType); err == nil {
+			if d, ok := backend.(interface{ Depth() int }); ok {
+				if depth := d.Depth(); depth >= m.cfg.MaxBacklog {
+					return "", &scheduler.SaturatedError{
+						Backend:    backend.Name(),
+						Depth:      depth,
+						RetryAfter: time.Duration(1+depth/m.cfg.MaxBacklog) * time.Second,
+					}
+				}
+			}
+		}
 	}
 	now := m.cfg.Clock.Now()
 	trace := telemetry.TraceFrom(ctx)

@@ -73,12 +73,28 @@ func (w Window) String() string {
 }
 
 // Contract is one authorization rule: it matches an identity (exact DN or
-// "*"), an operation, and a time window, and yields an effect.
+// "*"), an operation, and a time window, and yields an effect. Beyond the
+// paper's who/what/when dimensions, an allow contract may also bound *how
+// much*: a token-bucket rate quota and a priority class, the admission-
+// control extension of the §5.3 grammar ("allow 3-4pm" becomes "allow
+// rate=500").
 type Contract struct {
 	Subject   string // identity DN or "*"
 	Operation Operation
 	Window    Window
 	Effect    Effect
+	// Rate, when positive, bounds each matched identity to this many
+	// admitted requests per second, enforced by a continuously refilled
+	// token bucket. Zero leaves the contract unmetered. A "*" subject
+	// meters each identity with its own bucket, not one shared bucket.
+	Rate float64
+	// Burst is the bucket capacity (the instantaneous excursion above
+	// Rate a client may spend). Zero defaults to max(Rate, 1).
+	Burst float64
+	// Priority is the scheduling class admitted requests carry into the
+	// server's overload gate: lower classes are shed earlier when the
+	// backpressure queue fills.
+	Priority Priority
 	// Comment is free-form documentation carried into reflection output.
 	Comment string
 }
@@ -101,6 +117,11 @@ type Policy struct {
 	mu        sync.RWMutex
 	contracts []Contract
 	def       Effect
+
+	// buckets holds per-(contract, identity) token-bucket state for
+	// rate-carrying contracts, keyed by bucketKey. sync.Map keeps the
+	// admission hot path off the policy's RWMutex write side.
+	buckets sync.Map
 }
 
 // NewPolicy returns a policy with the given default effect.
@@ -149,6 +170,12 @@ func (p *Policy) Authorize(identity string, op Operation, at time.Time) error {
 func (c Contract) describe() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%s %s for %s during %s", c.Effect, c.Operation, c.Subject, c.Window)
+	if c.Rate > 0 {
+		fmt.Fprintf(&sb, " rate=%g burst=%g", c.Rate, c.bucketBurst())
+	}
+	if c.Priority != PriorityNormal {
+		fmt.Fprintf(&sb, " priority=%s", c.Priority)
+	}
 	if c.Comment != "" {
 		fmt.Fprintf(&sb, " (%s)", c.Comment)
 	}

@@ -1,0 +1,285 @@
+package gsi
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// This file gives the §5.3 authorization contracts a text form. The paper
+// states contracts in prose — "allow access to this resource from 3 to 4
+// pm to user X" — and this grammar writes the same sentence down, extended
+// with the admission-control dimensions (rate, burst, priority):
+//
+//	# comments run to end of line
+//	default allow
+//	allow info for "/O=Grid/CN=alice" during 3-4pm
+//	allow * for "/O=Grid/CN=batch" rate=500 burst=50 priority=low
+//	deny job for *
+//
+// Each rule line is:
+//
+//	(allow|deny) [job|info|*] [for <subject>] [during <window>]
+//	             [rate=<per-second>] [burst=<tokens>] [priority=<class>]
+//
+// The subject is an identity DN (quoted when it contains spaces) or "*";
+// omitted clauses default to any operation, any subject, all day. Windows
+// accept 24-hour ("15:00-16:00") and meridiem ("3pm-4pm", and the paper's
+// "3-4pm" where the left side borrows the right side's am/pm) forms, and
+// may wrap midnight. First matching contract wins; the "default" line sets
+// what applies when none match (allow when the line is absent, matching
+// the -quota flag's intent of adding limits rather than locking out).
+
+// ParseContracts reads a contract policy from r.
+func ParseContracts(r io.Reader) (*Policy, error) {
+	p := NewPolicy(Allow)
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		fields, err := splitContractFields(sc.Text())
+		if err != nil {
+			return nil, fmt.Errorf("gsi: contracts line %d: %w", lineNo, err)
+		}
+		if len(fields) == 0 {
+			continue
+		}
+		if strings.EqualFold(fields[0], "default") {
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("gsi: contracts line %d: default needs exactly one of allow|deny", lineNo)
+			}
+			switch strings.ToLower(fields[1]) {
+			case "allow":
+				p.SetDefault(Allow)
+			case "deny":
+				p.SetDefault(Deny)
+			default:
+				return nil, fmt.Errorf("gsi: contracts line %d: default must be allow or deny, got %q", lineNo, fields[1])
+			}
+			continue
+		}
+		c, err := parseContract(fields)
+		if err != nil {
+			return nil, fmt.Errorf("gsi: contracts line %d: %w", lineNo, err)
+		}
+		p.Add(c)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("gsi: read contracts: %w", err)
+	}
+	return p, nil
+}
+
+// ParseContractsString parses a contract policy from a string.
+func ParseContractsString(s string) (*Policy, error) {
+	return ParseContracts(strings.NewReader(s))
+}
+
+// LoadContracts reads a contract policy file from path.
+func LoadContracts(path string) (*Policy, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("gsi: open contracts: %w", err)
+	}
+	defer f.Close()
+	return ParseContracts(f)
+}
+
+// parseContract assembles one rule from its fields.
+func parseContract(fields []string) (Contract, error) {
+	c := Contract{Subject: "*", Operation: OpAny}
+	switch strings.ToLower(fields[0]) {
+	case "allow":
+		c.Effect = Allow
+	case "deny":
+		c.Effect = Deny
+	default:
+		return c, fmt.Errorf("rule must start with allow or deny, got %q", fields[0])
+	}
+	i := 1
+	// Optional operation directly after the effect.
+	if i < len(fields) {
+		switch strings.ToLower(fields[i]) {
+		case "job":
+			c.Operation = OpJobSubmit
+			i++
+		case "info":
+			c.Operation = OpInfoQuery
+			i++
+		case "*":
+			c.Operation = OpAny
+			i++
+		}
+	}
+	for i < len(fields) {
+		f := fields[i]
+		switch {
+		case strings.EqualFold(f, "for"):
+			if i+1 >= len(fields) {
+				return c, fmt.Errorf("'for' needs a subject")
+			}
+			c.Subject = fields[i+1]
+			i += 2
+		case strings.EqualFold(f, "during"):
+			if i+1 >= len(fields) {
+				return c, fmt.Errorf("'during' needs a time window")
+			}
+			w, err := ParseWindow(fields[i+1])
+			if err != nil {
+				return c, err
+			}
+			c.Window = w
+			i += 2
+		case strings.HasPrefix(strings.ToLower(f), "rate="):
+			v, err := strconv.ParseFloat(f[len("rate="):], 64)
+			if err != nil || v <= 0 {
+				return c, fmt.Errorf("rate must be a positive per-second number, got %q", f)
+			}
+			c.Rate = v
+			i++
+		case strings.HasPrefix(strings.ToLower(f), "burst="):
+			v, err := strconv.ParseFloat(f[len("burst="):], 64)
+			if err != nil || v <= 0 {
+				return c, fmt.Errorf("burst must be a positive token count, got %q", f)
+			}
+			c.Burst = v
+			i++
+		case strings.HasPrefix(strings.ToLower(f), "priority="):
+			prio, err := ParsePriority(f[len("priority="):])
+			if err != nil {
+				return c, err
+			}
+			c.Priority = prio
+			i++
+		default:
+			return c, fmt.Errorf("unexpected token %q", f)
+		}
+	}
+	if c.Rate == 0 && c.Burst > 0 {
+		return c, fmt.Errorf("burst without rate has no effect")
+	}
+	if c.Effect == Deny && c.Rate > 0 {
+		return c, fmt.Errorf("deny contracts cannot carry a rate")
+	}
+	return c, nil
+}
+
+// splitContractFields splits a rule line into fields, honoring
+// double-quoted subjects (which may contain spaces and '#') and dropping
+// unquoted '#' comments.
+func splitContractFields(line string) ([]string, error) {
+	var fields []string
+	var cur strings.Builder
+	inQuote := false
+	flush := func() {
+		if cur.Len() > 0 {
+			fields = append(fields, cur.String())
+			cur.Reset()
+		}
+	}
+	for i := 0; i < len(line); i++ {
+		ch := line[i]
+		switch {
+		case ch == '"':
+			if inQuote {
+				fields = append(fields, cur.String())
+				cur.Reset()
+				inQuote = false
+			} else {
+				flush()
+				inQuote = true
+			}
+		case inQuote:
+			cur.WriteByte(ch)
+		case ch == '#':
+			flush()
+			return fields, nil
+		case ch == ' ' || ch == '\t':
+			flush()
+		default:
+			cur.WriteByte(ch)
+		}
+	}
+	if inQuote {
+		return nil, fmt.Errorf("unterminated quoted subject")
+	}
+	flush()
+	return fields, nil
+}
+
+// ParseWindow parses a daily time window: "15:00-16:00", "3pm-4pm", or the
+// paper's shorthand "3-4pm" (the left side borrows the right side's
+// meridiem). Windows may wrap midnight ("23:00-1:00").
+func ParseWindow(s string) (Window, error) {
+	from, to, ok := strings.Cut(s, "-")
+	if !ok {
+		return Window{}, fmt.Errorf("window %q must be <from>-<to>", s)
+	}
+	f, fMer, err := parseTimeOfDay(from)
+	if err != nil {
+		return Window{}, fmt.Errorf("window %q: %w", s, err)
+	}
+	t, tMer, err := parseTimeOfDay(to)
+	if err != nil {
+		return Window{}, fmt.Errorf("window %q: %w", s, err)
+	}
+	// "3-4pm": an unqualified left side inherits the right's meridiem.
+	if fMer == "" && tMer != "" && f < 12*time.Hour {
+		f = applyMeridiem(f, tMer)
+	}
+	w := Window{From: f, To: t}
+	if f == t {
+		return Window{}, fmt.Errorf("window %q is empty", s)
+	}
+	return w, nil
+}
+
+// parseTimeOfDay parses "H", "HH:MM", optionally suffixed am/pm, into an
+// offset from midnight, reporting which meridiem (if any) was given.
+func parseTimeOfDay(s string) (time.Duration, string, error) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	mer := ""
+	if strings.HasSuffix(s, "am") || strings.HasSuffix(s, "pm") {
+		mer = s[len(s)-2:]
+		s = s[:len(s)-2]
+	}
+	hs, ms, hasMin := strings.Cut(s, ":")
+	h, err := strconv.Atoi(hs)
+	if err != nil || h < 0 {
+		return 0, "", fmt.Errorf("bad hour %q", s)
+	}
+	var m int
+	if hasMin {
+		m, err = strconv.Atoi(ms)
+		if err != nil || m < 0 || m > 59 {
+			return 0, "", fmt.Errorf("bad minutes %q", s)
+		}
+	}
+	if mer != "" {
+		if h < 1 || h > 12 {
+			return 0, "", fmt.Errorf("meridiem hour %d out of 1-12", h)
+		}
+		if h == 12 {
+			h = 0
+		}
+	} else if h > 23 {
+		return 0, "", fmt.Errorf("hour %d out of 0-23", h)
+	}
+	d := time.Duration(h)*time.Hour + time.Duration(m)*time.Minute
+	if mer != "" {
+		d = applyMeridiem(d, mer)
+	}
+	return d, mer, nil
+}
+
+// applyMeridiem shifts a 12-hour offset into the 24-hour day.
+func applyMeridiem(d time.Duration, mer string) time.Duration {
+	if mer == "pm" {
+		return d + 12*time.Hour
+	}
+	return d
+}

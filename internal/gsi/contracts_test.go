@@ -1,0 +1,127 @@
+package gsi
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseContractsGrammar(t *testing.T) {
+	src := `
+# comment-only line
+default deny
+allow info for "/O=Grid/CN=alice" during 3-4pm   # trailing comment
+allow * for "/O=Grid/CN=batch" rate=500 burst=50 priority=low
+deny job for *
+ALLOW JOB for bob during 15:00-16:00 rate=2
+`
+	p, err := ParseContractsString(src)
+	if err != nil {
+		t.Fatalf("ParseContractsString: %v", err)
+	}
+	if p.Default() != Deny {
+		t.Fatalf("default effect = %v, want deny", p.Default())
+	}
+	cs := p.Contracts()
+	if len(cs) != 4 {
+		t.Fatalf("got %d contracts, want 4: %+v", len(cs), cs)
+	}
+	if cs[0].Subject != "/O=Grid/CN=alice" || cs[0].Operation != OpInfoQuery {
+		t.Fatalf("contract 0 wrong: %+v", cs[0])
+	}
+	if cs[0].Window.From != 15*time.Hour || cs[0].Window.To != 16*time.Hour {
+		t.Fatalf("3-4pm parsed as %+v", cs[0].Window)
+	}
+	if cs[1].Rate != 500 || cs[1].Burst != 50 || cs[1].Priority != PriorityLow {
+		t.Fatalf("contract 1 wrong: %+v", cs[1])
+	}
+	if cs[2].Effect != Deny || cs[2].Operation != OpJobSubmit || cs[2].Subject != "*" {
+		t.Fatalf("contract 2 wrong: %+v", cs[2])
+	}
+	if cs[3].Rate != 2 || cs[3].Subject != "bob" {
+		t.Fatalf("contract 3 wrong: %+v", cs[3])
+	}
+}
+
+func TestParseContractsDefaultsToAllow(t *testing.T) {
+	p, err := ParseContractsString("allow * rate=10\n")
+	if err != nil {
+		t.Fatalf("ParseContractsString: %v", err)
+	}
+	if p.Default() != Allow {
+		t.Fatal("absent default line should leave the policy allowing")
+	}
+}
+
+func TestParseContractsErrors(t *testing.T) {
+	for _, src := range []string{
+		"permit info for alice",      // unknown effect
+		"allow info for",             // dangling for
+		"allow during",               // dangling during
+		"allow rate=-5",              // negative rate
+		"allow rate=abc",             // non-numeric rate
+		"allow burst=10",             // burst without rate
+		"deny rate=5",                // deny cannot carry a rate
+		"allow priority=urgent",      // unknown priority
+		"allow info frobnicate",      // stray token
+		"default",                    // default needs an effect
+		"default maybe",              // unknown default effect
+		"allow for \"unterminated",   // unterminated quote
+		"allow during 4pm-4pm",       // empty window
+		"allow during 25:00-26:00",   // bad hours
+		"allow during 13pm-14pm",     // meridiem hour out of range
+		"allow info during noonish",  // window without dash
+		"allow during 3:99-4:00",     // bad minutes
+		"default allow\ndefault yes", // second line bad
+	} {
+		if _, err := ParseContractsString(src); err == nil {
+			t.Errorf("ParseContractsString(%q) should fail", src)
+		} else if !strings.Contains(err.Error(), "line") {
+			t.Errorf("error for %q should carry the line number, got %v", src, err)
+		}
+	}
+}
+
+func TestParseWindowForms(t *testing.T) {
+	cases := map[string]Window{
+		"15:00-16:00": {From: 15 * time.Hour, To: 16 * time.Hour},
+		"3pm-4pm":     {From: 15 * time.Hour, To: 16 * time.Hour},
+		"3-4pm":       {From: 15 * time.Hour, To: 16 * time.Hour},
+		"11am-2pm":    {From: 11 * time.Hour, To: 14 * time.Hour},
+		"12am-1am":    {From: 0, To: 1 * time.Hour},
+		"12pm-1pm":    {From: 12 * time.Hour, To: 13 * time.Hour},
+		"23:00-1:00":  {From: 23 * time.Hour, To: 1 * time.Hour}, // wraps midnight
+		"9:30-10:15":  {From: 9*time.Hour + 30*time.Minute, To: 10*time.Hour + 15*time.Minute},
+	}
+	for in, want := range cases {
+		got, err := ParseWindow(in)
+		if err != nil {
+			t.Errorf("ParseWindow(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseWindow(%q) = %+v, want %+v", in, got, want)
+		}
+	}
+}
+
+func TestContractsRoundTripThroughAuthorize(t *testing.T) {
+	p, err := ParseContractsString(`
+default deny
+deny job for "/O=Grid/CN=eve"
+allow * for "/O=Grid/CN=eve" rate=100
+`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	now := time.Now()
+	if err := p.Authorize("/O=Grid/CN=eve", OpJobSubmit, now); err == nil {
+		t.Fatal("eve's job submission should be denied")
+	}
+	if err := p.Authorize("/O=Grid/CN=eve", OpInfoQuery, now); err != nil {
+		t.Fatalf("eve's info query should be allowed: %v", err)
+	}
+	if adm := p.Admit("/O=Grid/CN=eve", now, 1); !adm.OK {
+		t.Fatalf("first matching contract (deny, rate-less) passes admission through: %+v", adm)
+	}
+}

@@ -1,0 +1,185 @@
+package gsi
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Priority is the scheduling class an admitted request carries into the
+// server's overload gate. The §5.3 contract decides it; the admission
+// layer uses it to shed low classes earlier when the backpressure queue
+// fills, so a hot batch client cannot starve interactive ones.
+type Priority int
+
+// Priority classes, in shedding order (low is shed first).
+const (
+	PriorityLow Priority = iota - 1
+	PriorityNormal
+	PriorityHigh
+)
+
+// String renders the class for logs and contract text.
+func (p Priority) String() string {
+	switch {
+	case p < PriorityNormal:
+		return "low"
+	case p > PriorityNormal:
+		return "high"
+	default:
+		return "normal"
+	}
+}
+
+// ParsePriority parses a contract priority= value.
+func ParsePriority(s string) (Priority, error) {
+	switch strings.ToLower(s) {
+	case "low":
+		return PriorityLow, nil
+	case "normal", "":
+		return PriorityNormal, nil
+	case "high":
+		return PriorityHigh, nil
+	}
+	return PriorityNormal, fmt.Errorf("gsi: unknown priority %q (low, normal, or high)", s)
+}
+
+// bucketBurst resolves the contract's bucket capacity.
+func (c Contract) bucketBurst() float64 {
+	if c.Burst > 0 {
+		return c.Burst
+	}
+	if c.Rate > 1 {
+		return c.Rate
+	}
+	return 1
+}
+
+// bucketKey identifies one identity's token bucket under one contract.
+// Contracts are append-only (Policy.Add), so the index is stable.
+type bucketKey struct {
+	contract int
+	identity string
+}
+
+// bucket is continuously-refilled token-bucket state. Tokens refill at the
+// contract rate up to the burst capacity; a charge spends whole tokens.
+type bucket struct {
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+}
+
+// Admission is the outcome of a quota charge.
+type Admission struct {
+	// OK reports whether the request may proceed. A request refused here
+	// should be answered with a cheap pre-authorization rejection carrying
+	// RetryAfter, before any parsing, provider, or scheduler work.
+	OK bool
+	// RetryAfter, on refusal, is how long until the bucket will hold the
+	// charge again — the client's backoff hint.
+	RetryAfter time.Duration
+	// Priority is the matched contract's scheduling class (PriorityNormal
+	// when no contract matched).
+	Priority Priority
+	// Limited reports that a rate-carrying contract governed the decision
+	// (false means the identity is unmetered).
+	Limited bool
+	// Rule describes the governing contract for audit logs.
+	Rule string
+}
+
+// maxRetryAfter bounds the backoff hint Admit reports, so a very low rate
+// (or a hostile contract) cannot instruct clients to disappear for hours.
+const maxRetryAfter = time.Minute
+
+// Admit charges cost tokens against identity's bucket under the first
+// contract that matches the identity and time of day. It is the *how
+// much* gate that runs before a request is even parsed, which is why the
+// operation is not consulted: at admission time a SUBMIT frame could be
+// either a job or an info query, so quota contracts match on subject and
+// window alone (write them with op "*"; an op-specific contract still
+// meters every verb of the identities it matches first).
+//
+// Allow contracts without a rate admit unmetered. Deny contracts and the
+// default effect also admit here — refusing them is Authorize's job, and
+// keeping the two decisions separate preserves the audit trail (a denial
+// carries the rule text, not a quota hint).
+func (p *Policy) Admit(identity string, at time.Time, cost float64) Admission {
+	if p == nil {
+		return Admission{OK: true}
+	}
+	if cost <= 0 {
+		cost = 1
+	}
+	p.mu.RLock()
+	ci := -1
+	var c Contract
+	for i := range p.contracts {
+		if p.contracts[i].matches(identity, OpAny, at) {
+			ci, c = i, p.contracts[i]
+			break
+		}
+	}
+	p.mu.RUnlock()
+	if ci < 0 || c.Effect != Allow || c.Rate <= 0 {
+		var prio Priority
+		if ci >= 0 {
+			prio = c.Priority
+		}
+		return Admission{OK: true, Priority: prio}
+	}
+	b := p.bucketFor(bucketKey{contract: ci, identity: identity}, at, c.bucketBurst())
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if dt := at.Sub(b.last); dt > 0 {
+		b.tokens += c.Rate * dt.Seconds()
+		if burst := c.bucketBurst(); b.tokens > burst {
+			b.tokens = burst
+		}
+		b.last = at
+	}
+	if b.tokens >= cost {
+		b.tokens -= cost
+		return Admission{OK: true, Priority: c.Priority, Limited: true, Rule: c.describe()}
+	}
+	wait := time.Duration((cost - b.tokens) / c.Rate * float64(time.Second))
+	if wait < time.Millisecond {
+		wait = time.Millisecond
+	}
+	if wait > maxRetryAfter {
+		wait = maxRetryAfter
+	}
+	return Admission{
+		RetryAfter: wait,
+		Priority:   c.Priority,
+		Limited:    true,
+		Rule:       c.describe(),
+	}
+}
+
+// bucketFor returns (creating on first use) the bucket for key. A fresh
+// bucket starts full, so a new identity gets its burst immediately.
+func (p *Policy) bucketFor(key bucketKey, at time.Time, burst float64) *bucket {
+	if v, ok := p.buckets.Load(key); ok {
+		return v.(*bucket)
+	}
+	v, _ := p.buckets.LoadOrStore(key, &bucket{tokens: burst, last: at})
+	return v.(*bucket)
+}
+
+// SetDefault replaces the policy's default effect (what applies when no
+// contract matches).
+func (p *Policy) SetDefault(def Effect) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.def = def
+}
+
+// Default returns the policy's default effect.
+func (p *Policy) Default() Effect {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.def
+}

@@ -1,0 +1,149 @@
+package gsi
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAdmitUnmeteredAndNilPolicy(t *testing.T) {
+	var nilPolicy *Policy
+	if adm := nilPolicy.Admit("alice", time.Now(), 1); !adm.OK || adm.Limited {
+		t.Fatalf("nil policy should admit unmetered, got %+v", adm)
+	}
+	p := NewPolicy(Allow)
+	p.Add(Contract{Subject: "*", Operation: OpAny, Effect: Allow})
+	if adm := p.Admit("alice", time.Now(), 1); !adm.OK || adm.Limited {
+		t.Fatalf("rate-less contract should admit unmetered, got %+v", adm)
+	}
+}
+
+func TestAdmitTokenBucket(t *testing.T) {
+	p := NewPolicy(Allow)
+	p.Add(Contract{Subject: "alice", Operation: OpAny, Effect: Allow, Rate: 10, Burst: 2})
+	now := time.Now()
+
+	// A fresh bucket holds its full burst.
+	for i := 0; i < 2; i++ {
+		if adm := p.Admit("alice", now, 1); !adm.OK || !adm.Limited {
+			t.Fatalf("charge %d: want admitted+limited, got %+v", i, adm)
+		}
+	}
+	adm := p.Admit("alice", now, 1)
+	if adm.OK {
+		t.Fatalf("empty bucket admitted: %+v", adm)
+	}
+	if adm.RetryAfter <= 0 || adm.RetryAfter > time.Second {
+		t.Fatalf("retry-after out of range: %s", adm.RetryAfter)
+	}
+	if !strings.Contains(adm.Rule, "rate=10") {
+		t.Fatalf("rule should describe the governing contract, got %q", adm.Rule)
+	}
+
+	// 100ms at 10/s refills one token.
+	if adm := p.Admit("alice", now.Add(100*time.Millisecond), 1); !adm.OK {
+		t.Fatalf("refilled bucket refused: %+v", adm)
+	}
+
+	// Refill never exceeds burst: after a long idle stretch only 2 charges fit.
+	later := now.Add(time.Hour)
+	for i := 0; i < 2; i++ {
+		if adm := p.Admit("alice", later, 1); !adm.OK {
+			t.Fatalf("post-idle charge %d refused: %+v", i, adm)
+		}
+	}
+	if adm := p.Admit("alice", later, 1); adm.OK {
+		t.Fatalf("burst cap not enforced after idle: %+v", adm)
+	}
+}
+
+func TestAdmitWildcardSubjectMetersPerIdentity(t *testing.T) {
+	p := NewPolicy(Allow)
+	p.Add(Contract{Subject: "*", Operation: OpAny, Effect: Allow, Rate: 1, Burst: 1})
+	now := time.Now()
+	if adm := p.Admit("alice", now, 1); !adm.OK {
+		t.Fatalf("alice's first charge refused: %+v", adm)
+	}
+	if adm := p.Admit("alice", now, 1); adm.OK {
+		t.Fatal("alice's bucket should be empty")
+	}
+	// bob has his own bucket, untouched by alice's spend.
+	if adm := p.Admit("bob", now, 1); !adm.OK {
+		t.Fatalf("bob's first charge refused: %+v", adm)
+	}
+}
+
+func TestAdmitFirstMatchWinsAndWindows(t *testing.T) {
+	p := NewPolicy(Allow)
+	w, err := ParseWindow("3-4pm")
+	if err != nil {
+		t.Fatalf("ParseWindow: %v", err)
+	}
+	p.Add(Contract{Subject: "alice", Operation: OpAny, Effect: Allow, Window: w, Rate: 1, Burst: 1})
+	p.Add(Contract{Subject: "alice", Operation: OpAny, Effect: Allow, Rate: 1000, Burst: 1000})
+
+	inside := at(15, 30)
+	outside := at(10, 0)
+	// Inside the window the first (tight) contract governs.
+	if adm := p.Admit("alice", inside, 1); !adm.OK {
+		t.Fatalf("first inside-window charge refused: %+v", adm)
+	}
+	if adm := p.Admit("alice", inside, 1); adm.OK {
+		t.Fatal("windowed bucket should be exhausted")
+	}
+	// Outside it the generous second contract matches instead.
+	if adm := p.Admit("alice", outside, 1); !adm.OK {
+		t.Fatalf("outside-window charge refused: %+v", adm)
+	}
+}
+
+func TestAdmitDenyContractsPassThrough(t *testing.T) {
+	// Admission is the *how much* gate; deny decisions belong to Authorize
+	// so the refusal carries the audit rule instead of a quota hint.
+	p := NewPolicy(Deny)
+	p.Add(Contract{Subject: "alice", Operation: OpAny, Effect: Deny})
+	if adm := p.Admit("alice", time.Now(), 1); !adm.OK || adm.Limited {
+		t.Fatalf("deny contract must pass admission unmetered, got %+v", adm)
+	}
+	if err := p.Authorize("alice", OpInfoQuery, time.Now()); err == nil {
+		t.Fatal("Authorize should still deny")
+	}
+}
+
+func TestAdmitRetryAfterClamped(t *testing.T) {
+	p := NewPolicy(Allow)
+	p.Add(Contract{Subject: "alice", Operation: OpAny, Effect: Allow, Rate: 0.0001, Burst: 1})
+	now := time.Now()
+	p.Admit("alice", now, 1)
+	adm := p.Admit("alice", now, 1)
+	if adm.OK {
+		t.Fatal("second charge should be refused")
+	}
+	if adm.RetryAfter != time.Minute {
+		t.Fatalf("retry-after should clamp to 1m, got %s", adm.RetryAfter)
+	}
+}
+
+func TestAdmitPriorityFromContract(t *testing.T) {
+	p := NewPolicy(Allow)
+	p.Add(Contract{Subject: "batch", Operation: OpAny, Effect: Allow, Rate: 100, Priority: PriorityLow})
+	adm := p.Admit("batch", time.Now(), 1)
+	if !adm.OK || adm.Priority != PriorityLow {
+		t.Fatalf("want admitted at low priority, got %+v", adm)
+	}
+	if adm := p.Admit("nobody-special", time.Now(), 1); adm.Priority != PriorityNormal {
+		t.Fatalf("unmatched identity should default to normal priority, got %+v", adm)
+	}
+}
+
+func TestParsePriority(t *testing.T) {
+	for in, want := range map[string]Priority{"low": PriorityLow, "normal": PriorityNormal, "HIGH": PriorityHigh} {
+		got, err := ParsePriority(in)
+		if err != nil || got != want {
+			t.Fatalf("ParsePriority(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParsePriority("urgent"); err == nil {
+		t.Fatal("unknown priority should error")
+	}
+}

@@ -1,0 +1,420 @@
+// Package loadgen is the open-loop load harness for the InfoGram service:
+// it offers requests at a fixed arrival rate regardless of how fast the
+// server answers, which is the load model a Grid service actually faces —
+// the MDS performance studies ran concurrent-user curves against GRIS/GIIS
+// precisely because a million users do not politely wait for each other's
+// responses. A closed-loop driver (send, wait, send) self-throttles as the
+// server slows down and therefore hides the collapse point; an open-loop
+// driver keeps the offered rate constant, so when the server falls behind,
+// queueing delay shows up in the measured latency instead of silently
+// reducing the load.
+//
+// Latency is measured from each request's *scheduled* arrival time, not
+// from when a connection became available, so connection-pool checkout
+// wait — the client-side queue where overload first becomes visible — is
+// inside the number (the coordinated-omission correction).
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"infogram/internal/core"
+	"infogram/internal/gsi"
+	"infogram/internal/telemetry"
+)
+
+// Mix is the per-verb request mix, as relative weights. The zero Mix is
+// replaced by DefaultMix.
+type Mix struct {
+	Ping   int
+	Info   int
+	Submit int
+	Status int
+}
+
+// DefaultMix approximates an information-service-heavy workload.
+var DefaultMix = Mix{Ping: 6, Info: 3, Submit: 0, Status: 1}
+
+// total sums the weights.
+func (m Mix) total() int { return m.Ping + m.Info + m.Submit + m.Status }
+
+// String renders the mix in the flag syntax.
+func (m Mix) String() string {
+	return fmt.Sprintf("ping=%d,info=%d,submit=%d,status=%d", m.Ping, m.Info, m.Submit, m.Status)
+}
+
+// ParseMix parses "ping=6,info=3,submit=0,status=1"; omitted verbs weigh
+// zero.
+func ParseMix(s string) (Mix, error) {
+	var m Mix
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return m, fmt.Errorf("loadgen: mix element %q must be verb=weight", part)
+		}
+		w, err := strconv.Atoi(v)
+		if err != nil || w < 0 {
+			return m, fmt.Errorf("loadgen: mix weight %q must be a non-negative integer", v)
+		}
+		switch strings.ToLower(k) {
+		case "ping":
+			m.Ping = w
+		case "info":
+			m.Info = w
+		case "submit":
+			m.Submit = w
+		case "status":
+			m.Status = w
+		default:
+			return m, fmt.Errorf("loadgen: unknown mix verb %q (ping, info, submit, status)", k)
+		}
+	}
+	if m.total() <= 0 {
+		return m, fmt.Errorf("loadgen: mix %q has no positive weight", s)
+	}
+	return m, nil
+}
+
+// schedule expands the mix into one deterministic cycle of verbs, spread
+// so a 6:3:1 mix interleaves rather than clustering (largest-remainder
+// round-robin). Determinism matters: two runs at the same rate offer the
+// same byte-for-byte sequence, so curves are comparable.
+func (m Mix) schedule() []string {
+	type slot struct {
+		verb   string
+		weight int
+		credit float64
+	}
+	slots := []slot{
+		{"ping", m.Ping, 0},
+		{"info", m.Info, 0},
+		{"submit", m.Submit, 0},
+		{"status", m.Status, 0},
+	}
+	total := m.total()
+	out := make([]string, 0, total)
+	for len(out) < total {
+		best := -1
+		for i := range slots {
+			slots[i].credit += float64(slots[i].weight) / float64(total)
+			if slots[i].weight > 0 && (best < 0 || slots[i].credit > slots[best].credit) {
+				best = i
+			}
+		}
+		slots[best].credit--
+		out = append(out, slots[best].verb)
+	}
+	return out
+}
+
+// Config parameterizes one open-loop run.
+type Config struct {
+	// Addr is the InfoGram service address.
+	Addr string
+	// Cred/Trust authenticate the generated clients.
+	Cred  *gsi.Credential
+	Trust *gsi.TrustStore
+	// Rate is the offered arrival rate in requests per second.
+	Rate float64
+	// Duration is how long arrivals are offered; the run then drains
+	// outstanding requests (bounded by RequestTimeout).
+	Duration time.Duration
+	// Mix is the per-verb weight mix; zero selects DefaultMix.
+	Mix Mix
+	// PoolSize bounds the connection pool (default 16). The pool is the
+	// client-side queue: when the server slows down, checkout wait grows,
+	// and because latency is measured from the scheduled arrival it is
+	// part of the reported number.
+	PoolSize int
+	// RequestTimeout bounds each request, checkout wait included
+	// (default 5s). A request that cannot finish inside it counts as an
+	// error — in an open-loop world, an answer that late is a failure.
+	RequestTimeout time.Duration
+	// MaxOutstanding caps concurrently outstanding requests as a local
+	// safety valve (default 4096): arrivals beyond it are counted as
+	// overrun instead of spawned, so a collapsed server exhausts the
+	// budget rather than the harness's memory.
+	MaxOutstanding int
+	// InfoXRSL is the information query submitted for "info" arrivals
+	// (default "&(info=Runtime)").
+	InfoXRSL string
+	// JobXRSL is the job submitted for "submit" arrivals (required when
+	// the mix weights submit).
+	JobXRSL string
+	// DisableMux forces one-request-at-a-time connections.
+	DisableMux bool
+}
+
+// Report is the outcome of one run, JSON-shaped for the bench harness.
+type Report struct {
+	Rate     float64 `json:"rate"`
+	Duration float64 `json:"duration_s"`
+	Mix      string  `json:"mix"`
+
+	Offered   int64 `json:"offered"`
+	OK        int64 `json:"ok"`
+	Rejected  int64 `json:"rejected"`
+	Errors    int64 `json:"errors"`
+	Overrun   int64 `json:"overrun"`
+	Contacts  int64 `json:"jobs_submitted"`
+	ShedQuota int64 `json:"shed_quota"`
+	ShedOver  int64 `json:"shed_overload"`
+	ShedBack  int64 `json:"shed_backlog"`
+
+	// Goodput is completed-OK per second of offered time.
+	Goodput float64 `json:"goodput_rps"`
+
+	P50us  int64 `json:"p50_us"`
+	P90us  int64 `json:"p90_us"`
+	P99us  int64 `json:"p99_us"`
+	P999us int64 `json:"p999_us"`
+	Meanus int64 `json:"mean_us"`
+}
+
+// String renders the human-facing summary.
+func (r Report) String() string {
+	return fmt.Sprintf(
+		"rate=%.0f/s dur=%.0fs offered=%d ok=%d rejected=%d (quota=%d overload=%d backlog=%d) errors=%d overrun=%d goodput=%.1f/s p50=%s p90=%s p99=%s p99.9=%s",
+		r.Rate, r.Duration, r.Offered, r.OK, r.Rejected, r.ShedQuota, r.ShedOver, r.ShedBack,
+		r.Errors, r.Overrun, r.Goodput,
+		time.Duration(r.P50us)*time.Microsecond, time.Duration(r.P90us)*time.Microsecond,
+		time.Duration(r.P99us)*time.Microsecond, time.Duration(r.P999us)*time.Microsecond)
+}
+
+// Generator runs open-loop load against one service.
+type Generator struct {
+	cfg  Config
+	pool *core.Pool
+	hist *telemetry.Histogram
+
+	offered  atomic.Int64
+	ok       atomic.Int64
+	rejected atomic.Int64
+	errs     atomic.Int64
+	overrun  atomic.Int64
+	inflight atomic.Int64
+	shed     [3]atomic.Int64 // quota, overload, backlog
+
+	mu       sync.Mutex
+	contacts []string
+	statusN  int
+}
+
+// shedIndex maps a REJECT scope to its counter slot.
+func shedIndex(scope string) int {
+	switch scope {
+	case "quota":
+		return 0
+	case "overload":
+		return 1
+	default:
+		return 2
+	}
+}
+
+// New builds a generator; Run may be called once.
+func New(cfg Config) (*Generator, error) {
+	if cfg.Rate <= 0 {
+		return nil, fmt.Errorf("loadgen: rate must be positive")
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("loadgen: duration must be positive")
+	}
+	if cfg.Mix.total() <= 0 {
+		cfg.Mix = DefaultMix
+	}
+	if cfg.PoolSize <= 0 {
+		cfg.PoolSize = 16
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 5 * time.Second
+	}
+	if cfg.MaxOutstanding <= 0 {
+		cfg.MaxOutstanding = 4096
+	}
+	if cfg.InfoXRSL == "" {
+		cfg.InfoXRSL = "&(info=Runtime)"
+	}
+	if cfg.Mix.Submit > 0 && cfg.JobXRSL == "" {
+		return nil, fmt.Errorf("loadgen: mix weights submit but no job xRSL is configured")
+	}
+	reg := telemetry.NewRegistry()
+	g := &Generator{
+		cfg:  cfg,
+		hist: reg.Histogram("loadgen_latency_seconds", "scheduled-arrival-to-completion latency"),
+		pool: core.NewPool(cfg.Addr, cfg.Cred, cfg.Trust, core.PoolOptions{
+			Size: cfg.PoolSize,
+			Client: core.Options{
+				RequestTimeout: cfg.RequestTimeout,
+				DisableMux:     cfg.DisableMux,
+			},
+		}),
+	}
+	return g, nil
+}
+
+// Run offers arrivals for the configured duration, drains, and reports.
+// The context cancels the run early (the partial report is still valid).
+func (g *Generator) Run(ctx context.Context) Report {
+	defer g.pool.Close()
+	verbs := g.cfg.Mix.schedule()
+	interval := float64(time.Second) / g.cfg.Rate
+	start := time.Now()
+	end := start.Add(g.cfg.Duration)
+
+	var wg sync.WaitGroup
+	for n := int64(0); ; n++ {
+		sched := start.Add(time.Duration(float64(n) * interval))
+		if sched.After(end) || ctx.Err() != nil {
+			break
+		}
+		if d := time.Until(sched); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+			}
+		}
+		g.offered.Add(1)
+		// The safety valve: an open-loop harness must not let a collapsed
+		// server turn into unbounded goroutine growth on the client.
+		if g.inflight.Load() >= int64(g.cfg.MaxOutstanding) {
+			g.overrun.Add(1)
+			continue
+		}
+		g.inflight.Add(1)
+		wg.Add(1)
+		verb := verbs[n%int64(len(verbs))]
+		go func() {
+			defer wg.Done()
+			defer g.inflight.Add(-1)
+			g.one(ctx, verb, sched)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	snap := g.hist.Snapshot()
+	offered := g.offered.Load()
+	rep := Report{
+		Rate:      g.cfg.Rate,
+		Duration:  g.cfg.Duration.Seconds(),
+		Mix:       g.cfg.Mix.String(),
+		Offered:   offered,
+		OK:        g.ok.Load(),
+		Rejected:  g.rejected.Load(),
+		Errors:    g.errs.Load(),
+		Overrun:   g.overrun.Load(),
+		ShedQuota: g.shed[0].Load(),
+		ShedOver:  g.shed[1].Load(),
+		ShedBack:  g.shed[2].Load(),
+		P50us:     snap.Quantile(0.50).Microseconds(),
+		P90us:     snap.Quantile(0.90).Microseconds(),
+		P99us:     snap.Quantile(0.99).Microseconds(),
+		P999us:    snap.Quantile(0.999).Microseconds(),
+		Meanus:    snap.Mean().Microseconds(),
+	}
+	g.mu.Lock()
+	rep.Contacts = int64(len(g.contacts))
+	g.mu.Unlock()
+	if s := elapsed.Seconds(); s > 0 {
+		rep.Goodput = float64(rep.OK) / s
+	}
+	return rep
+}
+
+// one executes a single arrival and classifies its outcome.
+func (g *Generator) one(ctx context.Context, verb string, sched time.Time) {
+	rctx, cancel := context.WithDeadline(ctx, sched.Add(g.cfg.RequestTimeout))
+	defer cancel()
+	client, err := g.pool.Checkout(rctx)
+	if err != nil {
+		g.errs.Add(1)
+		return
+	}
+	err = g.issue(rctx, client, verb)
+	var rej *core.RejectedError
+	if errors.As(err, &rej) {
+		// A rejection keeps its connection: the server refused before
+		// doing work, the transport is healthy.
+		g.pool.Checkin(client)
+		g.rejected.Add(1)
+		g.shed[shedIndex(rej.Scope)].Add(1)
+		return
+	}
+	if err != nil {
+		g.pool.Discard(client)
+		g.errs.Add(1)
+		return
+	}
+	g.pool.Checkin(client)
+	g.ok.Add(1)
+	g.hist.Observe(time.Since(sched))
+}
+
+// issue performs verb's request on a leased client.
+func (g *Generator) issue(ctx context.Context, client *core.Client, verb string) error {
+	switch verb {
+	case "info":
+		_, err := client.QueryRawContext(ctx, g.cfg.InfoXRSL)
+		return err
+	case "submit":
+		contact, err := client.SubmitContext(ctx, g.cfg.JobXRSL)
+		if err == nil {
+			g.mu.Lock()
+			if len(g.contacts) < 4096 {
+				g.contacts = append(g.contacts, contact)
+			}
+			g.mu.Unlock()
+		}
+		return err
+	case "status":
+		g.mu.Lock()
+		var contact string
+		if len(g.contacts) > 0 {
+			contact = g.contacts[g.statusN%len(g.contacts)]
+			g.statusN++
+		}
+		g.mu.Unlock()
+		if contact == "" {
+			// No job submitted yet to poll; a ping keeps the arrival real.
+			return client.PingContext(ctx)
+		}
+		_, err := client.StatusContext(ctx, contact)
+		return err
+	default:
+		return client.PingContext(ctx)
+	}
+}
+
+// Curve runs one generator per rate, serially, and returns the reports in
+// rate order — the users-vs-throughput experiment as a library call.
+func Curve(ctx context.Context, base Config, rates []float64) []Report {
+	sorted := append([]float64(nil), rates...)
+	sort.Float64s(sorted)
+	out := make([]Report, 0, len(sorted))
+	for _, r := range sorted {
+		if ctx.Err() != nil {
+			break
+		}
+		cfg := base
+		cfg.Rate = r
+		g, err := New(cfg)
+		if err != nil {
+			continue
+		}
+		out = append(out, g.Run(ctx))
+	}
+	return out
+}

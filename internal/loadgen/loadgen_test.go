@@ -1,0 +1,174 @@
+package loadgen
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"infogram/internal/core"
+	"infogram/internal/gram"
+	"infogram/internal/gsi"
+	"infogram/internal/provider"
+	"infogram/internal/scheduler"
+	"infogram/internal/telemetry"
+)
+
+func TestParseMix(t *testing.T) {
+	m, err := ParseMix("ping=6, info=3,status=1")
+	if err != nil {
+		t.Fatalf("ParseMix: %v", err)
+	}
+	if m != (Mix{Ping: 6, Info: 3, Status: 1}) {
+		t.Fatalf("mix = %+v", m)
+	}
+	for _, bad := range []string{"", "ping", "ping=x", "ping=-1", "dance=3", "ping=0,info=0"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) should fail", bad)
+		}
+	}
+}
+
+func TestMixScheduleInterleavesDeterministically(t *testing.T) {
+	m := Mix{Ping: 6, Info: 3, Status: 1}
+	s := m.schedule()
+	if len(s) != 10 {
+		t.Fatalf("cycle length = %d", len(s))
+	}
+	counts := map[string]int{}
+	for _, v := range s {
+		counts[v]++
+	}
+	if counts["ping"] != 6 || counts["info"] != 3 || counts["status"] != 1 {
+		t.Fatalf("cycle composition = %v", counts)
+	}
+	// Interleaved, not clustered: the 6 pings never run 4-in-a-row.
+	if strings.Contains(strings.Join(s, " "), "ping ping ping ping") {
+		t.Fatalf("schedule clusters: %v", s)
+	}
+	s2 := m.schedule()
+	if strings.Join(s, ",") != strings.Join(s2, ",") {
+		t.Fatal("schedule is not deterministic")
+	}
+}
+
+// testService starts an in-process InfoGram service and returns the pieces
+// the generator needs. mutate may adjust the Config pre-Listen.
+func testService(t *testing.T, reg *provider.Registry, mutate func(*core.Config)) (addr string, svc *core.Service, user *gsi.Credential, trust *gsi.TrustStore) {
+	t.Helper()
+	now := time.Now()
+	ca, err := gsi.NewCA("/O=Grid/CN=Test CA", time.Hour, now)
+	if err != nil {
+		t.Fatalf("NewCA: %v", err)
+	}
+	trust = gsi.NewTrustStore(ca.Certificate())
+	svcCred, err := ca.IssueIdentity("/O=Grid/CN=service", time.Hour, now)
+	if err != nil {
+		t.Fatalf("IssueIdentity: %v", err)
+	}
+	user, err = ca.IssueIdentity("/O=Grid/CN=alice", time.Hour, now)
+	if err != nil {
+		t.Fatalf("IssueIdentity: %v", err)
+	}
+	gm := gsi.NewGridmap()
+	gm.Add("/O=Grid/CN=alice", "alice")
+	fn := scheduler.NewFunc(scheduler.TrustedMode, scheduler.Budgets{})
+	fn.RegisterFunc("noop", func(ctx context.Context, sb *scheduler.Sandbox, args []string, stdin string) (string, error) {
+		return "", nil
+	})
+	cfg := core.Config{
+		ResourceName: "load.test",
+		Credential:   svcCred,
+		Trust:        trust,
+		Gridmap:      gm,
+		Registry:     reg,
+		Backends:     gram.Backends{Func: fn},
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	svc = core.NewService(cfg)
+	addr, err = svc.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	return addr, svc, user, trust
+}
+
+func TestOpenLoopShortRun(t *testing.T) {
+	reg := provider.NewRegistry(nil)
+	reg.Register(&provider.StaticProvider{
+		KeywordName: "Static",
+		Values:      provider.Attributes{{Name: "v", Value: "1"}},
+	}, provider.RegisterOptions{TTL: time.Hour})
+	addr, _, user, trust := testService(t, reg, nil)
+
+	g, err := New(Config{
+		Addr:           addr,
+		Cred:           user,
+		Trust:          trust,
+		Rate:           200,
+		Duration:       500 * time.Millisecond,
+		Mix:            Mix{Ping: 3, Info: 1, Submit: 1, Status: 1},
+		PoolSize:       4,
+		RequestTimeout: 2 * time.Second,
+		InfoXRSL:       "&(info=Static)",
+		JobXRSL:        "&(executable=noop)(jobtype=func)",
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rep := g.Run(context.Background())
+	if rep.Offered < 50 {
+		t.Fatalf("offered = %d, want ~100", rep.Offered)
+	}
+	if rep.OK == 0 {
+		t.Fatalf("no request succeeded: %+v", rep)
+	}
+	if rep.OK+rep.Rejected+rep.Errors+rep.Overrun != rep.Offered {
+		t.Fatalf("outcomes do not add up: %+v", rep)
+	}
+	if rep.Errors > 0 {
+		t.Fatalf("unexpected errors against a healthy server: %+v", rep)
+	}
+	if rep.Contacts == 0 {
+		t.Fatalf("submit arrivals produced no contacts: %+v", rep)
+	}
+	if rep.P50us <= 0 || rep.P99us < rep.P50us {
+		t.Fatalf("nonsensical quantiles: %+v", rep)
+	}
+}
+
+func TestOpenLoopObservesQuotaRejections(t *testing.T) {
+	quota, err := gsi.ParseContractsString(`allow * rate=0.001 burst=5`)
+	if err != nil {
+		t.Fatalf("quota: %v", err)
+	}
+	addr, svc, user, trust := testService(t, provider.NewRegistry(nil), func(cfg *core.Config) {
+		cfg.Quota = quota
+	})
+	g, err := New(Config{
+		Addr:     addr,
+		Cred:     user,
+		Trust:    trust,
+		Rate:     100,
+		Duration: 300 * time.Millisecond,
+		Mix:      Mix{Ping: 1},
+		PoolSize: 2,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rep := g.Run(context.Background())
+	if rep.OK != 5 {
+		t.Fatalf("burst admits exactly 5, got %+v", rep)
+	}
+	if rep.ShedQuota == 0 || rep.ShedQuota != rep.Rejected {
+		t.Fatalf("quota rejections not classified: %+v", rep)
+	}
+	if got := svc.Telemetry().Counter("infogram_admission_rejected_total", "",
+		telemetry.Label{Key: "scope", Value: "quota"}).Value(); got != rep.Rejected {
+		t.Fatalf("server counted %d quota rejections, harness saw %d", got, rep.Rejected)
+	}
+}

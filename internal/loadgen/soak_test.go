@@ -1,0 +1,134 @@
+package loadgen
+
+import (
+	"context"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"infogram/internal/core"
+	"infogram/internal/gsi"
+	"infogram/internal/provider"
+	"infogram/internal/telemetry"
+)
+
+// TestSoakOpenLoopUnderAdmission is the long-haul satellite: a sustained
+// open-loop run (default 60s, INFOGRAM_SOAK_TIME overrides) against an
+// in-process server whose capacity is deliberately small, under -race via
+// scripts/check.sh. It proves three things a short test cannot:
+//
+//  1. the admission path sheds — the offered rate exceeds both the quota
+//     and the inflight gate, so rejections must occur continuously;
+//  2. shed requests never reach providers — provider executions plus
+//     server-side rejections can never exceed what the server admitted;
+//  3. nothing leaks — after the run and service close, the goroutine count
+//     returns to its baseline.
+//
+// Gated behind INFOGRAM_SOAK=1 because a minute-long -race run does not
+// belong in every `go test ./...`.
+func TestSoakOpenLoopUnderAdmission(t *testing.T) {
+	if os.Getenv("INFOGRAM_SOAK") != "1" {
+		t.Skip("soak test disabled; set INFOGRAM_SOAK=1 (scripts/check.sh does)")
+	}
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	dur := 60 * time.Second
+	if v := os.Getenv("INFOGRAM_SOAK_TIME"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			t.Fatalf("INFOGRAM_SOAK_TIME=%q: %v", v, err)
+		}
+		dur = d
+	}
+
+	baseline := runtime.NumGoroutine()
+
+	// A slow provider with TTL 0 (re-executed per query) caps server
+	// capacity: with MaxInflight 8 and ~2ms of work per query, the server
+	// tops out near 4k info replies/s — and the offered rate plus the
+	// quota sit well above what it will admit.
+	var execs atomic.Int64
+	reg := provider.NewRegistry(nil)
+	reg.Register(provider.NewFuncProvider("Slow", func(ctx context.Context) (provider.Attributes, error) {
+		execs.Add(1)
+		select {
+		case <-time.After(2 * time.Millisecond):
+		case <-ctx.Done():
+		}
+		return provider.Attributes{{Name: "v", Value: "1"}}, nil
+	}), provider.RegisterOptions{})
+
+	quota, err := gsi.ParseContractsString(`allow * for "/O=Grid/CN=alice" rate=150 burst=50`)
+	if err != nil {
+		t.Fatalf("quota: %v", err)
+	}
+	addr, svc, user, trust := testService(t, reg, func(cfg *core.Config) {
+		cfg.Quota = quota
+		cfg.MaxInflight = 8
+		cfg.ShedQueue = 16
+	})
+
+	g, err := New(Config{
+		Addr:           addr,
+		Cred:           user,
+		Trust:          trust,
+		Rate:           400, // ~2.7x the 150/s quota: sustained shedding
+		Duration:       dur,
+		Mix:            Mix{Info: 1}, // 100% info: every admitted request hits the provider
+		PoolSize:       16,
+		RequestTimeout: 2 * time.Second,
+		InfoXRSL:       "&(info=Slow)(response=immediate)",
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rep := g.Run(context.Background())
+	t.Logf("soak: %s", rep)
+
+	if rep.OK == 0 {
+		t.Fatalf("nothing succeeded: %+v", rep)
+	}
+	if rep.Rejected == 0 {
+		t.Fatalf("offered 400/s against a 150/s quota but nothing was shed: %+v", rep)
+	}
+	if rep.Errors > rep.Offered/100 {
+		t.Fatalf("error rate above 1%%: %+v", rep)
+	}
+
+	// Shed requests must never reach a provider: the REJECT is sent before
+	// collection starts. Every provider execution therefore corresponds to
+	// an admitted request, and admitted = offered - rejected - overrun
+	// (errors are admitted requests that failed later, so they stay in).
+	rejectedSrv := svc.Telemetry().Counter("infogram_admission_rejected_total", "",
+		telemetry.Label{Key: "scope", Value: "quota"}).Value() +
+		svc.Telemetry().Counter("infogram_admission_rejected_total", "",
+			telemetry.Label{Key: "scope", Value: "overload"}).Value()
+	if rejectedSrv < rep.Rejected {
+		t.Errorf("server counted %d rejections, harness saw %d", rejectedSrv, rep.Rejected)
+	}
+	admitted := rep.Offered - rep.Rejected - rep.Overrun
+	if got := execs.Load(); got > admitted {
+		t.Errorf("provider executed %d times but only %d requests were admitted — shed requests reached the provider", got, admitted)
+	}
+
+	// Close the service and require the goroutine count to come back to
+	// baseline (small slack for runtime helpers): a leak per request would
+	// be tens of thousands of goroutines after a minute at 400/s.
+	svc.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+8 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked: baseline %d, now %d\n%s",
+				baseline, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}

@@ -43,6 +43,25 @@ func (q *QueuedTask) cancel() {
 	q.once.Do(func() { close(q.cancelled) })
 }
 
+// SaturatedError reports a submission refused because the scheduler's
+// backlog is full. It is backpressure, not failure: the gatekeeper maps it
+// to a pre-execution REJECT frame carrying RetryAfter, so clients back off
+// instead of piling more work onto a queue that cannot drain.
+type SaturatedError struct {
+	// Backend names the saturated scheduler.
+	Backend string
+	// Depth is the pending backlog observed at refusal.
+	Depth int
+	// RetryAfter estimates when a slot is likely to free up.
+	RetryAfter time.Duration
+}
+
+// Error implements the error interface.
+func (e *SaturatedError) Error() string {
+	return fmt.Sprintf("scheduler: %s: backlog saturated (%d pending, retry after %s)",
+		e.Backend, e.Depth, e.RetryAfter)
+}
+
 // QueueLimits configures one named sub-queue of a batch system.
 type QueueLimits struct {
 	// MaxWallTime rejects tasks whose EstRuntime exceeds it; 0 means
@@ -62,6 +81,11 @@ type QueueConfig struct {
 	// non-empty, tasks must name an existing queue (an empty task queue
 	// maps to "default" if defined).
 	Queues map[string]QueueLimits
+	// MaxPending bounds the backlog: a Submit that would push the pending
+	// list beyond it fails with a SaturatedError instead of queueing,
+	// giving the gatekeeper something to convert into client backpressure.
+	// Zero keeps the backlog unbounded.
+	MaxPending int
 	// Executor runs dispatched tasks; defaults to a Fork backend.
 	Executor Backend
 	// DepthGauge optionally mirrors the pending-task count into a
@@ -175,11 +199,37 @@ func (q *Queue) Submit(ctx context.Context, t Task) (Handle, error) {
 		q.mu.Unlock()
 		return nil, fmt.Errorf("scheduler: %s: queue closed", q.cfg.Name)
 	}
+	if q.cfg.MaxPending > 0 && len(q.pending) >= q.cfg.MaxPending {
+		depth := len(q.pending)
+		q.mu.Unlock()
+		return nil, &SaturatedError{
+			Backend:    q.cfg.Name,
+			Depth:      depth,
+			RetryAfter: q.drainEstimate(depth),
+		}
+	}
 	q.pending = append(q.pending, qt)
 	q.syncDepthLocked()
 	q.mu.Unlock()
 	q.cond.Signal()
 	return qt.h, nil
+}
+
+// drainEstimate guesses how long until the backlog has room again: the
+// mean observed queue wait scaled by how many dispatch rounds stand ahead,
+// falling back to a modest constant before any dispatch has completed.
+// It is a hint for REJECT retry-after, not a promise.
+func (q *Queue) drainEstimate(depth int) time.Duration {
+	st := q.waits.Snapshot()
+	est := st.Mean
+	if st.Count == 0 || est <= 0 {
+		est = 100 * time.Millisecond
+	}
+	est *= time.Duration(1 + depth/q.cfg.Slots)
+	if est > 5*time.Second {
+		est = 5 * time.Second
+	}
+	return est
 }
 
 // dispatch is the scheduler loop: one goroutine owns slot accounting.

@@ -1,0 +1,80 @@
+package scheduler
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// blockingExec is a Func backend whose tasks park until release is closed,
+// so tests can hold the queue's slots and backlog at a known occupancy.
+func blockingExec(release <-chan struct{}) *Func {
+	fn := NewFunc(TrustedMode, Budgets{})
+	fn.RegisterFunc("block", func(ctx context.Context, sb *Sandbox, args []string, stdin string) (string, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return "", nil
+	})
+	return fn
+}
+
+func TestQueueMaxPendingSaturates(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	q := NewQueue(QueueConfig{
+		Name:       "pbs",
+		Slots:      1,
+		MaxPending: 2,
+		Executor:   blockingExec(release),
+	})
+	defer q.Close()
+
+	// First task occupies the slot; the backlog then absorbs exactly two.
+	if _, err := q.Submit(context.Background(), Task{Executable: "block"}); err != nil {
+		t.Fatalf("submit 1: %v", err)
+	}
+	waitDepth := func(want int) {
+		t.Helper()
+		deadline := time.Now().Add(2 * time.Second)
+		for q.Depth() != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("depth = %d, want %d", q.Depth(), want)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitDepth(0) // dispatched into the slot
+	for i := 0; i < 2; i++ {
+		if _, err := q.Submit(context.Background(), Task{Executable: "block"}); err != nil {
+			t.Fatalf("backlog submit %d: %v", i, err)
+		}
+	}
+	waitDepth(2)
+
+	_, err := q.Submit(context.Background(), Task{Executable: "block"})
+	var sat *SaturatedError
+	if !errors.As(err, &sat) {
+		t.Fatalf("want SaturatedError, got %v", err)
+	}
+	if sat.Backend != "pbs" || sat.Depth != 2 {
+		t.Fatalf("SaturatedError = %+v", sat)
+	}
+	if sat.RetryAfter <= 0 || sat.RetryAfter > 5*time.Second {
+		t.Fatalf("retry-after out of range: %s", sat.RetryAfter)
+	}
+}
+
+func TestQueueUnboundedByDefault(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	q := NewQueue(QueueConfig{Name: "pbs", Slots: 1, Executor: blockingExec(release)})
+	defer q.Close()
+	for i := 0; i < 32; i++ {
+		if _, err := q.Submit(context.Background(), Task{Executable: "block"}); err != nil {
+			t.Fatalf("submit %d on unbounded queue: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// VerbReject is the admission-control rejection response: the gatekeeper
+// answers it *before* any parsing, authorization, provider, or scheduler
+// work when a client's token bucket is empty or the backpressure queue is
+// shedding. It is deliberately the cheapest frame the server can produce —
+// under overload, saying no must cost almost nothing, or the act of
+// refusing work becomes the collapse it was meant to prevent (the failure
+// mode the MDS performance studies measured in GRIS/GIIS under concurrent
+// users).
+const VerbReject = "REJECT"
+
+// Reject scope tokens: which admission gate refused the request.
+const (
+	// RejectScopeQuota: the identity's token bucket was empty.
+	RejectScopeQuota = "quota"
+	// RejectScopeOverload: the global max-inflight gate shed the request.
+	RejectScopeOverload = "overload"
+	// RejectScopeBacklog: the job scheduler's backlog is saturated.
+	RejectScopeBacklog = "backlog"
+)
+
+// maxRejectRetryAfter bounds the backoff hint a decoded REJECT may carry,
+// so a hostile or corrupted frame cannot park a well-behaved client for
+// hours.
+const maxRejectRetryAfter = time.Hour
+
+// Reject is the decoded REJECT payload.
+type Reject struct {
+	// RetryAfter is the server's backoff hint: how long the client should
+	// wait before trying again. Honoring it is what separates a polite
+	// retry from hammering a server that is already telling you it is
+	// over capacity.
+	RetryAfter time.Duration
+	// Scope names the gate that refused ("quota", "overload", "backlog").
+	Scope string
+	// Reason is the human-readable explanation (typically the governing
+	// contract's text), for logs — clients must not parse it.
+	Reason string
+}
+
+// ErrRejectSyntax reports a malformed REJECT payload.
+var ErrRejectSyntax = errors.New("wire: malformed REJECT payload")
+
+// validRejectScope reports whether s is a legal scope token: lower-case
+// letters, digits, and dashes, non-empty, at most 32 bytes.
+func validRejectScope(s string) bool {
+	if len(s) == 0 || len(s) > 32 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z':
+		case c >= '0' && c <= '9':
+		case c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// EncodeReject renders r as a REJECT frame. The payload is
+//
+//	RETRY-AFTER-MS SP SCOPE [SP REASON]
+//
+// with the hint clamped to [0, 1h] and truncated to milliseconds, and an
+// invalid scope normalized to "overload" — encoding never fails, because
+// the rejection path must not have failure modes of its own.
+func EncodeReject(r Reject) Frame {
+	if r.RetryAfter < 0 {
+		r.RetryAfter = 0
+	}
+	if r.RetryAfter > maxRejectRetryAfter {
+		r.RetryAfter = maxRejectRetryAfter
+	}
+	if !validRejectScope(r.Scope) {
+		r.Scope = RejectScopeOverload
+	}
+	payload := make([]byte, 0, 20+len(r.Scope)+1+len(r.Reason))
+	payload = strconv.AppendInt(payload, r.RetryAfter.Milliseconds(), 10)
+	payload = append(payload, ' ')
+	payload = append(payload, r.Scope...)
+	if r.Reason != "" {
+		payload = append(payload, ' ')
+		payload = append(payload, r.Reason...)
+	}
+	return Frame{Verb: VerbReject, Payload: payload}
+}
+
+// DecodeReject parses a REJECT frame's payload.
+func DecodeReject(f Frame) (Reject, error) {
+	if f.Verb != VerbReject {
+		return Reject{}, fmt.Errorf("%w: verb %q", ErrRejectSyntax, f.Verb)
+	}
+	s := string(f.Payload)
+	msStr, rest, _ := strings.Cut(s, " ")
+	ms, err := strconv.ParseInt(msStr, 10, 64)
+	if err != nil || ms < 0 {
+		return Reject{}, fmt.Errorf("%w: bad retry-after %q", ErrRejectSyntax, msStr)
+	}
+	if d := time.Duration(ms) * time.Millisecond; d > maxRejectRetryAfter {
+		return Reject{}, fmt.Errorf("%w: retry-after %s beyond %s", ErrRejectSyntax, d, maxRejectRetryAfter)
+	}
+	scope, reason, _ := strings.Cut(rest, " ")
+	if !validRejectScope(scope) {
+		return Reject{}, fmt.Errorf("%w: bad scope %q", ErrRejectSyntax, scope)
+	}
+	return Reject{
+		RetryAfter: time.Duration(ms) * time.Millisecond,
+		Scope:      scope,
+		Reason:     reason,
+	}, nil
+}

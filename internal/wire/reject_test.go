@@ -1,0 +1,110 @@
+package wire
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRejectRoundTrip(t *testing.T) {
+	cases := []Reject{
+		{RetryAfter: 250 * time.Millisecond, Scope: RejectScopeQuota, Reason: "allow * rate=500"},
+		{RetryAfter: 0, Scope: RejectScopeOverload},
+		{RetryAfter: time.Second, Scope: RejectScopeBacklog, Reason: "pbs: backlog saturated (32 pending)"},
+	}
+	for _, in := range cases {
+		f := EncodeReject(in)
+		if f.Verb != VerbReject {
+			t.Fatalf("verb = %q", f.Verb)
+		}
+		got, err := DecodeReject(f)
+		if err != nil {
+			t.Fatalf("DecodeReject(%+v): %v", in, err)
+		}
+		if got != in {
+			t.Fatalf("round trip: wrote %+v, read %+v", in, got)
+		}
+	}
+}
+
+func TestRejectEncodeNormalizes(t *testing.T) {
+	// Encoding must never fail: the rejection path cannot have failure
+	// modes of its own. Out-of-range hints clamp, bad scopes normalize.
+	f := EncodeReject(Reject{RetryAfter: -5 * time.Second, Scope: "NOT A SCOPE", Reason: "x"})
+	got, err := DecodeReject(f)
+	if err != nil {
+		t.Fatalf("DecodeReject: %v", err)
+	}
+	if got.RetryAfter != 0 || got.Scope != RejectScopeOverload {
+		t.Fatalf("normalized decode = %+v", got)
+	}
+	f = EncodeReject(Reject{RetryAfter: 48 * time.Hour, Scope: RejectScopeQuota})
+	if got, _ = DecodeReject(f); got.RetryAfter != time.Hour {
+		t.Fatalf("retry-after should clamp to 1h, got %s", got.RetryAfter)
+	}
+	// Sub-millisecond hints truncate rather than erroring.
+	f = EncodeReject(Reject{RetryAfter: 400 * time.Microsecond, Scope: RejectScopeQuota})
+	if got, _ = DecodeReject(f); got.RetryAfter != 0 {
+		t.Fatalf("sub-ms hint should truncate to 0, got %s", got.RetryAfter)
+	}
+}
+
+func TestRejectDecodeErrors(t *testing.T) {
+	bad := []Frame{
+		{Verb: "PONG", Payload: []byte("100 quota")},                          // wrong verb
+		{Verb: VerbReject, Payload: []byte("")},                               // empty
+		{Verb: VerbReject, Payload: []byte("abc quota")},                      // non-numeric hint
+		{Verb: VerbReject, Payload: []byte("-1 quota")},                       // negative hint
+		{Verb: VerbReject, Payload: []byte("999999999 x")},                    // hint beyond 1h
+		{Verb: VerbReject, Payload: []byte("100")},                            // missing scope
+		{Verb: VerbReject, Payload: []byte("100 QUOTA")},                      // upper-case scope
+		{Verb: VerbReject, Payload: []byte("100 sc!ope")},                     // invalid scope chars
+		{Verb: VerbReject, Payload: []byte("100 " + strings.Repeat("a", 33))}, // scope too long
+	}
+	for _, f := range bad {
+		if _, err := DecodeReject(f); err == nil {
+			t.Errorf("DecodeReject(%q %q) should fail", f.Verb, f.Payload)
+		} else if f.Verb == VerbReject && !errors.Is(err, ErrRejectSyntax) {
+			t.Errorf("error for %q should wrap ErrRejectSyntax, got %v", f.Payload, err)
+		}
+	}
+}
+
+// FuzzRejectFrameDecode feeds arbitrary payloads to the REJECT decoder.
+// Every accepted payload must satisfy the protocol bounds and re-encode to
+// a frame that decodes to the same value — a server must never be able to
+// park a client beyond the clamp or smuggle a hostile scope through.
+func FuzzRejectFrameDecode(f *testing.F) {
+	f.Add([]byte("250 quota allow * rate=500"))
+	f.Add([]byte("0 overload"))
+	f.Add([]byte("1000 backlog pbs: backlog saturated"))
+	f.Add([]byte("3600000 quota"))
+	f.Add([]byte("3600001 quota"))
+	f.Add([]byte("-1 quota"))
+	f.Add([]byte("99999999999999999999 quota"))
+	f.Add([]byte("250  quota"))
+	f.Add([]byte("250 QUOTA"))
+	f.Add([]byte(""))
+	f.Add([]byte(" "))
+	f.Add([]byte("\x00\x01\x02"))
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		r, err := DecodeReject(Frame{Verb: VerbReject, Payload: payload})
+		if err != nil {
+			return // rejection is fine; panics are the bug
+		}
+		if r.RetryAfter < 0 || r.RetryAfter > time.Hour {
+			t.Fatalf("decoded retry-after %s outside [0, 1h]", r.RetryAfter)
+		}
+		if !validRejectScope(r.Scope) {
+			t.Fatalf("decoded invalid scope %q", r.Scope)
+		}
+		back, err := DecodeReject(EncodeReject(r))
+		if err != nil {
+			t.Fatalf("re-encoded REJECT does not decode: %v (%+v)", err, r)
+		}
+		if back != r {
+			t.Fatalf("re-encode round trip: %+v != %+v", back, r)
+		}
+	})
+}

@@ -38,6 +38,7 @@ for target in \
 	FuzzEvalValue:./internal/rsl \
 	FuzzFrameRoundTrip:./internal/wire \
 	FuzzFrameDecode:./internal/wire \
+	FuzzRejectFrameDecode:./internal/wire \
 	FuzzParseXRSL:./internal/xrsl \
 	FuzzReplay:./internal/logging; do
 	name=${target%%:*}
@@ -45,6 +46,18 @@ for target in \
 	echo "-- $name ($pkg)"
 	go test -run='^$' -fuzz="^${name}\$" -fuzztime="$fuzztime" "$pkg"
 done
+
+# The admission soak: a sustained open-loop run through the full stack
+# (GSI handshake, mux, quota buckets, inflight gate, providers) under the
+# race detector, asserting continuous shedding, that shed requests never
+# reach a provider, and that no goroutines leak. CHECK_SOAK_TIME sets the
+# offered duration (default 60s); CHECK_SOAK_TIME=0 skips it.
+soaktime=${CHECK_SOAK_TIME:-60s}
+if [ "$soaktime" != "0" ]; then
+	echo "== admission soak ($soaktime, -race) =="
+	INFOGRAM_SOAK=1 INFOGRAM_SOAK_TIME="$soaktime" \
+		go test -race -count=1 -run '^TestSoakOpenLoopUnderAdmission$' ./internal/loadgen/
+fi
 
 # Benchmarks are opt-in — they add minutes and their numbers only mean
 # something on a quiet machine. CHECK_BENCH=1 ./scripts/check.sh runs them

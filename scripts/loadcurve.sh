@@ -1,0 +1,105 @@
+#!/bin/sh
+# Open-loop users-vs-throughput curve: boots a capacity-throttled
+# infogram-server, sweeps infogram-loadgen across arrival rates twice —
+# admission control off, then on — and records one JSON line per
+# (mode, rate) point in BENCH_<n>.json (lowest unused n, same scheme as
+# scripts/bench.sh). Run from the repository root:
+#
+#	./scripts/loadcurve.sh
+#
+# The server's capacity is made deterministic, not hardware-bound: a
+# provider.collect=delay faultpoint pins per-query service time and
+# -conn-parallelism 1 serializes each connection, so capacity is
+# pool-size / delay (default 8 / 25ms = 320 req/s) and the collapse
+# point lands at the same rate on a laptop and in CI. The "admission"
+# pass adds a per-identity token-bucket quota (§5.3 rate= contracts)
+# plus the global inflight gate; shed requests get the pre-auth REJECT
+# and are excluded from the latency quantiles, so the curve shows what
+# admitted users experience while the harness separately counts the shed.
+#
+# Knobs (environment):
+#	LOADCURVE_RATES      arrival rates to sweep   (default "50 100 200 400 800")
+#	LOADCURVE_DURATION   per-point offered time   (default 5s)
+#	LOADCURVE_DELAY      injected service time    (default 25ms)
+#	LOADCURVE_POOL       loadgen connections      (default 8)
+#	LOADCURVE_QUOTA      admission quota, req/s   (default 250)
+#	LOADCURVE_BURST      admission quota burst    (default 50)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+rates=${LOADCURVE_RATES:-"50 100 200 400 800"}
+duration=${LOADCURVE_DURATION:-5s}
+delay=${LOADCURVE_DELAY:-25ms}
+pool=${LOADCURVE_POOL:-8}
+quota_rate=${LOADCURVE_QUOTA:-250}
+quota_burst=${LOADCURVE_BURST:-50}
+
+n=0
+while [ -e "BENCH_${n}.json" ]; do
+	n=$((n + 1))
+done
+out="BENCH_${n}.json"
+
+tmp=$(mktemp -d)
+srvpid=""
+cleanup() {
+	[ -n "$srvpid" ] && kill "$srvpid" 2>/dev/null && wait "$srvpid" 2>/dev/null
+	rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "== build =="
+go build -o "$tmp/infogram-server" ./cmd/infogram-server
+go build -o "$tmp/infogram-loadgen" ./cmd/infogram-loadgen
+
+cat >"$tmp/quota.conf" <<EOF
+# loadcurve admission policy: every identity metered at the same rate.
+allow * rate=${quota_rate} burst=${quota_burst}
+EOF
+
+# start_server — boots the throttled server (plus the admission flags
+# when $mode=admission) and sets $addr to its bound address.
+start_server() {
+	: >"$tmp/server.log"
+	set -- -fabric "$tmp/fabric" -addr 127.0.0.1:0 \
+		-conn-parallelism 1 -faultpoints "provider.collect=delay(${delay})"
+	if [ "$mode" = "admission" ]; then
+		set -- "$@" -quota "$tmp/quota.conf" -max-inflight 64 -shed-queue 128
+	fi
+	"$tmp/infogram-server" "$@" >"$tmp/server.log" 2>&1 &
+	srvpid=$!
+	addr=""
+	i=0
+	while [ $i -lt 100 ]; do
+		addr=$(sed -n 's/.*serving on \([0-9.]*:[0-9]*\).*/\1/p' "$tmp/server.log" | head -1)
+		[ -n "$addr" ] && return 0
+		kill -0 "$srvpid" 2>/dev/null || { cat "$tmp/server.log" >&2; exit 1; }
+		i=$((i + 1))
+		sleep 0.1
+	done
+	echo "loadcurve: server did not come up" >&2
+	cat "$tmp/server.log" >&2
+	exit 1
+}
+
+stop_server() {
+	kill "$srvpid" 2>/dev/null || true
+	wait "$srvpid" 2>/dev/null || true
+	srvpid=""
+}
+
+: >"$out"
+for mode in none admission; do
+	start_server
+	echo "== mode=$mode server=$addr capacity≈${pool}conn/${delay} =="
+	for rate in $rates; do
+		"$tmp/infogram-loadgen" -fabric "$tmp/fabric" -server "$addr" \
+			-rate "$rate" -duration "$duration" -mix info=1 \
+			-pool "$pool" -timeout 2s -json - |
+			sed "s/^{/{\"suite\":\"loadcurve\",\"mode\":\"$mode\",/" >>"$out"
+	done
+	stop_server
+done
+
+echo "ok: $(wc -l <"$out" | tr -d ' ') curve point(s) recorded in $out"
