@@ -43,6 +43,9 @@ func main() {
 		timeout     = flag.Duration("timeout", 5*time.Second, "per-request deadline, pool checkout wait included")
 		outstanding = flag.Int("max-outstanding", 4096, "local cap on concurrently outstanding requests; arrivals beyond it count as overrun")
 		infoXRSL    = flag.String("info-xrsl", "&(info=Runtime)", "xRSL for info arrivals")
+		keys        = flag.Int("keys", 0, "keyed info-query mode: draw each info arrival's key from [0,N) and issue a distinct filter string per key (0 = fixed -info-xrsl)")
+		zipf        = flag.Float64("zipf", 1.1, "key-draw skew exponent s (> 1 = Zipfian, <= 1 = uniform); deterministic seed")
+		infoKeyword = flag.String("info-keyword", "Runtime", "keyword keyed info queries target")
 		jobXRSL     = flag.String("job-xrsl", "", "xRSL for submit arrivals (required when the mix weights submit)")
 		noMux       = flag.Bool("no-mux", false, "force serial (pre-mux) connections")
 		jsonPath    = flag.String("json", "-", "write the JSON report here ('-' = stdout)")
@@ -68,6 +71,9 @@ func main() {
 		RequestTimeout: *timeout,
 		MaxOutstanding: *outstanding,
 		InfoXRSL:       *infoXRSL,
+		Keys:           *keys,
+		Zipf:           *zipf,
+		InfoKeyword:    *infoKeyword,
 		JobXRSL:        *jobXRSL,
 		DisableMux:     *noMux,
 	})

@@ -33,6 +33,9 @@ func main() {
 		metrics     = flag.String("metrics-addr", "", "serve Prometheus text metrics on this address at /metrics, plus /debug/traces and /debug/pprof")
 		traceSample = flag.Float64("trace-sample", 1.0, "fraction of healthy traces to keep (errored and slow traces are always kept; 0 keeps only those)")
 		traceSlow   = flag.Duration("trace-slow", 0, "always keep traces at least this slow (0 disables the slow rule)")
+		cacheTTL    = flag.Duration("cache-ttl", 0, "enable the sharded response cache: rendered LDIF bodies served zero-copy for up to this long, capped by each covered provider's TTL (0 disables)")
+		cacheShards = flag.Int("cache-shards", 0, "response-cache shard count, rounded up to a power of two (0 = 64)")
+		cacheMaxB   = flag.Int64("cache-max-bytes", 0, "response-cache total byte budget (0 = 256 MiB)")
 	)
 	flag.Parse()
 
@@ -68,11 +71,15 @@ func main() {
 	}
 
 	gris := mds.NewGRIS(mds.GRISConfig{
-		ResourceName: name,
-		Registry:     registry,
-		Credential:   fabric.Service,
-		Trust:        fabric.Trust,
-		Tracer:       tracer,
+		ResourceName:  name,
+		Registry:      registry,
+		Credential:    fabric.Service,
+		Trust:         fabric.Trust,
+		Tracer:        tracer,
+		CacheTTL:      *cacheTTL,
+		CacheShards:   *cacheShards,
+		CacheMaxBytes: *cacheMaxB,
+		Telemetry:     tel,
 	})
 	bound, err := gris.Listen(*addr)
 	if err != nil {
@@ -83,9 +90,12 @@ func main() {
 
 	if *giisAddr != "" {
 		giis := mds.NewGIIS(mds.GIISConfig{
-			OrgName:    name,
-			Credential: fabric.Service,
-			Trust:      fabric.Trust,
+			OrgName:       name,
+			Credential:    fabric.Service,
+			Trust:         fabric.Trust,
+			CacheTTL:      *cacheTTL,
+			CacheShards:   *cacheShards,
+			CacheMaxBytes: *cacheMaxB,
 		})
 		giisBound, err := giis.Listen(*giisAddr)
 		if err != nil {

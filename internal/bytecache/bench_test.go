@@ -1,0 +1,91 @@
+package bytecache
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchFill loads n distinct keys with ~128-byte values and returns the
+// key set. Keys are pre-built so the measured loop performs no
+// formatting.
+func benchFill(b *testing.B, c *Cache, n int) [][]byte {
+	b.Helper()
+	val := make([]byte, 128)
+	for i := range val {
+		val[i] = byte('a' + i%26)
+	}
+	keys := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		keys[i] = fmt.Appendf(nil, "info=host&filter=(kw=node%07d)&attrs=*", i)
+		c.Set(keys[i], val, -1)
+	}
+	return keys
+}
+
+// BenchmarkGet1MZipf measures the hit path at 1M resident keys with a
+// Zipf(1.1) access pattern — the shape the loadgen keyed mode drives at
+// the service level. Extra metrics: hit ratio and resident bytes.
+func BenchmarkGet1MZipf(b *testing.B) {
+	const nKeys = 1 << 20
+	c := New(Options{Shards: 256, MaxBytes: 1 << 30})
+	keys := benchFill(b, c, nKeys)
+	rng := rand.New(rand.NewSource(42))
+	zipf := rand.NewZipf(rng, 1.1, 1, nKeys-1)
+	// Pre-draw the access sequence so the measured loop is cache work
+	// only.
+	seq := make([]uint32, 1<<16)
+	for i := range seq {
+		seq[i] = uint32(zipf.Uint64())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var hits, total int64
+	for i := 0; i < b.N; i++ {
+		k := keys[seq[i&(len(seq)-1)]]
+		if _, ok := c.Get(k); ok {
+			hits++
+		}
+		total++
+	}
+	b.StopTimer()
+	if total > 0 {
+		b.ReportMetric(float64(hits)/float64(total), "hit_ratio")
+	}
+	b.ReportMetric(float64(c.Stats().LiveBytes), "resident_bytes")
+}
+
+// BenchmarkGet1MUniform is the adversarial counterpart: uniform access
+// defeats CPU caches and stresses the map probe + key compare.
+func BenchmarkGet1MUniform(b *testing.B) {
+	const nKeys = 1 << 20
+	c := New(Options{Shards: 256, MaxBytes: 1 << 30})
+	keys := benchFill(b, c, nKeys)
+	rng := rand.New(rand.NewSource(42))
+	seq := make([]uint32, 1<<16)
+	for i := range seq {
+		seq[i] = uint32(rng.Intn(nKeys))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Get(keys[seq[i&(len(seq)-1)]])
+	}
+}
+
+// BenchmarkSet measures the fill path including eviction pressure: the
+// byte budget holds roughly half the working set, so sets continuously
+// evict and periodically compact.
+func BenchmarkSet(b *testing.B) {
+	c := New(Options{Shards: 64, MaxBytes: 8 << 20})
+	val := make([]byte, 128)
+	keys := make([][]byte, 1<<16)
+	for i := range keys {
+		keys[i] = fmt.Appendf(nil, "set-bench-key-%07d", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Set(keys[i&(len(keys)-1)], val, -1)
+	}
+}

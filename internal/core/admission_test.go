@@ -127,8 +127,18 @@ func TestMaxInflightShedsUnderOverload(t *testing.T) {
 	// First query occupies the single inflight slot...
 	go query(errs)
 	<-entered
-	// ...the second parks in the wait queue (occupancy 1)...
+	// ...the second parks in the wait queue (occupancy 1). Wait for the
+	// gauge to show it parked: probing before then races the probe into
+	// the queue slot, where it times out and the "parked" query sheds.
 	go query(errs)
+	waiting := g.svc.Telemetry().Gauge("infogram_admission_waiting", "")
+	parkDeadline := time.Now().Add(5 * time.Second)
+	for waiting.Value() == 0 {
+		if time.Now().After(parkDeadline) {
+			t.Fatal("second query never parked in the wait queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
 	// ...so the third must shed: normal priority's threshold on a
 	// 1-deep queue is 1, already reached.
 	deadline := time.Now().Add(5 * time.Second)

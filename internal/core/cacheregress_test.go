@@ -1,0 +1,91 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"sort"
+	"testing"
+	"time"
+
+	"infogram/internal/xrsl"
+)
+
+// TestCacheHitPathReference is the nightly regression reference point for
+// the response cache, driven by scripts/cache-regress.sh. It is not a
+// benchmark: go test -bench reports only the mean, and a hit path that is
+// fast on average but stalls in the tail (a shard lock held across
+// compaction, an eviction scan on the lookup path) is exactly the
+// regression the gate exists to catch. So the test times every lookup
+// individually against the same 1M-key Zipf(1.1) population the
+// BenchmarkRespCacheHit1MZipf pair uses, reports the p99, and pins
+// allocations with testing.AllocsPerRun.
+//
+// Gated on INFOGRAM_CACHEBENCH=1 because prefilling 1M entries takes
+// seconds and the numbers only mean something on a quiet machine. The
+// result is written as one JSON object to INFOGRAM_CACHEBENCH_OUT (or the
+// test log when unset): {"keys":...,"zipf":...,"samples":...,"p99_ns":...,
+// "allocs_per_op":...}.
+func TestCacheHitPathReference(t *testing.T) {
+	if os.Getenv("INFOGRAM_CACHEBENCH") != "1" {
+		t.Skip("set INFOGRAM_CACHEBENCH=1 to run the cache reference point")
+	}
+
+	eng, rc := benchRespEngine()
+	ctx := context.Background()
+	reqs := benchRespRequests(benchRespKeys)
+	body, _, _, err := eng.Answer(ctx, &xrsl.InfoRequest{Keywords: []string{"Memory"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, req := range reqs {
+		rc.store(req, body, false)
+	}
+	access := benchZipfAccess(benchRespKeys, 1<<16, 1.1)
+
+	// Warm pass: fault in the resident index and arena pages so the timed
+	// pass measures the cache, not first-touch page faults.
+	for _, k := range access {
+		if _, _, ok := rc.lookup(reqs[k]); !ok {
+			t.Fatalf("warm pass: key %d not resident", k)
+		}
+	}
+
+	// The alloc pin first, while the timing samples are not yet live: the
+	// hit path must stay allocation-free, and the shell gate treats any
+	// nonzero as a failure (20% over a baseline of 0 is still 0).
+	allocs := testing.AllocsPerRun(1000, func() {
+		for _, k := range access[:64] {
+			rc.lookup(reqs[k])
+		}
+	}) / 64
+
+	samples := make([]time.Duration, len(access))
+	for i, k := range access {
+		t0 := time.Now()
+		_, _, ok := rc.lookup(reqs[k])
+		samples[i] = time.Since(t0)
+		if !ok {
+			t.Fatalf("timed pass: key %d not resident", k)
+		}
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	p99 := samples[len(samples)*99/100]
+
+	out, err := json.Marshal(struct {
+		Keys    int     `json:"keys"`
+		Zipf    float64 `json:"zipf"`
+		Samples int     `json:"samples"`
+		P99ns   int64   `json:"p99_ns"`
+		Allocs  float64 `json:"allocs_per_op"`
+	}{benchRespKeys, 1.1, len(samples), p99.Nanoseconds(), allocs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path := os.Getenv("INFOGRAM_CACHEBENCH_OUT"); path != "" {
+		if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Logf("cache reference point: %s", out)
+}

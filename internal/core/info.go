@@ -27,9 +27,11 @@ type infoEngine struct {
 }
 
 // Answer evaluates an info request and renders it in the requested format.
-// degraded reports whether one or more providers failed or timed out and
-// the reply is therefore partial.
-func (e *infoEngine) Answer(ctx context.Context, req *xrsl.InfoRequest) (body string, degraded bool, err error) {
+// empty reports that no entries survived evaluation (a filter that matched
+// nothing) — the response cache stores such bodies under its shorter
+// negative TTL. degraded reports whether one or more providers failed or
+// timed out and the reply is therefore partial.
+func (e *infoEngine) Answer(ctx context.Context, req *xrsl.InfoRequest) (body string, empty, degraded bool, err error) {
 	var entries []ldif.Entry
 	var missing []provider.DegradedKeyword
 	switch {
@@ -38,7 +40,7 @@ func (e *infoEngine) Answer(ctx context.Context, req *xrsl.InfoRequest) (body st
 	case e.providerTimeout > 0:
 		reports, deg, err := e.registry.CollectDegraded(ctx, req.Keywords, req.Response, req.Quality, e.providerTimeout)
 		if err != nil {
-			return "", false, err
+			return "", false, false, err
 		}
 		missing = deg
 		entries = provider.ReportEntries(e.resource, reports)
@@ -49,7 +51,7 @@ func (e *infoEngine) Answer(ctx context.Context, req *xrsl.InfoRequest) (body st
 	default:
 		reports, err := e.registry.Collect(ctx, req.Keywords, req.Response, req.Quality)
 		if err != nil {
-			return "", false, err
+			return "", false, false, err
 		}
 		entries = provider.ReportEntries(e.resource, reports)
 		e.augmentQuality(entries, reports)
@@ -60,6 +62,7 @@ func (e *infoEngine) Answer(ctx context.Context, req *xrsl.InfoRequest) (body st
 	if req.Filter != "" {
 		entries = applyFilter(entries, req.Filter)
 	}
+	empty = len(entries) == 0
 	// The degradation marker is appended after filtering so a client that
 	// projected attributes away still learns its reply is partial.
 	if len(missing) > 0 {
@@ -75,7 +78,7 @@ func (e *infoEngine) Answer(ctx context.Context, req *xrsl.InfoRequest) (body st
 		render = ldif.Marshal
 	}
 	body, err = render(entries)
-	return body, len(missing) > 0, err
+	return body, empty, len(missing) > 0, err
 }
 
 // DegradedObjectClass marks the status entry appended to a partial reply.

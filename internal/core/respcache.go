@@ -1,0 +1,208 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"infogram/internal/bytecache"
+	"infogram/internal/cache"
+	"infogram/internal/clock"
+	"infogram/internal/provider"
+	"infogram/internal/telemetry"
+	"infogram/internal/xrsl"
+	"infogram/internal/zerocopy"
+)
+
+// respCache caches fully rendered information responses — the body bytes
+// a cache hit writes straight to the wire — in a sharded arena-backed
+// byte cache. It sits above the per-keyword provider cache (§5.1/§6.2),
+// which stays the fill path on miss: a response-cache miss still
+// coalesces provider executions through the single-flight Entry and
+// honors inter-execution delays. What this layer removes from the hit
+// path is everything else — collect fan-out, quality augmentation,
+// filtering, and LDIF/DSML rendering.
+//
+// Keys embed the registry's membership generation, so registering or
+// unregistering a provider makes every previously cached response
+// unreachable in O(1); the dead entries age out through TTL eviction and
+// arena compaction.
+type respCache struct {
+	c   *bytecache.Cache
+	reg *provider.Registry
+	// ttl caps every entry's lifetime; effective TTL is min(ttl, the
+	// smallest provider TTL among the keywords a response covers), so a
+	// rendered blob never outlives the §5.1 freshness of its inputs.
+	ttl time.Duration
+	// negTTL bounds negative entries — unknown keywords and
+	// filters that matched nothing — which must recover quickly after a
+	// provider registration or a data change.
+	negTTL time.Duration
+
+	scratch sync.Pool // *[]byte, reused for key and value assembly
+
+	negHits *telemetry.Counter
+}
+
+// Value-blob flag bytes: every cached value is one flag byte followed by
+// the payload.
+const (
+	respOK  = 0 // payload is the rendered response body
+	respNeg = 1 // payload is the error text of a deterministic failure
+)
+
+// newRespCache builds the response cache; ttl must be positive.
+func newRespCache(reg *provider.Registry, shards int, maxBytes int64, ttl, negTTL time.Duration, clk clock.Clock) *respCache {
+	if negTTL <= 0 || negTTL > ttl {
+		negTTL = ttl / 4
+		if negTTL <= 0 {
+			negTTL = ttl
+		}
+	}
+	rc := &respCache{
+		c: bytecache.New(bytecache.Options{
+			Shards:     shards,
+			MaxBytes:   maxBytes,
+			DefaultTTL: ttl,
+			Clock:      clk,
+		}),
+		reg:    reg,
+		ttl:    ttl,
+		negTTL: negTTL,
+	}
+	rc.scratch.New = func() any {
+		b := make([]byte, 0, 256)
+		return &b
+	}
+	return rc
+}
+
+// setTelemetry arms the underlying byte cache's counters and gauges.
+func (rc *respCache) setTelemetry(reg *telemetry.Registry) {
+	rc.c.SetTelemetry(reg)
+	rc.negHits = reg.Counter("infogram_respcache_negative_hits_total",
+		"information queries answered from a cached negative result")
+}
+
+// cacheable reports whether a request's answer may be served from and
+// stored into the response cache. Immediate mode demands a fresh provider
+// execution, a quality threshold changes which values are acceptable over
+// time, schema reflection answers from live registration state, and
+// performance augmentation embeds per-execution timing stats — none of
+// which a rendered blob can honor.
+func (rc *respCache) cacheable(req *xrsl.InfoRequest) bool {
+	return req.Response == cache.Cached && req.Quality == 0 && !req.Schema && !req.Performance
+}
+
+// appendKey renders the cache key for req into buf: registry generation
+// first (membership churn invalidates wholesale), then every request
+// dimension that selects a distinct rendered body.
+func (rc *respCache) appendKey(buf []byte, req *xrsl.InfoRequest) []byte {
+	gen := rc.reg.Generation()
+	buf = append(buf,
+		byte(gen), byte(gen>>8), byte(gen>>16), byte(gen>>24),
+		byte(gen>>32), byte(gen>>40), byte(gen>>48), byte(gen>>56))
+	var flags byte
+	if req.All {
+		flags |= 1
+	}
+	buf = append(buf, flags, byte(req.Response))
+	buf = append(buf, req.Format...)
+	buf = append(buf, 0)
+	for _, kw := range req.Keywords {
+		buf = append(buf, kw...)
+		buf = append(buf, 0)
+	}
+	buf = append(buf, 0)
+	buf = append(buf, req.Filter...)
+	return buf
+}
+
+// lookup answers req from the cache. ok reports a hit; on a hit, either
+// negErr carries a cached deterministic failure or body aliases the
+// cached blob (zero-copy — the arena is append-only, so the alias stays
+// valid). The hit path performs no heap allocation.
+func (rc *respCache) lookup(req *xrsl.InfoRequest) (body string, negErr string, ok bool) {
+	bufp := rc.scratch.Get().(*[]byte)
+	key := rc.appendKey((*bufp)[:0], req)
+	blob, hit := rc.c.Get(key)
+	*bufp = key[:0]
+	rc.scratch.Put(bufp)
+	if !hit || len(blob) == 0 {
+		return "", "", false
+	}
+	payload := zerocopy.String(blob[1:])
+	if blob[0] == respNeg {
+		rc.negHits.Inc()
+		return "", payload, true
+	}
+	return payload, "", true
+}
+
+// store caches a successful rendered body. empty marks a response whose
+// filter matched nothing: still worth caching (the evaluation cost is
+// identical) but under the shorter negative TTL, so new data appears
+// promptly.
+func (rc *respCache) store(req *xrsl.InfoRequest, body string, empty bool) {
+	ttl, ok := rc.storeTTL(req)
+	if !ok {
+		return
+	}
+	if empty && rc.negTTL < ttl {
+		ttl = rc.negTTL
+	}
+	rc.put(req, respOK, body, ttl)
+}
+
+// storeNegative caches a deterministic failure (an unknown keyword) under
+// the negative TTL, so a flood of identical bad queries stops paying
+// resolve cost — and a subsequent registration, by advancing the
+// generation, makes the entry unreachable immediately.
+func (rc *respCache) storeNegative(req *xrsl.InfoRequest, errText string) {
+	rc.put(req, respNeg, errText, rc.negTTL)
+}
+
+// put assembles flag+payload in pooled scratch and inserts it. Set copies
+// into the shard arena, so the scratch buffer is immediately reusable.
+func (rc *respCache) put(req *xrsl.InfoRequest, flag byte, payload string, ttl time.Duration) {
+	keyp := rc.scratch.Get().(*[]byte)
+	key := rc.appendKey((*keyp)[:0], req)
+	valp := rc.scratch.Get().(*[]byte)
+	val := append((*valp)[:0], flag)
+	val = append(val, payload...)
+	rc.c.Set(key, val, ttl)
+	*keyp = key[:0]
+	rc.scratch.Put(keyp)
+	*valp = val[:0]
+	rc.scratch.Put(valp)
+}
+
+// storeTTL resolves the lifetime a cached response may have: the cap,
+// lowered to the smallest provider TTL among the covered keywords. A
+// keyword with TTL 0 executes on every request (Table 1) — selfmetrics,
+// selftrace — so any response covering one is never cached. Unknown
+// keywords report not-cacheable here; their error is cached separately
+// via storeNegative.
+func (rc *respCache) storeTTL(req *xrsl.InfoRequest) (time.Duration, bool) {
+	ttl := rc.ttl
+	kws := req.Keywords
+	if len(kws) == 0 {
+		kws = rc.reg.Keywords()
+	}
+	for _, kw := range kws {
+		g, ok := rc.reg.Lookup(kw)
+		if !ok {
+			return 0, false
+		}
+		pt := g.TTL()
+		if pt <= 0 {
+			return 0, false
+		}
+		if pt < ttl {
+			ttl = pt
+		}
+	}
+	return ttl, true
+}
+
+// stats exposes the underlying cache aggregates (tests, debug).
+func (rc *respCache) stats() bytecache.Stats { return rc.c.Stats() }

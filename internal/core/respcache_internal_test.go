@@ -1,0 +1,194 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"infogram/internal/cache"
+	"infogram/internal/clock"
+	"infogram/internal/provider"
+	"infogram/internal/xrsl"
+)
+
+func respTestRegistry(clk clock.Clock) *provider.Registry {
+	reg := provider.NewRegistry(clk)
+	reg.Register(provider.NewFuncProvider("Memory", func(ctx context.Context) (provider.Attributes, error) {
+		return provider.Attributes{{Name: "free", Value: "1024"}}, nil
+	}), provider.RegisterOptions{TTL: 10 * time.Second, Clock: clk})
+	reg.Register(provider.NewFuncProvider("CPULoad", func(ctx context.Context) (provider.Attributes, error) {
+		return provider.Attributes{{Name: "load", Value: "0.5"}}, nil
+	}), provider.RegisterOptions{TTL: time.Minute, Clock: clk})
+	return reg
+}
+
+func TestRespCacheStoreLookup(t *testing.T) {
+	clk := clock.NewFake(time.Unix(5000, 0))
+	reg := respTestRegistry(clk)
+	rc := newRespCache(reg, 4, 1<<20, time.Minute, 0, clk)
+	req := &xrsl.InfoRequest{Keywords: []string{"Memory"}, Filter: "Memory:*"}
+
+	if _, _, ok := rc.lookup(req); ok {
+		t.Fatal("hit on empty cache")
+	}
+	rc.store(req, "rendered-body", false)
+	body, neg, ok := rc.lookup(req)
+	if !ok || neg != "" || body != "rendered-body" {
+		t.Fatalf("lookup = (%q, %q, %v)", body, neg, ok)
+	}
+
+	// Distinct request dimensions must be distinct entries.
+	other := &xrsl.InfoRequest{Keywords: []string{"Memory"}, Filter: "Memory:free"}
+	if _, _, ok := rc.lookup(other); ok {
+		t.Fatal("different filter hit the same entry")
+	}
+	xml := &xrsl.InfoRequest{Keywords: []string{"Memory"}, Filter: "Memory:*", Format: xrsl.FormatXML}
+	if _, _, ok := rc.lookup(xml); ok {
+		t.Fatal("different format hit the same entry")
+	}
+}
+
+func TestRespCacheTTLCappedByProviderTTL(t *testing.T) {
+	clk := clock.NewFake(time.Unix(5000, 0))
+	reg := respTestRegistry(clk)
+	// Cache cap 1 minute, but Memory's provider TTL is 10s: the blob must
+	// expire with its input.
+	rc := newRespCache(reg, 4, 1<<20, time.Minute, 0, clk)
+	req := &xrsl.InfoRequest{Keywords: []string{"Memory"}}
+	rc.store(req, "body", false)
+	clk.Advance(11 * time.Second)
+	if _, _, ok := rc.lookup(req); ok {
+		t.Fatal("blob outlived its provider's TTL")
+	}
+
+	// CPULoad's TTL (1m) exceeds the cap: capped at the cache TTL.
+	rc2 := newRespCache(reg, 4, 1<<20, 5*time.Second, 0, clk)
+	req2 := &xrsl.InfoRequest{Keywords: []string{"CPULoad"}}
+	rc2.store(req2, "body", false)
+	clk.Advance(6 * time.Second)
+	if _, _, ok := rc2.lookup(req2); ok {
+		t.Fatal("blob outlived the cache TTL cap")
+	}
+}
+
+func TestRespCacheZeroTTLProviderNeverCached(t *testing.T) {
+	clk := clock.NewFake(time.Unix(5000, 0))
+	reg := respTestRegistry(clk)
+	reg.Register(provider.NewFuncProvider("Live", func(ctx context.Context) (provider.Attributes, error) {
+		return provider.Attributes{{Name: "v", Value: "x"}}, nil
+	}), provider.RegisterOptions{TTL: 0, Clock: clk})
+	rc := newRespCache(reg, 4, 1<<20, time.Minute, 0, clk)
+
+	req := &xrsl.InfoRequest{Keywords: []string{"Live"}}
+	rc.store(req, "body", false)
+	if _, _, ok := rc.lookup(req); ok {
+		t.Fatal("execute-every-request keyword was response-cached")
+	}
+	// A multi-keyword query covering the TTL-0 keyword is tainted too.
+	mixed := &xrsl.InfoRequest{Keywords: []string{"Memory", "Live"}}
+	rc.store(mixed, "body", false)
+	if _, _, ok := rc.lookup(mixed); ok {
+		t.Fatal("response covering a TTL-0 keyword was cached")
+	}
+}
+
+func TestRespCacheNegativeShorterTTL(t *testing.T) {
+	clk := clock.NewFake(time.Unix(5000, 0))
+	reg := respTestRegistry(clk)
+	// Cap 40s → default negative TTL 10s.
+	rc := newRespCache(reg, 4, 1<<20, 40*time.Second, 0, clk)
+
+	req := &xrsl.InfoRequest{Keywords: []string{"Ghost"}}
+	rc.storeNegative(req, `provider: unknown keyword "Ghost"`)
+	_, neg, ok := rc.lookup(req)
+	if !ok || neg == "" {
+		t.Fatalf("negative lookup = (%q, %v)", neg, ok)
+	}
+	clk.Advance(11 * time.Second)
+	if _, _, ok := rc.lookup(req); ok {
+		t.Fatal("negative entry outlived the negative TTL")
+	}
+
+	// Empty-match bodies use the negative TTL as well; a normal body
+	// stored at the same instant survives.
+	emptyReq := &xrsl.InfoRequest{Keywords: []string{"Memory"}, Filter: "NoSuch:*"}
+	fullReq := &xrsl.InfoRequest{Keywords: []string{"Memory"}}
+	rc.store(emptyReq, "", true)
+	rc.store(fullReq, "body", false)
+	clk.Advance(9 * time.Second) // < Memory's 10s provider TTL... both alive
+	if _, _, ok := rc.lookup(emptyReq); !ok {
+		t.Fatal("empty-match entry gone before negative TTL")
+	}
+	clk.Advance(2 * time.Second) // 11s: past negTTL 10s and provider TTL 10s
+	if _, _, ok := rc.lookup(emptyReq); ok {
+		t.Fatal("empty-match entry outlived the negative TTL")
+	}
+}
+
+func TestRespCacheInvalidatedByRegistryGeneration(t *testing.T) {
+	clk := clock.NewFake(time.Unix(5000, 0))
+	reg := respTestRegistry(clk)
+	rc := newRespCache(reg, 4, 1<<20, time.Minute, 0, clk)
+
+	req := &xrsl.InfoRequest{Keywords: []string{"Ghost"}}
+	rc.storeNegative(req, `provider: unknown keyword "Ghost"`)
+	if _, neg, ok := rc.lookup(req); !ok || neg == "" {
+		t.Fatal("negative entry not cached")
+	}
+	// Registering the keyword bumps the generation: the cached error must
+	// become unreachable immediately, not after its TTL.
+	reg.Register(provider.NewFuncProvider("Ghost", func(ctx context.Context) (provider.Attributes, error) {
+		return provider.Attributes{{Name: "v", Value: "now-exists"}}, nil
+	}), provider.RegisterOptions{TTL: time.Minute, Clock: clk})
+	if _, _, ok := rc.lookup(req); ok {
+		t.Fatal("stale negative entry served after re-registration")
+	}
+
+	// Positive entries are invalidated by membership churn too.
+	pos := &xrsl.InfoRequest{Keywords: []string{"Memory"}}
+	rc.store(pos, "body", false)
+	reg.Unregister("Ghost")
+	if _, _, ok := rc.lookup(pos); ok {
+		t.Fatal("cached body survived a membership change")
+	}
+}
+
+func TestRespCacheNotCacheable(t *testing.T) {
+	clk := clock.NewFake(time.Unix(5000, 0))
+	rc := newRespCache(respTestRegistry(clk), 4, 1<<20, time.Minute, 0, clk)
+	cases := []struct {
+		name string
+		req  *xrsl.InfoRequest
+	}{
+		{"immediate", &xrsl.InfoRequest{Keywords: []string{"Memory"}, Response: cache.Immediate}},
+		{"quality", &xrsl.InfoRequest{Keywords: []string{"Memory"}, Quality: 50}},
+		{"schema", &xrsl.InfoRequest{Schema: true}},
+		{"performance", &xrsl.InfoRequest{Keywords: []string{"Memory"}, Performance: true}},
+	}
+	for _, tc := range cases {
+		if rc.cacheable(tc.req) {
+			t.Errorf("%s request reported cacheable", tc.name)
+		}
+	}
+	if !rc.cacheable(&xrsl.InfoRequest{Keywords: []string{"Memory"}}) {
+		t.Error("plain cached-mode request reported uncacheable")
+	}
+}
+
+// TestRespCacheLookupAllocationFree pins the full hit path — key build
+// from the request, shard lookup, blob alias — at zero heap allocations.
+func TestRespCacheLookupAllocationFree(t *testing.T) {
+	clk := clock.NewFake(time.Unix(5000, 0))
+	rc := newRespCache(respTestRegistry(clk), 8, 1<<20, time.Minute, 0, clk)
+	req := &xrsl.InfoRequest{Keywords: []string{"Memory", "CPULoad"}, Filter: "Memory:*"}
+	rc.store(req, "the rendered body", false)
+	allocs := testing.AllocsPerRun(1000, func() {
+		body, _, ok := rc.lookup(req)
+		if !ok || body == "" {
+			t.Fatal("unexpected miss")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("lookup allocates %.1f objects per hit; want 0", allocs)
+	}
+}

@@ -142,6 +142,25 @@ type Config struct {
 	// while the selected backend already holds this many pending tasks,
 	// before the job is registered or journaled.
 	SubmitBacklog int
+	// CacheTTL, when positive, enables the sharded response cache: fully
+	// rendered information bodies are cached by (registry generation,
+	// keywords, filter, format, mode) and cache hits are written to the
+	// wire zero-copy, skipping collect, filter, and render entirely. The
+	// effective per-entry TTL is min(CacheTTL, the smallest provider TTL
+	// among the covered keywords), so a blob never outlives the §5.1
+	// freshness of its inputs; the per-keyword provider cache remains the
+	// fill path on miss, preserving §6.2 single-flight and
+	// inter-execution-delay semantics. Zero disables the layer.
+	CacheTTL time.Duration
+	// CacheNegTTL bounds negative entries — unknown keywords and
+	// filters matching nothing. Zero defaults to CacheTTL/4.
+	CacheNegTTL time.Duration
+	// CacheShards is the response-cache shard count (rounded up to a
+	// power of two); 0 selects bytecache.DefaultShards.
+	CacheShards int
+	// CacheMaxBytes is the response cache's total byte budget; 0 selects
+	// bytecache.DefaultMaxBytes.
+	CacheMaxBytes int64
 	// ConnParallelism bounds concurrent request evaluation on one
 	// multiplexed connection: after a client negotiates MUX mode, up to
 	// this many of its requests execute at once (responses return by
@@ -167,6 +186,7 @@ type Service struct {
 	server  *wire.Server
 	dialer  *gram.CallbackDialer
 	info    *infoEngine
+	resp    *respCache
 	instr   *instruments
 	gate    *gate
 
@@ -221,6 +241,11 @@ func NewService(cfg Config) *Service {
 		resource:        cfg.ResourceName,
 		registry:        cfg.Registry,
 		providerTimeout: cfg.ProviderTimeout,
+	}
+	if cfg.CacheTTL > 0 {
+		s.resp = newRespCache(cfg.Registry, cfg.CacheShards, cfg.CacheMaxBytes,
+			cfg.CacheTTL, cfg.CacheNegTTL, cfg.Clock)
+		s.resp.setTelemetry(cfg.Telemetry)
 	}
 	s.server = wire.NewServer(wire.HandlerFunc(s.serveConn))
 	s.server.Instrument(s.instr.serverInstruments())
@@ -298,13 +323,17 @@ func (s *Service) Close() error {
 // architecture". The returned GRIS can be registered with any GIIS.
 func (s *Service) GRIS() *mds.GRIS {
 	return mds.NewGRIS(mds.GRISConfig{
-		ResourceName: s.cfg.ResourceName,
-		Registry:     s.cfg.Registry,
-		Credential:   s.cfg.Credential,
-		Trust:        s.cfg.Trust,
-		Policy:       s.cfg.Policy,
-		Clock:        s.cfg.Clock,
-		Tracer:       s.cfg.Tracer,
+		ResourceName:  s.cfg.ResourceName,
+		Registry:      s.cfg.Registry,
+		Credential:    s.cfg.Credential,
+		Trust:         s.cfg.Trust,
+		Policy:        s.cfg.Policy,
+		Clock:         s.cfg.Clock,
+		Tracer:        s.cfg.Tracer,
+		CacheTTL:      s.cfg.CacheTTL,
+		CacheNegTTL:   s.cfg.CacheNegTTL,
+		CacheShards:   s.cfg.CacheShards,
+		CacheMaxBytes: s.cfg.CacheMaxBytes,
 	})
 }
 
@@ -723,19 +752,44 @@ func (s *Service) evalPart(ctx context.Context, req *xrsl.Request, peer *gsi.Pee
 			return PartResult{Kind: "error", Error: err.Error()}
 		}
 		s.logInfoQuery(ctx, req.Info, peer, local)
+		// Response-cache hit: the stored blob is the rendered body, served
+		// zero-copy — no collect, no filter, no render, no allocation
+		// beyond what the transport needs.
+		useCache := s.resp != nil && s.resp.cacheable(req.Info)
+		if useCache {
+			if body, negErr, ok := s.resp.lookup(req.Info); ok {
+				if negErr != "" {
+					return PartResult{Kind: "error", Error: negErr}
+				}
+				return PartResult{Kind: "info", Format: string(req.Info.Format), Body: body}
+			}
+		}
 		start := s.cfg.Clock.Now()
 		ictx, isp := telemetry.StartSpan(ctx, "info.collect")
-		body, degraded, err := s.info.Answer(ictx, req.Info)
+		body, empty, degraded, err := s.info.Answer(ictx, req.Info)
 		if err != nil {
 			isp.Fail(err.Error())
 		}
 		isp.End()
 		span(s.cfg.Log, s.cfg.Clock, telemetry.TraceFrom(ctx), isp, "info-collect", "", s.cfg.Clock.Now().Sub(start))
 		if err != nil {
+			// Unknown keywords are deterministic failures: cache the error
+			// text under the negative TTL so repeated bad queries stop
+			// paying resolution cost. Transient provider errors are not
+			// cached.
+			var unk *provider.UnknownKeywordError
+			if useCache && errors.As(err, &unk) {
+				s.resp.storeNegative(req.Info, err.Error())
+			}
 			return PartResult{Kind: "error", Error: err.Error()}
 		}
 		if degraded {
 			s.instr.requestsDegraded.Inc()
+		}
+		// Degraded bodies are partial — caching one would pin the outage
+		// into every answer for a TTL.
+		if useCache && !degraded {
+			s.resp.store(req.Info, body, empty)
 		}
 		return PartResult{Kind: "info", Format: string(req.Info.Format), Body: body, Degraded: degraded}
 	default:

@@ -19,6 +19,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"strconv"
 	"strings"
@@ -150,6 +151,17 @@ type Config struct {
 	// InfoXRSL is the information query submitted for "info" arrivals
 	// (default "&(info=Runtime)").
 	InfoXRSL string
+	// Keys, when positive, switches "info" arrivals to keyed queries: each
+	// arrival draws a key from [0, Keys) and issues a filter string unique
+	// to that key, so the server's response cache faces a realistic keyed
+	// population instead of one endlessly repeated query.
+	Keys int
+	// Zipf is the skew exponent for the key draw (Zipfian when > 1,
+	// uniform otherwise). The draw is deterministically seeded: two runs
+	// at the same settings offer the same key sequence.
+	Zipf float64
+	// InfoKeyword is the keyword keyed queries target (default "Runtime").
+	InfoKeyword string
 	// JobXRSL is the job submitted for "submit" arrivals (required when
 	// the mix weights submit).
 	JobXRSL string
@@ -176,6 +188,15 @@ type Report struct {
 	// Goodput is completed-OK per second of offered time.
 	Goodput float64 `json:"goodput_rps"`
 
+	// Keyed-mode fields (Keys > 0): the key population, its skew, and the
+	// server-side response-cache effectiveness over the run, read as
+	// selfmetrics counter deltas.
+	Keys        int     `json:"keys,omitempty"`
+	Zipf        float64 `json:"zipf,omitempty"`
+	CacheHits   int64   `json:"cache_hits,omitempty"`
+	CacheMisses int64   `json:"cache_misses,omitempty"`
+	HitRatio    float64 `json:"cache_hit_ratio,omitempty"`
+
 	P50us  int64 `json:"p50_us"`
 	P90us  int64 `json:"p90_us"`
 	P99us  int64 `json:"p99_us"`
@@ -185,12 +206,17 @@ type Report struct {
 
 // String renders the human-facing summary.
 func (r Report) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"rate=%.0f/s dur=%.0fs offered=%d ok=%d rejected=%d (quota=%d overload=%d backlog=%d) errors=%d overrun=%d goodput=%.1f/s p50=%s p90=%s p99=%s p99.9=%s",
 		r.Rate, r.Duration, r.Offered, r.OK, r.Rejected, r.ShedQuota, r.ShedOver, r.ShedBack,
 		r.Errors, r.Overrun, r.Goodput,
 		time.Duration(r.P50us)*time.Microsecond, time.Duration(r.P90us)*time.Microsecond,
 		time.Duration(r.P99us)*time.Microsecond, time.Duration(r.P999us)*time.Microsecond)
+	if r.Keys > 0 {
+		s += fmt.Sprintf(" keys=%d zipf=%.2f cache_hits=%d cache_misses=%d hit_ratio=%.3f",
+			r.Keys, r.Zipf, r.CacheHits, r.CacheMisses, r.HitRatio)
+	}
+	return s
 }
 
 // Generator runs open-loop load against one service.
@@ -198,6 +224,10 @@ type Generator struct {
 	cfg  Config
 	pool *core.Pool
 	hist *telemetry.Histogram
+	// rng/zipf drive the keyed-query draw; only the arrival loop touches
+	// them, and they are seeded deterministically.
+	rng  *rand.Rand
+	zipf *rand.Zipf
 
 	offered  atomic.Int64
 	ok       atomic.Int64
@@ -247,6 +277,9 @@ func New(cfg Config) (*Generator, error) {
 	if cfg.InfoXRSL == "" {
 		cfg.InfoXRSL = "&(info=Runtime)"
 	}
+	if cfg.InfoKeyword == "" {
+		cfg.InfoKeyword = "Runtime"
+	}
 	if cfg.Mix.Submit > 0 && cfg.JobXRSL == "" {
 		return nil, fmt.Errorf("loadgen: mix weights submit but no job xRSL is configured")
 	}
@@ -262,7 +295,54 @@ func New(cfg Config) (*Generator, error) {
 			},
 		}),
 	}
+	if cfg.Keys > 0 {
+		g.rng = rand.New(rand.NewSource(42))
+		if cfg.Zipf > 1 {
+			g.zipf = rand.NewZipf(g.rng, cfg.Zipf, 1, uint64(cfg.Keys-1))
+		}
+	}
 	return g, nil
+}
+
+// keyedQuery draws the next key and renders its distinct info query: the
+// filter string embeds the key, so every key occupies its own slot in the
+// server's response cache.
+func (g *Generator) keyedQuery() string {
+	var k uint64
+	if g.zipf != nil {
+		k = g.zipf.Uint64()
+	} else {
+		k = uint64(g.rng.Intn(g.cfg.Keys))
+	}
+	return fmt.Sprintf("&(info=%s)(filter=\"key%08d*\")", g.cfg.InfoKeyword, k)
+}
+
+// cacheCounters reads the server's response-cache counters through the
+// selfmetrics provider — the harness measures hit ratio the same way any
+// client would, over the wire.
+func (g *Generator) cacheCounters(ctx context.Context) (hits, misses int64, ok bool) {
+	cctx, cancel := context.WithTimeout(ctx, g.cfg.RequestTimeout)
+	defer cancel()
+	client, err := g.pool.Checkout(cctx)
+	if err != nil {
+		return 0, 0, false
+	}
+	res, err := client.QueryRawContext(cctx, `&(info=selfmetrics)(filter="selfmetrics:infogram_bytecache_*")`)
+	if err != nil {
+		g.pool.Discard(client)
+		return 0, 0, false
+	}
+	g.pool.Checkin(client)
+	for _, e := range res.Entries {
+		if v, found := e.Get("selfmetrics:infogram_bytecache_hits_total"); found {
+			hits, _ = strconv.ParseInt(v, 10, 64)
+			ok = true
+		}
+		if v, found := e.Get("selfmetrics:infogram_bytecache_misses_total"); found {
+			misses, _ = strconv.ParseInt(v, 10, 64)
+		}
+	}
+	return hits, misses, ok
 }
 
 // Run offers arrivals for the configured duration, drains, and reports.
@@ -271,6 +351,12 @@ func (g *Generator) Run(ctx context.Context) Report {
 	defer g.pool.Close()
 	verbs := g.cfg.Mix.schedule()
 	interval := float64(time.Second) / g.cfg.Rate
+
+	var hits0, miss0 int64
+	probed := false
+	if g.cfg.Keys > 0 {
+		hits0, miss0, probed = g.cacheCounters(ctx)
+	}
 	start := time.Now()
 	end := start.Add(g.cfg.Duration)
 
@@ -296,10 +382,16 @@ func (g *Generator) Run(ctx context.Context) Report {
 		g.inflight.Add(1)
 		wg.Add(1)
 		verb := verbs[n%int64(len(verbs))]
+		query := g.cfg.InfoXRSL
+		if verb == "info" && g.cfg.Keys > 0 {
+			// Drawn in the arrival loop so the key sequence is a pure
+			// function of the seed, independent of completion order.
+			query = g.keyedQuery()
+		}
 		go func() {
 			defer wg.Done()
 			defer g.inflight.Add(-1)
-			g.one(ctx, verb, sched)
+			g.one(ctx, verb, query, sched)
 		}()
 	}
 	wg.Wait()
@@ -331,11 +423,29 @@ func (g *Generator) Run(ctx context.Context) Report {
 	if s := elapsed.Seconds(); s > 0 {
 		rep.Goodput = float64(rep.OK) / s
 	}
+	if g.cfg.Keys > 0 {
+		rep.Keys = g.cfg.Keys
+		rep.Zipf = g.cfg.Zipf
+		if probed {
+			if h1, m1, ok := g.cacheCounters(context.Background()); ok {
+				rep.CacheHits = h1 - hits0
+				// The closing probe's own lookup misses (selfmetrics is
+				// never cached); keep it out of the workload's numbers.
+				rep.CacheMisses = m1 - miss0 - 1
+				if rep.CacheMisses < 0 {
+					rep.CacheMisses = 0
+				}
+				if total := rep.CacheHits + rep.CacheMisses; total > 0 {
+					rep.HitRatio = float64(rep.CacheHits) / float64(total)
+				}
+			}
+		}
+	}
 	return rep
 }
 
 // one executes a single arrival and classifies its outcome.
-func (g *Generator) one(ctx context.Context, verb string, sched time.Time) {
+func (g *Generator) one(ctx context.Context, verb, query string, sched time.Time) {
 	rctx, cancel := context.WithDeadline(ctx, sched.Add(g.cfg.RequestTimeout))
 	defer cancel()
 	client, err := g.pool.Checkout(rctx)
@@ -343,7 +453,7 @@ func (g *Generator) one(ctx context.Context, verb string, sched time.Time) {
 		g.errs.Add(1)
 		return
 	}
-	err = g.issue(rctx, client, verb)
+	err = g.issue(rctx, client, verb, query)
 	var rej *core.RejectedError
 	if errors.As(err, &rej) {
 		// A rejection keeps its connection: the server refused before
@@ -364,10 +474,10 @@ func (g *Generator) one(ctx context.Context, verb string, sched time.Time) {
 }
 
 // issue performs verb's request on a leased client.
-func (g *Generator) issue(ctx context.Context, client *core.Client, verb string) error {
+func (g *Generator) issue(ctx context.Context, client *core.Client, verb, query string) error {
 	switch verb {
 	case "info":
-		_, err := client.QueryRawContext(ctx, g.cfg.InfoXRSL)
+		_, err := client.QueryRawContext(ctx, query)
 		return err
 	case "submit":
 		contact, err := client.SubmitContext(ctx, g.cfg.JobXRSL)

@@ -140,6 +140,74 @@ func TestOpenLoopShortRun(t *testing.T) {
 	}
 }
 
+func TestKeyedInfoQueriesMeasureHitRatio(t *testing.T) {
+	reg := provider.NewRegistry(nil)
+	reg.Register(&provider.StaticProvider{
+		KeywordName: "Static",
+		Values:      provider.Attributes{{Name: "v", Value: "1"}},
+	}, provider.RegisterOptions{TTL: time.Hour})
+	addr, _, user, trust := testService(t, reg, func(cfg *core.Config) {
+		cfg.CacheTTL = time.Minute
+	})
+
+	g, err := New(Config{
+		Addr:           addr,
+		Cred:           user,
+		Trust:          trust,
+		Rate:           400,
+		Duration:       500 * time.Millisecond,
+		Mix:            Mix{Info: 1},
+		PoolSize:       4,
+		RequestTimeout: 2 * time.Second,
+		Keys:           8, // tiny population: repeats guaranteed
+		Zipf:           1.2,
+		InfoKeyword:    "Static",
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rep := g.Run(context.Background())
+	if rep.OK == 0 || rep.Errors > 0 {
+		t.Fatalf("keyed run unhealthy: %+v", rep)
+	}
+	if rep.Keys != 8 || rep.Zipf != 1.2 {
+		t.Fatalf("keyed parameters not reported: %+v", rep)
+	}
+	// 8 keys across ~200 info arrivals: almost everything repeats.
+	if rep.CacheHits == 0 {
+		t.Fatalf("no cache hits observed: %+v", rep)
+	}
+	if rep.CacheMisses < 1 || rep.CacheMisses > 8+2 {
+		t.Fatalf("misses = %d, want about one per key: %+v", rep.CacheMisses, rep)
+	}
+	if rep.HitRatio <= 0.5 || rep.HitRatio >= 1 {
+		t.Fatalf("hit ratio = %.3f, want (0.5, 1): %+v", rep.HitRatio, rep)
+	}
+	if !strings.Contains(rep.String(), "hit_ratio=") {
+		t.Fatalf("summary missing hit ratio: %s", rep.String())
+	}
+
+	// Determinism: the same settings draw the same key sequence, so a
+	// second run against the warm server misses at most a negligible
+	// handful (TTL is a minute; the population is already resident).
+	g2, err := New(Config{
+		Addr: addr, Cred: user, Trust: trust,
+		Rate: 400, Duration: 250 * time.Millisecond,
+		Mix: Mix{Info: 1}, PoolSize: 4, RequestTimeout: 2 * time.Second,
+		Keys: 8, Zipf: 1.2, InfoKeyword: "Static",
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rep2 := g2.Run(context.Background())
+	if rep2.CacheMisses > 1 {
+		t.Fatalf("warm rerun missed %d times: %+v", rep2.CacheMisses, rep2)
+	}
+	if rep2.HitRatio < 0.99 {
+		t.Fatalf("warm rerun hit ratio = %.3f: %+v", rep2.HitRatio, rep2)
+	}
+}
+
 func TestOpenLoopObservesQuotaRejections(t *testing.T) {
 	quota, err := gsi.ParseContractsString(`allow * rate=0.001 burst=5`)
 	if err != nil {

@@ -269,6 +269,12 @@ func (p *filterParser) parseLeaf() (Filter, error) {
 	if attr == "" {
 		return nil, fmt.Errorf("mds: empty attribute in filter at offset %d", start)
 	}
+	// A leaf can reach here with a leading boolean operator only through
+	// whitespace the combinator dispatch does not skip (e.g. "(\n!=...)");
+	// such an attribute renders as a combinator and cannot round-trip.
+	if attr[0] == '!' || attr[0] == '&' || attr[0] == '|' {
+		return nil, fmt.Errorf("mds: attribute cannot begin with %q in filter at offset %d", string(attr[0]), start)
+	}
 	if p.pos >= len(p.src) {
 		return nil, fmt.Errorf("mds: unterminated comparison in filter")
 	}
@@ -315,3 +321,114 @@ func (p *filterParser) parseLeaf() (Filter, error) {
 
 // MatchAll is the (objectclass=*) filter.
 func MatchAll() Filter { return &leafFilter{attr: "objectclass", op: opEq, pattern: "*"} }
+
+// KeywordHints computes which of the known keywords' entries f could
+// possibly match, so a GRIS collects only those providers instead of
+// executing every one on every query. The analysis is conservative:
+// whenever a sub-filter cannot be proven to narrow the match set — a
+// negation, a >=/<= on the keyword attribute, a structural attribute like
+// resource — it reports all=true and the caller collects everything. What
+// it can prove rests on the ReportEntries shape: each provider entry
+// carries exactly the structural attributes (objectclass, kw, resource)
+// plus attributes namespaced "<Keyword>:<name>", so a leaf on "kw" selects
+// the keywords its pattern matches and a leaf on a namespaced attribute
+// selects at most the keyword it is namespaced under.
+//
+// When all is false, keywords holds the matchable subset in known's order
+// and spelling; an empty subset means the filter provably matches no
+// provider entry, so the caller can skip collection entirely.
+func KeywordHints(f Filter, known []string) (keywords []string, all bool) {
+	inc, all := hintVec(f, known)
+	if all {
+		return nil, true
+	}
+	out := make([]string, 0, len(known))
+	for i, k := range known {
+		if inc[i] {
+			out = append(out, k)
+		}
+	}
+	return out, false
+}
+
+// hintVec evaluates the projection as an inclusion vector over known.
+// all=true means "cannot narrow" (the vector is nil then).
+func hintVec(f Filter, known []string) (inc []bool, all bool) {
+	switch t := f.(type) {
+	case *andFilter:
+		// Intersection; an unprovable child is the universe.
+		var acc []bool
+		for _, c := range t.children {
+			ci, call := hintVec(c, known)
+			if call {
+				continue
+			}
+			if acc == nil {
+				acc = ci
+				continue
+			}
+			for i := range acc {
+				acc[i] = acc[i] && ci[i]
+			}
+		}
+		if acc == nil {
+			return nil, true
+		}
+		return acc, false
+	case *orFilter:
+		acc := make([]bool, len(known))
+		for _, c := range t.children {
+			ci, call := hintVec(c, known)
+			if call {
+				return nil, true
+			}
+			for i := range acc {
+				acc[i] = acc[i] || ci[i]
+			}
+		}
+		return acc, false
+	case *notFilter:
+		// A negation matches the complement — including entries the child
+		// analysis knows nothing about. Never narrowed.
+		return nil, true
+	case *leafFilter:
+		return leafHintVec(t, known)
+	default:
+		return nil, true
+	}
+}
+
+// leafHintVec is the leaf projection described on KeywordHints.
+func leafHintVec(f *leafFilter, known []string) (inc []bool, all bool) {
+	attr := strings.ToLower(strings.TrimSpace(f.attr))
+	switch attr {
+	case "kw", "keyword":
+		if f.op != opEq {
+			return nil, true
+		}
+		inc = make([]bool, len(known))
+		for i, k := range known {
+			inc[i] = wildcardMatch(f.pattern, k)
+		}
+		return inc, false
+	case "objectclass", "resource", "dn":
+		// Structural attributes appear on every entry.
+		return nil, true
+	}
+	if i := strings.IndexByte(attr, ':'); i > 0 {
+		prefix := attr[:i]
+		// A namespaced attribute appears only on the entry of the keyword
+		// it is namespaced under; an unknown prefix appears on no provider
+		// entry at all, so the leaf matches nothing.
+		inc = make([]bool, len(known))
+		for j, k := range known {
+			if strings.EqualFold(k, prefix) {
+				inc[j] = true
+			}
+		}
+		return inc, false
+	}
+	// An un-namespaced, non-structural attribute: no provider entry
+	// carries one today, but stay conservative about future entry shapes.
+	return nil, true
+}

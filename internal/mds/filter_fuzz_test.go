@@ -1,0 +1,82 @@
+package mds
+
+import (
+	"strings"
+	"testing"
+
+	"infogram/internal/provider"
+)
+
+// FuzzParseFilter drives the LDAP filter parser with arbitrary input and
+// checks three invariants on everything that parses: the rendered form
+// re-parses and renders identically (round-trip stability), evaluation
+// never panics, and KeywordHints stays sound — a keyword whose provider
+// entry the filter matches is never excluded from the hint set the GRIS
+// uses to narrow collection.
+func FuzzParseFilter(f *testing.F) {
+	seeds := []string{
+		"(objectclass=*)",
+		"(kw=Memory)",
+		"(keyword=cpu)",
+		"(&(kw=Memory)(Memory:free>=100))",
+		"(|(kw=a*)(CPU:model=x))",
+		"(!(resource=r1))",
+		"(Memory:free<=1024)",
+		"(dn=kw=Memory, resource=r, o=grid)",
+		"(a=*mid*dle*)",
+		"(&(|(kw=A)(kw=B))(!(objectclass=x)))",
+		"(((broken",
+		"(&)",
+		"(a=(nested))",
+		"( spaced = value )",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	known := []string{"Memory", "CPU"}
+	reports := []provider.Report{
+		{Keyword: "Memory", Attrs: provider.Attributes{{Name: "free", Value: "512"}}},
+		{Keyword: "CPU", Attrs: provider.Attributes{{Name: "count", Value: "8"}}},
+	}
+	entries := provider.ReportEntries("fuzz.res", reports)
+
+	f.Fuzz(func(t *testing.T, s string) {
+		flt, err := ParseFilter(s)
+		if err != nil {
+			return
+		}
+		rendered := flt.String()
+		flt2, err := ParseFilter(rendered)
+		if err != nil {
+			t.Fatalf("rendered filter %q does not re-parse: %v", rendered, err)
+		}
+		if got := flt2.String(); got != rendered {
+			t.Fatalf("render unstable: %q -> %q", rendered, got)
+		}
+
+		kws, all := KeywordHints(flt, known)
+		if all && kws != nil {
+			t.Fatal("all=true must return a nil keyword set")
+		}
+		for _, e := range entries {
+			matched := flt.Matches(&e)
+			if all || !matched {
+				continue
+			}
+			kw, _ := e.Get("kw")
+			found := false
+			for _, k := range kws {
+				if strings.EqualFold(k, kw) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("filter %q matches the %s entry but KeywordHints excluded it (hints %v)",
+					rendered, kw, kws)
+			}
+		}
+	})
+}

@@ -7,12 +7,16 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"infogram/internal/bytecache"
 	"infogram/internal/clock"
 	"infogram/internal/gsi"
 	"infogram/internal/ldif"
+	"infogram/internal/telemetry"
 	"infogram/internal/wire"
+	"infogram/internal/zerocopy"
 )
 
 // GIISConfig wires an index service.
@@ -29,9 +33,20 @@ type GIISConfig struct {
 	RegistrationTTL time.Duration
 	// CacheTTL caches fan-out results briefly, MDS's aggregate caching
 	// (§3 "an information caching function that allows viewing and
-	// querying the information about a resource from a cache").
+	// querying the information about a resource from a cache"). Rendered
+	// bodies live in a sharded byte cache keyed by the membership
+	// generation, so one cache holds many concurrent filters and any
+	// membership change invalidates the lot. Member provider TTLs are not
+	// visible across the wire, so CacheTTL alone bounds staleness here.
 	CacheTTL time.Duration
-	Clock    clock.Clock
+	// CacheShards / CacheMaxBytes size the byte cache (0 selects the
+	// bytecache defaults).
+	CacheShards   int
+	CacheMaxBytes int64
+	// Telemetry, when set together with CacheTTL, receives the byte
+	// cache's counters and per-shard occupancy series.
+	Telemetry *telemetry.Registry
+	Clock     clock.Clock
 }
 
 // GIIS is the aggregate directory of paper §3: GRIS servers register with
@@ -41,11 +56,14 @@ type GIIS struct {
 	cfg    GIISConfig
 	server *wire.Server
 
-	mu       sync.Mutex
-	members  map[string]time.Time // GRIS address -> registration time
-	cached   []ldif.Entry
-	cachedAt time.Time
-	cacheKey string
+	mu      sync.Mutex
+	members map[string]time.Time // GRIS address -> registration time
+	// memGen counts membership changes: new registrants and expiries, but
+	// NOT soft-state re-registration (registrars re-register continuously
+	// and must not thrash the cache). Cache keys embed it.
+	memGen atomic.Uint64
+	// resp caches rendered fan-out bodies; nil when CacheTTL is zero.
+	resp *bytecache.Cache
 }
 
 // NewGIIS builds an index service.
@@ -57,6 +75,17 @@ func NewGIIS(cfg GIISConfig) *GIIS {
 		cfg.Policy = gsi.AllowAll()
 	}
 	g := &GIIS{cfg: cfg, members: make(map[string]time.Time)}
+	if cfg.CacheTTL > 0 {
+		g.resp = bytecache.New(bytecache.Options{
+			Shards:     cfg.CacheShards,
+			MaxBytes:   cfg.CacheMaxBytes,
+			DefaultTTL: cfg.CacheTTL,
+			Clock:      cfg.Clock,
+		})
+		if cfg.Telemetry != nil {
+			g.resp.SetTelemetry(cfg.Telemetry)
+		}
+	}
 	g.server = wire.NewServer(wire.HandlerFunc(g.serveConn))
 	return g
 }
@@ -71,9 +100,13 @@ func (g *GIIS) Addr() string { return g.server.Addr() }
 func (g *GIIS) Close() error { return g.server.Close() }
 
 // Register adds a GRIS address directly (servers co-located with the GIIS
-// may skip the wire protocol).
+// may skip the wire protocol). Re-registering a live member refreshes its
+// soft state without invalidating cached responses.
 func (g *GIIS) Register(addr string) {
 	g.mu.Lock()
+	if _, known := g.members[addr]; !known {
+		g.memGen.Add(1)
+	}
 	g.members[addr] = g.cfg.Clock.Now()
 	g.mu.Unlock()
 }
@@ -87,6 +120,7 @@ func (g *GIIS) Members() []string {
 	for addr, at := range g.members {
 		if g.cfg.RegistrationTTL > 0 && now.Sub(at) > g.cfg.RegistrationTTL {
 			delete(g.members, addr)
+			g.memGen.Add(1)
 			continue
 		}
 		out = append(out, addr)
@@ -132,34 +166,41 @@ func (g *GIIS) handleSearch(c *wire.Conn, payload []byte, peer *gsi.Peer) {
 		_ = c.WriteString(VerbMDSError, fmt.Sprintf("mds: bad search payload: %v", err))
 		return
 	}
-	entries, err := g.Search(context.Background(), req)
+	body, err := g.SearchLDIF(context.Background(), req)
 	if err != nil {
 		_ = c.WriteString(VerbMDSError, err.Error())
 		return
 	}
-	out, err := ldif.Marshal(entries)
-	if err != nil {
-		_ = c.WriteString(VerbMDSError, err.Error())
-		return
-	}
-	_ = c.Write(wire.Frame{Verb: VerbResult, Payload: []byte(out)})
+	_ = c.Write(wire.Frame{Verb: VerbResult, Payload: body})
 }
 
 // Search fans the request out to every live registrant and merges results.
-// Identical consecutive searches within CacheTTL are served from the
-// aggregate cache. Unreachable members are skipped, matching the
-// decentralized tolerance a Grid information service requires (§3).
+// Repeated searches within CacheTTL are served from the aggregate cache.
 func (g *GIIS) Search(ctx context.Context, req SearchRequest) ([]ldif.Entry, error) {
-	key := req.Filter + "\x00" + strings.Join(req.Attrs, ",")
-	now := g.cfg.Clock.Now()
-	g.mu.Lock()
-	if g.cfg.CacheTTL > 0 && g.cacheKey == key && now.Sub(g.cachedAt) <= g.cfg.CacheTTL && g.cached != nil {
-		out := make([]ldif.Entry, len(g.cached))
-		copy(out, g.cached)
-		g.mu.Unlock()
-		return out, nil
+	body, err := g.SearchLDIF(ctx, req)
+	if err != nil {
+		return nil, err
 	}
-	g.mu.Unlock()
+	return ldif.Unmarshal(zerocopy.String(body))
+}
+
+// SearchLDIF answers a search with the rendered LDIF body, serving repeats
+// from the byte cache. The returned bytes must be treated as read-only: on
+// a hit they alias the cache's append-only arena. Unreachable members are
+// skipped, matching the decentralized tolerance a Grid information service
+// requires (§3).
+func (g *GIIS) SearchLDIF(ctx context.Context, req SearchRequest) ([]byte, error) {
+	gen := g.memGen.Load()
+	if g.resp != nil {
+		keyp := keyScratch.Get().(*[]byte)
+		key := appendSearchKey((*keyp)[:0], 'g', gen, &req)
+		blob, ok := g.resp.Get(key)
+		*keyp = key[:0]
+		keyScratch.Put(keyp)
+		if ok {
+			return blob, nil
+		}
+	}
 
 	members := g.Members()
 	type result struct {
@@ -184,15 +225,21 @@ func (g *GIIS) Search(ctx context.Context, req SearchRequest) ([]ldif.Entry, err
 	}
 	sort.Slice(merged, func(i, j int) bool { return merged[i].DN < merged[j].DN })
 
-	g.mu.Lock()
-	g.cacheKey = key
-	g.cached = merged
-	g.cachedAt = g.cfg.Clock.Now()
-	g.mu.Unlock()
-
-	out := make([]ldif.Entry, len(merged))
-	copy(out, merged)
-	return out, nil
+	out, err := ldif.Marshal(merged)
+	if err != nil {
+		return nil, err
+	}
+	if g.resp != nil {
+		keyp := keyScratch.Get().(*[]byte)
+		// Key under the generation observed before the fan-out: if the
+		// membership changed mid-flight the entry is orphaned, never
+		// served stale.
+		key := appendSearchKey((*keyp)[:0], 'g', gen, &req)
+		g.resp.Set(key, zerocopy.Bytes(out), g.cfg.CacheTTL)
+		*keyp = key[:0]
+		keyScratch.Put(keyp)
+	}
+	return zerocopy.Bytes(out), nil
 }
 
 // queryMember performs one authenticated search against a GRIS.

@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"strings"
+	"time"
 
+	"infogram/internal/bytecache"
 	"infogram/internal/cache"
 	"infogram/internal/clock"
 	"infogram/internal/gsi"
@@ -13,6 +15,7 @@ import (
 	"infogram/internal/provider"
 	"infogram/internal/telemetry"
 	"infogram/internal/wire"
+	"infogram/internal/zerocopy"
 )
 
 // MDS protocol verbs. The directory protocol is deliberately distinct from
@@ -50,6 +53,22 @@ type GRISConfig struct {
 	// Tracer, when set, records a span tree per SEARCH (the MDS protocol
 	// itself carries no trace context, so GRIS traces are local roots).
 	Tracer *telemetry.Tracer
+	// CacheTTL, when positive, enables the response cache: rendered LDIF
+	// bodies and filter→keyword projections are cached in a sharded byte
+	// cache and cache hits are written to the wire zero-copy. The
+	// effective per-entry TTL is capped by the smallest provider TTL among
+	// the keywords a response covers. Zero disables the layer.
+	CacheTTL time.Duration
+	// CacheNegTTL bounds entries for filters that matched nothing; zero
+	// defaults to CacheTTL/4.
+	CacheNegTTL time.Duration
+	// CacheShards / CacheMaxBytes size the byte cache (0 selects the
+	// bytecache defaults).
+	CacheShards   int
+	CacheMaxBytes int64
+	// Telemetry, when set together with CacheTTL, receives the byte
+	// cache's counters and per-shard occupancy series.
+	Telemetry *telemetry.Registry
 }
 
 // GRIS is a Grid Resource Information Service for one resource: it answers
@@ -58,6 +77,11 @@ type GRISConfig struct {
 type GRIS struct {
 	cfg    GRISConfig
 	server *wire.Server
+	// resp caches rendered LDIF bodies and filter→keyword projections,
+	// keyed by the registry generation so provider churn invalidates both
+	// wholesale. Nil when CacheTTL is zero.
+	resp   *bytecache.Cache
+	negTTL time.Duration
 }
 
 // NewGRIS builds a GRIS.
@@ -69,6 +93,24 @@ func NewGRIS(cfg GRISConfig) *GRIS {
 		cfg.Policy = gsi.AllowAll()
 	}
 	g := &GRIS{cfg: cfg}
+	if cfg.CacheTTL > 0 {
+		g.resp = bytecache.New(bytecache.Options{
+			Shards:     cfg.CacheShards,
+			MaxBytes:   cfg.CacheMaxBytes,
+			DefaultTTL: cfg.CacheTTL,
+			Clock:      cfg.Clock,
+		})
+		if cfg.Telemetry != nil {
+			g.resp.SetTelemetry(cfg.Telemetry)
+		}
+		g.negTTL = cfg.CacheNegTTL
+		if g.negTTL <= 0 || g.negTTL > cfg.CacheTTL {
+			g.negTTL = cfg.CacheTTL / 4
+			if g.negTTL <= 0 {
+				g.negTTL = cfg.CacheTTL
+			}
+		}
+	}
 	g.server = wire.NewServer(wire.HandlerFunc(g.serveConn))
 	return g
 }
@@ -116,7 +158,10 @@ func (g *GRIS) handleSearch(c *wire.Conn, payload []byte, peer *gsi.Peer) {
 	}
 	ctx, root := g.cfg.Tracer.StartTrace(context.Background(), "request:"+VerbSearch)
 	root.SetAttr("peer", peer.Identity)
-	entries, err := g.Search(ctx, req)
+	// The rendered body goes onto the wire as-is: on a cache hit it
+	// aliases the cache arena, on a miss it aliases the fresh render —
+	// zero copies either way.
+	body, err := g.SearchLDIF(ctx, req)
 	if err != nil {
 		root.Fail(err.Error())
 		root.End()
@@ -124,28 +169,99 @@ func (g *GRIS) handleSearch(c *wire.Conn, payload []byte, peer *gsi.Peer) {
 		return
 	}
 	root.End()
-	out, err := ldif.Marshal(entries)
-	if err != nil {
-		_ = c.WriteString(VerbMDSError, err.Error())
-		return
-	}
-	_ = c.Write(wire.Frame{Verb: VerbResult, Payload: []byte(out)})
+	_ = c.Write(wire.Frame{Verb: VerbResult, Payload: body})
 }
 
-// Search evaluates a request locally: collect all providers through the
-// cache, build entries, filter, and project attributes.
+// Search evaluates a request locally and returns the matching entries.
+// It answers through the same rendered-body cache as the wire path, so
+// repeated identical searches parse a cached blob instead of
+// re-collecting providers.
 func (g *GRIS) Search(ctx context.Context, req SearchRequest) ([]ldif.Entry, error) {
+	body, err := g.SearchLDIF(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return ldif.Unmarshal(zerocopy.String(body))
+}
+
+// SearchLDIF evaluates a request and returns the rendered LDIF body. The
+// returned bytes must be treated as read-only: on a cache hit they alias
+// the cache's append-only arena (valid indefinitely — arenas are never
+// mutated in place).
+func (g *GRIS) SearchLDIF(ctx context.Context, req SearchRequest) ([]byte, error) {
+	if g.resp != nil {
+		keyp := keyScratch.Get().(*[]byte)
+		key := appendSearchKey((*keyp)[:0], 'b', g.cfg.Registry.Generation(), &req)
+		blob, ok := g.resp.Get(key)
+		*keyp = key[:0]
+		keyScratch.Put(keyp)
+		if ok {
+			return blob, nil
+		}
+	}
+	entries, ttl, err := g.search(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	out, err := ldif.Marshal(entries)
+	if err != nil {
+		return nil, err
+	}
+	if g.resp != nil && ttl > 0 {
+		if len(entries) == 0 && g.negTTL < ttl {
+			// Filters that matched nothing are worth caching — evaluation
+			// cost is identical — but under the shorter negative TTL so new
+			// data appears promptly.
+			ttl = g.negTTL
+		}
+		keyp := keyScratch.Get().(*[]byte)
+		key := appendSearchKey((*keyp)[:0], 'b', g.cfg.Registry.Generation(), &req)
+		g.resp.Set(key, zerocopy.Bytes(out), ttl)
+		*keyp = key[:0]
+		keyScratch.Put(keyp)
+	}
+	return zerocopy.Bytes(out), nil
+}
+
+// search collects, filters, and projects. It also reports the lifetime a
+// rendering of the result may be cached for: the configured cap lowered
+// to the smallest provider TTL among the collected keywords, 0 when any
+// collected keyword executes on every request (TTL 0) and the result is
+// therefore uncacheable.
+func (g *GRIS) search(ctx context.Context, req SearchRequest) ([]ldif.Entry, time.Duration, error) {
 	filter := MatchAll()
 	if strings.TrimSpace(req.Filter) != "" {
 		var err error
 		filter, err = ParseFilter(req.Filter)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 	}
-	reports, err := g.cfg.Registry.Collect(ctx, nil, cache.Cached, 0)
-	if err != nil {
-		return nil, err
+	// Collect only the keywords the filter can match (and none at all for
+	// a filter that provably matches no provider entry), instead of
+	// executing every provider on every query.
+	kws, all := g.keywordHints(req.Filter, filter)
+	var reports []provider.Report
+	if all || len(kws) > 0 {
+		if all {
+			kws = nil
+		}
+		var err error
+		reports, err = g.cfg.Registry.Collect(ctx, kws, cache.Cached, 0)
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	ttl := g.cfg.CacheTTL
+	for _, rep := range reports {
+		reg, ok := g.cfg.Registry.Lookup(rep.Keyword)
+		if !ok || reg.TTL() <= 0 {
+			ttl = 0
+			break
+		}
+		if reg.TTL() < ttl {
+			ttl = reg.TTL()
+		}
 	}
 	entries := provider.ReportEntries(g.cfg.ResourceName, reports)
 	var out []ldif.Entry
@@ -155,7 +271,52 @@ func (g *GRIS) Search(ctx context.Context, req SearchRequest) ([]ldif.Entry, err
 		}
 		out = append(out, projectAttrs(e, req.Attrs))
 	}
-	return out, nil
+	return out, ttl, nil
+}
+
+// keywordHints resolves the filter→keyword projection, caching it under
+// (registry generation, filter text) when the response cache is enabled:
+// the projection of a hot filter is computed once per membership
+// generation, not once per query.
+func (g *GRIS) keywordHints(raw string, f Filter) ([]string, bool) {
+	known := g.cfg.Registry.Keywords()
+	if g.resp == nil {
+		return KeywordHints(f, known)
+	}
+	gen := g.cfg.Registry.Generation()
+	keyp := keyScratch.Get().(*[]byte)
+	key := append((*keyp)[:0], 'p')
+	key = appendGen(key, gen)
+	key = append(key, raw...)
+	blob, ok := g.resp.Get(key)
+	if ok && len(blob) > 0 {
+		*keyp = key[:0]
+		keyScratch.Put(keyp)
+		if blob[0] == 1 {
+			return nil, true
+		}
+		if len(blob) == 1 {
+			return nil, false
+		}
+		return strings.Split(zerocopy.String(blob[1:]), "\x00"), false
+	}
+	kws, all := KeywordHints(f, known)
+	val := make([]byte, 0, 64)
+	if all {
+		val = append(val, 1)
+	} else {
+		val = append(val, 0)
+		for i, kw := range kws {
+			if i > 0 {
+				val = append(val, 0)
+			}
+			val = append(val, kw...)
+		}
+	}
+	g.resp.Set(key, val, g.cfg.CacheTTL)
+	*keyp = key[:0]
+	keyScratch.Put(keyp)
+	return kws, all
 }
 
 // projectAttrs keeps only the requested attributes (plus the DN); an empty

@@ -1,0 +1,65 @@
+package mds_test
+
+import (
+	"reflect"
+	"testing"
+
+	"infogram/internal/mds"
+)
+
+// TestKeywordHints exercises the conservative filter→keyword projection
+// against the ReportEntries shape (structural attrs + "<Keyword>:<attr>"
+// namespaced attrs).
+func TestKeywordHints(t *testing.T) {
+	known := []string{"Memory", "CPU", "Disk"}
+	cases := []struct {
+		filter string
+		want   []string
+		all    bool
+	}{
+		// kw leaves narrow by wildcard match, case-insensitively.
+		{"(kw=Memory)", []string{"Memory"}, false},
+		{"(keyword=cpu)", []string{"CPU"}, false},
+		{"(kw=*)", []string{"Memory", "CPU", "Disk"}, false},
+		{"(kw=D*)", []string{"Disk"}, false},
+		{"(kw=Ghost)", []string{}, false},
+		// Range comparison on kw cannot be narrowed.
+		{"(kw>=A)", nil, true},
+		// Structural attributes appear on every entry.
+		{"(objectclass=*)", nil, true},
+		{"(resource=res1)", nil, true},
+		{"(dn=kw=Memory*)", nil, true},
+		// Namespaced attributes pin the keyword; unknown prefixes match no
+		// provider entry at all.
+		{"(Memory:free>=100)", []string{"Memory"}, false},
+		{"(cpu:model=x*)", []string{"CPU"}, false},
+		{"(NoSuch:attr=1)", []string{}, false},
+		// Un-namespaced unknown attribute: stay conservative.
+		{"(whatever=1)", nil, true},
+		// AND intersects; unprovable children drop out of the intersection.
+		{"(&(kw=Memory)(Memory:free=512))", []string{"Memory"}, false},
+		{"(&(kw=Memory)(kw=CPU))", []string{}, false},
+		{"(&(resource=r)(objectclass=*))", nil, true},
+		{"(&(resource=r)(kw=Disk))", []string{"Disk"}, false},
+		// OR unions; any unprovable child widens to everything.
+		{"(|(kw=Memory)(kw=CPU))", []string{"Memory", "CPU"}, false},
+		{"(|(kw=Memory)(resource=x))", nil, true},
+		// Negation matches the complement: never narrowed.
+		{"(!(kw=Memory))", nil, true},
+		{"(&(kw=*)(!(kw=Memory)))", []string{"Memory", "CPU", "Disk"}, false},
+	}
+	for _, tc := range cases {
+		f, err := mds.ParseFilter(tc.filter)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", tc.filter, err)
+		}
+		got, all := mds.KeywordHints(f, known)
+		if all != tc.all {
+			t.Errorf("%s: all = %v, want %v", tc.filter, all, tc.all)
+			continue
+		}
+		if !tc.all && !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%s: keywords = %v, want %v", tc.filter, got, tc.want)
+		}
+	}
+}

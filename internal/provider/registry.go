@@ -17,6 +17,17 @@ import (
 	"infogram/internal/telemetry"
 )
 
+// UnknownKeywordError reports a query naming a keyword no provider
+// serves. It is a typed error so response caches can recognize the
+// negative result and cache it under a short TTL.
+type UnknownKeywordError struct {
+	Keyword string
+}
+
+func (e *UnknownKeywordError) Error() string {
+	return fmt.Sprintf("provider: unknown keyword %q", e.Keyword)
+}
+
 // RegisterOptions configures a provider registration.
 type RegisterOptions struct {
 	// TTL is the cached lifetime of the keyword's information; 0 means
@@ -49,6 +60,12 @@ type Registry struct {
 	// par bounds the collect fan-out worker pool; 0 selects
 	// DefaultParallelism.
 	par atomic.Int64
+
+	// gen counts membership changes (Register/Unregister). Response
+	// caches embed it in their keys, so a re-registration makes every
+	// blob cached under the old membership unreachable in O(1) — stale
+	// entries age out of the byte cache instead of being scanned for.
+	gen atomic.Uint64
 
 	// fanoutInflight / fanoutLatency are resolved once in SetTelemetry and
 	// read under mu on the collect path.
@@ -180,8 +197,14 @@ func (r *Registry) Register(p Provider, opts RegisterOptions) *Registered {
 		r.order = append(r.order, key)
 	}
 	r.byKeyword[key] = reg
+	r.gen.Add(1)
 	return reg
 }
+
+// Generation counts membership changes: it advances on every Register
+// and successful Unregister. Response caches key blobs by generation so
+// provider churn invalidates them without scanning.
+func (r *Registry) Generation() uint64 { return r.gen.Load() }
 
 // Unregister removes a keyword; it reports whether it existed.
 func (r *Registry) Unregister(keyword string) bool {
@@ -198,6 +221,7 @@ func (r *Registry) Unregister(keyword string) bool {
 			break
 		}
 	}
+	r.gen.Add(1)
 	return true
 }
 
@@ -262,7 +286,7 @@ func (r *Registry) resolve(keywords []string) ([]*Registered, error) {
 	for i, kw := range keywords {
 		g, ok := r.Lookup(kw)
 		if !ok {
-			return nil, fmt.Errorf("provider: unknown keyword %q", kw)
+			return nil, &UnknownKeywordError{Keyword: kw}
 		}
 		regs[i] = g
 	}

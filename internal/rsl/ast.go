@@ -69,11 +69,14 @@ type Relation struct {
 
 func (*Relation) node() {}
 
-// Unparse renders the relation in canonical form.
+// Unparse renders the relation in canonical form. The attribute is
+// quoted under the same rules as a literal: the parser accepts quoted
+// attribute names, so names that are empty or carry special characters
+// must round-trip too.
 func (r *Relation) Unparse() string {
 	var sb strings.Builder
 	sb.WriteString("(")
-	sb.WriteString(r.Attribute)
+	sb.WriteString(Literal{Text: r.Attribute}.Unparse())
 	sb.WriteString(string(r.Op))
 	for i, v := range r.Values {
 		if i > 0 {

@@ -119,8 +119,10 @@ func (c *Conn) armDeadline(ctx context.Context, write bool) func(error) error {
 	if io := time.Duration(c.ioTimeout.Load()); io > 0 {
 		dl = time.Now().Add(io)
 	}
+	ctxBound := false
 	if d, ok := ctx.Deadline(); ok && (dl.IsZero() || d.Before(dl)) {
 		dl = d
+		ctxBound = true
 	}
 	watch := ctx.Done() != nil
 	if dl.IsZero() && !watch {
@@ -156,8 +158,16 @@ func (c *Conn) armDeadline(ctx context.Context, write bool) func(error) error {
 			<-exited
 		}
 		_ = set(time.Time{})
-		if err != nil && ctx.Err() != nil && errors.Is(err, os.ErrDeadlineExceeded) {
-			return fmt.Errorf("wire: %w", ctx.Err())
+		if err != nil && errors.Is(err, os.ErrDeadlineExceeded) {
+			if cerr := ctx.Err(); cerr != nil {
+				return fmt.Errorf("wire: %w", cerr)
+			}
+			// The armed deadline was the context's, but the net poller's
+			// timer can fire a hair before the context's own — report the
+			// deadline the caller actually set.
+			if ctxBound {
+				return fmt.Errorf("wire: %w", context.DeadlineExceeded)
+			}
 		}
 		return err
 	}

@@ -108,8 +108,10 @@ func DecodeReject(f Frame) (Reject, error) {
 	if err != nil || ms < 0 {
 		return Reject{}, fmt.Errorf("%w: bad retry-after %q", ErrRejectSyntax, msStr)
 	}
-	if d := time.Duration(ms) * time.Millisecond; d > maxRejectRetryAfter {
-		return Reject{}, fmt.Errorf("%w: retry-after %s beyond %s", ErrRejectSyntax, d, maxRejectRetryAfter)
+	// Compare in milliseconds: converting first would overflow
+	// time.Duration for ms > 2^63/1e6 and slip past the bound negative.
+	if ms > int64(maxRejectRetryAfter/time.Millisecond) {
+		return Reject{}, fmt.Errorf("%w: retry-after %dms beyond %s", ErrRejectSyntax, ms, maxRejectRetryAfter)
 	}
 	scope, reason, _ := strings.Cut(rest, " ")
 	if !validRejectScope(scope) {

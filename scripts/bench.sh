@@ -44,6 +44,9 @@ awk '
 	for (i = 4; i < NF; i++) {
 		if ($(i + 1) == "B/op")        line = line sprintf(",\"bytes_per_op\":%s", $i)
 		else if ($(i + 1) == "allocs/op") line = line sprintf(",\"allocs_per_op\":%s", $i)
+		else if ($i ~ /^[0-9.eE+-]+$/ && $(i + 1) ~ /^[A-Za-z_][A-Za-z0-9_]*$/)
+			# custom b.ReportMetric columns, e.g. hit_ratio, resident_bytes
+			line = line sprintf(",\"%s\":%s", $(i + 1), $i)
 	}
 	print line "}"
 }

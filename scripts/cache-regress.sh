@@ -1,0 +1,91 @@
+#!/bin/sh
+# Nightly response-cache regression gate: replays the 1M-key Zipf(1.1)
+# hit-path reference point (TestCacheHitPathReference) and fails when the
+# per-lookup p99 regresses more than 20% against the checked-in baseline or
+# the hit path allocates at all. Run from the repository root:
+#
+#	./scripts/cache-regress.sh
+#
+# The p99 of single lookups at a few hundred nanoseconds each is sensitive
+# to host speed, so the baseline is only meaningful on comparable machines
+# — regenerate it when the CI runner class changes. It is also noisy
+# run-to-run (the p99 of 65536 samples is its ~655 worst, and one
+# scheduling hiccup moves it), so both sides hedge the same way
+# loadgen-regress.sh does: CACHE_REBASELINE=1 records the WORST p99 of
+# three runs as the baseline, and the gate passes if ANY of up to three
+# attempts lands within the 20% limit — a genuine regression is persistent
+# across attempts, scheduler jitter is not.
+#
+# Allocations are not hedged: the hit path is pinned allocation-free by
+# construction (the baseline says 0, and 20% over 0 is still 0), so any
+# measured allocation fails every attempt.
+#
+# Baseline: scripts/cache-baseline.json ({"keys":...,"zipf":...,
+# "p99_ns":...,"allocs_per_op":...}). Regenerate with CACHE_REBASELINE=1
+# after a deliberate performance change.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+baseline="scripts/cache-baseline.json"
+
+want_p99=$(sed -n 's/.*"p99_ns":\([0-9]*\).*/\1/p' "$baseline")
+want_allocs=$(sed -n 's/.*"allocs_per_op":\([0-9.]*\).*/\1/p' "$baseline")
+[ -n "$want_p99" ] && [ -n "$want_allocs" ] || {
+	echo "cache-regress: cannot parse $baseline" >&2
+	exit 1
+}
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+# run_point — one reference-point run; sets $got_p99 and $got_allocs.
+run_point() {
+	INFOGRAM_CACHEBENCH=1 INFOGRAM_CACHEBENCH_OUT="$tmp/point.json" \
+		go test -count=1 -run '^TestCacheHitPathReference$' ./internal/core/
+	got_p99=$(sed -n 's/.*"p99_ns":\([0-9]*\).*/\1/p' "$tmp/point.json")
+	got_allocs=$(sed -n 's/.*"allocs_per_op":\([0-9.]*\).*/\1/p' "$tmp/point.json")
+	[ -n "$got_p99" ] && [ -n "$got_allocs" ] || {
+		echo "cache-regress: no result in $tmp/point.json" >&2
+		exit 1
+	}
+}
+
+echo "== cache hit-path reference point: 1M keys, Zipf(1.1) =="
+
+if [ "${CACHE_REBASELINE:-}" = "1" ]; then
+	worst_p99=0
+	worst_allocs=0
+	for attempt in 1 2 3; do
+		run_point
+		echo "attempt $attempt: p99=${got_p99}ns allocs/op=${got_allocs}"
+		[ "$got_p99" -gt "$worst_p99" ] && worst_p99=$got_p99
+		worst_allocs=$(awk -v a="$worst_allocs" -v b="$got_allocs" \
+			'BEGIN { print (b > a) ? b : a }')
+	done
+	keys=$(sed -n 's/.*"keys":\([0-9]*\).*/\1/p' "$tmp/point.json")
+	zipf=$(sed -n 's/.*"zipf":\([0-9.]*\).*/\1/p' "$tmp/point.json")
+	printf '{"keys":%s,"zipf":%s,"p99_ns":%s,"allocs_per_op":%s}\n' \
+		"$keys" "$zipf" "$worst_p99" "$worst_allocs" >"$baseline"
+	echo "ok: baseline rewritten: p99=${worst_p99}ns allocs/op=${worst_allocs} (worst of 3)"
+	exit 0
+fi
+
+# The gate: p99 may not exceed baseline by more than 20% and allocs/op may
+# not exceed the baseline by more than 20% (0 stays 0) on the best of up to
+# three attempts.
+p99_limit=$((want_p99 + want_p99 / 5))
+allocs_limit=$(awk -v a="$want_allocs" 'BEGIN { print a * 1.2 }')
+for attempt in 1 2 3; do
+	run_point
+	echo "attempt $attempt: p99=${got_p99}ns (limit ${p99_limit}ns)" \
+		"allocs/op=${got_allocs} (limit ${allocs_limit})"
+	ok=$(awk -v p="$got_p99" -v pl="$p99_limit" -v a="$got_allocs" -v al="$allocs_limit" \
+		'BEGIN { print (p <= pl && a <= al) ? 1 : 0 }')
+	if [ "$ok" = "1" ]; then
+		echo "ok: hit-path p99 and allocs within 20% of baseline"
+		exit 0
+	fi
+done
+echo "FAIL: cache hit path regressed >20% on all attempts (last p99=${got_p99}ns > ${p99_limit}ns or allocs=${got_allocs} > ${allocs_limit})" >&2
+exit 1

@@ -40,6 +40,7 @@ for target in \
 	FuzzFrameDecode:./internal/wire \
 	FuzzRejectFrameDecode:./internal/wire \
 	FuzzParseXRSL:./internal/xrsl \
+	FuzzParseFilter:./internal/mds \
 	FuzzReplay:./internal/logging; do
 	name=${target%%:*}
 	pkg=${target#*:}
