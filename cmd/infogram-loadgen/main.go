@@ -38,6 +38,7 @@ func main() {
 		fabricDir   = flag.String("fabric", "./fabric", "security fabric directory (must match the server's)")
 		rate        = flag.Float64("rate", 100, "offered arrival rate, requests/second")
 		duration    = flag.Duration("duration", 10*time.Second, "how long to offer arrivals")
+		warmup      = flag.Duration("warmup", 0, "offer arrivals at the same rate for this long before measuring; warmup outcomes are excluded from every reported number, and the cache hit-ratio baseline is taken after it")
 		mixSpec     = flag.String("mix", loadgen.DefaultMix.String(), "per-verb weights, e.g. ping=6,info=3,submit=0,status=1")
 		poolSize    = flag.Int("pool", 16, "connection pool size (the client-side queue)")
 		timeout     = flag.Duration("timeout", 5*time.Second, "per-request deadline, pool checkout wait included")
@@ -66,6 +67,7 @@ func main() {
 		Trust:          fabric.Trust,
 		Rate:           *rate,
 		Duration:       *duration,
+		Warmup:         *warmup,
 		Mix:            mix,
 		PoolSize:       *poolSize,
 		RequestTimeout: *timeout,

@@ -20,6 +20,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"infogram/internal/bootstrap"
 	"infogram/internal/config"
@@ -64,6 +65,9 @@ func main() {
 		cacheTTL    = flag.Duration("cache-ttl", 0, "enable the sharded response cache: rendered info bodies served zero-copy for up to this long, capped by each covered provider's TTL (0 disables)")
 		cacheShards = flag.Int("cache-shards", 0, "response-cache shard count, rounded up to a power of two (0 = 64)")
 		cacheMaxB   = flag.Int64("cache-max-bytes", 0, "response-cache total byte budget (0 = 256 MiB)")
+		cacheSnap   = flag.Duration("cache-snapshot-interval", time.Minute, "background response-cache snapshot period into -state-dir; restarts restore the snapshot and serve previously cached answers warm (needs -cache-ttl and -state-dir; 0 snapshots only on shutdown)")
+		refreshFrac = flag.Float64("refresh-ahead", 0, "refresh-ahead threshold as a fraction of entry TTL: hot cached answers past it are re-collected in the background so they never expire under load (e.g. 0.8; 0 disables)")
+		refreshWk   = flag.Int("refresh-workers", 0, "bound on concurrent background refresh fills (0 = 2)")
 		faults      = flag.String("faultpoints", os.Getenv("INFOGRAM_FAULTPOINTS"),
 			"arm fault-injection failpoints, e.g. 'wire.read=delay(100ms),provider.collect=hang' (also via INFOGRAM_FAULTPOINTS)")
 	)
@@ -169,22 +173,26 @@ func main() {
 			Func:  fn,
 			Queue: queue,
 		},
-		Log:                logger,
-		Journal:            jnl,
-		Telemetry:          tel,
-		TraceOptions:       telemetry.TracerOptionsFromFlags(*traceSample, *traceSlow),
-		RequestTimeout:     *reqTO,
-		ProviderTimeout:    *provTO,
-		CollectParallelism: *collectP,
-		ConnParallelism:    *connP,
-		Quota:              quota,
-		MaxInflight:        *maxInflight,
-		ShedQueue:          *shedQueue,
-		QueueTimeout:       *queueTO,
-		SubmitBacklog:      *submitBL,
-		CacheTTL:           *cacheTTL,
-		CacheShards:        *cacheShards,
-		CacheMaxBytes:      *cacheMaxB,
+		Log:                   logger,
+		Journal:               jnl,
+		Telemetry:             tel,
+		TraceOptions:          telemetry.TracerOptionsFromFlags(*traceSample, *traceSlow),
+		RequestTimeout:        *reqTO,
+		ProviderTimeout:       *provTO,
+		CollectParallelism:    *collectP,
+		ConnParallelism:       *connP,
+		Quota:                 quota,
+		MaxInflight:           *maxInflight,
+		ShedQueue:             *shedQueue,
+		QueueTimeout:          *queueTO,
+		SubmitBacklog:         *submitBL,
+		CacheTTL:              *cacheTTL,
+		CacheShards:           *cacheShards,
+		CacheMaxBytes:         *cacheMaxB,
+		CacheStateDir:         *stateDir,
+		CacheSnapshotInterval: *cacheSnap,
+		RefreshAhead:          *refreshFrac,
+		RefreshWorkers:        *refreshWk,
 	})
 	bound, err := svc.Listen(*addr)
 	if err != nil {

@@ -12,8 +12,10 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
+	"time"
 
 	"infogram/internal/bootstrap"
 	"infogram/internal/config"
@@ -36,6 +38,8 @@ func main() {
 		cacheTTL    = flag.Duration("cache-ttl", 0, "enable the sharded response cache: rendered LDIF bodies served zero-copy for up to this long, capped by each covered provider's TTL (0 disables)")
 		cacheShards = flag.Int("cache-shards", 0, "response-cache shard count, rounded up to a power of two (0 = 64)")
 		cacheMaxB   = flag.Int64("cache-max-bytes", 0, "response-cache total byte budget (0 = 256 MiB)")
+		stateDir    = flag.String("state-dir", "", "durable cache-state directory: the GRIS (and GIIS) response caches snapshot here and restore warm on restart (needs -cache-ttl; empty = memory only)")
+		cacheSnap   = flag.Duration("cache-snapshot-interval", time.Minute, "background cache snapshot period into -state-dir (0 snapshots only on shutdown)")
 	)
 	flag.Parse()
 
@@ -81,6 +85,18 @@ func main() {
 		CacheMaxBytes: *cacheMaxB,
 		Telemetry:     tel,
 	})
+	if *stateDir != "" {
+		if p := gris.NewPersister(filepath.Join(*stateDir, "gris.snap"), *cacheSnap); p != nil {
+			p.SetTelemetry(tel)
+			if st, err := p.Restore(); err != nil {
+				log.Printf("gris cache: cold start: %v", err)
+			} else if st.Restored > 0 {
+				fmt.Printf("mds: GRIS cache restored %d entries\n", st.Restored)
+			}
+			p.Start()
+			defer p.Close()
+		}
+	}
 	bound, err := gris.Listen(*addr)
 	if err != nil {
 		log.Fatalf("listen: %v", err)
@@ -106,6 +122,21 @@ func main() {
 		for _, m := range strings.Split(*members, ",") {
 			if m = strings.TrimSpace(m); m != "" {
 				giis.Register(m)
+			}
+		}
+		// Restore strictly after the members are registered: the snapshot is
+		// gated on a digest of the member set, so a memberless restore would
+		// refuse it.
+		if *stateDir != "" {
+			if p := giis.NewPersister(filepath.Join(*stateDir, "giis.snap"), *cacheSnap); p != nil {
+				p.SetTelemetry(tel)
+				if st, err := p.Restore(); err != nil {
+					log.Printf("giis cache: cold start: %v", err)
+				} else if st.Restored > 0 {
+					fmt.Printf("mds: GIIS cache restored %d entries\n", st.Restored)
+				}
+				p.Start()
+				defer p.Close()
 			}
 		}
 		fmt.Printf("mds: GIIS on %s (%d members)\n", giisBound, len(giis.Members()))

@@ -87,7 +87,9 @@ type slot struct {
 	klen   uint32
 	vlen   uint32
 	expire int64  // unix nanos; 0 = no expiry
+	stored int64  // unix nanos when the entry was written
 	tick   uint64 // shard LRU clock at last access
+	hits   uint32 // reads since stored (halved on overwrite, saturating)
 }
 
 func (s slot) size() int64 { return int64(s.klen) + int64(s.vlen) }
@@ -276,12 +278,42 @@ func (c *Cache) Get(key []byte) ([]byte, bool) {
 	}
 	s.tick++
 	sl.tick = s.tick
+	if sl.hits != ^uint32(0) {
+		sl.hits++
+	}
 	s.index[h] = sl
 	v := s.arena[sl.off+int64(sl.klen) : sl.off+sl.size()]
 	s.hits++
 	s.mu.Unlock()
 	c.hitsC.Inc()
 	return v, true
+}
+
+// EntryInfo describes a resident entry's freshness and popularity, for the
+// refresh-ahead scanner. It is a pure read: no hit/miss accounting, no LRU
+// tick bump, no expired-entry reaping.
+type EntryInfo struct {
+	Stored int64  // unix nanos when the entry was written
+	Expire int64  // unix nanos; 0 = no expiry
+	Hits   uint32 // reads since stored (halved on overwrite)
+}
+
+// Info reports the freshness metadata of the entry under key. The second
+// result is false when the key is absent or already expired.
+func (c *Cache) Info(key []byte) (EntryInfo, bool) {
+	h := hashBytes(key)
+	s := &c.shards[h&c.mask]
+	now := c.clk.Now().UnixNano()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sl, ok := s.index[h]
+	if !ok || (sl.expire > 0 && now > sl.expire) {
+		return EntryInfo{}, false
+	}
+	if !bytes.Equal(s.arena[sl.off:sl.off+int64(sl.klen)], key) {
+		return EntryInfo{}, false
+	}
+	return EntryInfo{Stored: sl.stored, Expire: sl.expire, Hits: sl.hits}, true
 }
 
 // Set stores value under key with the given ttl (zero selects the
@@ -294,18 +326,30 @@ func (c *Cache) Set(key, value []byte, ttl time.Duration) {
 	if ttl == 0 {
 		ttl = c.defTTL
 	}
+	now := c.clk.Now()
 	var expire int64
 	if ttl > 0 {
-		expire = c.clk.Now().Add(ttl).UnixNano()
+		expire = now.Add(ttl).UnixNano()
 	}
+	c.put(key, value, now.UnixNano(), expire)
+}
+
+// put is the shared store path behind Set and snapshot restore: stored and
+// expire are absolute timestamps (expire 0 = no expiry).
+func (c *Cache) put(key, value []byte, stored, expire int64) {
 	h := hashBytes(key)
 	s := &c.shards[h&c.mask]
 	size := int64(len(key)) + int64(len(value))
 
 	s.mu.Lock()
+	// An overwrite of a hot entry (the refresh-ahead swap) keeps half the
+	// accumulated hit count, so popularity survives the refresh with decay
+	// instead of resetting to cold every cycle.
+	var carried uint32
 	if old, ok := s.index[h]; ok {
 		// Overwrite (same key or 64-bit collision): the old bytes die but
 		// the index entry survives until replaced below.
+		carried = old.hits / 2
 		s.live -= old.size()
 		s.dead += old.size()
 		c.residentG.Add(-old.size())
@@ -330,7 +374,9 @@ func (c *Cache) Set(key, value []byte, ttl time.Duration) {
 			klen:   uint32(len(key)),
 			vlen:   uint32(len(value)),
 			expire: expire,
+			stored: stored,
 			tick:   s.tick,
+			hits:   carried,
 		}
 		s.live += size
 		s.sets++
@@ -511,3 +557,70 @@ func (c *Cache) ShardStats() []Stats {
 
 // Shards returns the shard count.
 func (c *Cache) Shards() int { return len(c.shards) }
+
+// View is one live entry yielded by Range. Key and Value alias the shard
+// arena: they are read-only but stay valid indefinitely (arenas are never
+// mutated in place).
+type View struct {
+	Key    []byte
+	Value  []byte
+	Stored int64 // unix nanos when the entry was written
+	Expire int64 // unix nanos; 0 = no expiry
+	Hits   uint32
+}
+
+// Range calls fn for every live, unexpired entry until fn returns false.
+// Entries are gathered one shard at a time under that shard's lock, and fn
+// runs after the lock is released, so fn may take as long as it likes (and
+// may call back into the cache) without stalling readers. The snapshot it
+// sees is consistent per shard, not across shards — exactly the guarantee
+// a periodic snapshotter needs.
+func (c *Cache) Range(fn func(View) bool) {
+	var views []View
+	now := c.clk.Now().UnixNano()
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		views = views[:0]
+		if cap(views) < len(s.index) {
+			views = make([]View, 0, len(s.index))
+		}
+		for _, sl := range s.index {
+			if sl.expire > 0 && now > sl.expire {
+				continue
+			}
+			views = append(views, View{
+				Key:    s.arena[sl.off : sl.off+int64(sl.klen) : sl.off+int64(sl.klen)],
+				Value:  s.arena[sl.off+int64(sl.klen) : sl.off+sl.size() : sl.off+sl.size()],
+				Stored: sl.stored,
+				Expire: sl.expire,
+				Hits:   sl.hits,
+			})
+		}
+		s.mu.Unlock()
+		for _, v := range views {
+			if !fn(v) {
+				return
+			}
+		}
+	}
+}
+
+// Clear drops every entry and releases every arena — the cold-start path
+// taken when a snapshot restore finds corruption. Counters (hits, misses,
+// sets) survive; occupancy gauges go to zero.
+func (c *Cache) Clear() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		c.entriesG.Add(-int64(len(s.index)))
+		c.residentG.Add(-s.live)
+		c.deadG.Add(-s.dead)
+		s.index = make(map[uint64]slot)
+		s.arena = nil
+		s.live = 0
+		s.dead = 0
+		s.publishLocked()
+		s.mu.Unlock()
+	}
+}

@@ -151,6 +151,11 @@ type Result struct {
 	// FromCache is true when the value was served without executing the
 	// provider in this call.
 	FromCache bool
+	// Stale is true when the value was served past its TTL — the
+	// degraded-collection fallback that prefers marked stale data over no
+	// data during a provider outage. Stale results are never cached
+	// downstream.
+	Stale bool
 }
 
 // Stats is an entry's counters, used by the E5 experiment to count
@@ -249,6 +254,25 @@ func (e *Entry) Query() (Result, error) {
 	}
 	e.hitLocked()
 	return e.resultLocked(now, true), nil
+}
+
+// StaleResult returns whatever value is stored, regardless of TTL, with
+// Result.Stale set when the TTL has lapsed. It never executes the
+// provider: this is the outage fallback CollectDegraded reaches for when
+// an execution has just failed, so "serve the last known value, marked" is
+// the entire point. The second result is false when nothing was ever
+// fetched.
+func (e *Entry) StaleResult() (Result, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.hasValue {
+		return Result{}, false
+	}
+	now := e.opts.Clock.Now()
+	e.hitLocked()
+	r := e.resultLocked(now, true)
+	r.Stale = !e.freshLocked(now, 0)
+	return r, true
 }
 
 // Update is the paper's blocking updateState: it refreshes the value

@@ -85,14 +85,19 @@ func (e *infoEngine) Answer(ctx context.Context, req *xrsl.InfoRequest) (body st
 const DegradedObjectClass = "InfoGramStatus"
 
 // degradedEntry builds the status entry that flags a partial reply: one
-// "missing" attribute per unanswered keyword plus the provider error that
+// "missing" attribute per unanswered keyword — or "stale" when the last
+// known value was served in its place — plus the provider error that
 // caused it.
 func degradedEntry(resource string, missing []provider.DegradedKeyword) ldif.Entry {
 	entry := ldif.Entry{DN: fmt.Sprintf("status=degraded, resource=%s, o=grid", resource)}
 	entry.Add("objectclass", DegradedObjectClass)
 	entry.Add("degraded", "true")
 	for _, d := range missing {
-		entry.Add("missing", d.Keyword)
+		if d.Stale {
+			entry.Add("stale", d.Keyword)
+		} else {
+			entry.Add("missing", d.Keyword)
+		}
 		entry.Add("error:"+strings.ToLower(d.Keyword), d.Err.Error())
 	}
 	return entry
@@ -108,6 +113,11 @@ func (e *infoEngine) augmentQuality(entries []ldif.Entry, reports []provider.Rep
 		// force base64 in LDIF.
 		entries[i].Add("quality:age", fmt.Sprintf("%.6fs", reports[i].Result.Age.Seconds()))
 		entries[i].Add("quality:fromCache", strconv.FormatBool(reports[i].Result.FromCache))
+		if reports[i].Result.Stale {
+			// Served past its TTL during a provider outage — the client
+			// sees exactly which keyword blocks are beyond their lifetime.
+			entries[i].Add("quality:stale", "true")
+		}
 		if g, ok := e.registry.Lookup(reports[i].Keyword); ok && g.Degradation() != nil {
 			entries[i].Add("quality:function", g.Degradation().Name())
 			// Self-correcting functions expose their observed drift, the

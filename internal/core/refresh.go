@@ -1,0 +1,215 @@
+package core
+
+import (
+	"context"
+	"encoding/binary"
+	"sync"
+	"time"
+
+	"infogram/internal/cache"
+	"infogram/internal/clock"
+	"infogram/internal/telemetry"
+)
+
+// The refresh-ahead pool keeps hot response-cache entries from ever
+// expiring under load: a scanner walks the tracked candidates, and entries
+// that are both popular (enough hits since the last fill) and old (past
+// the configured fraction of their TTL) are re-executed through the
+// ordinary fill path — infoEngine.Answer in Immediate mode, which still
+// coalesces through each provider's single-flight Entry and is still
+// suppressed by the §6.2 minimum inter-execution delay, so refresh-ahead
+// can never hammer a provider harder than the paper allows. The rendered
+// blob is swapped in place under the original key; readers keep hitting
+// the whole time. The result: a steady-state hot key pays the provider
+// path in the background, never on a request, and its p99 is the hit path.
+
+const (
+	// refreshMinHits is how many reads an entry must have absorbed since
+	// its last fill to be worth refreshing — one-hit wonders expire.
+	refreshMinHits = 2
+	// refreshQueue bounds the scanner→worker queue; a full queue skips the
+	// entry until the next scan (the global rate limit).
+	refreshQueue = 64
+	// refreshTimeout bounds one background fill when the service has no
+	// RequestTimeout of its own.
+	refreshTimeout = 30 * time.Second
+)
+
+// refresher owns the scanner goroutine and the bounded worker pool.
+type refresher struct {
+	rc    *respCache
+	info  *infoEngine
+	clk   clock.Clock
+	frac  float64 // refresh once elapsed >= frac * lifetime
+	every time.Duration
+	fill  time.Duration // per-refresh deadline
+
+	queue    chan *trackedReq
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+
+	refreshed *telemetry.Counter
+	failed    *telemetry.Counter
+	skipped   *telemetry.Counter
+	trackedG  *telemetry.Gauge
+}
+
+// newRefresher builds the pool. frac is clamped to [0.1, 0.95]; workers
+// defaults to 2.
+func newRefresher(rc *respCache, info *infoEngine, clk clock.Clock, frac float64, workers int, fill time.Duration) *refresher {
+	if frac < 0.1 {
+		frac = 0.1
+	}
+	if frac > 0.95 {
+		frac = 0.95
+	}
+	if workers <= 0 {
+		workers = 2
+	}
+	if fill <= 0 {
+		fill = refreshTimeout
+	}
+	// Scan often enough that an entry is seen a few times inside its
+	// refresh window (the last (1-frac) of its life), bounded to stay
+	// cheap for long TTLs and sane for very short ones.
+	every := time.Duration(float64(rc.ttl) * (1 - frac) / 4)
+	if every < 10*time.Millisecond {
+		every = 10 * time.Millisecond
+	}
+	if every > 5*time.Second {
+		every = 5 * time.Second
+	}
+	r := &refresher{
+		rc:    rc,
+		info:  info,
+		clk:   clk,
+		frac:  frac,
+		every: every,
+		fill:  fill,
+		queue: make(chan *trackedReq, refreshQueue),
+		stop:  make(chan struct{}),
+	}
+	for i := 0; i < workers; i++ {
+		go r.worker()
+	}
+	return r
+}
+
+// setTelemetry binds the pool's counters.
+func (r *refresher) setTelemetry(reg *telemetry.Registry) {
+	if r == nil || reg == nil {
+		return
+	}
+	r.refreshed = reg.Counter("infogram_refresh_ahead_total",
+		"hot cache entries proactively refreshed before TTL expiry")
+	r.failed = reg.Counter("infogram_refresh_ahead_errors_total",
+		"refresh-ahead fills that failed or came back degraded")
+	r.skipped = reg.Counter("infogram_refresh_ahead_skipped_total",
+		"refresh-ahead candidates deferred because the worker queue was full")
+	r.trackedG = reg.Gauge("infogram_refresh_ahead_tracked",
+		"entries currently tracked as refresh-ahead candidates")
+}
+
+// start launches the scanner loop.
+func (r *refresher) start() {
+	r.done = make(chan struct{})
+	go func() {
+		defer close(r.done)
+		t := time.NewTicker(r.every)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				r.scan()
+			case <-r.stop:
+				return
+			}
+		}
+	}()
+}
+
+// close stops the scanner and the workers. Idempotent.
+func (r *refresher) close() {
+	if r == nil {
+		return
+	}
+	r.stopOnce.Do(func() {
+		close(r.stop)
+		if r.done != nil {
+			<-r.done
+		}
+		close(r.queue)
+	})
+}
+
+// scan walks the tracked candidates once, pruning dead ones and queueing
+// the hot-and-aging ones.
+func (r *refresher) scan() {
+	now := r.clk.Now().UnixNano()
+	gen := r.rc.reg.Generation()
+	cands := r.rc.candidates(nil)
+	r.trackedG.Set(int64(len(cands)))
+	for _, t := range cands {
+		// A membership change orphaned the key: the entry is unreachable
+		// and a refresh would resurrect data under dead keys.
+		if len(t.key) < 8 || binary.LittleEndian.Uint64(t.key) != gen {
+			r.rc.untrack(t)
+			continue
+		}
+		info, ok := r.rc.c.Info(t.key)
+		if !ok {
+			// Expired or evicted; the next request-path miss re-tracks it.
+			r.rc.untrack(t)
+			continue
+		}
+		if info.Hits < refreshMinHits || info.Expire <= info.Stored {
+			continue
+		}
+		if now-info.Stored < int64(r.frac*float64(info.Expire-info.Stored)) {
+			continue
+		}
+		if !t.inflight.CompareAndSwap(false, true) {
+			continue // already queued or refreshing
+		}
+		select {
+		case r.queue <- t:
+		default:
+			t.inflight.Store(false)
+			r.skipped.Inc()
+		}
+	}
+}
+
+// worker drains the queue, re-executing fills.
+func (r *refresher) worker() {
+	for t := range r.queue {
+		r.refresh(t)
+		t.inflight.Store(false)
+	}
+}
+
+// refresh re-executes one entry's fill and swaps the blob in place.
+func (r *refresher) refresh(t *trackedReq) {
+	ctx, cancel := context.WithTimeout(context.Background(), r.fill)
+	defer cancel()
+	// Immediate mode forces the provider executions the refresh exists
+	// for; each provider's Entry still coalesces with concurrent request
+	// fills and still serves its cached value when the §6.2 delay has not
+	// elapsed, so the per-provider execution rate is bounded exactly as it
+	// is for clients.
+	fresh := *t.req
+	fresh.Response = cache.Immediate
+	body, empty, degraded, err := r.info.Answer(ctx, &fresh)
+	if err != nil || degraded {
+		// Providers are down; the entry keeps aging toward its TTL, and if
+		// it expires the request path's CollectDegraded serves the
+		// provider cache's last value, marked stale.
+		r.failed.Inc()
+		return
+	}
+	// Stored under the original request (and its original response mode),
+	// so the key — including the mode byte — matches what clients look up.
+	r.rc.store(t.req, body, empty)
+	r.refreshed.Inc()
+}

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"infogram/internal/bytecache"
+	"infogram/internal/clock"
+	"infogram/internal/provider"
+	"infogram/internal/xrsl"
+)
+
+// waitFor polls cond until it holds or the deadline lapses — the refresh
+// workers run on real goroutines even when the cache clock is fake.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestRespCacheNegativeTTLFloor pins the regression: a small -cache-ttl
+// used to shrink the default negative TTL toward zero (ttl/4), making
+// failed and empty answers effectively uncacheable — the exact flood the
+// negative cache exists to absorb. The default now floors at one second,
+// capped by the cache TTL itself.
+func TestRespCacheNegativeTTLFloor(t *testing.T) {
+	clk := clock.NewFake(time.Unix(5000, 0))
+	reg := respTestRegistry(clk)
+	cases := []struct {
+		ttl, want time.Duration
+	}{
+		{40 * time.Second, 10 * time.Second},             // ttl/4 above the floor: unchanged
+		{2 * time.Second, time.Second},                   // ttl/4 = 500ms: floored to 1s
+		{500 * time.Millisecond, 500 * time.Millisecond}, // floor capped at the cache TTL
+	}
+	for _, tc := range cases {
+		rc := newRespCache(reg, 4, 1<<20, tc.ttl, 0, clk)
+		if rc.negTTL != tc.want {
+			t.Errorf("ttl=%v: negTTL = %v; want %v", tc.ttl, rc.negTTL, tc.want)
+		}
+	}
+	// An explicit negative TTL is never second-guessed.
+	if rc := newRespCache(reg, 4, 1<<20, time.Minute, 3*time.Second, clk); rc.negTTL != 3*time.Second {
+		t.Errorf("explicit negTTL = %v; want 3s", rc.negTTL)
+	}
+
+	// Behavioral check at ttl=2s: before the floor, a negative entry died
+	// after 500ms; it must now survive most of a second.
+	rc := newRespCache(reg, 4, 1<<20, 2*time.Second, 0, clk)
+	req := &xrsl.InfoRequest{Keywords: []string{"Ghost"}}
+	rc.storeNegative(req, `provider: unknown keyword "Ghost"`)
+	clk.Advance(900 * time.Millisecond)
+	if _, neg, ok := rc.lookup(req); !ok || neg == "" {
+		t.Fatal("negative entry expired before the 1s floor")
+	}
+	clk.Advance(200 * time.Millisecond)
+	if _, _, ok := rc.lookup(req); ok {
+		t.Fatal("negative entry outlived the floored TTL")
+	}
+}
+
+// TestRespCachePersistRoundTrip drives the snapshot lifecycle the way a
+// restart does: one respCache snapshots, a second one — same provider
+// population reached through a different registration history — restores
+// warm with its keys re-stamped to the new generation, and a third with a
+// different population refuses the snapshot and stays cold.
+func TestRespCachePersistRoundTrip(t *testing.T) {
+	clk := clock.NewFake(time.Unix(5000, 0))
+	path := filepath.Join(t.TempDir(), "respcache.snap")
+
+	reg1 := respTestRegistry(clk)
+	rc1 := newRespCache(reg1, 4, 1<<20, time.Minute, 0, clk)
+	req := &xrsl.InfoRequest{Keywords: []string{"Memory"}, Filter: "Memory:*"}
+	negReq := &xrsl.InfoRequest{Keywords: []string{"Ghost"}}
+	rc1.store(req, "warm-body", false)
+	rc1.storeNegative(negReq, `provider: unknown keyword "Ghost"`)
+	if err := rc1.newPersister(path, 0, clk).Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: the same keywords and TTLs, but extra registration churn so
+	// the generation counter differs — exactly what GenKeyMapper re-stamps.
+	reg2 := respTestRegistry(clk)
+	reg2.Register(provider.NewFuncProvider("Temp", func(ctx context.Context) (provider.Attributes, error) {
+		return nil, nil
+	}), provider.RegisterOptions{TTL: time.Minute, Clock: clk})
+	reg2.Unregister("Temp")
+	if reg2.Generation() == reg1.Generation() {
+		t.Fatal("test needs distinct registry generations")
+	}
+	rc2 := newRespCache(reg2, 4, 1<<20, time.Minute, 0, clk)
+	st, err := rc2.newPersister(path, 0, clk).Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Restored != 2 || st.DroppedExpired != 0 || st.DroppedKey != 0 {
+		t.Fatalf("restore stats = %+v; want 2 restored", st)
+	}
+	if body, _, ok := rc2.lookup(req); !ok || body != "warm-body" {
+		t.Fatalf("restored lookup = (%q, %v); want warm-body hit", body, ok)
+	}
+	if _, neg, ok := rc2.lookup(negReq); !ok || neg == "" {
+		t.Fatal("restored negative entry not served")
+	}
+
+	// A restart after the entries' deadlines drops them: original deadlines
+	// travel in the snapshot, never extended. Memory's 10s provider TTL has
+	// lapsed; the negative entry (15s) is still alive.
+	clk.Advance(11 * time.Second)
+	rc3 := newRespCache(reg2, 4, 1<<20, time.Minute, 0, clk)
+	st, err = rc3.newPersister(path, 0, clk).Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Restored != 1 || st.DroppedExpired != 1 {
+		t.Fatalf("post-expiry restore stats = %+v; want 1 restored, 1 dropped", st)
+	}
+	if _, _, ok := rc3.lookup(req); ok {
+		t.Fatal("restore resurrected an entry past its deadline")
+	}
+
+	// A different provider population must refuse the snapshot wholesale:
+	// the digest gates acceptance before a single entry is read.
+	regOther := provider.NewRegistry(clk)
+	regOther.Register(provider.NewFuncProvider("Disk", func(ctx context.Context) (provider.Attributes, error) {
+		return provider.Attributes{{Name: "free", Value: "9"}}, nil
+	}), provider.RegisterOptions{TTL: time.Minute, Clock: clk})
+	rcOther := newRespCache(regOther, 4, 1<<20, time.Minute, 0, clk)
+	st, err = rcOther.newPersister(path, 0, clk).Restore()
+	if !errors.Is(err, bytecache.ErrSnapshotRejected) {
+		t.Fatalf("foreign-registry restore err = %v; want ErrSnapshotRejected", err)
+	}
+	if st.Restored != 0 || rcOther.stats().Entries != 0 {
+		t.Fatalf("foreign-registry restore brought entries back: %+v", st)
+	}
+}
+
+// TestRefreshAheadRefreshesHotEntry drives the full refresh-ahead loop
+// with a fake cache clock and manual scans: a hot entry (≥2 hits) past the
+// refresh fraction of its lifetime is re-executed through the provider in
+// the background and its blob swapped in place, so it outlives its
+// original deadline without any request paying the provider path.
+func TestRefreshAheadRefreshesHotEntry(t *testing.T) {
+	clk := clock.NewFake(time.Unix(9000, 0))
+	var calls atomic.Int32
+	reg := provider.NewRegistry(clk)
+	reg.Register(provider.NewFuncProvider("Hot", func(ctx context.Context) (provider.Attributes, error) {
+		return provider.Attributes{{Name: "n", Value: fmt.Sprint(calls.Add(1))}}, nil
+	}), provider.RegisterOptions{TTL: time.Hour, Clock: clk})
+	eng := &infoEngine{resource: "test.resource", registry: reg}
+	rc := newRespCache(reg, 4, 1<<20, 10*time.Second, 0, clk)
+	r := newRefresher(rc, eng, clk, 0.5, 1, time.Second)
+	defer r.close()
+
+	req := &xrsl.InfoRequest{Keywords: []string{"Hot"}}
+	body, empty, _, err := eng.Answer(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc.store(req, body, empty)
+	if calls.Load() != 1 {
+		t.Fatalf("provider calls after fill = %d", calls.Load())
+	}
+	rc.lookup(req)
+	rc.lookup(req) // two hits: hot
+
+	// Young entry: scanned but below the 50% elapsed threshold.
+	clk.Advance(2 * time.Second)
+	r.scan()
+	time.Sleep(50 * time.Millisecond)
+	if calls.Load() != 1 {
+		t.Fatal("entry refreshed before the elapsed-fraction threshold")
+	}
+
+	// 6s of its 10s lifetime gone: the scanner queues it, a worker
+	// re-executes the provider through the ordinary fill path and re-stores
+	// the blob with a fresh deadline.
+	clk.Advance(4 * time.Second)
+	storedAt := clk.Now().UnixNano()
+	r.scan()
+	waitFor(t, "background refresh", func() bool { return calls.Load() >= 2 })
+	waitFor(t, "refreshed blob store", func() bool {
+		info, ok := rc.c.Info(rc.appendKey(nil, req))
+		return ok && info.Stored == storedAt
+	})
+
+	// Past the original deadline (12s after the first store) the entry is
+	// still served — refresh-ahead reset the clock.
+	clk.Advance(6 * time.Second)
+	if _, _, ok := rc.lookup(req); !ok {
+		t.Fatal("hot entry expired despite refresh-ahead")
+	}
+}
+
+// TestRefreshAheadSkipsColdAndOrphaned: one-hit entries are left to
+// expire, and a membership change — which orphans every cached key —
+// prunes the candidate instead of refreshing into a dead generation.
+func TestRefreshAheadSkipsColdAndOrphaned(t *testing.T) {
+	clk := clock.NewFake(time.Unix(9000, 0))
+	var calls atomic.Int32
+	reg := provider.NewRegistry(clk)
+	reg.Register(provider.NewFuncProvider("Hot", func(ctx context.Context) (provider.Attributes, error) {
+		return provider.Attributes{{Name: "n", Value: fmt.Sprint(calls.Add(1))}}, nil
+	}), provider.RegisterOptions{TTL: time.Hour, Clock: clk})
+	eng := &infoEngine{resource: "test.resource", registry: reg}
+	rc := newRespCache(reg, 4, 1<<20, 10*time.Second, 0, clk)
+	r := newRefresher(rc, eng, clk, 0.5, 1, time.Second)
+	defer r.close()
+
+	req := &xrsl.InfoRequest{Keywords: []string{"Hot"}}
+	body, empty, _, err := eng.Answer(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc.store(req, body, empty)
+	rc.lookup(req) // one hit: not hot enough
+
+	clk.Advance(6 * time.Second)
+	r.scan()
+	time.Sleep(50 * time.Millisecond)
+	if calls.Load() != 1 {
+		t.Fatal("one-hit entry was refreshed")
+	}
+
+	// Membership churn: the tracked key's embedded generation is stale, so
+	// the scanner untracks it rather than refreshing unreachable data.
+	reg.Register(provider.NewFuncProvider("New", func(ctx context.Context) (provider.Attributes, error) {
+		return nil, nil
+	}), provider.RegisterOptions{TTL: time.Minute, Clock: clk})
+	r.scan()
+	if got := len(rc.candidates(nil)); got != 0 {
+		t.Fatalf("tracked candidates after generation bump = %d; want 0", got)
+	}
+	if calls.Load() != 1 {
+		t.Fatal("orphaned entry was refreshed")
+	}
+}

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"infogram/internal/bytecache"
@@ -40,8 +42,38 @@ type respCache struct {
 
 	scratch sync.Pool // *[]byte, reused for key and value assembly
 
+	// tracked remembers, per key hash, the request whose rendered answer
+	// was stored — enough for the refresh-ahead scanner to re-execute the
+	// fill and swap the blob before the TTL lapses. The map is bounded
+	// (maxTracked) and only touched on the store path and by the scanner,
+	// never on the hit path.
+	trackMu sync.Mutex
+	tracked map[uint64]*trackedReq
+
 	negHits *telemetry.Counter
 }
+
+// trackedReq is one refresh-ahead candidate: the cloned request and the
+// key it was cached under.
+type trackedReq struct {
+	req *xrsl.InfoRequest
+	key []byte
+	// inflight guards against queueing the same entry twice while a
+	// refresh is still running (1 while queued or executing).
+	inflight atomic.Bool
+}
+
+// maxTracked bounds the refresh-ahead candidate map. When full, new stores
+// are simply not tracked: the scanner prunes entries that expired or aged
+// out of the cache each cycle, and hot keys — re-stored on every refill —
+// re-enter the moment space frees up. An approximate top-K, not a
+// guarantee, which is all refresh-ahead needs.
+const maxTracked = 4096
+
+// minNegTTL floors the negative-TTL default: TTL/4 of a small -cache-ttl
+// would otherwise truncate toward zero and make empty or failed answers
+// effectively uncacheable — the exact flood they exist to absorb.
+const minNegTTL = time.Second
 
 // Value-blob flag bytes: every cached value is one flag byte followed by
 // the payload.
@@ -54,7 +86,10 @@ const (
 func newRespCache(reg *provider.Registry, shards int, maxBytes int64, ttl, negTTL time.Duration, clk clock.Clock) *respCache {
 	if negTTL <= 0 || negTTL > ttl {
 		negTTL = ttl / 4
-		if negTTL <= 0 {
+		if negTTL < minNegTTL {
+			negTTL = minNegTTL
+		}
+		if negTTL > ttl {
 			negTTL = ttl
 		}
 	}
@@ -73,6 +108,7 @@ func newRespCache(reg *provider.Registry, shards int, maxBytes int64, ttl, negTT
 		b := make([]byte, 0, 256)
 		return &b
 	}
+	rc.tracked = make(map[uint64]*trackedReq)
 	return rc
 }
 
@@ -151,6 +187,68 @@ func (rc *respCache) store(req *xrsl.InfoRequest, body string, empty bool) {
 		ttl = rc.negTTL
 	}
 	rc.put(req, respOK, body, ttl)
+	if !empty {
+		rc.track(req)
+	}
+}
+
+// track remembers req as a refresh-ahead candidate. Runs on the store
+// (miss) path, so its allocations are amortized against a provider
+// execution. When the map is full the entry is simply not tracked.
+func (rc *respCache) track(req *xrsl.InfoRequest) {
+	key := rc.appendKey(nil, req)
+	h := hashKey(key)
+	rc.trackMu.Lock()
+	if t, ok := rc.tracked[h]; ok {
+		// Same hash: refresh the key bytes (the generation stamp may have
+		// advanced) and keep the existing entry's inflight state.
+		t.key = key
+		rc.trackMu.Unlock()
+		return
+	}
+	if len(rc.tracked) >= maxTracked {
+		rc.trackMu.Unlock()
+		return
+	}
+	clone := *req
+	clone.Keywords = append([]string(nil), req.Keywords...)
+	rc.tracked[h] = &trackedReq{req: &clone, key: key}
+	rc.trackMu.Unlock()
+}
+
+// candidates appends every tracked entry to dst (scanner use).
+func (rc *respCache) candidates(dst []*trackedReq) []*trackedReq {
+	rc.trackMu.Lock()
+	for _, t := range rc.tracked {
+		dst = append(dst, t)
+	}
+	rc.trackMu.Unlock()
+	return dst
+}
+
+// untrack drops a candidate whose cache entry is gone or orphaned.
+func (rc *respCache) untrack(t *trackedReq) {
+	h := hashKey(t.key)
+	rc.trackMu.Lock()
+	if cur, ok := rc.tracked[h]; ok && cur == t {
+		delete(rc.tracked, h)
+	}
+	rc.trackMu.Unlock()
+}
+
+// hashKey mirrors the byte cache's FNV-1a so the tracker and the cache
+// agree on identity.
+func hashKey(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
 }
 
 // storeNegative caches a deterministic failure (an unknown keyword) under
@@ -206,3 +304,58 @@ func (rc *respCache) storeTTL(req *xrsl.InfoRequest) (time.Duration, bool) {
 
 // stats exposes the underlying cache aggregates (tests, debug).
 func (rc *respCache) stats() bytecache.Stats { return rc.c.Stats() }
+
+// registryDigest fingerprints the provider population — sorted keywords
+// and their TTLs — so a snapshot taken under one membership is never
+// trusted by a server configured with another. The generation counter
+// alone cannot carry this: it restarts at the same value for any
+// same-length registration sequence.
+func registryDigest(reg *provider.Registry) uint64 {
+	kws := reg.Keywords()
+	sort.Strings(kws)
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	for _, kw := range kws {
+		for i := 0; i < len(kw); i++ {
+			mix(kw[i])
+		}
+		mix(0)
+		var ttl int64
+		if g, ok := reg.Lookup(kw); ok {
+			ttl = int64(g.TTL())
+		}
+		for i := 0; i < 8; i++ {
+			mix(byte(ttl >> (8 * i)))
+		}
+	}
+	return h
+}
+
+// newPersister wires the byte cache's snapshot lifecycle to this cache's
+// invalidation scheme: the registry generation is embedded at offset 0 of
+// every key, so restore re-stamps it, and the registry digest gates
+// whether a snapshot is trusted at all.
+func (rc *respCache) newPersister(path string, interval time.Duration, clk clock.Clock) *bytecache.Persister {
+	return bytecache.NewPersister(rc.c, bytecache.PersistOptions{
+		Path:     path,
+		Interval: interval,
+		Name:     "resp",
+		Meta: func() bytecache.SnapshotMeta {
+			return bytecache.SnapshotMeta{
+				Generation: rc.reg.Generation(),
+				Digest:     registryDigest(rc.reg),
+			}
+		},
+		MapKey: func(snap, cur bytecache.SnapshotMeta) func([]byte, bytecache.SnapshotMeta) ([]byte, bool) {
+			return bytecache.GenKeyMapper(0, cur.Generation)
+		},
+		Clock: clk,
+	})
+}

@@ -25,6 +25,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"path/filepath"
+
+	"infogram/internal/bytecache"
 	"infogram/internal/clock"
 	"infogram/internal/gram"
 	"infogram/internal/gsi"
@@ -161,6 +164,28 @@ type Config struct {
 	// CacheMaxBytes is the response cache's total byte budget; 0 selects
 	// bytecache.DefaultMaxBytes.
 	CacheMaxBytes int64
+	// CacheStateDir, when set (and the cache is enabled), persists the
+	// response cache across restarts: a snapshot is restored at
+	// construction, written periodically (CacheSnapshotInterval) and on
+	// Close, so a restarted server answers previously hot keys warm
+	// instead of re-paying every provider. Entries are restored with their
+	// original deadlines (expired ones dropped), keys are re-stamped to
+	// the current registry generation, and a corrupt or foreign snapshot
+	// falls back to a cold start.
+	CacheStateDir string
+	// CacheSnapshotInterval is the period between background cache
+	// snapshots; 0 snapshots only at Close (a clean shutdown still
+	// restarts warm, a kill does not).
+	CacheSnapshotInterval time.Duration
+	// RefreshAhead, when in (0,1), proactively re-fills hot cache entries
+	// once that fraction of their TTL has elapsed: a bounded worker pool
+	// re-executes the provider collect + render through the single-flight
+	// fill path (still honouring each provider's §6.2 inter-execution
+	// delay) and swaps the blob in place, so steady-state hot keys never
+	// pay the provider path on a request. 0 disables.
+	RefreshAhead float64
+	// RefreshWorkers bounds concurrent refresh-ahead fills; 0 selects 2.
+	RefreshWorkers int
 	// ConnParallelism bounds concurrent request evaluation on one
 	// multiplexed connection: after a client negotiates MUX mode, up to
 	// this many of its requests execute at once (responses return by
@@ -187,6 +212,8 @@ type Service struct {
 	dialer  *gram.CallbackDialer
 	info    *infoEngine
 	resp    *respCache
+	persist *bytecache.Persister
+	refresh *refresher
 	instr   *instruments
 	gate    *gate
 
@@ -246,6 +273,24 @@ func NewService(cfg Config) *Service {
 		s.resp = newRespCache(cfg.Registry, cfg.CacheShards, cfg.CacheMaxBytes,
 			cfg.CacheTTL, cfg.CacheNegTTL, cfg.Clock)
 		s.resp.setTelemetry(cfg.Telemetry)
+		if cfg.CacheStateDir != "" {
+			// Restore happens here — after the self providers above are
+			// registered, so the registry digest the snapshot is checked
+			// against matches the one it was taken under; and before
+			// Listen, so the first request already hits warm.
+			s.persist = s.resp.newPersister(
+				filepath.Join(cfg.CacheStateDir, "respcache.snap"),
+				cfg.CacheSnapshotInterval, cfg.Clock)
+			s.persist.SetTelemetry(cfg.Telemetry)
+			_, _ = s.persist.Restore() // every failure mode is a cold start
+			s.persist.Start()
+		}
+		if cfg.RefreshAhead > 0 {
+			s.refresh = newRefresher(s.resp, s.info, cfg.Clock,
+				cfg.RefreshAhead, cfg.RefreshWorkers, cfg.RequestTimeout)
+			s.refresh.setTelemetry(cfg.Telemetry)
+			s.refresh.start()
+		}
 	}
 	s.server = wire.NewServer(wire.HandlerFunc(s.serveConn))
 	s.server.Instrument(s.instr.serverInstruments())
@@ -307,10 +352,20 @@ func (s *Service) Telemetry() *telemetry.Registry { return s.cfg.Telemetry }
 // Tracer returns the service's tracer (nil when tracing is disabled).
 func (s *Service) Tracer() *telemetry.Tracer { return s.cfg.Tracer }
 
+// SnapshotCache writes a response-cache snapshot now. A no-op (nil error)
+// when cache persistence is not configured.
+func (s *Service) SnapshotCache() error { return s.persist.Snapshot() }
+
 // Close shuts the service down.
 func (s *Service) Close() error {
 	s.dialer.Close()
+	s.refresh.close()
 	err := s.server.Close()
+	// The final snapshot runs after the server stops accepting requests,
+	// so it captures the cache's last state.
+	if perr := s.persist.Close(); err == nil && perr != nil {
+		err = perr
+	}
 	if jerr := s.cfg.Journal.Close(); err == nil {
 		err = jerr
 	}

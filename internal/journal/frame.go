@@ -1,0 +1,105 @@
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// The CRC frame format used by the write-ahead journal — a little-endian
+// uint32 payload length, a uint32 CRC-32C of the payload, then the payload
+// — is useful beyond job durability: the response-cache snapshots reuse it
+// so a torn or bit-flipped snapshot is detected the same way a torn
+// journal tail is. This file exports the framing as a small reader/writer
+// pair; the journal's own append and replay paths are built on it.
+
+// ErrTornFrame reports a frame cut short by the end of the stream: a
+// partial header or a payload shorter than its declared length. For an
+// append-only file this is the signature of a torn final write (process or
+// host died mid-append) and callers usually keep everything before it.
+var ErrTornFrame = errors.New("journal: torn frame")
+
+// ErrFrameCorrupt reports a structurally complete but damaged frame: CRC
+// mismatch or a length field beyond the reader's limit. Unlike a torn
+// tail, corruption gives no guarantee about anything that follows it.
+var ErrFrameCorrupt = errors.New("journal: corrupt frame")
+
+// BeginFrame appends the 8-byte frame-header placeholder to dst and
+// returns the extended slice. Build the payload by appending to the
+// result, then seal it with FinishFrame.
+func BeginFrame(dst []byte) []byte {
+	return append(dst, 0, 0, 0, 0, 0, 0, 0, 0)
+}
+
+// FinishFrame patches the length and CRC of a frame whose payload was
+// appended after BeginFrame. frame must be the full buffer starting at the
+// header placeholder.
+func FinishFrame(frame []byte) {
+	payload := frame[frameHeader:]
+	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(payload, crcTable))
+}
+
+// AppendFrame frames payload and appends the encoded frame to dst.
+func AppendFrame(dst, payload []byte) []byte {
+	frame := append(BeginFrame(dst), payload...)
+	FinishFrame(frame[len(dst):])
+	return frame
+}
+
+// FrameReader decodes consecutive CRC frames from a stream.
+type FrameReader struct {
+	r io.Reader
+	// max rejects absurd lengths before allocating (a corrupt header would
+	// otherwise demand gigabytes).
+	max     uint32
+	payload []byte
+	offset  int64
+}
+
+// NewFrameReader returns a reader over r. maxPayload bounds the accepted
+// payload length; 0 uses the journal's own record limit.
+func NewFrameReader(r io.Reader, maxPayload int) *FrameReader {
+	if maxPayload <= 0 {
+		maxPayload = maxRecordBytes
+	}
+	return &FrameReader{r: r, max: uint32(maxPayload)}
+}
+
+// Offset returns the stream offset of the next frame header — after an
+// error, the offset of the frame that failed.
+func (fr *FrameReader) Offset() int64 { return fr.offset }
+
+// Next returns the next frame's payload, valid until the following call.
+// It returns io.EOF at a clean end of stream, ErrTornFrame when the stream
+// ends mid-frame, and ErrFrameCorrupt on a CRC mismatch or oversized
+// length (both wrapped with detail).
+func (fr *FrameReader) Next() ([]byte, error) {
+	var header [frameHeader]byte
+	if _, err := io.ReadFull(fr.r, header[:]); err != nil {
+		if errors.Is(err, io.EOF) && err != io.ErrUnexpectedEOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: partial header at offset %d", ErrTornFrame, fr.offset)
+	}
+	n := binary.LittleEndian.Uint32(header[:4])
+	want := binary.LittleEndian.Uint32(header[4:])
+	if n > fr.max {
+		return nil, fmt.Errorf("%w: frame length %d exceeds limit %d at offset %d",
+			ErrFrameCorrupt, n, fr.max, fr.offset)
+	}
+	if cap(fr.payload) < int(n) {
+		fr.payload = make([]byte, n)
+	}
+	fr.payload = fr.payload[:n]
+	if _, err := io.ReadFull(fr.r, fr.payload); err != nil {
+		return nil, fmt.Errorf("%w: partial payload at offset %d", ErrTornFrame, fr.offset)
+	}
+	if crc32.Checksum(fr.payload, crcTable) != want {
+		return nil, fmt.Errorf("%w: CRC mismatch at offset %d", ErrFrameCorrupt, fr.offset)
+	}
+	fr.offset += frameHeader + int64(n)
+	return fr.payload, nil
+}

@@ -1,0 +1,88 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		[]byte("alpha"),
+		{},
+		bytes.Repeat([]byte{0xA5}, 4096),
+		[]byte("omega"),
+	}
+	var buf []byte
+	for _, p := range payloads {
+		buf = AppendFrame(buf, p)
+	}
+
+	fr := NewFrameReader(bytes.NewReader(buf), 0)
+	for i, want := range payloads {
+		got, err := fr.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: got %d bytes, want %d", i, len(got), len(want))
+		}
+	}
+	if _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("want io.EOF at clean end, got %v", err)
+	}
+	if fr.Offset() != int64(len(buf)) {
+		t.Fatalf("offset %d, want %d", fr.Offset(), len(buf))
+	}
+}
+
+func TestFrameBeginFinish(t *testing.T) {
+	frame := BeginFrame(nil)
+	frame = append(frame, "payload built in place"...)
+	FinishFrame(frame)
+
+	fr := NewFrameReader(bytes.NewReader(frame), 0)
+	got, err := fr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "payload built in place" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestFrameTornTail(t *testing.T) {
+	full := AppendFrame(AppendFrame(nil, []byte("first")), []byte("second"))
+	// Cut at every prefix length that severs the second frame: partial
+	// header and partial payload must both read as ErrTornFrame after the
+	// intact first frame.
+	firstLen := len(AppendFrame(nil, []byte("first")))
+	for cut := firstLen + 1; cut < len(full); cut++ {
+		fr := NewFrameReader(bytes.NewReader(full[:cut]), 0)
+		if _, err := fr.Next(); err != nil {
+			t.Fatalf("cut %d: first frame: %v", cut, err)
+		}
+		if _, err := fr.Next(); !errors.Is(err, ErrTornFrame) {
+			t.Fatalf("cut %d: want ErrTornFrame, got %v", cut, err)
+		}
+	}
+}
+
+func TestFrameCorruption(t *testing.T) {
+	frame := AppendFrame(nil, []byte("payload under test"))
+
+	// Flip one payload bit: CRC mismatch.
+	flipped := append([]byte(nil), frame...)
+	flipped[frameHeader+3] ^= 0x01
+	if _, err := NewFrameReader(bytes.NewReader(flipped), 0).Next(); !errors.Is(err, ErrFrameCorrupt) {
+		t.Fatalf("payload flip: want ErrFrameCorrupt, got %v", err)
+	}
+
+	// Oversized declared length: rejected before allocation.
+	huge := append([]byte(nil), frame...)
+	huge[3] = 0xFF
+	if _, err := NewFrameReader(bytes.NewReader(huge), 64).Next(); !errors.Is(err, ErrFrameCorrupt) {
+		t.Fatalf("oversize length: want ErrFrameCorrupt, got %v", err)
+	}
+}

@@ -40,7 +40,6 @@ package journal
 import (
 	"bufio"
 	"context"
-	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -382,11 +381,9 @@ func (j *Journal) append(ctx context.Context, e Entry) error {
 	}
 	// Encode into the journal's scratch buffer (safe under mu), framing
 	// header first so payload length and CRC can be patched in afterwards.
-	frame := appendEntry(append(j.encBuf[:0], 0, 0, 0, 0, 0, 0, 0, 0), e)
+	frame := appendEntry(BeginFrame(j.encBuf[:0]), e)
 	j.encBuf = frame
-	payload := frame[frameHeader:]
-	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
-	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(payload, crcTable))
+	FinishFrame(frame)
 	if j.segBytes > 0 && j.segBytes+int64(len(frame)) > j.opts.SegmentBytes {
 		if err := j.rotateLocked(); err != nil {
 			j.appendErrors.Inc()
@@ -854,38 +851,23 @@ func (j *Journal) replaySegment(path string, last bool) (torn bool, err error) {
 	}
 	defer f.Close()
 
-	var header [frameHeader]byte
-	var payload []byte
-	offset := int64(0)
+	fr := NewFrameReader(f, maxRecordBytes)
 	for {
-		if _, err := io.ReadFull(f, header[:]); err != nil {
+		payload, err := fr.Next()
+		if err != nil {
 			if errors.Is(err, io.EOF) {
 				return false, nil // clean end
 			}
-			// Partial header: torn write.
-			return j.tolerateTear(path, offset, last, "torn frame header")
-		}
-		n := binary.LittleEndian.Uint32(header[:4])
-		want := binary.LittleEndian.Uint32(header[4:])
-		if n > maxRecordBytes {
-			return j.tolerateTear(path, offset, last, fmt.Sprintf("frame length %d exceeds limit", n))
-		}
-		if cap(payload) < int(n) {
-			payload = make([]byte, n)
-		}
-		payload = payload[:n]
-		if _, err := io.ReadFull(f, payload); err != nil {
-			return j.tolerateTear(path, offset, last, "torn frame payload")
-		}
-		if crc32.Checksum(payload, crcTable) != want {
-			return j.tolerateTear(path, offset, last, "CRC mismatch")
+			// Torn tail and mid-file corruption get the same treatment the
+			// journal has always applied: forgivable only at the tail of the
+			// newest segment.
+			return j.tolerateTear(path, fr.Offset(), last, err.Error())
 		}
 		var e Entry
 		if err := json.Unmarshal(payload, &e); err != nil {
-			return j.tolerateTear(path, offset, last, "unparsable record")
+			return j.tolerateTear(path, fr.Offset(), last, "unparsable record")
 		}
 		j.applyLocked(e)
-		offset += frameHeader + int64(n)
 	}
 }
 

@@ -132,6 +132,13 @@ type Config struct {
 	// Duration is how long arrivals are offered; the run then drains
 	// outstanding requests (bounded by RequestTimeout).
 	Duration time.Duration
+	// Warmup, when positive, offers arrivals at the configured rate for
+	// this long before measurement begins. Warmup requests heat the
+	// connection pool and the server's caches but are excluded from every
+	// reported number: counters, latency quantiles, and the cache hit-ratio
+	// delta (whose baseline is probed after the warmup drains). Without it,
+	// a short keyed run measures mostly compulsory misses.
+	Warmup time.Duration
 	// Mix is the per-verb weight mix; zero selects DefaultMix.
 	Mix Mix
 	// PoolSize bounds the connection pool (default 16). The pool is the
@@ -173,6 +180,7 @@ type Config struct {
 type Report struct {
 	Rate     float64 `json:"rate"`
 	Duration float64 `json:"duration_s"`
+	Warmup   float64 `json:"warmup_s,omitempty"`
 	Mix      string  `json:"mix"`
 
 	Offered   int64 `json:"offered"`
@@ -212,6 +220,9 @@ func (r Report) String() string {
 		r.Errors, r.Overrun, r.Goodput,
 		time.Duration(r.P50us)*time.Microsecond, time.Duration(r.P90us)*time.Microsecond,
 		time.Duration(r.P99us)*time.Microsecond, time.Duration(r.P999us)*time.Microsecond)
+	if r.Warmup > 0 {
+		s = fmt.Sprintf("warmup=%.0fs ", r.Warmup) + s
+	}
 	if r.Keys > 0 {
 		s += fmt.Sprintf(" keys=%d zipf=%.2f cache_hits=%d cache_misses=%d hit_ratio=%.3f",
 			r.Keys, r.Zipf, r.CacheHits, r.CacheMisses, r.HitRatio)
@@ -345,20 +356,13 @@ func (g *Generator) cacheCounters(ctx context.Context) (hits, misses int64, ok b
 	return hits, misses, ok
 }
 
-// Run offers arrivals for the configured duration, drains, and reports.
-// The context cancels the run early (the partial report is still valid).
-func (g *Generator) Run(ctx context.Context) Report {
-	defer g.pool.Close()
-	verbs := g.cfg.Mix.schedule()
+// offer runs one open-loop arrival phase for dur and drains it. record
+// selects whether outcomes land in the run's counters and histogram — the
+// warmup phase offers identical load but leaves every number untouched.
+func (g *Generator) offer(ctx context.Context, verbs []string, dur time.Duration, record bool) time.Duration {
 	interval := float64(time.Second) / g.cfg.Rate
-
-	var hits0, miss0 int64
-	probed := false
-	if g.cfg.Keys > 0 {
-		hits0, miss0, probed = g.cacheCounters(ctx)
-	}
 	start := time.Now()
-	end := start.Add(g.cfg.Duration)
+	end := start.Add(dur)
 
 	var wg sync.WaitGroup
 	for n := int64(0); ; n++ {
@@ -372,11 +376,15 @@ func (g *Generator) Run(ctx context.Context) Report {
 			case <-ctx.Done():
 			}
 		}
-		g.offered.Add(1)
+		if record {
+			g.offered.Add(1)
+		}
 		// The safety valve: an open-loop harness must not let a collapsed
 		// server turn into unbounded goroutine growth on the client.
 		if g.inflight.Load() >= int64(g.cfg.MaxOutstanding) {
-			g.overrun.Add(1)
+			if record {
+				g.overrun.Add(1)
+			}
 			continue
 		}
 		g.inflight.Add(1)
@@ -391,17 +399,37 @@ func (g *Generator) Run(ctx context.Context) Report {
 		go func() {
 			defer wg.Done()
 			defer g.inflight.Add(-1)
-			g.one(ctx, verb, query, sched)
+			g.one(ctx, verb, query, sched, record)
 		}()
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
+	return time.Since(start)
+}
+
+// Run offers arrivals for the configured duration, drains, and reports.
+// The context cancels the run early (the partial report is still valid).
+func (g *Generator) Run(ctx context.Context) Report {
+	defer g.pool.Close()
+	verbs := g.cfg.Mix.schedule()
+
+	if g.cfg.Warmup > 0 {
+		g.offer(ctx, verbs, g.cfg.Warmup, false)
+	}
+	// The hit-ratio baseline is read after the warmup drains, so warmup
+	// fills (and their compulsory misses) stay out of the measured delta.
+	var hits0, miss0 int64
+	probed := false
+	if g.cfg.Keys > 0 {
+		hits0, miss0, probed = g.cacheCounters(ctx)
+	}
+	elapsed := g.offer(ctx, verbs, g.cfg.Duration, true)
 
 	snap := g.hist.Snapshot()
 	offered := g.offered.Load()
 	rep := Report{
 		Rate:      g.cfg.Rate,
 		Duration:  g.cfg.Duration.Seconds(),
+		Warmup:    g.cfg.Warmup.Seconds(),
 		Mix:       g.cfg.Mix.String(),
 		Offered:   offered,
 		OK:        g.ok.Load(),
@@ -444,13 +472,16 @@ func (g *Generator) Run(ctx context.Context) Report {
 	return rep
 }
 
-// one executes a single arrival and classifies its outcome.
-func (g *Generator) one(ctx context.Context, verb, query string, sched time.Time) {
+// one executes a single arrival and classifies its outcome. Unrecorded
+// (warmup) arrivals do the same work but touch no counters.
+func (g *Generator) one(ctx context.Context, verb, query string, sched time.Time, record bool) {
 	rctx, cancel := context.WithDeadline(ctx, sched.Add(g.cfg.RequestTimeout))
 	defer cancel()
 	client, err := g.pool.Checkout(rctx)
 	if err != nil {
-		g.errs.Add(1)
+		if record {
+			g.errs.Add(1)
+		}
 		return
 	}
 	err = g.issue(rctx, client, verb, query)
@@ -459,18 +490,24 @@ func (g *Generator) one(ctx context.Context, verb, query string, sched time.Time
 		// A rejection keeps its connection: the server refused before
 		// doing work, the transport is healthy.
 		g.pool.Checkin(client)
-		g.rejected.Add(1)
-		g.shed[shedIndex(rej.Scope)].Add(1)
+		if record {
+			g.rejected.Add(1)
+			g.shed[shedIndex(rej.Scope)].Add(1)
+		}
 		return
 	}
 	if err != nil {
 		g.pool.Discard(client)
-		g.errs.Add(1)
+		if record {
+			g.errs.Add(1)
+		}
 		return
 	}
 	g.pool.Checkin(client)
-	g.ok.Add(1)
-	g.hist.Observe(time.Since(sched))
+	if record {
+		g.ok.Add(1)
+		g.hist.Observe(time.Since(sched))
+	}
 }
 
 // issue performs verb's request on a leased client.

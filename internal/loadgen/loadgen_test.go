@@ -240,3 +240,63 @@ func TestOpenLoopObservesQuotaRejections(t *testing.T) {
 		t.Fatalf("server counted %d quota rejections, harness saw %d", got, rep.Rejected)
 	}
 }
+
+// TestWarmupExcludedFromReport verifies the warmup phase heats the
+// server's response cache but leaves every reported number untouched: the
+// measured phase's offered count covers only the measured duration, and
+// the cache-counter baseline is probed after warmup, so compulsory misses
+// paid during warmup never appear in the hit-ratio delta.
+func TestWarmupExcludedFromReport(t *testing.T) {
+	reg := provider.NewRegistry(nil)
+	reg.Register(&provider.StaticProvider{
+		KeywordName: "Static",
+		Values:      provider.Attributes{{Name: "v", Value: "1"}},
+	}, provider.RegisterOptions{TTL: time.Hour})
+	addr, _, user, trust := testService(t, reg, func(cfg *core.Config) {
+		cfg.CacheTTL = time.Minute
+	})
+
+	g, err := New(Config{
+		Addr:           addr,
+		Cred:           user,
+		Trust:          trust,
+		Rate:           400,
+		Duration:       250 * time.Millisecond,
+		Warmup:         250 * time.Millisecond,
+		Mix:            Mix{Info: 1},
+		PoolSize:       4,
+		RequestTimeout: 2 * time.Second,
+		Keys:           8,
+		Zipf:           1.2,
+		InfoKeyword:    "Static",
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rep := g.Run(context.Background())
+	if rep.OK == 0 || rep.Errors > 0 {
+		t.Fatalf("warmed run unhealthy: %+v", rep)
+	}
+	// Offered covers only the measured 250ms (~100 arrivals), never the
+	// warmup's — the clearest sign warmup outcomes leaked would be ~200.
+	if rep.Offered > 150 {
+		t.Fatalf("offered = %d; warmup arrivals leaked into the report", rep.Offered)
+	}
+	if rep.OK+rep.Rejected+rep.Errors+rep.Overrun != rep.Offered {
+		t.Fatalf("outcomes do not add up: %+v", rep)
+	}
+	// The warmup already paid every compulsory miss for the tiny key
+	// population, so the measured phase is effectively all hits.
+	if rep.CacheMisses > 1 {
+		t.Fatalf("measured misses = %d; warmup fills counted in the delta: %+v", rep.CacheMisses, rep)
+	}
+	if rep.HitRatio < 0.99 {
+		t.Fatalf("measured hit ratio = %.3f; want ~1 after warmup: %+v", rep.HitRatio, rep)
+	}
+	if rep.Warmup != 0.25 {
+		t.Fatalf("warmup duration not reported: %+v", rep)
+	}
+	if !strings.Contains(rep.String(), "warmup=") {
+		t.Fatalf("summary missing warmup: %s", rep.String())
+	}
+}

@@ -71,6 +71,10 @@ type GRISConfig struct {
 	Telemetry *telemetry.Registry
 }
 
+// minNegTTL floors the default negative TTL (CacheTTL/4) so empty-match
+// bodies stay cacheable even under a very small CacheTTL.
+const minNegTTL = time.Second
+
 // GRIS is a Grid Resource Information Service for one resource: it answers
 // LDAP-style searches from the resource's information providers, with
 // MDS-2.0-style caching provided by the registry's TTL cache.
@@ -105,8 +109,14 @@ func NewGRIS(cfg GRISConfig) *GRIS {
 		}
 		g.negTTL = cfg.CacheNegTTL
 		if g.negTTL <= 0 || g.negTTL > cfg.CacheTTL {
+			// Default TTL/4, floored: a small CacheTTL would otherwise
+			// truncate the negative TTL toward zero and make empty-match
+			// bodies effectively uncacheable.
 			g.negTTL = cfg.CacheTTL / 4
-			if g.negTTL <= 0 {
+			if g.negTTL < minNegTTL {
+				g.negTTL = minNegTTL
+			}
+			if g.negTTL > cfg.CacheTTL {
 				g.negTTL = cfg.CacheTTL
 			}
 		}

@@ -73,6 +73,64 @@ func TestCollectDegradedUnknownKeywordStillFatal(t *testing.T) {
 	}
 }
 
+func TestCollectDegradedServesStaleDuringOutage(t *testing.T) {
+	// A flaky provider: one good execution, then permanent failure.
+	boom := errors.New("sensor offline")
+	calls := 0
+	reg := NewRegistry(nil)
+	reg.Register(NewFuncProvider("Flaky", func(ctx context.Context) (Attributes, error) {
+		calls++
+		if calls > 1 {
+			return nil, boom
+		}
+		return Attributes{{Name: "v", Value: "cached"}}, nil
+	}), RegisterOptions{TTL: time.Nanosecond}) // expires immediately
+
+	// First collect fills the entry.
+	if _, _, err := reg.CollectDegraded(context.Background(), []string{"Flaky"}, cache.Cached, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(time.Microsecond) // let the nanosecond TTL lapse
+
+	// The refill fails: the last value comes back marked stale instead of
+	// the keyword being dropped.
+	reports, degraded, err := reg.CollectDegraded(context.Background(), []string{"Flaky"}, cache.Cached, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 1 || reports[0].Keyword != "Flaky" {
+		t.Fatalf("reports = %+v; want the stale Flaky value", reports)
+	}
+	if !reports[0].Result.Stale {
+		t.Fatal("served value not marked stale")
+	}
+	if got := reports[0].Attrs[0].Value; got != "cached" {
+		t.Fatalf("stale value = %q", got)
+	}
+	if len(degraded) != 1 || !degraded[0].Stale || !errors.Is(degraded[0].Err, boom) {
+		t.Fatalf("degraded = %+v; want stale-marked entry with cause", degraded)
+	}
+}
+
+func TestCollectDegradedNoStaleWithoutHistory(t *testing.T) {
+	// A provider that has never succeeded has nothing to serve stale: the
+	// keyword stays missing, exactly the old behavior.
+	reg := newDegradedRegistry(NewFuncProvider("Bad", func(ctx context.Context) (Attributes, error) {
+		return nil, errors.New("never worked")
+	}))
+	reports, degraded, err := reg.CollectDegraded(context.Background(),
+		[]string{"Good", "Bad"}, cache.Cached, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 1 || reports[0].Keyword != "Good" {
+		t.Fatalf("reports = %+v", reports)
+	}
+	if len(degraded) != 1 || degraded[0].Stale {
+		t.Fatalf("degraded = %+v; want non-stale missing entry", degraded)
+	}
+}
+
 func TestCollectDegradedAllHealthy(t *testing.T) {
 	reg := NewRegistry(nil)
 	reg.Register(&StaticProvider{KeywordName: "A", Values: Attributes{{Name: "v", Value: "1"}}},

@@ -182,6 +182,19 @@ func (g *Registered) Validity() quality.Score {
 	return r.Quality
 }
 
+// StaleReport packages the entry's last stored value regardless of TTL,
+// with Result.Stale marking a lapsed one. It never executes the provider —
+// it is the fallback CollectDegraded reaches for when an execution just
+// failed, preferring marked stale data over a hole in the answer. The
+// second result is false when the provider has never produced a value.
+func (g *Registered) StaleReport() (Report, bool) {
+	r, ok := g.entry.StaleResult()
+	if !ok {
+		return Report{}, false
+	}
+	return Report{Keyword: g.Keyword(), Attrs: r.Value.(Attributes), Result: r}, true
+}
+
 // Report is one keyword's query result, ready for rendering.
 type Report struct {
 	Keyword string

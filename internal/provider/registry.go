@@ -71,6 +71,9 @@ type Registry struct {
 	// read under mu on the collect path.
 	fanoutInflight *telemetry.Gauge
 	fanoutLatency  *telemetry.Histogram
+	// staleServed counts degraded collects answered with a marked stale
+	// value instead of a hole. Nil-safe.
+	staleServed *telemetry.Counter
 }
 
 // DefaultParallelism is the fan-out bound used when none is configured.
@@ -131,6 +134,8 @@ func (r *Registry) SetTelemetry(tel *telemetry.Registry) {
 		"provider retrievals currently executing inside a parallel collect fan-out")
 	r.fanoutLatency = tel.Histogram("infogram_collect_fanout_duration_seconds",
 		"wall-clock latency of one multi-keyword parallel collect fan-out")
+	r.staleServed = tel.Counter("infogram_stale_served_total",
+		"degraded collects answered with the last known value, marked stale")
 	regs := make([]*Registered, 0, len(r.order))
 	for _, k := range r.order {
 		regs = append(regs, r.byKeyword[k])
@@ -349,6 +354,9 @@ func (r *Registry) collectAll(ctx context.Context, regs []*Registered, mode cach
 type DegradedKeyword struct {
 	Keyword string
 	Err     error
+	// Stale is true when a previously cached value was served in the
+	// keyword's place, marked stale, instead of omitting it entirely.
+	Stale bool
 }
 
 // CollectDegraded is Collect with partial-result degradation: each
@@ -370,6 +378,16 @@ func (r *Registry) CollectDegraded(ctx context.Context, keywords []string, mode 
 	var degraded []DegradedKeyword
 	for i, o := range outs {
 		if o.err != nil {
+			// Provider outage: prefer the last known value, marked stale,
+			// over a hole in the answer. The keyword still appears in the
+			// degraded list (so the response says why the data is old) and
+			// the degraded status keeps the answer out of response caches.
+			if rep, ok := regs[i].StaleReport(); ok {
+				reports = append(reports, rep)
+				degraded = append(degraded, DegradedKeyword{Keyword: regs[i].Keyword(), Err: o.err, Stale: true})
+				r.staleServed.Inc()
+				continue
+			}
 			degraded = append(degraded, DegradedKeyword{Keyword: regs[i].Keyword(), Err: o.err})
 			continue
 		}

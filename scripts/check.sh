@@ -41,7 +41,8 @@ for target in \
 	FuzzRejectFrameDecode:./internal/wire \
 	FuzzParseXRSL:./internal/xrsl \
 	FuzzParseFilter:./internal/mds \
-	FuzzReplay:./internal/logging; do
+	FuzzReplay:./internal/logging \
+	FuzzSnapshotRestore:./internal/bytecache; do
 	name=${target%%:*}
 	pkg=${target#*:}
 	echo "-- $name ($pkg)"

@@ -1,0 +1,59 @@
+#!/bin/sh
+# Nightly warm-restart and refresh-ahead regression gate: replays the
+# reference point (TestWarmRestartReference) and fails when any of the
+# headline guarantees regress. Run from the repository root:
+#
+#	./scripts/warmstart-regress.sh
+#
+# Unlike the cache and loadgen gates, the thresholds here are ratios, not
+# absolute nanoseconds, so no per-host baseline file is needed:
+#
+#   - restart_speedup >= 10: a warm restart's first answer (snapshot
+#     restore + first hit) must be at least 10x faster than a cold one
+#     (which pays the deliberate ~5ms provider delay).
+#   - hot_miss_ratio < 0.01: under Zipf steady state with refresh-ahead
+#     armed, the top-decile keys miss less than 1% of the time.
+#   - p99_ns <= 2 * hit_p99_ns: the overall request p99 stays within 2x of
+#     the pure hit path — refresh-ahead, not requests, pays provider cost.
+#
+# The measured run is still timing-sensitive (a loaded host can starve the
+# refresh workers), so the gate passes if ANY of up to three attempts
+# clears every threshold — a genuine regression is persistent across
+# attempts, scheduler jitter is not.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+# run_point — one reference-point run; sets $speedup, $hot_miss, $p99, $hit_p99.
+run_point() {
+	INFOGRAM_WARMBENCH=1 INFOGRAM_WARMBENCH_OUT="$tmp/point.json" \
+		go test -count=1 -run '^TestWarmRestartReference$' ./internal/core/
+	speedup=$(sed -n 's/.*"restart_speedup":\([0-9.]*\).*/\1/p' "$tmp/point.json")
+	hot_miss=$(sed -n 's/.*"hot_miss_ratio":\([0-9.e+-]*\).*/\1/p' "$tmp/point.json")
+	p99=$(sed -n 's/.*"p99_ns":\([0-9.]*\).*/\1/p' "$tmp/point.json")
+	hit_p99=$(sed -n 's/.*"hit_p99_ns":\([0-9.]*\).*/\1/p' "$tmp/point.json")
+	[ -n "$speedup" ] && [ -n "$hot_miss" ] && [ -n "$p99" ] && [ -n "$hit_p99" ] || {
+		echo "warmstart-regress: no result in $tmp/point.json" >&2
+		exit 1
+	}
+}
+
+echo "== warm-restart + refresh-ahead reference point =="
+
+for attempt in 1 2 3; do
+	run_point
+	echo "attempt $attempt: restart_speedup=${speedup}x (>=10)" \
+		"hot_miss_ratio=${hot_miss} (<0.01) p99=${p99}ns (<= 2x ${hit_p99}ns)"
+	ok=$(awk -v s="$speedup" -v m="$hot_miss" -v p="$p99" -v h="$hit_p99" \
+		'BEGIN { print (s >= 10 && m < 0.01 && p <= 2 * h) ? 1 : 0 }')
+	if [ "$ok" = "1" ]; then
+		echo "ok: warm restart >=10x cold, hot-decile misses <1%, p99 within 2x of hit path"
+		exit 0
+	fi
+done
+echo "FAIL: warm-restart/refresh-ahead guarantees regressed on all attempts" \
+	"(last: speedup=${speedup} hot_miss=${hot_miss} p99=${p99}ns hit_p99=${hit_p99}ns)" >&2
+exit 1
