@@ -25,6 +25,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -35,6 +36,7 @@ import (
 func main() {
 	var (
 		server      = flag.String("server", "127.0.0.1:2119", "InfoGram service address")
+		targetsSpec = flag.String("targets", "", "comma-separated service addresses to spread load across round-robin (N gatekeepers or proxies, one pool each); overrides -server")
 		fabricDir   = flag.String("fabric", "./fabric", "security fabric directory (must match the server's)")
 		rate        = flag.Float64("rate", 100, "offered arrival rate, requests/second")
 		duration    = flag.Duration("duration", 10*time.Second, "how long to offer arrivals")
@@ -61,8 +63,15 @@ func main() {
 	if err != nil {
 		log.Fatalf("fabric: %v", err)
 	}
+	var targets []string
+	for _, t := range strings.Split(*targetsSpec, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			targets = append(targets, t)
+		}
+	}
 	gen, err := loadgen.New(loadgen.Config{
 		Addr:           *server,
+		Targets:        targets,
 		Cred:           fabric.User,
 		Trust:          fabric.Trust,
 		Rate:           *rate,
@@ -85,8 +94,12 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	where := *server
+	if len(targets) > 0 {
+		where = strings.Join(targets, ", ")
+	}
 	fmt.Fprintf(os.Stderr, "loadgen: offering %.0f req/s to %s for %s (mix %s)\n",
-		*rate, *server, *duration, mix)
+		*rate, where, *duration, mix)
 	rep := gen.Run(ctx)
 	fmt.Fprintln(os.Stderr, rep.String())
 

@@ -19,10 +19,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"infogram/internal/bootstrap"
+	"infogram/internal/cluster"
 	"infogram/internal/config"
 	"infogram/internal/core"
 	"infogram/internal/faultinject"
@@ -68,6 +70,13 @@ func main() {
 		cacheSnap   = flag.Duration("cache-snapshot-interval", time.Minute, "background response-cache snapshot period into -state-dir; restarts restore the snapshot and serve previously cached answers warm (needs -cache-ttl and -state-dir; 0 snapshots only on shutdown)")
 		refreshFrac = flag.Float64("refresh-ahead", 0, "refresh-ahead threshold as a fraction of entry TTL: hot cached answers past it are re-collected in the background so they never expire under load (e.g. 0.8; 0 disables)")
 		refreshWk   = flag.Int("refresh-workers", 0, "bound on concurrent background refresh fills (0 = 2)")
+		snapGzip    = flag.Bool("snapshot-compress", false, "write cache snapshots gzip-compressed; restore reads either layout, so the flag can change between restarts")
+		clusterMem  = flag.String("cluster-members", "", "comma-separated backend gatekeeper addresses: run as a consistent-hash routing proxy over them instead of a gatekeeper")
+		clusterVN   = flag.Int("cluster-vnodes", 0, "virtual nodes per cluster member on the hash ring (0 = 128)")
+		clusterFail = flag.Int("cluster-fail-threshold", 0, "consecutive forward failures that eject a member from routing until a probe readmits it (0 = 3)")
+		clusterPrb  = flag.Duration("cluster-probe-interval", 0, "how often ejected members are pinged for readmission (0 = 2s)")
+		follow      = flag.String("follow", "", "run as a hot-standby follower of this leader gatekeeper: mirror its journal into -state-dir and wait for promotion")
+		promote     = flag.Bool("promote", false, "with -follow: promote automatically (boot as the gatekeeper from the mirrored journal) once the leader is lost; SIGUSR1 promotes on demand either way")
 		faults      = flag.String("faultpoints", os.Getenv("INFOGRAM_FAULTPOINTS"),
 			"arm fault-injection failpoints, e.g. 'wire.read=delay(100ms),provider.collect=hang' (also via INFOGRAM_FAULTPOINTS)")
 	)
@@ -77,6 +86,24 @@ func main() {
 	if err != nil {
 		log.Fatalf("fabric: %v", err)
 	}
+
+	if *clusterMem != "" {
+		runProxy(fabric, *addr, *clusterMem, *clusterVN, *clusterFail, *clusterPrb, *reqTO, *connP, *metrics)
+		return
+	}
+	if *follow != "" {
+		if *stateDir == "" {
+			log.Fatal("follow: -state-dir is required (the leader's journal is mirrored there)")
+		}
+		if !runFollower(fabric, *follow, *stateDir, *promote) {
+			return
+		}
+		// Promoted: fall through into the ordinary gatekeeper boot. The
+		// journal replay below recovers the mirrored state and resubmits
+		// unfinished jobs — the same path a crash restart takes.
+		fmt.Printf("infogram: promoting to gatekeeper from mirrored journal in %s\n", *stateDir)
+	}
+
 	var quota *gsi.Policy
 	if *quotaPath != "" {
 		quota, err = gsi.LoadContracts(*quotaPath)
@@ -191,6 +218,7 @@ func main() {
 		CacheMaxBytes:         *cacheMaxB,
 		CacheStateDir:         *stateDir,
 		CacheSnapshotInterval: *cacheSnap,
+		SnapshotCompress:      *snapGzip,
 		RefreshAhead:          *refreshFrac,
 		RefreshWorkers:        *refreshWk,
 	})
@@ -275,4 +303,109 @@ func main() {
 		break
 	}
 	fmt.Println("infogram: shutting down")
+}
+
+// runProxy serves the cluster routing tier: no providers, no jobs, no
+// state — just the consistent-hash router over the configured backends.
+func runProxy(fabric *bootstrap.Fabric, addr, members string, vnodes, failThresh int, probeInt, reqTO time.Duration, connP int, metricsAddr string) {
+	var backends []string
+	for _, m := range strings.Split(members, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			backends = append(backends, m)
+		}
+	}
+	if len(backends) == 0 {
+		log.Fatal("cluster: -cluster-members lists no addresses")
+	}
+
+	tel := telemetry.NewRegistry()
+	router, err := cluster.NewRouter(cluster.RouterConfig{
+		Members:       backends,
+		Vnodes:        vnodes,
+		Cred:          fabric.Service,
+		Trust:         fabric.Trust,
+		FailThreshold: failThresh,
+		ProbeInterval: probeInt,
+		Telemetry:     tel,
+	})
+	if err != nil {
+		log.Fatalf("cluster: %v", err)
+	}
+	defer router.Close()
+
+	proxy := cluster.NewProxy(cluster.ProxyConfig{
+		Credential:      fabric.Service,
+		Trust:           fabric.Trust,
+		Router:          router,
+		RequestTimeout:  reqTO,
+		ConnParallelism: connP,
+		Telemetry:       tel,
+	})
+	bound, err := proxy.Listen(addr)
+	if err != nil {
+		log.Fatalf("cluster listen: %v", err)
+	}
+	defer proxy.Close()
+	fmt.Printf("infogram: cluster proxy on %s routing %d member(s): %s\n",
+		bound, len(backends), strings.Join(backends, ", "))
+
+	if metricsAddr != "" {
+		mux := telemetry.NewDebugMux(tel, nil)
+		ln, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			log.Fatalf("metrics listen: %v", err)
+		}
+		metricsSrv := &http.Server{Handler: mux}
+		go func() { _ = metricsSrv.Serve(ln) }()
+		defer metricsSrv.Close()
+		fmt.Printf("infogram: Prometheus metrics on http://%s/metrics\n", ln.Addr())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("infogram: shutting down")
+}
+
+// runFollower mirrors the leader's journal into stateDir until the
+// process is stopped or a promotion fires. It returns true when the
+// caller should boot as the gatekeeper from the mirrored journal —
+// either SIGUSR1 arrived, or -promote is set and the leader was declared
+// lost — and false on an ordinary shutdown.
+func runFollower(fabric *bootstrap.Fabric, leader, stateDir string, autoPromote bool) bool {
+	tel := telemetry.NewRegistry()
+	fl := cluster.NewFollower(cluster.FollowerConfig{
+		Leader:     leader,
+		Dir:        stateDir,
+		Credential: fabric.Service,
+		Trust:      fabric.Trust,
+		Telemetry:  tel,
+	})
+	fl.Start()
+	fmt.Printf("infogram: following %s, mirroring its journal into %s (SIGUSR1 promotes)\n", leader, stateDir)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGUSR1)
+	defer signal.Stop(sig)
+	// Synced and LeaderLost are closed-once channels: after the first
+	// receive each case is nil'd out so a closed channel cannot spin the
+	// select.
+	synced, lost := fl.Synced(), fl.LeaderLost()
+	for {
+		select {
+		case <-synced:
+			fmt.Printf("infogram: follower synced with %s\n", leader)
+			synced = nil
+		case <-lost:
+			if autoPromote {
+				fl.Stop()
+				return true
+			}
+			fmt.Printf("infogram: leader %s lost; still retrying (no -promote; SIGUSR1 to take over)\n", leader)
+			lost = nil
+		case s := <-sig:
+			fl.Stop()
+			return s == syscall.SIGUSR1
+		}
+	}
 }

@@ -40,6 +40,9 @@ func main() {
 		cacheMaxB   = flag.Int64("cache-max-bytes", 0, "response-cache total byte budget (0 = 256 MiB)")
 		stateDir    = flag.String("state-dir", "", "durable cache-state directory: the GRIS (and GIIS) response caches snapshot here and restore warm on restart (needs -cache-ttl; empty = memory only)")
 		cacheSnap   = flag.Duration("cache-snapshot-interval", time.Minute, "background cache snapshot period into -state-dir (0 snapshots only on shutdown)")
+		snapGzip    = flag.Bool("snapshot-compress", false, "write cache snapshots gzip-compressed; restore reads either layout, so the flag can change between restarts")
+		refreshFrac = flag.Float64("refresh-ahead", 0, "refresh-ahead threshold as a fraction of -cache-ttl: hot cached searches past it are re-run in the background so they never expire under load (e.g. 0.8; 0 disables)")
+		refreshWk   = flag.Int("refresh-workers", 0, "bound on concurrent background refresh searches (0 = 2)")
 	)
 	flag.Parse()
 
@@ -75,15 +78,18 @@ func main() {
 	}
 
 	gris := mds.NewGRIS(mds.GRISConfig{
-		ResourceName:  name,
-		Registry:      registry,
-		Credential:    fabric.Service,
-		Trust:         fabric.Trust,
-		Tracer:        tracer,
-		CacheTTL:      *cacheTTL,
-		CacheShards:   *cacheShards,
-		CacheMaxBytes: *cacheMaxB,
-		Telemetry:     tel,
+		ResourceName:     name,
+		Registry:         registry,
+		Credential:       fabric.Service,
+		Trust:            fabric.Trust,
+		Tracer:           tracer,
+		CacheTTL:         *cacheTTL,
+		CacheShards:      *cacheShards,
+		CacheMaxBytes:    *cacheMaxB,
+		RefreshAhead:     *refreshFrac,
+		RefreshWorkers:   *refreshWk,
+		SnapshotCompress: *snapGzip,
+		Telemetry:        tel,
 	})
 	if *stateDir != "" {
 		if p := gris.NewPersister(filepath.Join(*stateDir, "gris.snap"), *cacheSnap); p != nil {
@@ -106,12 +112,16 @@ func main() {
 
 	if *giisAddr != "" {
 		giis := mds.NewGIIS(mds.GIISConfig{
-			OrgName:       name,
-			Credential:    fabric.Service,
-			Trust:         fabric.Trust,
-			CacheTTL:      *cacheTTL,
-			CacheShards:   *cacheShards,
-			CacheMaxBytes: *cacheMaxB,
+			OrgName:          name,
+			Credential:       fabric.Service,
+			Trust:            fabric.Trust,
+			CacheTTL:         *cacheTTL,
+			CacheShards:      *cacheShards,
+			CacheMaxBytes:    *cacheMaxB,
+			RefreshAhead:     *refreshFrac,
+			RefreshWorkers:   *refreshWk,
+			SnapshotCompress: *snapGzip,
+			Telemetry:        tel,
 		})
 		giisBound, err := giis.Listen(*giisAddr)
 		if err != nil {

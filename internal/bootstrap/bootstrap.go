@@ -78,6 +78,10 @@ func generate(dir string) error {
 	}
 	gm := gsi.NewGridmap()
 	gm.Add("/O=Grid/CN=demo", "demo")
+	// The service identity is mapped too: cluster proxies and hot-standby
+	// followers re-authenticate to backends with it, and the gatekeeper's
+	// identity-mapping gate runs before any capability negotiation.
+	gm.Add("/O=Grid/CN=infogram-service", "infogram")
 	f, err := os.Create(filepath.Join(dir, GridmapFile))
 	if err != nil {
 		return fmt.Errorf("bootstrap: %w", err)

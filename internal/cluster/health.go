@@ -1,0 +1,173 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+
+	"infogram/internal/telemetry"
+)
+
+// Health defaults. Three consecutive failures trips ejection — one lost
+// TCP segment or a single slow request shouldn't reshuffle the ring —
+// and an ejected member is probed every ProbeInterval until a probe
+// succeeds, at which point it is readmitted and its keys return.
+const (
+	DefaultFailThreshold = 3
+	DefaultProbeInterval = 2 * time.Second
+)
+
+// memberHealth is the per-member failure state.
+type memberHealth struct {
+	consecutive int  // consecutive failures since the last success
+	ejected     bool // past threshold; excluded from routing
+}
+
+// health tracks per-member consecutive failures, ejects members past
+// the threshold, and readmits them when a probe succeeds. Probing runs
+// on a background loop started by start(); the probe itself is supplied
+// by the router (a pool ping), keeping this type free of network code.
+type health struct {
+	mu        sync.Mutex
+	members   map[string]*memberHealth
+	threshold int
+
+	probe    func(member string) error
+	interval time.Duration
+
+	stop chan struct{}
+	done chan struct{}
+
+	// nil-safe telemetry, bound by setTelemetry.
+	ejections   *telemetry.Counter
+	readmits    *telemetry.Counter
+	ejectedGage *telemetry.Gauge
+}
+
+// setTelemetry binds the tracker's counters to a registry.
+func (h *health) setTelemetry(reg *telemetry.Registry) {
+	if h == nil || reg == nil {
+		return
+	}
+	h.ejections = reg.Counter("cluster_member_ejections_total",
+		"cluster members ejected from routing after consecutive failures")
+	h.readmits = reg.Counter("cluster_member_readmissions_total",
+		"ejected cluster members readmitted after a successful probe or call")
+	h.ejectedGage = reg.Gauge("cluster_members_ejected",
+		"cluster members currently ejected from routing")
+}
+
+func newHealth(members []string, threshold int, interval time.Duration, probe func(string) error) *health {
+	if threshold <= 0 {
+		threshold = DefaultFailThreshold
+	}
+	if interval <= 0 {
+		interval = DefaultProbeInterval
+	}
+	h := &health{
+		members:   make(map[string]*memberHealth, len(members)),
+		threshold: threshold,
+		probe:     probe,
+		interval:  interval,
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	for _, m := range members {
+		h.members[m] = &memberHealth{}
+	}
+	return h
+}
+
+// start launches the probe loop. Only ejected members are probed, so
+// the loop is free while the cluster is healthy.
+func (h *health) start() {
+	go func() {
+		defer close(h.done)
+		t := time.NewTicker(h.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-h.stop:
+				return
+			case <-t.C:
+				h.probeEjected()
+			}
+		}
+	}()
+}
+
+func (h *health) close() {
+	close(h.stop)
+	<-h.done
+}
+
+// fail records a failed call against member; crossing the threshold
+// ejects it.
+func (h *health) fail(member string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	mh := h.members[member]
+	if mh == nil {
+		return
+	}
+	mh.consecutive++
+	if !mh.ejected && mh.consecutive >= h.threshold {
+		mh.ejected = true
+		h.ejections.Inc()
+		h.ejectedGage.Add(1)
+	}
+}
+
+// ok records a successful call; a success through the normal path also
+// readmits (the member evidently works again even if no probe ran yet).
+func (h *health) ok(member string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	mh := h.members[member]
+	if mh == nil {
+		return
+	}
+	mh.consecutive = 0
+	if mh.ejected {
+		mh.ejected = false
+		h.readmits.Inc()
+		h.ejectedGage.Add(-1)
+	}
+}
+
+// ejected returns the current reject set, or nil when everyone is
+// healthy (the common case — lets the ring skip its exclusion path).
+func (h *health) ejected() map[string]bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out map[string]bool
+	for m, mh := range h.members {
+		if mh.ejected {
+			if out == nil {
+				out = make(map[string]bool, 2)
+			}
+			out[m] = true
+		}
+	}
+	return out
+}
+
+// probeEjected pings every ejected member once; a successful probe
+// readmits via ok().
+func (h *health) probeEjected() {
+	if h.probe == nil {
+		return
+	}
+	h.mu.Lock()
+	var targets []string
+	for m, mh := range h.members {
+		if mh.ejected {
+			targets = append(targets, m)
+		}
+	}
+	h.mu.Unlock()
+	for _, m := range targets {
+		if err := h.probe(m); err == nil {
+			h.ok(m)
+		}
+	}
+}

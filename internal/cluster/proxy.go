@@ -1,0 +1,245 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"infogram/internal/clock"
+	"infogram/internal/gram"
+	"infogram/internal/gsi"
+	"infogram/internal/telemetry"
+	"infogram/internal/wire"
+	"infogram/internal/xrsl"
+	"infogram/internal/zerocopy"
+)
+
+// ProxyConfig wires a cluster proxy.
+type ProxyConfig struct {
+	// Credential and Trust terminate the client-facing GSI handshake. The
+	// proxy re-authenticates to the backends with the router's credential;
+	// backends therefore see the proxy's identity, so cluster deployments
+	// grant the proxy identity the union of client rights and enforce
+	// per-client policy at the proxy tier (or run backends with the
+	// cluster-internal policy).
+	Credential *gsi.Credential
+	Trust      *gsi.TrustStore
+	// Router performs the actual placement and forwarding. Required; the
+	// proxy does not own it (callers Close it separately so it can be
+	// shared with in-process tooling).
+	Router *Router
+	// Clock defaults to the system clock.
+	Clock clock.Clock
+	// RequestTimeout bounds connection I/O and each forwarded exchange,
+	// exactly as core.Config.RequestTimeout does. Zero means unbounded.
+	RequestTimeout time.Duration
+	// ConnParallelism bounds concurrent forwards on one mux'd client
+	// connection; <=0 selects the core default (8).
+	ConnParallelism int
+	// Telemetry optionally receives the proxy's counters.
+	Telemetry *telemetry.Registry
+}
+
+// Proxy is the cluster's thin routing tier: it terminates the client's
+// GSI session and mux negotiation, classifies each request frame, and
+// relays it to the owning backend over the router's pooled mux
+// connections — so any legacy client pointed at the proxy transparently
+// talks to an N-node cluster. The proxy holds no job or cache state of
+// its own; PING is the only verb it answers locally.
+//
+// TRACE offers are declined (the relayed frames would need their trace
+// prefix re-encoded per backend hop); clients fall back exactly as they
+// do against a pre-trace server.
+type Proxy struct {
+	cfg    ProxyConfig
+	server *wire.Server
+
+	mu   sync.Mutex
+	addr string
+
+	relayed  *telemetry.Counter
+	relayErr *telemetry.Counter
+}
+
+// NewProxy builds a proxy over cfg.Router.
+func NewProxy(cfg ProxyConfig) *Proxy {
+	if cfg.Clock == nil {
+		cfg.Clock = clock.System
+	}
+	p := &Proxy{cfg: cfg}
+	if cfg.Telemetry != nil {
+		p.relayed = cfg.Telemetry.Counter("cluster_proxy_relayed_total",
+			"request frames relayed to a backend by the cluster proxy")
+		p.relayErr = cfg.Telemetry.Counter("cluster_proxy_relay_errors_total",
+			"relays that failed after routing (backend unreachable or exchange failed)")
+	}
+	p.server = wire.NewServer(wire.HandlerFunc(p.serveConn))
+	return p
+}
+
+// Listen binds the proxy and returns the bound address.
+func (p *Proxy) Listen(addr string) (string, error) {
+	bound, err := p.server.Listen(addr)
+	if err != nil {
+		return "", err
+	}
+	p.mu.Lock()
+	p.addr = bound
+	p.mu.Unlock()
+	return bound, nil
+}
+
+// Addr returns the bound address.
+func (p *Proxy) Addr() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.addr
+}
+
+// Close stops accepting and closes client connections. The router is
+// the caller's to close.
+func (p *Proxy) Close() error { return p.server.Close() }
+
+func (p *Proxy) connParallelism() int {
+	if p.cfg.ConnParallelism > 0 {
+		return p.cfg.ConnParallelism
+	}
+	return 8
+}
+
+// serveConn mirrors the gatekeeper's connection loop: one GSI
+// handshake, then the serial protocol until (and unless) the client
+// upgrades to MUX.
+func (p *Proxy) serveConn(c *wire.Conn) {
+	if p.cfg.RequestTimeout > 0 {
+		c.SetIOTimeout(p.cfg.RequestTimeout)
+	}
+	hctx, hcancel := p.requestCtx(context.Background())
+	_, err := gsi.ServerHandshakeContext(hctx, c, p.cfg.Credential, p.cfg.Trust, p.cfg.Clock.Now())
+	hcancel()
+	if err != nil {
+		return
+	}
+	for {
+		f, err := c.Read()
+		if err != nil {
+			return
+		}
+		switch f.Verb {
+		case wire.VerbTrace:
+			// Declined: relayed frames would need per-hop re-encoding.
+			if err := c.Write(wire.Frame{Verb: gram.VerbError, Payload: []byte("cluster: tracing not supported at the proxy tier")}); err != nil {
+				return
+			}
+			continue
+		case wire.VerbMux:
+			if err := c.WriteString(wire.VerbMuxOK, ""); err != nil {
+				return
+			}
+			p.serveMux(c)
+			return
+		}
+		_ = c.Write(p.relay(context.Background(), f))
+	}
+}
+
+// serveMux relays a mux'd connection's frames concurrently, mirroring
+// core.Service.serveMux: the bounded semaphore makes the read loop stop
+// when the connection has ConnParallelism relays in flight.
+func (p *Proxy) serveMux(c *wire.Conn) {
+	sem := make(chan struct{}, p.connParallelism())
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		f, err := c.Read()
+		if err != nil {
+			return
+		}
+		id, req, err := wire.DecodeMux(f)
+		if err != nil {
+			return
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			resp := p.relay(context.Background(), req)
+			_ = c.Write(wire.EncodeMux(id, resp))
+		}()
+	}
+}
+
+// relay classifies one request frame, routes it, and returns the
+// backend's response (or a local answer/error).
+func (p *Proxy) relay(ctx context.Context, f wire.Frame) wire.Frame {
+	rctx, cancel := p.requestCtx(ctx)
+	defer cancel()
+	payload := zerocopy.String(f.Payload)
+	var resp wire.Frame
+	var err error
+	switch f.Verb {
+	case gram.VerbPing:
+		// Answered locally: PING probes the tier you dialed.
+		return wire.Frame{Verb: gram.VerbPong}
+	case gram.VerbSubmit:
+		key, idempotent := classify(payload)
+		p.relayed.Inc()
+		resp, err = p.cfg.Router.Forward(rctx, key, f, idempotent)
+	case gram.VerbStatus:
+		p.relayed.Inc()
+		resp, err = p.cfg.Router.ForwardToContact(rctx, strings.TrimSpace(payload), f, true)
+	case gram.VerbCancel:
+		p.relayed.Inc()
+		resp, err = p.cfg.Router.ForwardToContact(rctx, strings.TrimSpace(payload), f, false)
+	case gram.VerbSignal:
+		contact, _, _ := strings.Cut(strings.TrimSpace(payload), " ")
+		p.relayed.Inc()
+		resp, err = p.cfg.Router.ForwardToContact(rctx, contact, f, false)
+	default:
+		return wire.Frame{Verb: gram.VerbError, Payload: []byte(fmt.Sprintf("cluster: unknown verb %s", f.Verb))}
+	}
+	if err != nil {
+		p.relayErr.Inc()
+		return wire.Frame{Verb: gram.VerbError, Payload: []byte(fmt.Sprintf("cluster: relay: %v", err))}
+	}
+	return resp
+}
+
+func (p *Proxy) requestCtx(parent context.Context) (context.Context, context.CancelFunc) {
+	if p.cfg.RequestTimeout > 0 {
+		return context.WithTimeout(parent, p.cfg.RequestTimeout)
+	}
+	return context.WithCancel(parent)
+}
+
+// classify derives a SUBMIT frame's routing key and idempotency: a pure
+// info request is read-only (safe to retry on a fallback backend), any
+// request that may start a job is not. Unparseable sources relay
+// non-idempotently and let the owner produce the real error.
+func classify(src string) (key string, idempotent bool) {
+	reqs, err := xrsl.Decode(src, nil)
+	if err != nil || len(reqs) == 0 {
+		return src, false
+	}
+	idempotent = true
+	for _, r := range reqs {
+		if r.Kind != xrsl.KindInfo {
+			idempotent = false
+			break
+		}
+	}
+	if info := reqs[0].Info; info != nil {
+		switch {
+		case info.Schema:
+			return "schema", idempotent
+		case info.All || len(info.Keywords) == 0:
+			return "all", idempotent
+		default:
+			return info.Keywords[0], idempotent
+		}
+	}
+	return src, idempotent
+}

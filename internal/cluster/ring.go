@@ -1,0 +1,189 @@
+// Package cluster composes the single-node ingredients built by earlier
+// PRs — pooled mux clients, the WAL journal, the provider fan-out pool —
+// into a multi-node InfoGram: consistent-hash routing of keywords and
+// jobs across N gatekeepers, GIIS federation over many GRIS backends,
+// and hot-standby gatekeepers that tail the leader's journal over the
+// wire so a killed leader fails over without losing jobs.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DefaultVnodes is the virtual-node count per member. 128 keeps the
+// ring balanced within a few percent for small member counts while the
+// sorted-point slice stays a handful of KiB.
+const DefaultVnodes = 128
+
+// point is one virtual node on the ring: a hash position owned by a
+// member.
+type point struct {
+	hash   uint64
+	member string
+}
+
+// Ring is a consistent-hash ring with virtual nodes. Each member is
+// placed at Vnodes deterministic positions ("member#i" hashed with
+// FNV-1a), so the same member set always produces the same placement
+// regardless of join order, and adding or removing one member moves
+// only ~1/N of the keyspace.
+//
+// Ring is safe for concurrent use; Owner is lock-cheap (RLock + binary
+// search, no allocation).
+type Ring struct {
+	mu     sync.RWMutex
+	vnodes int
+	points []point         // sorted by hash
+	member map[string]bool // present members
+}
+
+// NewRing builds a ring over the given members. vnodes <= 0 selects
+// DefaultVnodes.
+func NewRing(members []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	r := &Ring{vnodes: vnodes, member: make(map[string]bool, len(members))}
+	for _, m := range members {
+		r.addLocked(m)
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r
+}
+
+// hash64 is FNV-1a over s finished with the splitmix64 avalanche. Plain
+// FNV clusters badly on near-identical inputs ("m#1", "m#2", ...), which
+// skews vnode placement; the finalizer restores full-width uniformity
+// while keeping the hash dependency-free and allocation-free.
+func hash64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return h
+}
+
+// addLocked places member's virtual nodes without re-sorting; callers
+// sort afterwards.
+func (r *Ring) addLocked(m string) {
+	if r.member[m] {
+		return
+	}
+	r.member[m] = true
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, point{hash: hash64(fmt.Sprintf("%s#%d", m, i)), member: m})
+	}
+}
+
+// Add inserts a member (no-op if present). Only keys whose ring
+// position falls in the new member's arcs move.
+func (r *Ring) Add(m string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.member[m] {
+		return
+	}
+	r.addLocked(m)
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// Remove deletes a member (no-op if absent). Its arcs are absorbed by
+// the clockwise successors; no other key moves.
+func (r *Ring) Remove(m string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.member[m] {
+		return
+	}
+	delete(r.member, m)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.member != m {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Members returns the present member set, sorted.
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.member))
+	for m := range r.member {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.member)
+}
+
+// Owner maps key to the member owning the first virtual node at or
+// clockwise after the key's hash. Empty string means the ring is empty.
+func (r *Ring) Owner(key string) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].member
+}
+
+// OwnerExcluding maps key to an owner, skipping members in the reject
+// set (ejected by health tracking). The ring walk degrades into
+// rendezvous hashing over the surviving members: among non-rejected
+// members, pick the one maximizing hash(key+"@"+member). Rendezvous
+// (rather than continuing the ring walk) keeps the fallback assignment
+// stable while the ejected set churns — a member flapping in and out of
+// health moves only its own keys, never reshuffles the fallbacks of
+// other ejected members' keys.
+func (r *Ring) OwnerExcluding(key string, reject map[string]bool) string {
+	if len(reject) == 0 {
+		return r.Owner(key)
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return ""
+	}
+	// Fast path: the ring owner is healthy.
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	if !reject[r.points[i].member] {
+		return r.points[i].member
+	}
+	// Rendezvous over the survivors.
+	var best string
+	var bestHash uint64
+	for m := range r.member {
+		if reject[m] {
+			continue
+		}
+		if hw := hash64(key + "@" + m); best == "" || hw > bestHash || (hw == bestHash && m < best) {
+			best, bestHash = m, hw
+		}
+	}
+	return best // "" when every member is rejected
+}

@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("key%08d", i)
+	}
+	return out
+}
+
+// TestRingBalance: at 128 vnodes the per-member share of a large keyspace
+// stays within ±15% of fair.
+func TestRingBalance(t *testing.T) {
+	members := []string{"node-a:7000", "node-b:7000", "node-c:7000", "node-d:7000"}
+	r := NewRing(members, DefaultVnodes)
+	const n = 100000
+	counts := make(map[string]int, len(members))
+	for _, k := range keys(n) {
+		counts[r.Owner(k)]++
+	}
+	fair := float64(n) / float64(len(members))
+	for _, m := range members {
+		got := float64(counts[m])
+		if got < fair*0.85 || got > fair*1.15 {
+			t.Errorf("member %s owns %.0f keys, outside ±15%% of fair share %.0f", m, got, fair)
+		}
+	}
+}
+
+// TestRingDeterministicPlacement: the same member set produces the same
+// placement regardless of construction order.
+func TestRingDeterministicPlacement(t *testing.T) {
+	a := NewRing([]string{"x:1", "y:1", "z:1"}, 64)
+	b := NewRing([]string{"z:1", "x:1", "y:1"}, 64)
+	for _, k := range keys(1000) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("placement differs for %q: %q vs %q", k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+// TestRingMinimalMovementOnJoin: adding one member to an N-member ring
+// moves roughly 1/(N+1) of the keys — and never a key between two
+// surviving members.
+func TestRingMinimalMovementOnJoin(t *testing.T) {
+	members := []string{"a:1", "b:1", "c:1"}
+	r := NewRing(members, DefaultVnodes)
+	const n = 50000
+	before := make(map[string]string, n)
+	for _, k := range keys(n) {
+		before[k] = r.Owner(k)
+	}
+	r.Add("d:1")
+	moved := 0
+	for k, old := range before {
+		now := r.Owner(k)
+		if now == old {
+			continue
+		}
+		moved++
+		if now != "d:1" {
+			t.Fatalf("key %q moved between surviving members: %q -> %q", k, old, now)
+		}
+	}
+	// Expect ~n/4 moved; allow a generous band around it.
+	if moved < n/8 || moved > n/2 {
+		t.Errorf("join moved %d of %d keys; want roughly %d", moved, n, n/4)
+	}
+}
+
+// TestRingMinimalMovementOnLeave: removing a member moves only its own
+// keys.
+func TestRingMinimalMovementOnLeave(t *testing.T) {
+	members := []string{"a:1", "b:1", "c:1", "d:1"}
+	r := NewRing(members, DefaultVnodes)
+	const n = 50000
+	before := make(map[string]string, n)
+	for _, k := range keys(n) {
+		before[k] = r.Owner(k)
+	}
+	r.Remove("b:1")
+	for k, old := range before {
+		now := r.Owner(k)
+		if old != "b:1" && now != old {
+			t.Fatalf("key %q not owned by the removed member moved: %q -> %q", k, old, now)
+		}
+		if old == "b:1" && now == "b:1" {
+			t.Fatalf("key %q still owned by removed member", k)
+		}
+	}
+}
+
+// TestRingOwnerExcluding: ejected members receive no keys, the ring
+// owner is used when healthy, and the fallback choice for a key is
+// stable while unrelated members flap.
+func TestRingOwnerExcluding(t *testing.T) {
+	members := []string{"a:1", "b:1", "c:1", "d:1"}
+	r := NewRing(members, DefaultVnodes)
+	for _, k := range keys(2000) {
+		if got := r.OwnerExcluding(k, nil); got != r.Owner(k) {
+			t.Fatalf("no rejection should keep the ring owner; key %q got %q want %q", k, got, r.Owner(k))
+		}
+	}
+	reject := map[string]bool{"b:1": true}
+	fallback := make(map[string]string)
+	for _, k := range keys(2000) {
+		got := r.OwnerExcluding(k, reject)
+		if got == "b:1" {
+			t.Fatalf("key %q routed to ejected member", k)
+		}
+		if r.Owner(k) != "b:1" && got != r.Owner(k) {
+			t.Fatalf("healthy owner bypassed for key %q: got %q want %q", k, got, r.Owner(k))
+		}
+		if r.Owner(k) == "b:1" {
+			fallback[k] = got
+		}
+	}
+	// Ejecting another member must not reshuffle b's fallbacks that did
+	// not land on it (rendezvous stability).
+	reject["d:1"] = true
+	for k, prev := range fallback {
+		if prev == "d:1" {
+			continue
+		}
+		if got := r.OwnerExcluding(k, reject); got != prev {
+			t.Fatalf("fallback for %q reshuffled by unrelated ejection: %q -> %q", k, prev, got)
+		}
+	}
+	// Everyone ejected: no owner.
+	all := map[string]bool{"a:1": true, "b:1": true, "c:1": true, "d:1": true}
+	if got := r.OwnerExcluding("k", all); got != "" {
+		t.Fatalf("all-ejected ring returned owner %q", got)
+	}
+}
+
+// TestRingEmpty: an empty ring returns no owner.
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(nil, 0)
+	if got := r.Owner("k"); got != "" {
+		t.Fatalf("empty ring returned owner %q", got)
+	}
+	if got := r.OwnerExcluding("k", map[string]bool{"x": true}); got != "" {
+		t.Fatalf("empty ring returned owner %q", got)
+	}
+}

@@ -619,6 +619,32 @@ func (c *Client) SubmitMultiContext(ctx context.Context, xrslSrc string) ([]Mult
 	return out, nil
 }
 
+// ForwardContext relays one already-formed request frame and returns the
+// raw response frame, without interpreting either side. This is the
+// cluster proxy's primitive: the proxy terminates its own client's GSI
+// session, picks the owning backend, and relays the inner frame verbatim
+// — queries, submissions, status polls — so backends see exactly the
+// frames a direct client would send. idempotent gates the retry policy
+// exactly as the typed methods do (never retry a SUBMIT that may have
+// been sent). A REJECT from the backend is returned as a frame, not an
+// error: the proxy relays the backend's admission decision to the origin
+// client untouched.
+func (c *Client) ForwardContext(ctx context.Context, req wire.Frame, idempotent bool) (wire.Frame, error) {
+	resp, err := c.call(ctx, req, idempotent)
+	if err != nil {
+		var rej *RejectedError
+		if errors.As(err, &rej) {
+			return wire.EncodeReject(wire.Reject{
+				RetryAfter: rej.RetryAfter,
+				Scope:      rej.Scope,
+				Reason:     rej.Reason,
+			}), nil
+		}
+		return wire.Frame{}, err
+	}
+	return resp, nil
+}
+
 // Status polls a job by contact. Status reads are idempotent and retried.
 func (c *Client) Status(contact string) (gram.StatusReply, error) {
 	return c.StatusContext(context.Background(), contact)

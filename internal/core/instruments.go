@@ -39,6 +39,9 @@ type instruments struct {
 	muxConns    *telemetry.Counter
 	muxInFlight *telemetry.Gauge
 
+	replFollowers      *telemetry.Gauge
+	replRecordsShipped *telemetry.Counter
+
 	admissionAdmitted *telemetry.Counter
 	admissionWaiting  *telemetry.Gauge
 	admissionWait     *telemetry.Histogram
@@ -85,6 +88,9 @@ func newInstruments(tel *telemetry.Registry) *instruments {
 
 		muxConns:    tel.Counter("infogram_mux_connections_total", "connections upgraded to multiplexed framing"),
 		muxInFlight: tel.Gauge("infogram_mux_inflight", "mux'd requests currently executing, summed over all connections"),
+
+		replFollowers:      tel.Gauge("infogram_repl_followers", "hot-standby followers currently tailing the journal"),
+		replRecordsShipped: tel.Counter("infogram_repl_records_shipped_total", "live journal records shipped to followers"),
 
 		admissionAdmitted: tel.Counter("infogram_admission_admitted_total", "requests passed through the admission gates"),
 		admissionWaiting:  tel.Gauge("infogram_admission_waiting", "requests parked in the backpressure wait queue"),

@@ -10,6 +10,7 @@ import (
 	"infogram/internal/gram"
 	"infogram/internal/gsi"
 	"infogram/internal/telemetry"
+	"infogram/internal/wire"
 	"infogram/internal/xrsl"
 )
 
@@ -334,6 +335,20 @@ func (p *Pool) Submit(ctx context.Context, xrslSrc string) (string, error) {
 		return err
 	})
 	return contact, err
+}
+
+// Forward relays one already-formed request frame over a pooled
+// connection and returns the raw response frame. See
+// Client.ForwardContext; this is the cluster proxy's per-backend
+// primitive.
+func (p *Pool) Forward(ctx context.Context, req wire.Frame, idempotent bool) (wire.Frame, error) {
+	var resp wire.Frame
+	err := p.do(ctx, func(c *Client) error {
+		var err error
+		resp, err = c.ForwardContext(ctx, req, idempotent)
+		return err
+	})
+	return resp, err
 }
 
 // Status polls a job by contact over a pooled connection.

@@ -84,7 +84,7 @@ func TestRespCachePersistRoundTrip(t *testing.T) {
 	negReq := &xrsl.InfoRequest{Keywords: []string{"Ghost"}}
 	rc1.store(req, "warm-body", false)
 	rc1.storeNegative(negReq, `provider: unknown keyword "Ghost"`)
-	if err := rc1.newPersister(path, 0, clk).Snapshot(); err != nil {
+	if err := rc1.newPersister(path, 0, false, clk).Snapshot(); err != nil {
 		t.Fatal(err)
 	}
 
@@ -99,7 +99,7 @@ func TestRespCachePersistRoundTrip(t *testing.T) {
 		t.Fatal("test needs distinct registry generations")
 	}
 	rc2 := newRespCache(reg2, 4, 1<<20, time.Minute, 0, clk)
-	st, err := rc2.newPersister(path, 0, clk).Restore()
+	st, err := rc2.newPersister(path, 0, false, clk).Restore()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +118,7 @@ func TestRespCachePersistRoundTrip(t *testing.T) {
 	// lapsed; the negative entry (15s) is still alive.
 	clk.Advance(11 * time.Second)
 	rc3 := newRespCache(reg2, 4, 1<<20, time.Minute, 0, clk)
-	st, err = rc3.newPersister(path, 0, clk).Restore()
+	st, err = rc3.newPersister(path, 0, false, clk).Restore()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +136,7 @@ func TestRespCachePersistRoundTrip(t *testing.T) {
 		return provider.Attributes{{Name: "free", Value: "9"}}, nil
 	}), provider.RegisterOptions{TTL: time.Minute, Clock: clk})
 	rcOther := newRespCache(regOther, 4, 1<<20, time.Minute, 0, clk)
-	st, err = rcOther.newPersister(path, 0, clk).Restore()
+	st, err = rcOther.newPersister(path, 0, false, clk).Restore()
 	if !errors.Is(err, bytecache.ErrSnapshotRejected) {
 		t.Fatalf("foreign-registry restore err = %v; want ErrSnapshotRejected", err)
 	}

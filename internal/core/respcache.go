@@ -342,11 +342,12 @@ func registryDigest(reg *provider.Registry) uint64 {
 // invalidation scheme: the registry generation is embedded at offset 0 of
 // every key, so restore re-stamps it, and the registry digest gates
 // whether a snapshot is trusted at all.
-func (rc *respCache) newPersister(path string, interval time.Duration, clk clock.Clock) *bytecache.Persister {
+func (rc *respCache) newPersister(path string, interval time.Duration, compress bool, clk clock.Clock) *bytecache.Persister {
 	return bytecache.NewPersister(rc.c, bytecache.PersistOptions{
 		Path:     path,
 		Interval: interval,
 		Name:     "resp",
+		Compress: compress,
 		Meta: func() bytecache.SnapshotMeta {
 			return bytecache.SnapshotMeta{
 				Generation: rc.reg.Generation(),

@@ -177,6 +177,10 @@ type Config struct {
 	// snapshots; 0 snapshots only at Close (a clean shutdown still
 	// restarts warm, a kill does not).
 	CacheSnapshotInterval time.Duration
+	// SnapshotCompress writes cache snapshots gzip-compressed. Restore
+	// reads both layouts, so the flag can change between restarts without
+	// losing the warm start.
+	SnapshotCompress bool
 	// RefreshAhead, when in (0,1), proactively re-fills hot cache entries
 	// once that fraction of their TTL has elapsed: a bounded worker pool
 	// re-executes the provider collect + render through the single-flight
@@ -280,7 +284,7 @@ func NewService(cfg Config) *Service {
 			// Listen, so the first request already hits warm.
 			s.persist = s.resp.newPersister(
 				filepath.Join(cfg.CacheStateDir, "respcache.snap"),
-				cfg.CacheSnapshotInterval, cfg.Clock)
+				cfg.CacheSnapshotInterval, cfg.SnapshotCompress, cfg.Clock)
 			s.persist.SetTelemetry(cfg.Telemetry)
 			_, _ = s.persist.Restore() // every failure mode is a cold start
 			s.persist.Start()
@@ -499,6 +503,20 @@ func (s *Service) serveConn(c *wire.Conn) {
 			}
 			ts.enabled = true
 			continue
+		}
+		if f.Verb == wire.VerbRepl {
+			// Capability upgrade to a replication stream: a journaled
+			// leader accepts and ships its history plus a live record
+			// feed (repl.go); a journal-less service declines with
+			// ERROR, byte-identical to a pre-capability peer.
+			if s.cfg.Journal == nil {
+				if err := c.Write(errorFrame("infogram: replication requires a journal (-state-dir)")); err != nil {
+					return
+				}
+				continue
+			}
+			s.serveRepl(c)
+			return
 		}
 		if f.Verb == wire.VerbMux {
 			// Capability upgrade: acknowledge, then dispatch this

@@ -67,7 +67,7 @@ func warmBenchSnapshot(tb testing.TB, path string) []*xrsl.InfoRequest {
 		}
 		rc.store(reqs[i], body, empty)
 	}
-	if err := rc.newPersister(path, 0, clock.System).Snapshot(); err != nil {
+	if err := rc.newPersister(path, 0, false, clock.System).Snapshot(); err != nil {
 		tb.Fatal(err)
 	}
 	return reqs
@@ -100,7 +100,7 @@ func warmFirstHit(tb testing.TB, path string, req *xrsl.InfoRequest) time.Durati
 	reg := warmBenchRegistry(warmProviderDelay)
 	rc := newRespCache(reg, 64, 64<<20, time.Hour, 0, clock.System)
 	t0 := time.Now()
-	st, err := rc.newPersister(path, 0, clock.System).Restore()
+	st, err := rc.newPersister(path, 0, false, clock.System).Restore()
 	if err != nil {
 		tb.Fatal(err)
 	}

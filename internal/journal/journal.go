@@ -251,6 +251,9 @@ type Journal struct {
 	retired map[string][]byte
 	order   []string // contacts in first-submission order
 
+	// taps are live replication subscribers (see repl.go).
+	taps []*Tap
+
 	stop chan struct{}
 	done chan struct{}
 
@@ -396,6 +399,7 @@ func (j *Journal) append(ctx context.Context, e Entry) error {
 	}
 	j.segBytes += int64(len(frame))
 	j.applyLocked(e)
+	j.notifyTapsLocked(frame[frameHeader:])
 	j.appends.Inc()
 	j.dirty = true
 	if j.opts.Fsync == FsyncAlways {
@@ -458,6 +462,9 @@ func (j *Journal) Close() error {
 		return nil
 	}
 	j.closed = true
+	for len(j.taps) > 0 {
+		j.dropTapLocked(j.taps[0])
+	}
 	syncErr := j.flushLocked()
 	if err := j.seg.Sync(); syncErr == nil {
 		syncErr = err

@@ -1,0 +1,146 @@
+package journal
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// Wire replication support: a follower gatekeeper tails this journal
+// over the REPL capability (internal/core serves it, internal/cluster
+// consumes it). Subscribe captures a consistent cut of the on-disk
+// history — the snapshot plus every segment's current byte length —
+// and registers a live tap in the same critical section, so the
+// backlog and the record stream compose without a gap or a duplicate:
+// every record is either inside a captured prefix or delivered on the
+// tap, never both, never neither.
+
+// SegmentInfo describes one segment file at subscription time. Size is
+// the flushed byte length at the cut; bytes past it belong to the live
+// stream.
+type SegmentInfo struct {
+	Index int   `json:"index"`
+	Size  int64 `json:"size"`
+}
+
+// Backlog is the consistent cut Subscribe captured: the snapshot file
+// (nil when none exists) and the segment prefixes that, replayed in
+// order, reproduce the journal's folded state at the cut.
+type Backlog struct {
+	Snapshot []byte        `json:"-"`
+	Segments []SegmentInfo `json:"segments"`
+}
+
+// Tap is a live subscription to appended records. Records() yields each
+// post-cut record's JSON payload (unframed); the channel closes when the
+// journal closes or the subscriber falls more than its buffer behind —
+// a closed tap means the follower must re-subscribe and re-sync, which
+// trades leader memory (no unbounded backlog per slow follower) for a
+// rare full re-ship.
+type Tap struct {
+	ch     chan []byte
+	closed bool // guarded by the journal's mu
+}
+
+// Records is the live record stream. Payloads are fresh copies; the
+// receiver owns them.
+func (t *Tap) Records() <-chan []byte { return t.ch }
+
+// Subscribe captures the backlog cut and registers a live tap with the
+// given channel buffer (minimum 16). The caller must Unsubscribe when
+// done. Nil-safe: a nil journal returns nils.
+func (j *Journal) Subscribe(buffer int) (*Tap, *Backlog, error) {
+	if j == nil {
+		return nil, nil, nil
+	}
+	if buffer < 16 {
+		buffer = 16
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil, nil, ErrClosed
+	}
+	// Flush the group-commit buffer so file sizes cover every append that
+	// happened before the cut.
+	if err := j.flushLocked(); err != nil {
+		return nil, nil, err
+	}
+	bl := &Backlog{}
+	if b, err := os.ReadFile(filepath.Join(j.opts.Dir, snapshotName)); err == nil {
+		bl.Snapshot = b
+	} else if !os.IsNotExist(err) {
+		return nil, nil, err
+	}
+	for _, idx := range j.listSegments() {
+		var size int64
+		if idx == j.segIndex {
+			size = j.segBytes
+		} else {
+			st, err := os.Stat(j.segPath(idx))
+			if err != nil {
+				continue // compacted between list and stat; snapshot covers it
+			}
+			size = st.Size()
+		}
+		bl.Segments = append(bl.Segments, SegmentInfo{Index: idx, Size: size})
+	}
+	t := &Tap{ch: make(chan []byte, buffer)}
+	j.taps = append(j.taps, t)
+	return t, bl, nil
+}
+
+// Unsubscribe removes a tap; its channel closes. Safe to call twice.
+func (j *Journal) Unsubscribe(t *Tap) {
+	if j == nil || t == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.dropTapLocked(t)
+}
+
+// dropTapLocked closes and removes one tap. Caller holds mu.
+func (j *Journal) dropTapLocked(t *Tap) {
+	if t.closed {
+		return
+	}
+	t.closed = true
+	close(t.ch)
+	kept := j.taps[:0]
+	for _, x := range j.taps {
+		if x != t {
+			kept = append(kept, x)
+		}
+	}
+	j.taps = kept
+}
+
+// notifyTapsLocked hands one appended record's JSON payload to every
+// live tap. The payload is copied once (the caller's buffer is the
+// journal's reusable scratch); the send never blocks the append path: a
+// subscriber that cannot keep up is dropped (closed channel), which the
+// replication layer turns into a full re-sync. Caller holds mu.
+func (j *Journal) notifyTapsLocked(raw []byte) {
+	if len(j.taps) == 0 {
+		return
+	}
+	payload := append([]byte(nil), raw...)
+	for i := 0; i < len(j.taps); {
+		t := j.taps[i]
+		select {
+		case t.ch <- payload:
+			i++
+		default:
+			j.dropTapLocked(t) // mutates j.taps in place; retry index i
+		}
+	}
+}
+
+// SegmentPath exposes the path of segment idx for the replication
+// reader (read-only open by the serving layer).
+func (j *Journal) SegmentPath(idx int) string {
+	if j == nil {
+		return ""
+	}
+	return j.segPath(idx)
+}

@@ -1,0 +1,139 @@
+package journal
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func subEntry(contact, spec string) Entry {
+	return Entry{Kind: KindSubmit, Time: time.Now().UnixNano(), Contact: contact, Spec: spec, Owner: "u", Identity: "id"}
+}
+
+func stateEntry(contact, state string) Entry {
+	return Entry{Kind: KindState, Time: time.Now().UnixNano(), Contact: contact, State: state}
+}
+
+// TestSubscribeCutIsConsistent: records appended before Subscribe land in
+// the backlog, records appended after land on the tap — none in both,
+// none in neither.
+func TestSubscribeCutIsConsistent(t *testing.T) {
+	j, _, err := Open(Options{Dir: t.TempDir(), Fsync: FsyncInterval})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+
+	ctx := context.Background()
+	if err := j.Append(ctx, subEntry("c1", "spec1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(ctx, stateEntry("c1", "ACTIVE")); err != nil {
+		t.Fatal(err)
+	}
+
+	tap, backlog, err := j.Subscribe(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Unsubscribe(tap)
+
+	var backlogBytes int64
+	for _, seg := range backlog.Segments {
+		backlogBytes += seg.Size
+	}
+	if backlogBytes == 0 {
+		t.Fatal("backlog covers no bytes despite pre-cut appends")
+	}
+
+	if err := j.Append(ctx, subEntry("c2", "spec2")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case rec, ok := <-tap.Records():
+		if !ok {
+			t.Fatal("tap closed unexpectedly")
+		}
+		if string(rec) == "" || !containsAll(string(rec), `"c2"`, `"spec2"`) {
+			t.Fatalf("live record does not carry the post-cut append: %s", rec)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("post-cut append never reached the tap")
+	}
+	// The pre-cut records must NOT arrive live.
+	select {
+	case rec := <-tap.Records():
+		t.Fatalf("unexpected extra live record: %s", rec)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+// TestSubscribeSlowFollowerDropped: a tap that never drains overflows
+// its buffer and is closed rather than blocking appends.
+func TestSubscribeSlowFollowerDropped(t *testing.T) {
+	j, _, err := Open(Options{Dir: t.TempDir(), Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	tap, _, err := j.Subscribe(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 64; i++ {
+		if err := j.Append(ctx, subEntry("c", "s")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.After(2 * time.Second)
+	for {
+		select {
+		case _, ok := <-tap.Records():
+			if !ok {
+				return // dropped, as designed
+			}
+		case <-deadline:
+			t.Fatal("overflowing tap was never closed")
+		}
+	}
+}
+
+// TestSubscribeClosedOnJournalClose: closing the journal closes taps.
+func TestSubscribeClosedOnJournalClose(t *testing.T) {
+	j, _, err := Open(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tap, _, err := j.Subscribe(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case _, ok := <-tap.Records():
+		if ok {
+			t.Fatal("expected closed channel")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("tap not closed by journal Close")
+	}
+}
+
+func containsAll(s string, subs ...string) bool {
+	for _, sub := range subs {
+		found := false
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

@@ -124,6 +124,12 @@ func (m Mix) schedule() []string {
 type Config struct {
 	// Addr is the InfoGram service address.
 	Addr string
+	// Targets, when non-empty, spreads the offered load round-robin across
+	// several service addresses (N gatekeepers, or N cluster proxies) with
+	// an independent connection pool per target; Addr is ignored. Status
+	// polls are routed back to the target that accepted the job, since
+	// direct multi-target runs have no routing tier to find it.
+	Targets []string
 	// Cred/Trust authenticate the generated clients.
 	Cred  *gsi.Credential
 	Trust *gsi.TrustStore
@@ -230,11 +236,11 @@ func (r Report) String() string {
 	return s
 }
 
-// Generator runs open-loop load against one service.
+// Generator runs open-loop load against one or more services.
 type Generator struct {
-	cfg  Config
-	pool *core.Pool
-	hist *telemetry.Histogram
+	cfg   Config
+	pools []*core.Pool // one per target; a single-address run has one
+	hist  *telemetry.Histogram
 	// rng/zipf drive the keyed-query draw; only the arrival loop touches
 	// them, and they are seeded deterministically.
 	rng  *rand.Rand
@@ -249,8 +255,15 @@ type Generator struct {
 	shed     [3]atomic.Int64 // quota, overload, backlog
 
 	mu       sync.Mutex
-	contacts []string
+	contacts []submitted
 	statusN  int
+}
+
+// submitted remembers which target accepted a job, so status polls can
+// go back to it in direct multi-target runs.
+type submitted struct {
+	contact string
+	pool    int
 }
 
 // shedIndex maps a REJECT scope to its counter slot.
@@ -294,17 +307,23 @@ func New(cfg Config) (*Generator, error) {
 	if cfg.Mix.Submit > 0 && cfg.JobXRSL == "" {
 		return nil, fmt.Errorf("loadgen: mix weights submit but no job xRSL is configured")
 	}
+	targets := cfg.Targets
+	if len(targets) == 0 {
+		targets = []string{cfg.Addr}
+	}
 	reg := telemetry.NewRegistry()
 	g := &Generator{
 		cfg:  cfg,
 		hist: reg.Histogram("loadgen_latency_seconds", "scheduled-arrival-to-completion latency"),
-		pool: core.NewPool(cfg.Addr, cfg.Cred, cfg.Trust, core.PoolOptions{
+	}
+	for _, addr := range targets {
+		g.pools = append(g.pools, core.NewPool(addr, cfg.Cred, cfg.Trust, core.PoolOptions{
 			Size: cfg.PoolSize,
 			Client: core.Options{
 				RequestTimeout: cfg.RequestTimeout,
 				DisableMux:     cfg.DisableMux,
 			},
-		}),
+		}))
 	}
 	if cfg.Keys > 0 {
 		g.rng = rand.New(rand.NewSource(42))
@@ -328,22 +347,37 @@ func (g *Generator) keyedQuery() string {
 	return fmt.Sprintf("&(info=%s)(filter=\"key%08d*\")", g.cfg.InfoKeyword, k)
 }
 
-// cacheCounters reads the server's response-cache counters through the
-// selfmetrics provider — the harness measures hit ratio the same way any
-// client would, over the wire.
-func (g *Generator) cacheCounters(ctx context.Context) (hits, misses int64, ok bool) {
+// cacheCounters sums the response-cache counters across every target,
+// read through the selfmetrics provider — the harness measures hit ratio
+// the same way any client would, over the wire. probes reports how many
+// targets answered; each answering probe is itself one cache miss
+// (selfmetrics is never cached), which the caller subtracts.
+func (g *Generator) cacheCounters(ctx context.Context) (hits, misses int64, probes int) {
+	for _, pool := range g.pools {
+		h, m, ok := g.poolCacheCounters(ctx, pool)
+		if !ok {
+			continue
+		}
+		hits += h
+		misses += m
+		probes++
+	}
+	return hits, misses, probes
+}
+
+func (g *Generator) poolCacheCounters(ctx context.Context, pool *core.Pool) (hits, misses int64, ok bool) {
 	cctx, cancel := context.WithTimeout(ctx, g.cfg.RequestTimeout)
 	defer cancel()
-	client, err := g.pool.Checkout(cctx)
+	client, err := pool.Checkout(cctx)
 	if err != nil {
 		return 0, 0, false
 	}
 	res, err := client.QueryRawContext(cctx, `&(info=selfmetrics)(filter="selfmetrics:infogram_bytecache_*")`)
 	if err != nil {
-		g.pool.Discard(client)
+		pool.Discard(client)
 		return 0, 0, false
 	}
-	g.pool.Checkin(client)
+	pool.Checkin(client)
 	for _, e := range res.Entries {
 		if v, found := e.Get("selfmetrics:infogram_bytecache_hits_total"); found {
 			hits, _ = strconv.ParseInt(v, 10, 64)
@@ -396,10 +430,14 @@ func (g *Generator) offer(ctx context.Context, verbs []string, dur time.Duration
 			// function of the seed, independent of completion order.
 			query = g.keyedQuery()
 		}
+		// Targets are walked round-robin by arrival index, so a 2-node run
+		// offers each node exactly half the load in the same deterministic
+		// order every run.
+		poolIdx := int(n % int64(len(g.pools)))
 		go func() {
 			defer wg.Done()
 			defer g.inflight.Add(-1)
-			g.one(ctx, verb, query, sched, record)
+			g.one(ctx, verb, query, poolIdx, sched, record)
 		}()
 	}
 	wg.Wait()
@@ -409,7 +447,11 @@ func (g *Generator) offer(ctx context.Context, verbs []string, dur time.Duration
 // Run offers arrivals for the configured duration, drains, and reports.
 // The context cancels the run early (the partial report is still valid).
 func (g *Generator) Run(ctx context.Context) Report {
-	defer g.pool.Close()
+	defer func() {
+		for _, pool := range g.pools {
+			pool.Close()
+		}
+	}()
 	verbs := g.cfg.Mix.schedule()
 
 	if g.cfg.Warmup > 0 {
@@ -420,7 +462,9 @@ func (g *Generator) Run(ctx context.Context) Report {
 	var hits0, miss0 int64
 	probed := false
 	if g.cfg.Keys > 0 {
-		hits0, miss0, probed = g.cacheCounters(ctx)
+		var n int
+		hits0, miss0, n = g.cacheCounters(ctx)
+		probed = n > 0
 	}
 	elapsed := g.offer(ctx, verbs, g.cfg.Duration, true)
 
@@ -455,11 +499,11 @@ func (g *Generator) Run(ctx context.Context) Report {
 		rep.Keys = g.cfg.Keys
 		rep.Zipf = g.cfg.Zipf
 		if probed {
-			if h1, m1, ok := g.cacheCounters(context.Background()); ok {
+			if h1, m1, n := g.cacheCounters(context.Background()); n > 0 {
 				rep.CacheHits = h1 - hits0
-				// The closing probe's own lookup misses (selfmetrics is
-				// never cached); keep it out of the workload's numbers.
-				rep.CacheMisses = m1 - miss0 - 1
+				// Each closing probe's own lookup misses (selfmetrics is
+				// never cached); keep them out of the workload's numbers.
+				rep.CacheMisses = m1 - miss0 - int64(n)
 				if rep.CacheMisses < 0 {
 					rep.CacheMisses = 0
 				}
@@ -474,22 +518,35 @@ func (g *Generator) Run(ctx context.Context) Report {
 
 // one executes a single arrival and classifies its outcome. Unrecorded
 // (warmup) arrivals do the same work but touch no counters.
-func (g *Generator) one(ctx context.Context, verb, query string, sched time.Time, record bool) {
+func (g *Generator) one(ctx context.Context, verb, query string, poolIdx int, sched time.Time, record bool) {
+	var contact string
+	if verb == "status" {
+		// The contact is drawn before checkout so the poll can be routed
+		// to the target that accepted the job.
+		g.mu.Lock()
+		if len(g.contacts) > 0 {
+			s := g.contacts[g.statusN%len(g.contacts)]
+			g.statusN++
+			contact, poolIdx = s.contact, s.pool
+		}
+		g.mu.Unlock()
+	}
+	pool := g.pools[poolIdx]
 	rctx, cancel := context.WithDeadline(ctx, sched.Add(g.cfg.RequestTimeout))
 	defer cancel()
-	client, err := g.pool.Checkout(rctx)
+	client, err := pool.Checkout(rctx)
 	if err != nil {
 		if record {
 			g.errs.Add(1)
 		}
 		return
 	}
-	err = g.issue(rctx, client, verb, query)
+	err = g.issue(rctx, client, verb, query, contact, poolIdx)
 	var rej *core.RejectedError
 	if errors.As(err, &rej) {
 		// A rejection keeps its connection: the server refused before
 		// doing work, the transport is healthy.
-		g.pool.Checkin(client)
+		pool.Checkin(client)
 		if record {
 			g.rejected.Add(1)
 			g.shed[shedIndex(rej.Scope)].Add(1)
@@ -497,13 +554,13 @@ func (g *Generator) one(ctx context.Context, verb, query string, sched time.Time
 		return
 	}
 	if err != nil {
-		g.pool.Discard(client)
+		pool.Discard(client)
 		if record {
 			g.errs.Add(1)
 		}
 		return
 	}
-	g.pool.Checkin(client)
+	pool.Checkin(client)
 	if record {
 		g.ok.Add(1)
 		g.hist.Observe(time.Since(sched))
@@ -511,7 +568,7 @@ func (g *Generator) one(ctx context.Context, verb, query string, sched time.Time
 }
 
 // issue performs verb's request on a leased client.
-func (g *Generator) issue(ctx context.Context, client *core.Client, verb, query string) error {
+func (g *Generator) issue(ctx context.Context, client *core.Client, verb, query, contact string, poolIdx int) error {
 	switch verb {
 	case "info":
 		_, err := client.QueryRawContext(ctx, query)
@@ -521,19 +578,12 @@ func (g *Generator) issue(ctx context.Context, client *core.Client, verb, query 
 		if err == nil {
 			g.mu.Lock()
 			if len(g.contacts) < 4096 {
-				g.contacts = append(g.contacts, contact)
+				g.contacts = append(g.contacts, submitted{contact: contact, pool: poolIdx})
 			}
 			g.mu.Unlock()
 		}
 		return err
 	case "status":
-		g.mu.Lock()
-		var contact string
-		if len(g.contacts) > 0 {
-			contact = g.contacts[g.statusN%len(g.contacts)]
-			g.statusN++
-		}
-		g.mu.Unlock()
 		if contact == "" {
 			// No job submitted yet to poll; a ping keeps the arrival real.
 			return client.PingContext(ctx)

@@ -1,8 +1,10 @@
 package mds
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"net"
 	"strings"
 
 	"infogram/internal/clock"
@@ -26,11 +28,20 @@ func Dial(addr string, cred *gsi.Credential, trust *gsi.TrustStore) (*Client, er
 
 // DialClock is Dial with an injected clock.
 func DialClock(addr string, cred *gsi.Credential, trust *gsi.TrustStore, clk clock.Clock) (*Client, error) {
-	conn, err := wire.Dial(addr)
+	return DialContext(context.Background(), addr, cred, trust, clk)
+}
+
+// DialContext is DialClock bounded by the context: the TCP connect, the
+// GSI handshake, and nothing else. Subsequent calls carry their own
+// contexts.
+func DialContext(ctx context.Context, addr string, cred *gsi.Credential, trust *gsi.TrustStore, clk clock.Clock) (*Client, error) {
+	dialer := net.Dialer{}
+	nc, err := dialer.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("mds: dial %s: %w", addr, err)
 	}
-	peer, err := gsi.ClientHandshake(conn, cred, trust, clk.Now())
+	conn := wire.NewConn(nc)
+	peer, err := gsi.ClientHandshakeContext(ctx, conn, cred, trust, clk.Now())
 	if err != nil {
 		conn.Close()
 		return nil, err
@@ -46,11 +57,18 @@ func (c *Client) Close() error { return c.conn.Close() }
 
 // Search performs one search and decodes the LDIF result.
 func (c *Client) Search(req SearchRequest) ([]ldif.Entry, error) {
+	return c.SearchContext(context.Background(), req)
+}
+
+// SearchContext is Search bounded by the context's deadline and
+// cancellation. Cancellation mid-call leaves the connection's framing in
+// an unknown state; callers should discard the client afterwards.
+func (c *Client) SearchContext(ctx context.Context, req SearchRequest) ([]ldif.Entry, error) {
 	payload, err := json.Marshal(req)
 	if err != nil {
 		return nil, fmt.Errorf("mds: encode search: %w", err)
 	}
-	resp, err := c.conn.Call(wire.Frame{Verb: VerbSearch, Payload: payload})
+	resp, err := c.conn.CallContext(ctx, wire.Frame{Verb: VerbSearch, Payload: payload})
 	if err != nil {
 		return nil, err
 	}

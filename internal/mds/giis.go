@@ -43,6 +43,25 @@ type GIISConfig struct {
 	// bytecache defaults).
 	CacheShards   int
 	CacheMaxBytes int64
+	// FanoutParallelism bounds concurrent member queries per search; 0
+	// selects defaultFanoutParallelism. Unbounded fan-out would let one
+	// search against a large federation spawn a goroutine and a connection
+	// per registrant.
+	FanoutParallelism int
+	// MemberTimeout bounds each member query (dial, handshake, and call);
+	// 0 selects defaultMemberTimeout. A member that exceeds it is reported
+	// in the degraded status entry instead of stalling the whole search.
+	MemberTimeout time.Duration
+	// RefreshAhead, when in (0,1) and the cache is enabled, proactively
+	// re-runs hot cached fan-outs once they age past this fraction of
+	// CacheTTL, so a steady-state hot aggregate query never pays the
+	// member fan-out on a request. Zero disables the pool.
+	RefreshAhead float64
+	// RefreshWorkers bounds concurrent refresh-ahead fan-outs; 0 selects 2.
+	RefreshWorkers int
+	// SnapshotCompress writes cache snapshots gzip-compressed; restore
+	// reads both layouts regardless.
+	SnapshotCompress bool
 	// Telemetry, when set together with CacheTTL, receives the byte
 	// cache's counters and per-shard occupancy series.
 	Telemetry *telemetry.Registry
@@ -64,6 +83,18 @@ type GIIS struct {
 	memGen atomic.Uint64
 	// resp caches rendered fan-out bodies; nil when CacheTTL is zero.
 	resp *bytecache.Cache
+	// conns holds idle authenticated member clients for reuse across
+	// searches, so the fan-out does not pay a dial + GSI handshake per
+	// member per query.
+	connMu sync.Mutex
+	conns  map[string][]*Client
+	closed bool
+
+	fanDegraded  *telemetry.Counter
+	memberErrors *telemetry.Counter
+	// refresh keeps hot cached fan-outs from expiring under load; nil
+	// unless both CacheTTL and RefreshAhead are set.
+	refresh *searchRefresher
 }
 
 // NewGIIS builds an index service.
@@ -74,7 +105,13 @@ func NewGIIS(cfg GIISConfig) *GIIS {
 	if cfg.Policy == nil {
 		cfg.Policy = gsi.AllowAll()
 	}
-	g := &GIIS{cfg: cfg, members: make(map[string]time.Time)}
+	g := &GIIS{cfg: cfg, members: make(map[string]time.Time), conns: make(map[string][]*Client)}
+	if cfg.Telemetry != nil {
+		g.fanDegraded = cfg.Telemetry.Counter("mds_giis_searches_degraded_total",
+			"GIIS searches answered partially because a member failed or timed out")
+		g.memberErrors = cfg.Telemetry.Counter("mds_giis_member_errors_total",
+			"GIIS member queries that failed or timed out")
+	}
 	if cfg.CacheTTL > 0 {
 		g.resp = bytecache.New(bytecache.Options{
 			Shards:     cfg.CacheShards,
@@ -84,6 +121,18 @@ func NewGIIS(cfg GIISConfig) *GIIS {
 		})
 		if cfg.Telemetry != nil {
 			g.resp.SetTelemetry(cfg.Telemetry)
+		}
+		if cfg.RefreshAhead > 0 {
+			g.refresh = newSearchRefresher(g.resp, cfg.Clock, cfg.CacheTTL,
+				cfg.RefreshAhead, cfg.RefreshWorkers,
+				g.memGen.Load,
+				func(ctx context.Context, req *SearchRequest) (bool, error) {
+					_, stored, err := g.fillSearch(ctx, req)
+					return stored, err
+				})
+			if cfg.Telemetry != nil {
+				g.refresh.setTelemetry(cfg.Telemetry, "giis")
+			}
 		}
 	}
 	g.server = wire.NewServer(wire.HandlerFunc(g.serveConn))
@@ -96,8 +145,20 @@ func (g *GIIS) Listen(addr string) (string, error) { return g.server.Listen(addr
 // Addr returns the bound address.
 func (g *GIIS) Addr() string { return g.server.Addr() }
 
-// Close shuts the GIIS down.
-func (g *GIIS) Close() error { return g.server.Close() }
+// Close shuts the GIIS down and drops the pooled member connections.
+func (g *GIIS) Close() error {
+	g.refresh.close()
+	g.connMu.Lock()
+	g.closed = true
+	for addr, pool := range g.conns {
+		for _, cl := range pool {
+			cl.Close()
+		}
+		delete(g.conns, addr)
+	}
+	g.connMu.Unlock()
+	return g.server.Close()
+}
 
 // Register adds a GRIS address directly (servers co-located with the GIIS
 // may skip the wire protocol). Re-registering a live member refreshes its
@@ -186,9 +247,10 @@ func (g *GIIS) Search(ctx context.Context, req SearchRequest) ([]ldif.Entry, err
 
 // SearchLDIF answers a search with the rendered LDIF body, serving repeats
 // from the byte cache. The returned bytes must be treated as read-only: on
-// a hit they alias the cache's append-only arena. Unreachable members are
-// skipped, matching the decentralized tolerance a Grid information service
-// requires (§3).
+// a hit they alias the cache's append-only arena. Members that fail or
+// time out degrade the reply — a status entry names them — instead of
+// failing it, matching the decentralized tolerance a Grid information
+// service requires (§3).
 func (g *GIIS) SearchLDIF(ctx context.Context, req SearchRequest) ([]byte, error) {
 	gen := g.memGen.Load()
 	if g.resp != nil {
@@ -202,52 +264,53 @@ func (g *GIIS) SearchLDIF(ctx context.Context, req SearchRequest) ([]byte, error
 		}
 	}
 
+	body, _, err := g.fillSearch(ctx, &req)
+	return body, err
+}
+
+// fillSearch is the miss path, shared with the refresh-ahead pool: fan
+// out, merge, and (when no member failed) store and track. The second
+// result reports whether a rendering was stored — degraded merges never
+// are, so the next search retries the failed members instead of pinning
+// the partial body for CacheTTL.
+func (g *GIIS) fillSearch(ctx context.Context, req *SearchRequest) ([]byte, bool, error) {
+	// Capture the generation before the fan-out: if the membership changes
+	// mid-flight the stored entry is orphaned, never served stale.
+	gen := g.memGen.Load()
 	members := g.Members()
-	type result struct {
-		entries []ldif.Entry
-		err     error
-		addr    string
-	}
-	results := make(chan result, len(members))
-	for _, addr := range members {
-		go func(addr string) {
-			entries, err := g.queryMember(addr, req)
-			results <- result{entries, err, addr}
-		}(addr)
-	}
+	results := g.scatter(ctx, members, *req)
 	var merged []ldif.Entry
-	for range members {
-		r := <-results
+	var failed []memberResult
+	for _, r := range results {
 		if r.err != nil {
-			continue // tolerate dead members
+			failed = append(failed, r)
+			g.memberErrors.Inc()
+			continue
 		}
 		merged = append(merged, r.entries...)
 	}
 	sort.Slice(merged, func(i, j int) bool { return merged[i].DN < merged[j].DN })
+	if len(failed) > 0 {
+		// The status entry goes last, after the DN sort, mirroring the
+		// gatekeeper's partial-reply convention (core.DegradedObjectClass)
+		// so clients detect degradation from either tier the same way.
+		merged = append(merged, degradedSearchEntry(g.cfg.OrgName, failed))
+		g.fanDegraded.Inc()
+	}
 
 	out, err := ldif.Marshal(merged)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	if g.resp != nil {
+	stored := false
+	if g.resp != nil && len(failed) == 0 {
 		keyp := keyScratch.Get().(*[]byte)
-		// Key under the generation observed before the fan-out: if the
-		// membership changed mid-flight the entry is orphaned, never
-		// served stale.
-		key := appendSearchKey((*keyp)[:0], 'g', gen, &req)
+		key := appendSearchKey((*keyp)[:0], 'g', gen, req)
 		g.resp.Set(key, zerocopy.Bytes(out), g.cfg.CacheTTL)
+		g.refresh.track(req, key)
 		*keyp = key[:0]
 		keyScratch.Put(keyp)
+		stored = true
 	}
-	return zerocopy.Bytes(out), nil
-}
-
-// queryMember performs one authenticated search against a GRIS.
-func (g *GIIS) queryMember(addr string, req SearchRequest) ([]ldif.Entry, error) {
-	cl, err := DialClock(addr, g.cfg.Credential, g.cfg.Trust, g.cfg.Clock)
-	if err != nil {
-		return nil, err
-	}
-	defer cl.Close()
-	return cl.Search(req)
+	return zerocopy.Bytes(out), stored, nil
 }

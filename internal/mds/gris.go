@@ -66,6 +66,16 @@ type GRISConfig struct {
 	// bytecache defaults).
 	CacheShards   int
 	CacheMaxBytes int64
+	// RefreshAhead, when in (0,1) and the cache is enabled, proactively
+	// re-fills hot cached searches once they age past this fraction of
+	// their TTL, so a steady-state hot filter never pays a provider
+	// collection on a request. Zero disables the pool.
+	RefreshAhead float64
+	// RefreshWorkers bounds concurrent refresh-ahead fills; 0 selects 2.
+	RefreshWorkers int
+	// SnapshotCompress writes cache snapshots gzip-compressed; restore
+	// reads both layouts regardless.
+	SnapshotCompress bool
 	// Telemetry, when set together with CacheTTL, receives the byte
 	// cache's counters and per-shard occupancy series.
 	Telemetry *telemetry.Registry
@@ -86,6 +96,9 @@ type GRIS struct {
 	// wholesale. Nil when CacheTTL is zero.
 	resp   *bytecache.Cache
 	negTTL time.Duration
+	// refresh keeps hot cached searches from expiring under load; nil
+	// unless both CacheTTL and RefreshAhead are set.
+	refresh *searchRefresher
 }
 
 // NewGRIS builds a GRIS.
@@ -120,6 +133,18 @@ func NewGRIS(cfg GRISConfig) *GRIS {
 				g.negTTL = cfg.CacheTTL
 			}
 		}
+		if cfg.RefreshAhead > 0 {
+			g.refresh = newSearchRefresher(g.resp, cfg.Clock, cfg.CacheTTL,
+				cfg.RefreshAhead, cfg.RefreshWorkers,
+				cfg.Registry.Generation,
+				func(ctx context.Context, req *SearchRequest) (bool, error) {
+					_, stored, err := g.fillSearch(ctx, req, cache.Immediate)
+					return stored, err
+				})
+			if cfg.Telemetry != nil {
+				g.refresh.setTelemetry(cfg.Telemetry, "gris")
+			}
+		}
 	}
 	g.server = wire.NewServer(wire.HandlerFunc(g.serveConn))
 	return g
@@ -135,7 +160,10 @@ func (g *GRIS) Addr() string { return g.server.Addr() }
 func (g *GRIS) AcceptedConns() int64 { return g.server.AcceptedConns() }
 
 // Close shuts the GRIS down.
-func (g *GRIS) Close() error { return g.server.Close() }
+func (g *GRIS) Close() error {
+	g.refresh.close()
+	return g.server.Close()
+}
 
 func (g *GRIS) serveConn(c *wire.Conn) {
 	peer, err := gsi.ServerHandshake(c, g.cfg.Credential, g.cfg.Trust, g.cfg.Clock.Now())
@@ -209,14 +237,27 @@ func (g *GRIS) SearchLDIF(ctx context.Context, req SearchRequest) ([]byte, error
 			return blob, nil
 		}
 	}
-	entries, ttl, err := g.search(ctx, req)
+	body, _, err := g.fillSearch(ctx, &req, cache.Cached)
+	return body, err
+}
+
+// fillSearch is the miss path, shared with the refresh-ahead pool:
+// evaluate, render, and (when cacheable) store and track. The second
+// result reports whether a rendering was stored. The refresh pool passes
+// cache.Immediate, forcing the provider executions the refresh exists
+// for — each provider's Entry still coalesces concurrent fills and still
+// enforces the §6.2 minimum inter-execution delay, so refresh-ahead can
+// never hammer a provider harder than the paper allows.
+func (g *GRIS) fillSearch(ctx context.Context, req *SearchRequest, mode cache.Mode) ([]byte, bool, error) {
+	entries, ttl, err := g.search(ctx, *req, mode)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	out, err := ldif.Marshal(entries)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
+	stored := false
 	if g.resp != nil && ttl > 0 {
 		if len(entries) == 0 && g.negTTL < ttl {
 			// Filters that matched nothing are worth caching — evaluation
@@ -225,12 +266,14 @@ func (g *GRIS) SearchLDIF(ctx context.Context, req SearchRequest) ([]byte, error
 			ttl = g.negTTL
 		}
 		keyp := keyScratch.Get().(*[]byte)
-		key := appendSearchKey((*keyp)[:0], 'b', g.cfg.Registry.Generation(), &req)
+		key := appendSearchKey((*keyp)[:0], 'b', g.cfg.Registry.Generation(), req)
 		g.resp.Set(key, zerocopy.Bytes(out), ttl)
+		g.refresh.track(req, key)
 		*keyp = key[:0]
 		keyScratch.Put(keyp)
+		stored = true
 	}
-	return zerocopy.Bytes(out), nil
+	return zerocopy.Bytes(out), stored, nil
 }
 
 // search collects, filters, and projects. It also reports the lifetime a
@@ -238,7 +281,7 @@ func (g *GRIS) SearchLDIF(ctx context.Context, req SearchRequest) ([]byte, error
 // to the smallest provider TTL among the collected keywords, 0 when any
 // collected keyword executes on every request (TTL 0) and the result is
 // therefore uncacheable.
-func (g *GRIS) search(ctx context.Context, req SearchRequest) ([]ldif.Entry, time.Duration, error) {
+func (g *GRIS) search(ctx context.Context, req SearchRequest, mode cache.Mode) ([]ldif.Entry, time.Duration, error) {
 	filter := MatchAll()
 	if strings.TrimSpace(req.Filter) != "" {
 		var err error
@@ -257,7 +300,7 @@ func (g *GRIS) search(ctx context.Context, req SearchRequest) ([]ldif.Entry, tim
 			kws = nil
 		}
 		var err error
-		reports, err = g.cfg.Registry.Collect(ctx, kws, cache.Cached, 0)
+		reports, err = g.cfg.Registry.Collect(ctx, kws, mode, 0)
 		if err != nil {
 			return nil, 0, err
 		}

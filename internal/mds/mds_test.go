@@ -262,8 +262,22 @@ func TestGIISToleratesDeadMembers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(entries) != 2 {
-		t.Errorf("entries = %d (live member's records expected)", len(entries))
+	// The live member's records, plus a degraded status entry naming the
+	// dead one.
+	if len(entries) != 3 {
+		t.Fatalf("entries = %d (live member's records + status entry expected)", len(entries))
+	}
+	status := entries[len(entries)-1]
+	if oc, _ := status.Get("objectclass"); oc != "InfoGramStatus" {
+		t.Errorf("last entry objectclass = %q, want degraded status entry", oc)
+	}
+	if missing, _ := status.Get("missing"); missing != "127.0.0.1:1" {
+		t.Errorf("status entry missing = %q, want the dead member", missing)
+	}
+	for _, e := range entries[:2] {
+		if oc, _ := e.Get("objectclass"); oc == "InfoGramStatus" {
+			t.Errorf("live data entry carries the status objectclass: %s", e.DN)
+		}
 	}
 }
 
@@ -401,4 +415,74 @@ func TestTwoProtocolBaselineRequiresTwoCodecs(t *testing.T) {
 		t.Fatalf("search: %v", err)
 	}
 	_ = cache.Cached // document that GRIS reads go through the cache layer
+}
+
+// TestGIISDegradedNotCached: a partial merge must not be pinned in the
+// aggregate cache — once the failed member recovers, the next search
+// within the same membership generation sees its records again.
+func TestGIISDegradedNotCached(t *testing.T) {
+	f := newFabric(t)
+	g1 := startGRIS(t, f, "res1")
+	g2 := mds.NewGRIS(mds.GRISConfig{
+		ResourceName: "res2",
+		Registry:     newRegistry("res2"),
+		Credential:   f.svc,
+		Trust:        f.trust,
+	})
+	if _, err := g2.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	g2addr := g2.Addr()
+
+	giis := mds.NewGIIS(mds.GIISConfig{
+		OrgName: "vo", Credential: f.svc, Trust: f.trust,
+		CacheTTL:      time.Minute,
+		MemberTimeout: 2 * time.Second,
+	})
+	if _, err := giis.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer giis.Close()
+	giis.Register(g1.Addr())
+	giis.Register(g2addr)
+
+	g2.Close()
+	entries, err := giis.Search(context.Background(), mds.SearchRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oc, _ := entries[len(entries)-1].Get("objectclass"); oc != "InfoGramStatus" {
+		t.Fatalf("search against a dead member not degraded: %d entries", len(entries))
+	}
+
+	// Revive res2 on the same address; no Register() call, so the
+	// membership generation — and with it the cache key — is unchanged.
+	g2 = mds.NewGRIS(mds.GRISConfig{
+		ResourceName: "res2",
+		Registry:     newRegistry("res2"),
+		Credential:   f.svc,
+		Trust:        f.trust,
+	})
+	if _, err := g2.Listen(g2addr); err != nil {
+		t.Skipf("cannot rebind %s: %v", g2addr, err)
+	}
+	defer g2.Close()
+
+	entries, err = giis.Search(context.Background(), mds.SearchRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("entries after recovery = %d, want 4 (a cached degraded body?)", len(entries))
+	}
+	for _, e := range entries {
+		if oc, _ := e.Get("objectclass"); oc == "InfoGramStatus" {
+			t.Errorf("recovered search still degraded: %s", e.DN)
+		}
+	}
+
+	// The full merge IS cached: a repeat should hit.
+	if _, err := giis.Search(context.Background(), mds.SearchRequest{}); err != nil {
+		t.Fatal(err)
+	}
 }

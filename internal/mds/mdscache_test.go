@@ -267,3 +267,65 @@ func TestGIISCacheInvalidatedByMembership(t *testing.T) {
 		t.Fatalf("entries after new member = %d, want 4 (stale cache served?)", len(entries))
 	}
 }
+
+// TestGRISRefreshAhead: a hot cached search is re-filled in the
+// background once it ages past the configured fraction of its TTL, so
+// subsequent requests keep hitting without the entry ever expiring.
+func TestGRISRefreshAhead(t *testing.T) {
+	f := newFabric(t)
+	var execs atomic.Int64
+	reg := provider.NewRegistry(nil)
+	reg.Register(provider.NewFuncProvider("Load", func(ctx context.Context) (provider.Attributes, error) {
+		execs.Add(1)
+		return provider.Attributes{{Name: "v", Value: "1"}}, nil
+	}), provider.RegisterOptions{TTL: time.Hour})
+	tel := telemetry.NewRegistry()
+	g := mds.NewGRIS(mds.GRISConfig{
+		ResourceName: "res", Registry: reg, Credential: f.svc, Trust: f.trust,
+		CacheTTL:     500 * time.Millisecond,
+		RefreshAhead: 0.3,
+		Telemetry:    tel,
+	})
+	if _, err := g.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	// One fill plus enough hits to cross the popularity bar.
+	for i := 0; i < 3; i++ {
+		if _, err := g.SearchLDIF(context.Background(), mds.SearchRequest{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("execs after warm-up = %d, want 1 (cache broken?)", got)
+	}
+
+	// Wait past the refresh threshold (150ms) and give the scanner time
+	// to run; the provider must execute again without any request.
+	deadline := time.Now().Add(2 * time.Second)
+	for execs.Load() < 2 && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if got := execs.Load(); got < 2 {
+		t.Fatalf("refresh-ahead never re-executed the provider (execs = %d)", got)
+	}
+
+	// The entry was refreshed in place: this is still a hit.
+	before := execs.Load()
+	if _, err := g.SearchLDIF(context.Background(), mds.SearchRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := execs.Load(); got != before {
+		t.Errorf("post-refresh search missed the cache (execs %d -> %d)", before, got)
+	}
+	refreshed := int64(-1)
+	for _, p := range tel.Snapshot() {
+		if p.Name == "mds_refresh_ahead_total" {
+			refreshed = p.Value
+		}
+	}
+	if refreshed < 1 {
+		t.Errorf("mds_refresh_ahead_total = %d, want >= 1", refreshed)
+	}
+}

@@ -58,6 +58,7 @@ func (g *GRIS) NewPersister(path string, interval time.Duration) *bytecache.Pers
 		Path:     path,
 		Interval: interval,
 		Name:     "gris",
+		Compress: g.cfg.SnapshotCompress,
 		Meta: func() bytecache.SnapshotMeta {
 			return bytecache.SnapshotMeta{
 				Generation: g.cfg.Registry.Generation(),
@@ -84,6 +85,7 @@ func (g *GIIS) NewPersister(path string, interval time.Duration) *bytecache.Pers
 		Path:     path,
 		Interval: interval,
 		Name:     "giis",
+		Compress: g.cfg.SnapshotCompress,
 		Meta: func() bytecache.SnapshotMeta {
 			return bytecache.SnapshotMeta{
 				Generation: g.memGen.Load(),

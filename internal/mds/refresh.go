@@ -1,0 +1,241 @@
+package mds
+
+import (
+	"context"
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"infogram/internal/bytecache"
+	"infogram/internal/clock"
+	"infogram/internal/telemetry"
+)
+
+// Refresh-ahead for the directory tier, mirroring the gatekeeper's pool
+// (internal/core/refresh.go): a scanner walks the tracked searches, and
+// entries that are both popular and past the configured fraction of their
+// TTL are re-filled in the background through the ordinary miss path. A
+// hot filter's p99 stays the cache-hit path; the provider executions (or,
+// on a GIIS, the member fan-out) happen off-request. Both GRIS and GIIS
+// embed one of these; the refill callback is the only tier-specific part.
+
+const (
+	// mdsRefreshMinHits is how many reads an entry must have absorbed
+	// since its last fill to be worth refreshing — one-hit wonders expire.
+	mdsRefreshMinHits = 2
+	// mdsRefreshQueue bounds the scanner→worker queue; a full queue skips
+	// the entry until the next scan.
+	mdsRefreshQueue = 64
+	// mdsRefreshTimeout bounds one background refill.
+	mdsRefreshTimeout = 30 * time.Second
+)
+
+// trackedSearch is one refresh-ahead candidate: the cloned request and
+// the cache key its rendering lives under.
+type trackedSearch struct {
+	req      SearchRequest
+	key      []byte
+	inflight atomic.Bool
+}
+
+// searchRefresher owns the scanner goroutine and the bounded worker pool.
+type searchRefresher struct {
+	resp  *bytecache.Cache
+	clk   clock.Clock
+	frac  float64 // refresh once elapsed >= frac * lifetime
+	every time.Duration
+	genOf func() uint64
+	// refill re-evaluates one search through the miss path; it reports
+	// whether a fresh rendering was stored (a degraded GIIS merge is
+	// evaluated but never stored).
+	refill func(ctx context.Context, req *SearchRequest) (bool, error)
+
+	queue    chan *trackedSearch
+	stopCh   chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+
+	mu      sync.Mutex
+	tracked map[uint64]*trackedSearch
+
+	refreshed *telemetry.Counter
+	failed    *telemetry.Counter
+	skipped   *telemetry.Counter
+	trackedG  *telemetry.Gauge
+}
+
+// newSearchRefresher builds and starts the pool. frac is clamped to
+// [0.1, 0.95]; workers defaults to 2.
+func newSearchRefresher(resp *bytecache.Cache, clk clock.Clock, ttl time.Duration, frac float64, workers int,
+	genOf func() uint64, refill func(context.Context, *SearchRequest) (bool, error)) *searchRefresher {
+	if frac < 0.1 {
+		frac = 0.1
+	}
+	if frac > 0.95 {
+		frac = 0.95
+	}
+	if workers <= 0 {
+		workers = 2
+	}
+	// Scan often enough that an entry is seen a few times inside its
+	// refresh window (the last (1-frac) of its life), bounded to stay
+	// cheap for long TTLs and sane for very short ones.
+	every := time.Duration(float64(ttl) * (1 - frac) / 4)
+	if every < 10*time.Millisecond {
+		every = 10 * time.Millisecond
+	}
+	if every > 5*time.Second {
+		every = 5 * time.Second
+	}
+	r := &searchRefresher{
+		resp:    resp,
+		clk:     clk,
+		frac:    frac,
+		every:   every,
+		genOf:   genOf,
+		refill:  refill,
+		queue:   make(chan *trackedSearch, mdsRefreshQueue),
+		stopCh:  make(chan struct{}),
+		done:    make(chan struct{}),
+		tracked: make(map[uint64]*trackedSearch),
+	}
+	for i := 0; i < workers; i++ {
+		go r.worker()
+	}
+	go func() {
+		defer close(r.done)
+		t := time.NewTicker(r.every)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				r.scan()
+			case <-r.stopCh:
+				return
+			}
+		}
+	}()
+	return r
+}
+
+// setTelemetry binds the pool's series, labeled by tier so a process
+// hosting both a GRIS and a GIIS keeps their counters apart.
+func (r *searchRefresher) setTelemetry(reg *telemetry.Registry, tier string) {
+	if r == nil || reg == nil {
+		return
+	}
+	l := telemetry.Label{Key: "tier", Value: tier}
+	r.refreshed = reg.Counter("mds_refresh_ahead_total",
+		"hot directory cache entries proactively refreshed before TTL expiry", l)
+	r.failed = reg.Counter("mds_refresh_ahead_errors_total",
+		"directory refresh-ahead fills that failed or came back degraded", l)
+	r.skipped = reg.Counter("mds_refresh_ahead_skipped_total",
+		"directory refresh-ahead candidates deferred because the worker queue was full", l)
+	r.trackedG = reg.Gauge("mds_refresh_ahead_tracked",
+		"directory entries currently tracked as refresh-ahead candidates", l)
+}
+
+// track registers one stored search as a refresh candidate. The request
+// and key are cloned: the caller's key buffer is pooled.
+func (r *searchRefresher) track(req *SearchRequest, key []byte) {
+	if r == nil {
+		return
+	}
+	h := keyHash(key)
+	r.mu.Lock()
+	if _, ok := r.tracked[h]; !ok {
+		clone := *req
+		clone.Attrs = append([]string(nil), req.Attrs...)
+		r.tracked[h] = &trackedSearch{req: clone, key: append([]byte(nil), key...)}
+	}
+	r.mu.Unlock()
+}
+
+// close stops the scanner and the workers. Idempotent; nil-safe.
+func (r *searchRefresher) close() {
+	if r == nil {
+		return
+	}
+	r.stopOnce.Do(func() {
+		close(r.stopCh)
+		<-r.done
+		close(r.queue)
+	})
+}
+
+// scan walks the tracked candidates once, pruning dead ones and queueing
+// the hot-and-aging ones.
+func (r *searchRefresher) scan() {
+	now := r.clk.Now().UnixNano()
+	gen := r.genOf()
+	r.mu.Lock()
+	cands := make([]*trackedSearch, 0, len(r.tracked))
+	for _, t := range r.tracked {
+		cands = append(cands, t)
+	}
+	r.mu.Unlock()
+	r.trackedG.Set(int64(len(cands)))
+	for _, t := range cands {
+		// Cache keys carry the generation at bytes [1,9) (after the type
+		// prefix); a generation change orphaned the key, and a refresh
+		// would resurrect data under a dead key.
+		if len(t.key) < 9 || binary.LittleEndian.Uint64(t.key[1:9]) != gen {
+			r.untrack(t.key)
+			continue
+		}
+		info, ok := r.resp.Info(t.key)
+		if !ok {
+			// Expired or evicted; the next request-path miss re-tracks it.
+			r.untrack(t.key)
+			continue
+		}
+		if info.Hits < mdsRefreshMinHits || info.Expire <= info.Stored {
+			continue
+		}
+		if now-info.Stored < int64(r.frac*float64(info.Expire-info.Stored)) {
+			continue
+		}
+		if !t.inflight.CompareAndSwap(false, true) {
+			continue // already queued or refreshing
+		}
+		select {
+		case r.queue <- t:
+		default:
+			t.inflight.Store(false)
+			r.skipped.Inc()
+		}
+	}
+}
+
+// untrack drops a candidate whose cache entry is gone or orphaned.
+func (r *searchRefresher) untrack(key []byte) {
+	h := keyHash(key)
+	r.mu.Lock()
+	delete(r.tracked, h)
+	r.mu.Unlock()
+}
+
+// worker drains the queue, re-executing fills.
+func (r *searchRefresher) worker() {
+	for t := range r.queue {
+		ctx, cancel := context.WithTimeout(context.Background(), mdsRefreshTimeout)
+		stored, err := r.refill(ctx, &t.req)
+		cancel()
+		if err != nil || !stored {
+			r.failed.Inc()
+		} else {
+			r.refreshed.Inc()
+		}
+		t.inflight.Store(false)
+	}
+}
+
+// keyHash digests a cache key for the tracked-candidate map.
+func keyHash(key []byte) uint64 {
+	f := newFNV()
+	for _, b := range key {
+		f.writeByte(b)
+	}
+	return f.sum()
+}

@@ -210,11 +210,18 @@ func TestSpanOverflowBound(t *testing.T) {
 
 func TestStoreEvictionFIFO(t *testing.T) {
 	store := NewTraceStore(storeStripes) // one trace per stripe
+	// Random IDs don't guarantee every stripe is hit (a stripe stays empty
+	// ~11% of the time over 32 draws), so draw until each stripe has seen
+	// exactly four inserts.
+	perStripe := make(map[*storeStripe]int)
 	var traces []TraceID
-	for i := 0; i < 4*storeStripes; i++ {
+	for len(traces) < 4*storeStripes {
 		id := NewTraceID()
-		traces = append(traces, id)
-		store.Put(TraceRecord{Trace: id, Start: time.Unix(int64(i), 0)})
+		if st := store.stripe(id); perStripe[st] < 4 {
+			perStripe[st]++
+			traces = append(traces, id)
+			store.Put(TraceRecord{Trace: id, Start: time.Unix(int64(len(traces)), 0)})
+		}
 	}
 	if n := store.Len(); n != storeStripes {
 		t.Errorf("Len = %d, want %d", n, storeStripes)

@@ -1,0 +1,215 @@
+#!/bin/sh
+# Nightly cluster gate, two phases. Run from the repository root:
+#
+#	./scripts/cluster-regress.sh
+#
+# Phase A — horizontal scaling. Four backends run with an injected
+# provider.collect delay and -conn-parallelism 1, pinning each node's
+# info-query capacity at pool/delay = 8/25ms = 320 req/s regardless of
+# host CPU. The open-loop harness offers a fixed 560 req/s — 1.75x one
+# node — first to one node, then round-robin across two, then four. One
+# node saturates (goodput caps at its capacity, the tail runs away);
+# two nodes have headroom (87.5% utilization each), so the gate demands
+# 2-node goodput >= 1.6x 1-node while 2-node p99 stays under a fixed
+# bar. The N=1,2,4 curve is recorded as BENCH_7.json — the MDS2
+# "Performance Analysis of MDS2" scaling collapse, reproduced and then
+# beaten by scale-out.
+#
+# Phase B — failover. A journaled leader accepts a mix of terminal and
+# long-running jobs, then dies with SIGKILL. A -follow -promote standby
+# that has been mirroring the journal must detect the loss, promote
+# itself, and resubmit every non-terminal job — zero journaled-job loss.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+delay=25ms
+pool=8
+rate=560
+duration=10
+p99_bar_us=500000
+
+tmp=$(mktemp -d)
+pids=""
+cleanup() {
+	for p in $pids; do kill "$p" 2>/dev/null || true; done
+	wait 2>/dev/null || true
+	rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "== build =="
+go build -o "$tmp/infogram-server" ./cmd/infogram-server
+go build -o "$tmp/infogram-loadgen" ./cmd/infogram-loadgen
+go build -o "$tmp/infogram" ./cmd/infogram
+
+# wait_addr LOGFILE PID — parse the bound address out of a server log.
+wait_addr() {
+	_addr=""
+	_i=0
+	while [ $_i -lt 100 ]; do
+		_addr=$(sed -n 's/.*serving on \([0-9.]*:[0-9]*\).*/\1/p' "$1" | head -1)
+		[ -n "$_addr" ] && break
+		kill -0 "$2" 2>/dev/null || { cat "$1" >&2; exit 1; }
+		_i=$((_i + 1))
+		sleep 0.1
+	done
+	[ -n "$_addr" ] || { echo "cluster-regress: server in $1 did not come up" >&2; exit 1; }
+	echo "$_addr"
+}
+
+echo "== phase A: scaling curve (delay=$delay, rate=$rate, ${duration}s per point) =="
+addrs=""
+n=0
+for n in 1 2 3 4; do
+	"$tmp/infogram-server" -fabric "$tmp/fabric" -addr 127.0.0.1:0 \
+		-conn-parallelism 1 -faultpoints "provider.collect=delay(${delay})" \
+		>"$tmp/backend$n.log" 2>&1 &
+	pids="$pids $!"
+	a=$(wait_addr "$tmp/backend$n.log" "$!")
+	addrs="$addrs $a"
+done
+set -- $addrs
+addr1=$1
+addr2="$1,$2"
+addr4="$1,$2,$3,$4"
+
+: >BENCH_7.json
+# run_curve_point NODES TARGETS — one open-loop point; sets $goodput $p99.
+run_curve_point() {
+	"$tmp/infogram-loadgen" -fabric "$tmp/fabric" -targets "$2" \
+		-rate "$rate" -duration "${duration}s" -mix info=1 \
+		-pool "$pool" -timeout 2s -json "$tmp/report.json"
+	goodput=$(sed -n 's/.*"goodput_rps":\([0-9]*\).*/\1/p' "$tmp/report.json")
+	p99=$(sed -n 's/.*"p99_us":\([0-9]*\).*/\1/p' "$tmp/report.json")
+	[ -n "$goodput" ] && [ -n "$p99" ] || {
+		echo "cluster-regress: bad loadgen report" >&2
+		exit 1
+	}
+	sed "s/^{/{\"nodes\":$1,/" "$tmp/report.json" >>BENCH_7.json
+	echo "N=$1: goodput=${goodput}/s p99=${p99}us"
+}
+
+attempt=1
+while :; do
+	run_curve_point 1 "$addr1"
+	goodput1=$goodput
+	run_curve_point 2 "$addr2"
+	goodput2=$goodput
+	p99_2=$p99
+	# The gate: 2-node goodput >= 1.6x 1-node, with the 2-node tail under
+	# the fixed bar (integer math: x10 both sides).
+	if [ $((goodput2 * 10)) -ge $((goodput1 * 16)) ] && [ "$p99_2" -le "$p99_bar_us" ]; then
+		echo "ok: 2-node goodput ${goodput2}/s >= 1.6x 1-node ${goodput1}/s at p99 ${p99_2}us <= ${p99_bar_us}us"
+		break
+	fi
+	if [ $attempt -ge 3 ]; then
+		echo "FAIL: 2-node scaling gate (goodput ${goodput2}/s vs 1.6x ${goodput1}/s, p99 ${p99_2}us vs bar ${p99_bar_us}us)" >&2
+		exit 1
+	fi
+	attempt=$((attempt + 1))
+	echo "retrying scaling gate (attempt $attempt)"
+done
+run_curve_point 4 "$addr4"
+
+echo "== phase B: kill-leader failover =="
+mkdir -p "$tmp/leader-state" "$tmp/standby-state"
+"$tmp/infogram-server" -fabric "$tmp/fabric" -addr 127.0.0.1:0 \
+	-state-dir "$tmp/leader-state" >"$tmp/leader.log" 2>&1 &
+leaderpid=$!
+pids="$pids $leaderpid"
+leader=$(wait_addr "$tmp/leader.log" "$leaderpid")
+
+"$tmp/infogram-server" -fabric "$tmp/fabric" -addr 127.0.0.1:0 \
+	-follow "$leader" -promote -state-dir "$tmp/standby-state" \
+	>"$tmp/standby.log" 2>&1 &
+standbypid=$!
+pids="$pids $standbypid"
+i=0
+while [ $i -lt 100 ]; do
+	grep -q "follower synced" "$tmp/standby.log" && break
+	kill -0 "$standbypid" 2>/dev/null || { cat "$tmp/standby.log" >&2; exit 1; }
+	i=$((i + 1))
+	sleep 0.1
+done
+grep -q "follower synced" "$tmp/standby.log" || {
+	echo "cluster-regress: standby never synced" >&2
+	exit 1
+}
+
+# Two jobs finish, two are mid-flight when the leader dies.
+c1=$("$tmp/infogram" -fabric "$tmp/fabric" -server "$leader" submit '&(executable=/bin/echo)(arguments=done)')
+c2=$("$tmp/infogram" -fabric "$tmp/fabric" -server "$leader" submit '&(executable=/bin/echo)(arguments=done)')
+s1=$("$tmp/infogram" -fabric "$tmp/fabric" -server "$leader" submit '&(executable=/bin/sleep)(arguments=60)')
+s2=$("$tmp/infogram" -fabric "$tmp/fabric" -server "$leader" submit '&(executable=/bin/sleep)(arguments=60)')
+
+# job_state SERVER CONTACT — prints the job's current state.
+job_state() {
+	"$tmp/infogram" -fabric "$tmp/fabric" -server "$1" status "$2" |
+		sed -n 's/^state: //p'
+}
+for c in $s1 $s2; do
+	i=0
+	while [ $i -lt 100 ]; do
+		st=$(job_state "$leader" "$c")
+		[ "$st" = "ACTIVE" ] && break
+		i=$((i + 1))
+		sleep 0.1
+	done
+	[ "$st" = "ACTIVE" ] || { echo "cluster-regress: job $c never ACTIVE ($st)" >&2; exit 1; }
+done
+for c in $c1 $c2; do
+	i=0
+	while [ $i -lt 100 ]; do
+		st=$(job_state "$leader" "$c")
+		[ "$st" = "DONE" ] && break
+		i=$((i + 1))
+		sleep 0.1
+	done
+	[ "$st" = "DONE" ] || { echo "cluster-regress: job $c never DONE ($st)" >&2; exit 1; }
+done
+# Give the live record tail a moment to reach the standby's mirror.
+sleep 2
+
+kill -9 "$leaderpid" 2>/dev/null || true
+wait "$leaderpid" 2>/dev/null || true
+echo "leader killed; waiting for promotion"
+
+i=0
+while [ $i -lt 300 ]; do
+	grep -q "journal replayed" "$tmp/standby.log" && break
+	kill -0 "$standbypid" 2>/dev/null || { cat "$tmp/standby.log" >&2; exit 1; }
+	i=$((i + 1))
+	sleep 0.1
+done
+grep -q "journal replayed" "$tmp/standby.log" || {
+	echo "cluster-regress: standby never promoted" >&2
+	cat "$tmp/standby.log" >&2
+	exit 1
+}
+promoted=$(sed -n 's/.*serving on \([0-9.]*:[0-9]*\).*/\1/p' "$tmp/standby.log" | head -1)
+resumed=$(sed -n 's/.*journal replayed [0-9]* job(s).*(\([0-9]*\) resumed).*/\1/p' "$tmp/standby.log" | head -1)
+echo "promoted gatekeeper on $promoted (resumed=$resumed)"
+[ "$resumed" = "2" ] || {
+	echo "FAIL: promotion resumed $resumed jobs; want the 2 non-terminal jobs" >&2
+	cat "$tmp/standby.log" >&2
+	exit 1
+}
+
+# Every journaled job must be answerable on the promoted node: the
+# terminal pair with their recorded state, the in-flight pair resubmitted.
+for c in $c1 $c2; do
+	st=$(job_state "$promoted" "$c")
+	[ "$st" = "DONE" ] || { echo "FAIL: terminal job $c lost in promotion ($st)" >&2; exit 1; }
+done
+for c in $s1 $s2; do
+	st=$(job_state "$promoted" "$c")
+	case $st in
+	PENDING | ACTIVE) ;;
+	*)
+		echo "FAIL: in-flight job $c not resubmitted after promotion ($st)" >&2
+		exit 1
+		;;
+	esac
+done
+echo "ok: failover resubmitted all non-terminal jobs, terminal history preserved"
